@@ -1,0 +1,35 @@
+# Convenience targets for the iPDA reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench reproduce figures examples clean
+
+install:
+	pip install -e . --no-build-isolation || \
+		$(PYTHON) -c "import site, pathlib; \
+		p = pathlib.Path(site.getsitepackages()[0]) / 'repro-editable.pth'; \
+		p.write_text(str(pathlib.Path('src').resolve()) + '\n'); \
+		print('fallback: wrote', p)"
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+reproduce:
+	$(PYTHON) -m repro all --csv results/ --svg results/figures/
+
+figures:
+	$(PYTHON) examples/paper_figures.py results/figures
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+		echo; \
+	done
+
+clean:
+	rm -rf results benchmarks/results.txt .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

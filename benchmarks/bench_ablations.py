@@ -1,0 +1,78 @@
+"""Benchmarks for the ablation studies DESIGN.md calls out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def bench_ablation_slices(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: ablations.run_slices(
+            node_count=400, slice_counts=(1, 2, 3), repetitions=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    privacy = table.column("analytic_pdisclose")
+    overhead = table.column("overhead_ratio")
+    accuracy = table.column("accuracy")
+    assert all(b < a for a, b in zip(privacy, privacy[1:]))
+    assert all(a < b for a, b in zip(overhead, overhead[1:]))
+    # Accuracy degrades gently with l (more targets required).
+    assert accuracy[-1] <= accuracy[0] + 0.02
+
+
+def bench_ablation_budget(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: ablations.run_budget(
+            node_count=400, budgets=(2, 4, 8), repetitions=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    fraction = table.column("aggregator_fraction")
+    assert all(a <= b for a, b in zip(fraction, fraction[1:]))
+
+
+def bench_ablation_role_mode(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: ablations.run_role_mode(node_count=400, repetitions=5),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    rows = {row[0]: row for row in table.rows}
+    # Adaptive mode deploys fewer aggregators than p = 1.
+    assert rows["adaptive"][1] < rows["fixed"][1]
+
+
+def bench_ablation_key_schemes(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: ablations.run_key_schemes(node_count=250, repetitions=2),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    rows = {row[0]: row for row in table.rows}
+    # Pairwise keys allow full participation; sparse EG rings cost some.
+    assert rows["pairwise"][1] >= rows["eg-predistribution"][1]
+
+
+def bench_ablation_threshold(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: ablations.run_threshold(
+            node_count=300, thresholds=(0, 5, 100), repetitions=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    detect = table.column("attack_detect_rate")
+    accept = table.column("benign_accept_rate")
+    # Detection decreases as Th grows; benign acceptance never shrinks.
+    assert detect[0] >= detect[-1]
+    assert all(a <= b + 1e-9 for a, b in zip(accept, accept[1:]))

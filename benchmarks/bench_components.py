@@ -1,0 +1,71 @@
+"""Micro-benchmarks for the substrate components.
+
+These track the cost of the hot paths (event engine, slicing, link
+crypto, tree construction, one full radio round) so performance
+regressions in the simulator are visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import IpdaConfig, RngStreams, random_deployment
+from repro.core.slicing import slice_value
+from repro.core.trees import build_disjoint_trees
+from repro.crypto.cipher import KEY_BYTES
+from repro.crypto.envelope import make_nonce, open_sealed, seal
+from repro.protocols.ipda import IpdaProtocol
+from repro.sim.engine import EventEngine
+
+KEY = bytes(range(KEY_BYTES))
+
+
+def bench_event_engine_throughput(benchmark):
+    def run():
+        engine = EventEngine()
+        for i in range(10_000):
+            engine.schedule(float(i % 97) * 1e-3, lambda: None)
+        engine.run()
+        return engine.processed_events
+
+    assert benchmark(run) == 10_000
+
+
+def bench_slice_value(benchmark):
+    rng = np.random.default_rng(0)
+    result = benchmark(lambda: slice_value(12345, 2, rng, magnitude=10**6))
+    assert sum(result) == 12345
+
+
+def bench_seal_open_roundtrip(benchmark):
+    nonce = make_nonce(1, 2, 3, 4)
+
+    def run():
+        return open_sealed(seal(98765, KEY, nonce), KEY, nonce)
+
+    assert benchmark(run) == 98765
+
+
+def bench_tree_construction_400(benchmark):
+    topology = random_deployment(400, seed=1)
+
+    def run():
+        return build_disjoint_trees(
+            topology, IpdaConfig(), np.random.default_rng(1)
+        )
+
+    trees = benchmark(run)
+    assert trees.is_node_disjoint()
+
+
+def bench_full_ipda_round_300(benchmark):
+    topology = random_deployment(300, seed=2)
+    readings = {i: 1 for i in range(1, topology.node_count)}
+
+    def run():
+        return IpdaProtocol().run_round(
+            topology, readings, streams=RngStreams(2)
+        )
+
+    outcome = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert outcome.s_red == outcome.s_blue

@@ -1,0 +1,95 @@
+"""Benchmarks for the extension studies: m trees, energy, epochs, latency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations, energy, latency
+
+
+def bench_ablation_trees(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: ablations.run_tree_count(
+            node_count=600, tree_counts=(2, 3, 4), repetitions=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    messages = table.column("messages_per_node")
+    participation = table.column("participation")
+    tolerated = table.column("tolerated_rate")
+    detected = table.column("detected_rate")
+    # Overhead (m*l+1) grows with m; participation shrinks.
+    assert all(a < b for a, b in zip(messages, messages[1:]))
+    assert all(b <= a + 1e-9 for a, b in zip(participation, participation[1:]))
+    # m=2 detects but cannot tolerate; m>=3 tolerates by majority vote.
+    assert all(d == pytest.approx(1.0) for d in detected)
+    assert tolerated[0] == pytest.approx(0.0)
+    assert tolerated[1] == pytest.approx(1.0)
+
+
+def bench_energy(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: energy.run(node_count=400, repetitions=2),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    rows = {row[0]: row for row in table.rows}
+    tag_total = rows["tag"][1]
+    l1_total = rows["ipda l=1"][1]
+    l2_total = rows["ipda l=2"][1]
+    # Energy follows the (2l+1)/2 byte ratio.
+    assert l1_total / tag_total == pytest.approx(1.5, rel=0.25)
+    assert l2_total / tag_total == pytest.approx(2.5, rel=0.25)
+    # Lifetime ordering inverts the cost ordering.
+    assert rows["tag"][3] > rows["ipda l=1"][3] > rows["ipda l=2"][3]
+
+
+def bench_latency(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: latency.run(sizes=(200, 400, 600), repetitions=2),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    deltas = table.column("delta_s")
+    # iPDA pays the slicing window + guard over TAG at every density.
+    assert all(d > 5.0 for d in deltas)
+
+
+def bench_epoch_amortisation(benchmark, emit):
+    from repro import IpdaConfig, RngStreams, random_deployment
+    from repro.experiments.common import ExperimentTable
+    from repro.protocols.epochs import EpochedIpdaSession
+
+    def run():
+        topology = random_deployment(300, seed=5)
+        readings = {i: 1 for i in range(1, topology.node_count)}
+        session = EpochedIpdaSession(
+            topology, IpdaConfig(), streams=RngStreams(5)
+        )
+        session.construct_trees()
+        outcomes = [session.run_epoch(readings) for _ in range(5)]
+        table = ExperimentTable(
+            name="Epoch amortisation: bytes per query",
+            columns=["epoch", "bytes", "accepted"],
+        )
+        table.add_row("phase I (once)", session.construction_bytes, True)
+        for outcome in outcomes:
+            table.add_row(
+                outcome.epoch, outcome.bytes_this_epoch, outcome.accepted
+            )
+        return table, outcomes, session
+
+    table, outcomes, session = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    emit(table)
+    assert all(o.accepted for o in outcomes)
+    # Every epoch is cheaper than Phase I + one epoch, i.e. the
+    # standalone round; and epochs cost roughly the same as each other.
+    per_epoch = [o.bytes_this_epoch for o in outcomes]
+    assert max(per_epoch) < session.construction_bytes + min(per_epoch)
+    assert max(per_epoch) < 1.3 * min(per_epoch)

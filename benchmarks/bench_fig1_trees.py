@@ -1,0 +1,17 @@
+"""Benchmark regenerating the Figure 1 tree-construction walk-through."""
+
+from __future__ import annotations
+
+from repro.experiments import fig1_trees
+
+
+def bench_fig1(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig1_trees.run(seed=1), rounds=1, iterations=1
+    )
+    emit(table)
+    values = dict(zip(table.column("property"), table.column("value")))
+    assert values["node-disjoint"] is True
+    assert values["red tree consistent"] is True
+    assert values["blue tree consistent"] is True
+    assert values["covered fraction"] > 0.9

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 4 (per-node message budgets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig4_messages
+
+
+def bench_fig4(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig4_messages.run(node_count=400, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    rows = {row[0]: row for row in table.rows}
+    # TAG: 2 messages; iPDA: 2l+1 — within 10% including MAC retries.
+    for name, row in rows.items():
+        _protocol, analytic, measured = row
+        assert measured == pytest.approx(analytic, rel=0.10)

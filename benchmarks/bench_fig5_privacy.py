@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 5 (privacy-preservation capacity)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig5_privacy
+
+
+def bench_fig5(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig5_privacy.run(seed=0, monte_carlo_trials=5),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    l2 = table.column("analytic_deg7_l2")
+    l3 = table.column("analytic_deg7_l3")
+    d17 = table.column("analytic_deg17_l2")
+    # Shape: monotone in p_x; l=3 beats l=2; density-insensitive.
+    assert all(a < b for a, b in zip(l2, l2[1:]))
+    assert all(three < two for two, three in zip(l2, l3))
+    for a, b in zip(l2, d17):
+        assert abs(a - b) / max(a, b) < 0.5
+    # Monte-Carlo of the concrete attack lands in the analytic ballpark
+    # at the top of the sweep.
+    measured = table.column("measured_deg17_l2")
+    assert measured[-1] <= 5 * l2[-1] + 0.02

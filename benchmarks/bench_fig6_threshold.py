@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 6 (red/blue agreement, Th choice)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig6_threshold
+
+
+def bench_fig6(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig6_threshold.run(
+            sizes=(200, 300, 400, 500), repetitions=2, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    perfect = table.column("perfect")
+    for slices in (1, 2):
+        reds = table.column(f"red_l{slices}")
+        blues = table.column(f"blue_l{slices}")
+        diffs = table.column(f"maxdiff_l{slices}")
+        # The two trees agree within the paper's Th = 5 everywhere.
+        assert all(d <= 5 for d in diffs)
+        # Collected values sit below the perfect line and approach it
+        # with density (the Figure 6 picture).
+        assert all(r <= p for r, p in zip(reds, perfect))
+        assert reds[-1] / perfect[-1] > reds[0] / perfect[0]
+        assert blues[-1] / perfect[-1] > 0.9

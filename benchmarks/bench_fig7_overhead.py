@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 7 (bandwidth iPDA vs TAG)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig7_overhead
+
+
+def bench_fig7(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig7_overhead.run(
+            sizes=(200, 300, 400, 500), repetitions=2, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    tag = table.column("tag_bytes")
+    for slices, expected in ((1, 1.5), (2, 2.5)):
+        bytes_col = table.column(f"ipda_l{slices}_bytes")
+        ratios = table.column(f"ratio_l{slices}")
+        # Bytes grow with N; the dense-regime ratio approaches (2l+1)/2.
+        assert all(a < b for a, b in zip(bytes_col, bytes_col[1:]))
+        assert ratios[-1] == pytest.approx(expected, rel=0.15)
+        # Sparse networks under-consume (non-participation).
+        assert ratios[0] < ratios[-1]
+    assert all(a < b for a, b in zip(tag, tag[1:]))

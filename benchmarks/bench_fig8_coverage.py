@@ -1,0 +1,36 @@
+"""Benchmark regenerating Figure 8 (coverage, participation, accuracy)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig8_coverage_accuracy
+
+
+def bench_fig8(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig8_coverage_accuracy.run(
+            sizes=(200, 300, 400, 500),
+            repetitions=2,
+            coverage_repetitions=10,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    covered = table.column("covered_fraction")
+    part_l1 = table.column("participants_l1")
+    part_l2 = table.column("participants_l2")
+    acc_l2 = table.column("accuracy_ipda_l2")
+    tag = table.column("accuracy_tag")
+    # (a) coverage rises steeply between N=200 and N=400, saturating.
+    assert covered[0] < 0.7
+    assert covered[2] > 0.9
+    # (b) participation <= coverage; l=2 <= l=1 (needs more targets).
+    for c, p1, p2 in zip(covered, part_l1, part_l2):
+        assert p2 <= p1 <= c + 1e-9
+    # (c) accuracy follows the same rise; TAG stays above iPDA in the
+    # sparse regime; everyone is >= 0.9 once degree >= 18 (N >= 400).
+    assert acc_l2[0] < acc_l2[2]
+    assert tag[0] > acc_l2[0]
+    assert acc_l2[2] > 0.9
+    assert tag[2] > 0.9

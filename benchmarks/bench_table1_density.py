@@ -1,0 +1,20 @@
+"""Benchmark regenerating Table I (network size vs average degree)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1_density
+
+
+def bench_table1(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: table1_density.run(repetitions=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    measured = table.column("measured_degree")
+    paper = table.column("paper_degree")
+    # Shape: linear growth, within 15% of the printed Table I.
+    assert all(a < b for a, b in zip(measured, measured[1:]))
+    for mine, theirs in zip(measured, paper):
+        assert abs(mine - theirs) / theirs < 0.15

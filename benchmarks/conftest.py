@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures at a
+reduced-but-representative scale, asserts the reproduced *shape*, and
+prints the rows (run with ``pytest benchmarks/ --benchmark-only -s`` to
+see them; they are also appended to ``benchmarks/results.txt``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    """Start each benchmark session with a clean results log."""
+    if os.path.exists(RESULTS_PATH):
+        os.remove(RESULTS_PATH)
+    yield
+
+
+@pytest.fixture
+def emit():
+    """Print a table and append it to the results log."""
+
+    def _emit(table) -> None:
+        text = table.to_text()
+        print()
+        print(text)
+        with open(RESULTS_PATH, "a") as handle:
+            handle.write(text)
+            handle.write("\n\n")
+
+    return _emit

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Regenerate every paper figure as SVG + CSV from the public API.
+
+Equivalent to ``python -m repro all --csv out/ --svg out/`` but shown
+as library calls, so downstream users can script their own sweeps.
+Pass ``--fast`` for reduced sweeps (seconds) and an output directory.
+
+Run:  python examples/paper_figures.py [--fast] [outdir]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.experiments import (
+    fig5_privacy,
+    fig6_threshold,
+    fig7_overhead,
+    fig8_coverage_accuracy,
+    table1_density,
+)
+from repro.viz import render_known_figure
+
+
+def main(argv) -> int:
+    fast = "--fast" in argv
+    positional = [a for a in argv if not a.startswith("--")]
+    outdir = positional[0] if positional else "paper_figures"
+    os.makedirs(outdir, exist_ok=True)
+    sizes = (200, 300, 400) if fast else (200, 300, 400, 500, 600)
+    reps = 1 if fast else 3
+
+    jobs = [
+        ("table1", lambda: table1_density.run(sizes, repetitions=3)),
+        ("fig5", lambda: fig5_privacy.run(monte_carlo_trials=0)),
+        ("fig6", lambda: fig6_threshold.run(sizes, repetitions=reps)),
+        ("fig7", lambda: fig7_overhead.run(sizes, repetitions=reps)),
+        (
+            "fig8",
+            lambda: fig8_coverage_accuracy.run(
+                sizes, repetitions=reps, coverage_repetitions=5 if fast else 20
+            ),
+        ),
+    ]
+    for name, runner in jobs:
+        started = time.time()
+        table = runner()
+        table.write_csv(os.path.join(outdir, f"{name}.csv"))
+        svg_path = render_known_figure(name, table, outdir)
+        print(f"{name}: {svg_path or '(no chart form)'} "
+              f"[{time.time() - started:.1f}s]")
+    print(f"\nwrote CSV + SVG into {outdir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Privacy audit: how much can adversaries actually learn?
+
+Runs the concrete eavesdropping attack against recorded slice traffic
+and compares it with the paper's Equation 11, across
+
+* link-compromise strength p_x (Figure 5's x-axis),
+* slice count l (the privacy knob),
+* key-management schemes (pairwise vs Eschenauer-Gligor vs global),
+* colluding coalitions of compromised nodes (the future-work threat).
+
+Run:  python examples/privacy_audit.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    IpdaConfig,
+    RandomPredistributionScheme,
+    random_deployment,
+    run_lossless_round,
+)
+from repro.analysis import average_disclosure_probability
+from repro.attacks import (
+    LinkEavesdropper,
+    coalition_disclosure,
+    random_coalition,
+)
+from repro.rng import RngStreams
+
+SEED = 11
+
+
+def main() -> None:
+    topology = random_deployment(400, seed=SEED)
+    readings = {
+        i: 100 + (i * 17) % 300 for i in range(1, topology.node_count)
+    }
+    print(f"{topology.node_count} nodes, degree "
+          f"{topology.average_degree():.1f}\n")
+
+    # --- p_x sweep, l = 2 vs 3 (Figure 5's picture) --------------------
+    print("eavesdropping: disclosure vs link-compromise strength")
+    print("  px     l=2 measured  l=2 Eq.11   l=3 measured  l=3 Eq.11")
+    rounds = {
+        l: run_lossless_round(
+            topology,
+            readings,
+            IpdaConfig(slices=l),
+            rng=RngStreams(SEED).get("audit", l),
+            record_flows=True,
+        )
+        for l in (2, 3)
+    }
+    for px in (0.02, 0.05, 0.1, 0.2):
+        cells = []
+        for l in (2, 3):
+            attacker = LinkEavesdropper(px, seed=SEED)
+            measured = attacker.monte_carlo_disclosure(
+                topology, rounds[l], trials=25
+            )
+            analytic = average_disclosure_probability(topology, px, l)
+            cells.append(f"{measured:11.4f}  {analytic:9.4f}")
+        print(f"  {px:4.2f}  {cells[0]}   {cells[1]}")
+
+    # --- Key-management scheme comparison --------------------------------
+    print("\nkey management: who else can read a link?")
+    eg = RandomPredistributionScheme(
+        topology.node_count, pool_size=500, ring_size=40, seed=SEED
+    )
+    print(f"  EG predistribution: ring 40 of pool 500, connectivity "
+          f"{eg.connectivity_probability():.3f}")
+    sample_links = topology.edges()[:200]
+    extra_holders = [
+        len(eg.key_holders(a, b)) - 2
+        for a, b in sample_links
+        if eg.can_communicate(a, b)
+    ]
+    print(f"  mean third-party holders per link: "
+          f"{np.mean(extra_holders):.1f} "
+          f"(pairwise keys: 0 — the insider gap of Section IV-A.3)")
+
+    # --- Collusion (future work) ------------------------------------------
+    print("\ncollusion: coalition of compromised nodes pooling slices")
+    print("  coalition size   disclosed (l=2)   disclosed (l=3)")
+    rng = np.random.default_rng(SEED)
+    for size in (10, 40, 120):
+        coalition = random_coalition(topology, size, rng, exclude={0})
+        cells = []
+        for l in (2, 3):
+            report = coalition_disclosure(rounds[l], coalition)
+            cells.append(f"{report.disclosure_rate:14.3f}")
+        print(f"  {size:14d} {cells[0]}   {cells[1]}")
+    print("\nlarger coalitions leak more; more slices resist longer — the")
+    print("collusive-attack extension the paper leaves as future work.")
+
+
+if __name__ == "__main__":
+    main()

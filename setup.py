@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e .` works without the wheel package.
+
+All metadata lives in pyproject.toml; offline environments without a
+`wheel` distribution can fall back to
+``python setup.py develop --user`` or add ``src/`` to a ``.pth`` file.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""Closed-form analysis from Section IV-A of the paper."""
+
+from .coverage import (
+    coverage_bound_for_topology,
+    coverage_lower_bound,
+    coverage_lower_bound_regular,
+    expected_isolated_nodes,
+    isolation_probability,
+    joint_isolation_probability,
+    paper_worked_example,
+)
+from .energy import EnergyReport, RadioEnergyModel, price_trace
+from .density import (
+    PAPER_TABLE_I,
+    density_table,
+    expected_average_degree,
+    minimum_nodes_for_degree,
+    within_range_probability,
+)
+from .participation import (
+    aggregator_participation_probability,
+    expected_participation_fraction,
+    leaf_participation_probability,
+    participation_fraction_for_topology,
+    participation_probability,
+)
+from .overhead import (
+    byte_overhead_ratio,
+    ipda_bytes_per_node,
+    ipda_messages_per_node,
+    overhead_ratio,
+    tag_bytes_per_node,
+    tag_messages_per_node,
+)
+from .privacy import (
+    average_disclosure_probability,
+    expected_incoming_links,
+    node_disclosure_probability,
+    regular_disclosure_probability,
+)
+
+__all__ = [
+    "isolation_probability",
+    "joint_isolation_probability",
+    "expected_isolated_nodes",
+    "coverage_lower_bound",
+    "coverage_lower_bound_regular",
+    "coverage_bound_for_topology",
+    "paper_worked_example",
+    "expected_incoming_links",
+    "node_disclosure_probability",
+    "average_disclosure_probability",
+    "regular_disclosure_probability",
+    "tag_messages_per_node",
+    "ipda_messages_per_node",
+    "overhead_ratio",
+    "tag_bytes_per_node",
+    "ipda_bytes_per_node",
+    "byte_overhead_ratio",
+    "within_range_probability",
+    "expected_average_degree",
+    "density_table",
+    "minimum_nodes_for_degree",
+    "PAPER_TABLE_I",
+    "participation_probability",
+    "leaf_participation_probability",
+    "aggregator_participation_probability",
+    "expected_participation_fraction",
+    "participation_fraction_for_topology",
+    "RadioEnergyModel",
+    "EnergyReport",
+    "price_trace",
+]

@@ -1,0 +1,94 @@
+"""Deployment-density analysis (Table I).
+
+Table I maps network size to average physical degree for the paper's
+400 m × 400 m field with a 50 m range.  The expected degree of a
+uniform deployment is ``(N - 1) * P(|X - Y| <= r)`` where ``X, Y`` are
+two independent uniform points in the square; for a square of side
+``a`` and ``t = r/a <= 1`` the classic closed form is
+
+    P(t) = π t² - (8/3) t³ + (1/2) t⁴.
+
+(Border effects are what pull the 8.8 of Table I below the naive
+``(N-1)πr²/a² ≈ 9.8``.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from ..errors import AnalysisError
+from ..net.topology import PAPER_AREA_M, PAPER_RANGE_M
+
+__all__ = [
+    "within_range_probability",
+    "expected_average_degree",
+    "density_table",
+    "minimum_nodes_for_degree",
+    "PAPER_TABLE_I",
+]
+
+#: Table I as printed in the paper (network size -> average degree).
+PAPER_TABLE_I: Dict[int, float] = {
+    200: 8.8,
+    300: 13.7,
+    400: 18.6,
+    500: 23.5,
+    600: 28.4,
+}
+
+
+def within_range_probability(radio_range: float, area_side: float) -> float:
+    """P(two uniform points in the square are within ``radio_range``)."""
+    if radio_range <= 0 or area_side <= 0:
+        raise AnalysisError("range and side must be positive")
+    t = radio_range / area_side
+    if t >= 1.0:
+        raise AnalysisError(
+            "closed form implemented for range < side (paper regime)"
+        )
+    return math.pi * t**2 - (8.0 / 3.0) * t**3 + 0.5 * t**4
+
+
+def expected_average_degree(
+    node_count: int,
+    *,
+    area_side: float = PAPER_AREA_M,
+    radio_range: float = PAPER_RANGE_M,
+) -> float:
+    """``(N-1) * P(within range)`` — the analytic Table I column."""
+    if node_count < 1:
+        raise AnalysisError("node_count must be >= 1")
+    return (node_count - 1) * within_range_probability(radio_range, area_side)
+
+
+def density_table(
+    sizes: Sequence[int] = (200, 300, 400, 500, 600),
+    *,
+    area_side: float = PAPER_AREA_M,
+    radio_range: float = PAPER_RANGE_M,
+) -> Dict[int, float]:
+    """Analytic Table I for the given sizes."""
+    return {
+        n: expected_average_degree(
+            n, area_side=area_side, radio_range=radio_range
+        )
+        for n in sizes
+    }
+
+
+def minimum_nodes_for_degree(
+    target_degree: float,
+    *,
+    area_side: float = PAPER_AREA_M,
+    radio_range: float = PAPER_RANGE_M,
+) -> int:
+    """Smallest N whose expected average degree reaches ``target_degree``.
+
+    The paper concludes iPDA with l = 2 needs average density > 18
+    (Section IV-B.3); this inverts the density model to a node budget.
+    """
+    if target_degree <= 0:
+        raise AnalysisError("target_degree must be positive")
+    p = within_range_probability(radio_range, area_side)
+    return int(math.ceil(target_degree / p)) + 1

@@ -1,0 +1,122 @@
+"""Radio energy model and network-lifetime estimates.
+
+The paper motivates in-network aggregation with bandwidth *and energy*
+savings ("save resource consumptions and increase the lives time of
+WSNs", Section I).  This module prices a round's trace with the
+standard first-order WSN radio model (Heinzelman et al.):
+
+    E_tx(b, d) = b * (E_ELEC + E_AMP * d^2)
+    E_rx(b)    = b * E_ELEC
+
+per *bit*, with distance ``d`` fixed at the radio range (sensors
+transmit at full power — the conservative choice for disc-graph
+topologies).  Reception is billed to every neighbour of the sender:
+the shared medium forces all of them to decode the frame header even
+when it is not addressed to them, which is exactly why overhearing is
+an eavesdropping surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..errors import AnalysisError
+from ..net.topology import Topology
+from ..sim.trace import TraceCollector
+
+__all__ = ["RadioEnergyModel", "EnergyReport", "price_round", "price_trace"]
+
+#: First-order radio model constants (Heinzelman et al., 2000).
+E_ELEC_J_PER_BIT = 50e-9
+E_AMP_J_PER_BIT_M2 = 100e-12
+
+
+@dataclass(frozen=True)
+class RadioEnergyModel:
+    """Per-bit transmit/receive energy costs."""
+
+    elec_j_per_bit: float = E_ELEC_J_PER_BIT
+    amp_j_per_bit_m2: float = E_AMP_J_PER_BIT_M2
+
+    def __post_init__(self) -> None:
+        if self.elec_j_per_bit <= 0 or self.amp_j_per_bit_m2 < 0:
+            raise AnalysisError("energy constants must be positive")
+
+    def tx_energy(self, size_bytes: int, distance_m: float) -> float:
+        """Joules to transmit ``size_bytes`` over ``distance_m``."""
+        if size_bytes < 0 or distance_m < 0:
+            raise AnalysisError("size and distance must be >= 0")
+        bits = size_bytes * 8
+        return bits * (
+            self.elec_j_per_bit + self.amp_j_per_bit_m2 * distance_m**2
+        )
+
+    def rx_energy(self, size_bytes: int) -> float:
+        """Joules to receive (decode) ``size_bytes``."""
+        if size_bytes < 0:
+            raise AnalysisError("size must be >= 0")
+        return size_bytes * 8 * self.elec_j_per_bit
+
+
+@dataclass
+class EnergyReport:
+    """Energy bill of one aggregation round."""
+
+    per_node_joules: Dict[int, float]
+
+    @property
+    def total_joules(self) -> float:
+        """Network-wide energy for the round."""
+        return sum(self.per_node_joules.values())
+
+    @property
+    def peak_joules(self) -> float:
+        """The busiest node's bill — the lifetime bottleneck."""
+        if not self.per_node_joules:
+            return 0.0
+        return max(self.per_node_joules.values())
+
+    def rounds_until_depletion(self, battery_joules: float) -> int:
+        """Rounds until the *first* node dies (network lifetime proxy)."""
+        if battery_joules <= 0:
+            raise AnalysisError("battery_joules must be positive")
+        peak = self.peak_joules
+        if peak == 0.0:
+            raise AnalysisError("no energy spent: cannot project lifetime")
+        return int(battery_joules / peak)
+
+
+def price_round(
+    sent_bytes_by_node: Mapping[int, int],
+    topology: Topology,
+    *,
+    model: Optional[RadioEnergyModel] = None,
+) -> EnergyReport:
+    """Price a round given each node's transmitted byte count.
+
+    Transmit costs follow the per-node byte counters; receive costs
+    bill every neighbour of each sender for every byte it put on the
+    air (shared-medium decoding).
+    """
+    energy_model = model if model is not None else RadioEnergyModel()
+    range_m = topology.radio_range
+    per_node: Dict[int, float] = {
+        node_id: 0.0 for node_id in range(topology.node_count)
+    }
+    for sender, sent_bytes in sent_bytes_by_node.items():
+        per_node[sender] += energy_model.tx_energy(sent_bytes, range_m)
+        rx_cost = energy_model.rx_energy(sent_bytes)
+        for neighbor in topology.neighbors(sender):
+            per_node[neighbor] += rx_cost
+    return EnergyReport(per_node_joules=per_node)
+
+
+def price_trace(
+    trace: TraceCollector,
+    topology: Topology,
+    *,
+    model: Optional[RadioEnergyModel] = None,
+) -> EnergyReport:
+    """Price a finished round's :class:`TraceCollector`."""
+    return price_round(trace.sent_bytes_by_node, topology, model=model)

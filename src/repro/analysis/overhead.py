@@ -1,0 +1,81 @@
+"""Communication-overhead analysis (Section IV-A.2, Figure 4).
+
+Per query, a TAG node sends 2 messages (its HELLO and its intermediate
+result); an iPDA node additionally sends ``2l - 1`` encrypted slices,
+for ``2l + 1`` total — an overhead ratio of ``(2l + 1) / 2``.  These
+closed forms are checked against the simulator's trace counters in the
+Figure 4/7 benchmarks.
+"""
+
+from __future__ import annotations
+
+from ..errors import AnalysisError
+from ..sim.messages import (
+    AggregateMessage,
+    HelloMessage,
+    SliceMessage,
+)
+
+__all__ = [
+    "tag_messages_per_node",
+    "ipda_messages_per_node",
+    "overhead_ratio",
+    "tag_bytes_per_node",
+    "ipda_bytes_per_node",
+    "byte_overhead_ratio",
+]
+
+
+def tag_messages_per_node() -> int:
+    """TAG: one HELLO plus one intermediate result (Figure 4a)."""
+    return 2
+
+
+def ipda_messages_per_node(slices: int) -> int:
+    """iPDA: HELLO + (2l-1) slices + intermediate result (Figure 4b).
+
+    Holds in the paper's recommended ``p = 1`` regime where every node
+    is an aggregator and keeps one slice locally; a leaf node would send
+    ``2l`` slices instead.
+    """
+    if slices < 1:
+        raise AnalysisError("l (slices) must be >= 1")
+    return 2 * slices + 1
+
+
+def overhead_ratio(slices: int) -> float:
+    """``(2l + 1) / 2`` — the headline of Section IV-A.2."""
+    return ipda_messages_per_node(slices) / tag_messages_per_node()
+
+
+def _hello_bytes() -> int:
+    return HelloMessage(src=0, dst=-1).size_bytes
+
+
+def _aggregate_bytes() -> int:
+    return AggregateMessage(src=0, dst=1).size_bytes
+
+
+def _slice_bytes() -> int:
+    return SliceMessage(src=0, dst=1, ciphertext=b"\x00" * 8).size_bytes
+
+
+def tag_bytes_per_node() -> int:
+    """Expected bytes a TAG node puts on the air per query."""
+    return _hello_bytes() + _aggregate_bytes()
+
+
+def ipda_bytes_per_node(slices: int) -> int:
+    """Expected bytes an iPDA aggregator puts on the air per query."""
+    if slices < 1:
+        raise AnalysisError("l (slices) must be >= 1")
+    return (
+        _hello_bytes()
+        + (2 * slices - 1) * _slice_bytes()
+        + _aggregate_bytes()
+    )
+
+
+def byte_overhead_ratio(slices: int) -> float:
+    """Byte-level ratio; close to ``(2l+1)/2`` under uniform packets."""
+    return ipda_bytes_per_node(slices) / tag_bytes_per_node()

@@ -1,0 +1,123 @@
+"""Participation analysis — the closed form behind Figure 8(b).
+
+The paper measures the fraction of nodes that participate (coverage
+*plus* enough slice targets of each colour) but gives no closed form.
+One follows from the colouring model of Section IV-A.1: in the fixed
+``p_r = p_b = 1/2`` regime every decided neighbour is an aggregator of
+a uniform colour, so for a node of physical degree ``d`` the red
+neighbour count is ``R ~ Binomial(d, 1/2)`` with ``B = d - R``.
+
+* A *leaf's* reading needs ``l`` red and ``l`` blue targets:
+  ``P = P(l <= R <= d - l)``.
+* An *aggregator* (probability 1 under p = 1) includes itself for its
+  own colour and needs only ``l - 1`` peers there:
+  ``P = (1/2)·P(l-1 <= R' <= d-l) + (1/2)·P(l <= R' <= d-l+1)``
+  over its ``d`` neighbours — equivalently, by symmetry,
+  ``P(l-1 <= R <= d-l)`` with the node's own colour fixed red.
+
+These compose with the coverage event exactly as factors (a) and (b)
+compose in Figure 8; the functions below give per-degree and
+deployment-averaged participation probabilities, cross-validated
+against the simulated Phase I in the tests and the fig8 benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..errors import AnalysisError
+from ..net.topology import Topology
+
+__all__ = [
+    "binomial_interval_probability",
+    "leaf_participation_probability",
+    "aggregator_participation_probability",
+    "participation_probability",
+    "expected_participation_fraction",
+]
+
+
+def binomial_interval_probability(n: int, low: int, high: int) -> float:
+    """``P(low <= Binomial(n, 1/2) <= high)`` exactly."""
+    if n < 0:
+        raise AnalysisError("n must be >= 0")
+    if low > high:
+        return 0.0
+    low = max(low, 0)
+    high = min(high, n)
+    if low > high:
+        return 0.0
+    total = sum(math.comb(n, k) for k in range(low, high + 1))
+    return total / 2.0**n
+
+
+def leaf_participation_probability(degree: int, slices: int) -> float:
+    """P(a leaf of degree ``d`` finds l red and l blue aggregators).
+
+    Assumes every neighbour is an aggregator of uniform colour (the
+    paper's p = 1 regime) — the sparse-regime refinement would multiply
+    by each neighbour's own coverage probability.
+    """
+    _check(degree, slices)
+    return binomial_interval_probability(degree, slices, degree - slices)
+
+
+def aggregator_participation_probability(degree: int, slices: int) -> float:
+    """P(an aggregator of degree ``d`` can slice): needs l-1 own-colour
+    peers and l of the other colour among its ``d`` neighbours."""
+    _check(degree, slices)
+    # Condition on own colour = red (symmetry): neighbours' red count R
+    # must satisfy R >= l-1 and d - R >= l.
+    return binomial_interval_probability(
+        degree, slices - 1, degree - slices
+    )
+
+
+def participation_probability(
+    degree: int, slices: int, *, aggregator_fraction: float = 1.0
+) -> float:
+    """Degree-d participation probability under the p = 1 regime.
+
+    ``aggregator_fraction`` is the share of nodes that are aggregators
+    (1.0 for Equation 2; lower under the adaptive Equation 1).
+    """
+    if not 0.0 <= aggregator_fraction <= 1.0:
+        raise AnalysisError("aggregator_fraction must be in [0, 1]")
+    agg = aggregator_participation_probability(degree, slices)
+    leaf = leaf_participation_probability(degree, slices)
+    return aggregator_fraction * agg + (1.0 - aggregator_fraction) * leaf
+
+
+def expected_participation_fraction(
+    degrees: Iterable[int], slices: int, *, aggregator_fraction: float = 1.0
+) -> float:
+    """Mean participation probability over a degree sequence."""
+    values = [
+        participation_probability(
+            d, slices, aggregator_fraction=aggregator_fraction
+        )
+        for d in degrees
+    ]
+    if not values:
+        raise AnalysisError("no degrees given")
+    return sum(values) / len(values)
+
+
+def participation_fraction_for_topology(
+    topology: Topology, slices: int, *, base_station: int = 0
+) -> float:
+    """Analytic Figure 8(b) value for one deployment's degrees."""
+    degrees = [
+        topology.degree(node_id)
+        for node_id in range(topology.node_count)
+        if node_id != base_station
+    ]
+    return expected_participation_fraction(degrees, slices)
+
+
+def _check(degree: int, slices: int) -> None:
+    if degree < 0:
+        raise AnalysisError("degree must be >= 0")
+    if slices < 1:
+        raise AnalysisError("l (slices) must be >= 1")

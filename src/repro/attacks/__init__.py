@@ -1,0 +1,34 @@
+"""Attack models: eavesdropping, data pollution, DoS, collusion."""
+
+from .collusion import CollusionReport, coalition_disclosure, random_coalition
+from .dos import LocalizationResult, localize_persistent_polluter
+from .eavesdropper import DisclosureReport, LinkEavesdropper, compromise_links
+from .radio_eavesdropper import (
+    RadioCapture,
+    RadioDisclosureReport,
+    RadioEavesdropper,
+)
+from .pollution import (
+    PollutionAttack,
+    PollutionTrialResult,
+    pick_aggregator_near_root,
+    run_polluted_round,
+)
+
+__all__ = [
+    "LinkEavesdropper",
+    "DisclosureReport",
+    "compromise_links",
+    "RadioEavesdropper",
+    "RadioCapture",
+    "RadioDisclosureReport",
+    "PollutionAttack",
+    "PollutionTrialResult",
+    "run_polluted_round",
+    "pick_aggregator_near_root",
+    "LocalizationResult",
+    "localize_persistent_polluter",
+    "CollusionReport",
+    "coalition_disclosure",
+    "random_coalition",
+]

@@ -1,0 +1,96 @@
+"""Colluding-neighbour analysis (the paper's future-work threat).
+
+iPDA's privacy argument assumes attackers do not collude; Section VI
+leaves collusion to future work.  This module quantifies the exposure:
+a coalition of compromised *nodes* pools every slice addressed to any
+coalition member.  Node ``i``'s reading leaks to the coalition when all
+``l`` pieces of one of its fully transmitted cuts landed on coalition
+members (they are legitimate receivers — no link breaking needed).
+
+This powers an ablation experiment showing how disclosure grows with
+coalition size and shrinks with ``l``, motivating the future-work
+direction the paper names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set
+
+import numpy as np
+
+from ..core.pipeline import LosslessRound, NodeFlows
+from ..errors import ProtocolError
+from ..net.topology import Topology
+from ..sim.messages import TreeColor
+
+__all__ = ["CollusionReport", "coalition_disclosure", "random_coalition"]
+
+
+@dataclass
+class CollusionReport:
+    """What a coalition of compromised nodes learned in one round."""
+
+    coalition: Set[int]
+    disclosed: Dict[int, int] = field(default_factory=dict)
+    attempted: Set[int] = field(default_factory=set)
+
+    @property
+    def disclosure_rate(self) -> float:
+        """Fraction of honest participants whose reading leaked."""
+        if not self.attempted:
+            return 0.0
+        return len(self.disclosed) / len(self.attempted)
+
+
+def random_coalition(
+    topology: Topology,
+    size: int,
+    rng: np.random.Generator,
+    *,
+    exclude: Iterable[int] = (),
+) -> Set[int]:
+    """Draw a uniform coalition of compromised nodes."""
+    excluded = set(exclude)
+    pool = [n for n in range(topology.node_count) if n not in excluded]
+    if size > len(pool):
+        raise ProtocolError("coalition larger than the candidate pool")
+    picked = rng.choice(len(pool), size=size, replace=False)
+    return {pool[int(i)] for i in picked}
+
+
+def coalition_disclosure(
+    round_result: LosslessRound,
+    coalition: Set[int],
+) -> CollusionReport:
+    """Compute what the coalition learns from its received slices."""
+    if round_result.flows is None:
+        raise ProtocolError(
+            "round was not run with record_flows=True; nothing to analyse"
+        )
+    report = CollusionReport(coalition=set(coalition))
+    for node_id in sorted(round_result.participants):
+        if node_id in coalition:
+            continue
+        flows = round_result.flows.get(node_id)
+        if flows is None:
+            continue
+        report.attempted.add(node_id)
+        value = _coalition_reconstruct(flows, coalition)
+        if value is not None:
+            report.disclosed[node_id] = value
+    return report
+
+
+def _coalition_reconstruct(
+    flows: NodeFlows, coalition: Set[int]
+) -> Optional[int]:
+    for color in (TreeColor.RED, TreeColor.BLUE):
+        outgoing = flows.outgoing.get(color, [])
+        if not outgoing:
+            continue
+        if flows.cut_is_complete(color) and all(
+            t in coalition for t, _p in outgoing
+        ):
+            return sum(piece for _t, piece in outgoing)
+    return None

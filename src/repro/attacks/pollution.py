@@ -1,0 +1,115 @@
+"""Data-pollution attacks (Section II-C) and their detection.
+
+A compromised aggregator adds an offset to the intermediate result it
+forwards.  Because iPDA's trees are node-disjoint, the offset lands in
+exactly one of ``S_red``/``S_blue``; the base station's threshold test
+then rejects the round whenever ``|offset| > Th`` (Section IV-A.4).
+Against TAG the same attack is invisible — there is nothing to compare
+against — which the integration tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Set
+
+import numpy as np
+
+from ..core.pipeline import LosslessRound, run_lossless_round
+from ..core.trees import DisjointTrees
+from ..errors import ProtocolError
+from ..net.topology import Topology
+from ..sim.messages import TreeColor
+
+__all__ = ["PollutionAttack", "PollutionTrialResult", "pick_aggregator_near_root"]
+
+
+@dataclass
+class PollutionAttack:
+    """One or more non-colluding polluters and their offsets."""
+
+    offsets: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.offsets:
+            raise ProtocolError("a pollution attack needs at least one polluter")
+        if all(offset == 0 for offset in self.offsets.values()):
+            raise ProtocolError("all offsets are zero: that is not an attack")
+
+    @property
+    def polluters(self) -> Set[int]:
+        """Node ids under attacker control."""
+        return set(self.offsets)
+
+    def total_offset_on(self, trees: DisjointTrees, color: TreeColor) -> int:
+        """Net additive damage landing on one tree."""
+        return sum(
+            offset
+            for node_id, offset in self.offsets.items()
+            if trees.role_of(node_id).color is color
+        )
+
+
+@dataclass
+class PollutionTrialResult:
+    """Outcome of a polluted round and whether iPDA caught it."""
+
+    round_result: LosslessRound
+    attack: PollutionAttack
+    detected: bool
+    injected_red: int
+    injected_blue: int
+
+    @property
+    def escaped(self) -> bool:
+        """The round was accepted despite non-zero net pollution."""
+        polluted = self.injected_red != 0 or self.injected_blue != 0
+        return polluted and not self.detected
+
+
+def run_polluted_round(
+    topology: Topology,
+    readings: Mapping[int, int],
+    attack: PollutionAttack,
+    *,
+    config=None,
+    rng: Optional[np.random.Generator] = None,
+    seed: int = 0,
+    trees: Optional[DisjointTrees] = None,
+) -> PollutionTrialResult:
+    """Run a lossless iPDA round under the attack and report detection."""
+    result = run_lossless_round(
+        topology,
+        readings,
+        config,
+        rng=rng,
+        seed=seed,
+        polluters=attack.offsets,
+        trees=trees,
+    )
+    return PollutionTrialResult(
+        round_result=result,
+        attack=attack,
+        detected=not result.verification.accepted,
+        injected_red=attack.total_offset_on(result.trees, TreeColor.RED),
+        injected_blue=attack.total_offset_on(result.trees, TreeColor.BLUE),
+    )
+
+
+def pick_aggregator_near_root(
+    trees: DisjointTrees,
+    color: TreeColor,
+    rng: np.random.Generator,
+) -> int:
+    """Choose a compromised aggregator close to the base station.
+
+    The paper notes (Section II-C) that the serious threat is a non-leaf
+    aggregator near the root, where tampering affects the largest
+    subtree; this picks uniformly among the shallowest quartile.
+    """
+    aggregators = sorted(trees.aggregators(color))
+    if not aggregators:
+        raise ProtocolError(f"no {color.value} aggregators to compromise")
+    by_depth = sorted(aggregators, key=lambda a: (trees.roles[a].hops, a))
+    pool = by_depth[: max(1, len(by_depth) // 4)]
+    return pool[int(rng.integers(0, len(pool)))]

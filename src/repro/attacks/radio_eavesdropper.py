@@ -1,0 +1,228 @@
+"""Eavesdropping against the real radio frame log.
+
+Where :mod:`repro.attacks.eavesdropper` attacks the *logical* slice
+flows, this module mounts the same two reconstruction routes against a
+captured over-the-air frame log (``IpdaProtocol(keep_frames=True)``):
+
+* the attacker hears **every** frame (global passive capture — the
+  strongest eavesdropper position);
+* HELLOs are plaintext, so it learns every node's colour and therefore
+  which of a victim's two cuts is fully transmitted;
+* intermediate aggregates are plaintext (iPDA encrypts only slices), so
+  the attacker reads ``r(i)`` and every child's contribution off the
+  air;
+* slice ciphertexts it can decrypt are exactly those on links it
+  compromised (probability ``p_x`` each) — decryption is real, through
+  the same key material.
+
+Way 1: all pieces of the victim's fully transmitted cut decrypted →
+sum them.  Way 2: the ``l−1`` transmitted pieces of the self-including
+cut *and* every slice addressed to the victim decrypted → solve the
+kept piece out of the overheard aggregate
+(``kept = r(i) − Σ incoming``, ``r(i) = agg − Σ child aggs``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..crypto.envelope import make_nonce, open_sealed
+from ..crypto.keys import KeyManagementScheme
+from ..errors import ProtocolError
+from ..net.topology import Topology
+from ..sim.messages import (
+    AggregateMessage,
+    HelloMessage,
+    SliceMessage,
+    TreeColor,
+)
+from ..sim.trace import FrameRecord
+from .eavesdropper import compromise_links
+
+__all__ = ["RadioCapture", "RadioEavesdropper", "RadioDisclosureReport"]
+
+
+def _link(a: int, b: int) -> Tuple[int, int]:
+    return (a, b) if a < b else (b, a)
+
+
+@dataclass
+class RadioCapture:
+    """The attacker's parse of a captured frame log (pre-decryption)."""
+
+    #: node colour learned from its (plaintext) HELLO broadcasts.
+    colors: Dict[int, TreeColor] = field(default_factory=dict)
+    #: unique slice frames by (src, seq): retransmissions deduplicated.
+    slices: Dict[Tuple[int, int], SliceMessage] = field(default_factory=dict)
+    #: unique aggregate frames by frame id.
+    aggregates: Dict[int, AggregateMessage] = field(default_factory=dict)
+
+    @classmethod
+    def from_frames(
+        cls, frames: Iterable[FrameRecord], *, base_station: int = 0
+    ) -> "RadioCapture":
+        """Parse a frame log the way a passive listener would."""
+        capture = cls()
+        for record in frames:
+            message = record.message
+            if message is None:
+                raise ProtocolError(
+                    "frame log lacks message bodies; run the round with "
+                    "keep_frames=True"
+                )
+            if isinstance(message, HelloMessage):
+                if message.src != base_station and message.color is not None:
+                    capture.colors[message.src] = message.color
+            elif isinstance(message, SliceMessage):
+                capture.slices[(message.src, message.seq)] = message
+            elif isinstance(message, AggregateMessage):
+                capture.aggregates[message.frame_id] = message
+        return capture
+
+    def slices_from(self, node_id: int) -> List[SliceMessage]:
+        """Unique slices transmitted by ``node_id``."""
+        return [
+            msg for (src, _seq), msg in self.slices.items() if src == node_id
+        ]
+
+    def slices_to(self, node_id: int) -> List[SliceMessage]:
+        """Unique slices addressed to ``node_id``."""
+        return [msg for msg in self.slices.values() if msg.dst == node_id]
+
+    def aggregate_from(self, node_id: int) -> Optional[AggregateMessage]:
+        """The (single) intermediate result ``node_id`` reported."""
+        for msg in self.aggregates.values():
+            if msg.src == node_id:
+                return msg
+        return None
+
+    def child_sum_of(self, node_id: int) -> int:
+        """Sum of plaintext aggregates addressed to ``node_id``."""
+        return sum(
+            msg.value
+            for msg in self.aggregates.values()
+            if msg.dst == node_id
+        )
+
+
+@dataclass
+class RadioDisclosureReport:
+    """Readings recovered from the captured traffic."""
+
+    compromised_links: Set[Tuple[int, int]]
+    disclosed: Dict[int, int] = field(default_factory=dict)
+    attempted: Set[int] = field(default_factory=set)
+
+    @property
+    def disclosure_rate(self) -> float:
+        """Fraction of observed senders whose reading leaked."""
+        if not self.attempted:
+            return 0.0
+        return len(self.disclosed) / len(self.attempted)
+
+
+class RadioEavesdropper:
+    """Mounts the §IV-A.3 attack against a captured frame log."""
+
+    def __init__(
+        self,
+        px: float,
+        keys: KeyManagementScheme,
+        *,
+        slices: int = 2,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ):
+        if not 0.0 <= px <= 1.0:
+            raise ProtocolError("px must be a probability")
+        if slices < 1:
+            raise ProtocolError("l (slices) must be >= 1")
+        self.px = px
+        self.keys = keys
+        self.slices = slices
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+
+    def attack(
+        self,
+        topology: Topology,
+        frames: Iterable[FrameRecord],
+        *,
+        base_station: int = 0,
+        links: Optional[Iterable[Tuple[int, int]]] = None,
+    ) -> RadioDisclosureReport:
+        """Reconstruct what the compromised links allow."""
+        capture = RadioCapture.from_frames(frames, base_station=base_station)
+        if links is None:
+            compromised = compromise_links(topology, self.px, self._rng)
+        else:
+            compromised = {_link(a, b) for a, b in links}
+        report = RadioDisclosureReport(compromised_links=compromised)
+
+        for victim, color in sorted(capture.colors.items()):
+            outgoing = capture.slices_from(victim)
+            if not outgoing:
+                continue
+            report.attempted.add(victim)
+            value = self._reconstruct(
+                victim, color, outgoing, capture, compromised
+            )
+            if value is not None:
+                report.disclosed[victim] = value
+        return report
+
+    # ------------------------------------------------------------------
+    def _decrypt(self, message: SliceMessage) -> int:
+        key = self.keys.link_key(message.src, message.dst)
+        nonce = make_nonce(
+            message.src, message.dst, message.round_id, message.seq
+        )
+        return open_sealed(message.ciphertext, key, nonce)
+
+    def _readable(
+        self, message: SliceMessage, compromised: Set[Tuple[int, int]]
+    ) -> bool:
+        return _link(message.src, message.dst) in compromised
+
+    def _reconstruct(
+        self,
+        victim: int,
+        color: TreeColor,
+        outgoing: List[SliceMessage],
+        capture: RadioCapture,
+        compromised: Set[Tuple[int, int]],
+    ) -> Optional[int]:
+        by_cut: Dict[TreeColor, List[SliceMessage]] = {}
+        for message in outgoing:
+            if message.color is not None:
+                by_cut.setdefault(message.color, []).append(message)
+
+        # Way 1: the opposite-colour cut is fully on the air (l pieces).
+        opposite = [
+            msgs
+            for cut_color, msgs in by_cut.items()
+            if cut_color is not color
+        ]
+        for msgs in opposite:
+            if len(msgs) == self.slices and all(
+                self._readable(m, compromised) for m in msgs
+            ):
+                return sum(self._decrypt(m) for m in msgs)
+
+        # Way 2: own cut (l-1 pieces) + all incoming + plaintext r(i).
+        own = by_cut.get(color, [])
+        if len(own) != self.slices - 1:
+            return None
+        if not all(self._readable(m, compromised) for m in own):
+            return None
+        incoming = capture.slices_to(victim)
+        if not all(self._readable(m, compromised) for m in incoming):
+            return None
+        aggregate = capture.aggregate_from(victim)
+        if aggregate is None:
+            return None
+        r_i = aggregate.value - capture.child_sum_of(victim)
+        kept = r_i - sum(self._decrypt(m) for m in incoming)
+        return kept + sum(self._decrypt(m) for m in own)

@@ -1,0 +1,184 @@
+"""Command-line entry point: ``python -m repro`` / ``ipda``.
+
+Runs any paper experiment (or all of them) and prints the resulting
+table; ``--csv DIR`` additionally writes one CSV per experiment.
+
+Examples::
+
+    ipda table1
+    ipda fig7 --repetitions 5 --seed 3
+    ipda all --fast --csv results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from .experiments import (
+    ablations,
+    collusion_study,
+    energy,
+    fig1_trees,
+    fig4_messages,
+    fig5_privacy,
+    fig6_threshold,
+    fig7_overhead,
+    fig8_coverage_accuracy,
+    latency,
+    table1_density,
+)
+from .experiments.common import ExperimentTable
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: Small parameterisations used by ``--fast`` (seconds, not minutes).
+_FAST_SIZES = (200, 300, 400)
+
+Runner = Callable[..., ExperimentTable]
+
+
+def _run_table1(fast: bool, repetitions: Optional[int], seed: int):
+    reps = repetitions if repetitions is not None else (3 if fast else 10)
+    return table1_density.run(repetitions=reps, seed=seed)
+
+
+def _run_fig1(fast: bool, repetitions: Optional[int], seed: int):
+    return fig1_trees.run(seed=seed)
+
+
+def _run_fig4(fast: bool, repetitions: Optional[int], seed: int):
+    return fig4_messages.run(
+        node_count=300 if fast else 500, seed=seed
+    )
+
+
+def _run_fig5(fast: bool, repetitions: Optional[int], seed: int):
+    trials = 0 if fast else 20
+    return fig5_privacy.run(seed=seed, monte_carlo_trials=trials)
+
+
+def _run_fig6(fast: bool, repetitions: Optional[int], seed: int):
+    reps = repetitions if repetitions is not None else (2 if fast else 5)
+    sizes = _FAST_SIZES if fast else fig6_threshold.PAPER_SIZES
+    return fig6_threshold.run(sizes, repetitions=reps, seed=seed)
+
+
+def _run_fig7(fast: bool, repetitions: Optional[int], seed: int):
+    reps = repetitions if repetitions is not None else (1 if fast else 3)
+    sizes = _FAST_SIZES if fast else fig7_overhead.PAPER_SIZES
+    return fig7_overhead.run(sizes, repetitions=reps, seed=seed)
+
+
+def _run_fig8(fast: bool, repetitions: Optional[int], seed: int):
+    reps = repetitions if repetitions is not None else (1 if fast else 3)
+    sizes = _FAST_SIZES if fast else fig8_coverage_accuracy.PAPER_SIZES
+    return fig8_coverage_accuracy.run(
+        sizes,
+        repetitions=reps,
+        coverage_repetitions=5 if fast else 20,
+        seed=seed,
+    )
+
+
+def _run_ablation(runner: Runner):
+    def run(fast: bool, repetitions: Optional[int], seed: int):
+        kwargs = {"seed": seed}
+        if repetitions is not None:
+            kwargs["repetitions"] = repetitions
+        elif fast:
+            kwargs["repetitions"] = 2
+        return runner(**kwargs)
+
+    return run
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": _run_table1,
+    "fig1": _run_fig1,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "ablation-slices": _run_ablation(ablations.run_slices),
+    "ablation-budget": _run_ablation(ablations.run_budget),
+    "ablation-role-mode": _run_ablation(ablations.run_role_mode),
+    "ablation-key-schemes": _run_ablation(ablations.run_key_schemes),
+    "ablation-threshold": _run_ablation(ablations.run_threshold),
+    "ablation-trees": _run_ablation(ablations.run_tree_count),
+    "energy": _run_ablation(energy.run),
+    "latency": _run_ablation(latency.run),
+    "ablation-collusion": _run_ablation(collusion_study.run),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ipda",
+        description=(
+            "Reproduce the iPDA paper's tables and figures "
+            "(He et al., MILCOM 2008)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="smaller sweeps for a quick look (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=None,
+        help="override the number of repetitions per data point",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each table as CSV into this directory",
+    )
+    parser.add_argument(
+        "--svg",
+        metavar="DIR",
+        default=None,
+        help="also render figures as SVG into this directory",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.csv:
+        os.makedirs(args.csv, exist_ok=True)
+    for name in names:
+        started = time.time()
+        table = EXPERIMENTS[name](args.fast, args.repetitions, args.seed)
+        elapsed = time.time() - started
+        print(table.to_text())
+        print(f"({name} finished in {elapsed:.1f}s)")
+        print()
+        if args.csv:
+            table.write_csv(os.path.join(args.csv, f"{name}.csv"))
+        if args.svg:
+            from .viz import render_known_figure
+
+            written = render_known_figure(name, table, args.svg)
+            if written:
+                print(f"(figure written to {written})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

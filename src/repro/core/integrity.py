@@ -1,0 +1,151 @@
+"""Integrity verification at the base station (Phase III acceptance).
+
+The base station accepts a round iff the two trees' results agree
+within ``Th`` (Section III-D): ``|S_b - S_r| <= Th`` tolerates benign
+wireless losses while any pollution on one tree drives the difference
+far past it.  On persistent rejection (a DoS-style polluter), the base
+station localises the malicious node by re-running the aggregation on
+bisected participant subsets — "intelligently selecting a different
+portion of the sensors to participate at each round" — which isolates a
+single non-colluding polluter in O(log N) rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set
+
+from ..errors import IntegrityError, ProtocolError
+
+__all__ = ["VerificationResult", "IntegrityChecker", "PolluterLocalizer"]
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of comparing the two trees' aggregates."""
+
+    s_red: int
+    s_blue: int
+    threshold: int
+
+    @property
+    def difference(self) -> int:
+        """``|S_b - S_r|``."""
+        return abs(self.s_blue - self.s_red)
+
+    @property
+    def accepted(self) -> bool:
+        """True when the difference is within the tolerance ``Th``."""
+        return self.difference <= self.threshold
+
+    @property
+    def accepted_value(self) -> int:
+        """The value the base station reports when it accepts.
+
+        The two trees may differ by a few units under loss; we follow
+        the natural choice of averaging them (rounding toward red on
+        ties keeps the result deterministic).
+        """
+        if not self.accepted:
+            raise IntegrityError(
+                f"result rejected: |{self.s_blue} - {self.s_red}| = "
+                f"{self.difference} > Th = {self.threshold}"
+            )
+        return (self.s_red + self.s_blue) // 2
+
+
+class IntegrityChecker:
+    """The base station's acceptance rule."""
+
+    def __init__(self, threshold: int):
+        if threshold < 0:
+            raise ProtocolError("threshold must be >= 0")
+        self.threshold = threshold
+        self.history: List[VerificationResult] = []
+
+    def verify(self, s_red: int, s_blue: int) -> VerificationResult:
+        """Compare the two tree results; record and return the outcome."""
+        result = VerificationResult(
+            s_red=int(s_red), s_blue=int(s_blue), threshold=self.threshold
+        )
+        self.history.append(result)
+        return result
+
+    @property
+    def rejection_streak(self) -> int:
+        """Consecutive rejections at the end of the history."""
+        streak = 0
+        for result in reversed(self.history):
+            if result.accepted:
+                break
+            streak += 1
+        return streak
+
+
+class PolluterLocalizer:
+    """Bisection search for a single non-colluding polluter.
+
+    Usage: repeatedly take :meth:`next_probe` (the subset of suspects to
+    include in the next aggregation round), run the round with only
+    those suspects participating, and feed whether the round was
+    polluted (rejected) back via :meth:`report`.  When
+    :attr:`localized` returns a node id, the polluter is found;
+    :attr:`rounds_used` is guaranteed O(log2 N).
+    """
+
+    def __init__(self, suspects: Iterable[int]):
+        self._suspects: Set[int] = set(suspects)
+        if not self._suspects:
+            raise ProtocolError("localizer needs at least one suspect")
+        self._probe: Optional[Set[int]] = None
+        self.rounds_used = 0
+
+    @property
+    def suspects(self) -> Set[int]:
+        """Current candidate set."""
+        return set(self._suspects)
+
+    @property
+    def localized(self) -> Optional[int]:
+        """The polluter's id once the candidate set is a singleton."""
+        if len(self._suspects) == 1:
+            return next(iter(self._suspects))
+        return None
+
+    def next_probe(self) -> Set[int]:
+        """Return the half of the suspect set to include next round."""
+        if self.localized is not None:
+            raise ProtocolError("polluter already localized")
+        if self._probe is not None:
+            raise ProtocolError("previous probe not yet reported")
+        ordered = sorted(self._suspects)
+        self._probe = set(ordered[: len(ordered) // 2])
+        return set(self._probe)
+
+    def report(self, polluted: bool) -> None:
+        """Record whether the probe round was polluted (rejected)."""
+        if self._probe is None:
+            raise ProtocolError("no probe outstanding")
+        if polluted:
+            self._suspects = set(self._probe)
+        else:
+            self._suspects -= self._probe
+        self._probe = None
+        self.rounds_used += 1
+        if not self._suspects:
+            raise IntegrityError(
+                "suspect set emptied: pollution reports were inconsistent "
+                "(colluding or intermittent attacker?)"
+            )
+
+    def run(self, probe_is_polluted) -> int:
+        """Drive the whole search with a callback; returns the polluter.
+
+        ``probe_is_polluted(subset) -> bool`` must run an aggregation
+        round restricted to ``subset`` plus the honest rest and report
+        whether the base station rejected it.
+        """
+        while self.localized is None:
+            probe = self.next_probe()
+            self.report(bool(probe_is_polluted(probe)))
+        return self.localized

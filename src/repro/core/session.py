@@ -1,0 +1,202 @@
+"""Multi-round aggregation sessions with self-healing integrity.
+
+Section III-D sketches the base station's operational loop: run
+rounds, reject on disagreement, and — when rejections persist (the DoS
+pattern) — "intelligently select a different portion of the sensors to
+participate in the aggregation at each round, hence locate the
+malicious node and exclude it in O(log N) rounds".
+:class:`AggregationSession` implements that loop end to end on the
+lossless pipeline:
+
+* every round re-elects roles and trees (fresh randomness, as the
+  paper's per-query HELLO flood implies);
+* compromised nodes (the session's ``compromised`` map) pollute every
+  round in which they are participating aggregators;
+* after ``hunt_after`` consecutive rejections the session switches into
+  hunting mode, bisecting the suspect set with restricted-participation
+  rounds until the polluter is isolated, then excludes it permanently
+  and resumes normal service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..net.topology import Topology
+from ..sim.messages import TreeColor
+from .config import IpdaConfig
+from .integrity import PolluterLocalizer
+from .pipeline import LosslessRound, run_lossless_round
+from .trees import build_disjoint_trees
+
+__all__ = ["RoundRecord", "AggregationSession"]
+
+
+@dataclass
+class RoundRecord:
+    """One service round as the base station saw it."""
+
+    round_id: int
+    accepted: bool
+    reported: Optional[int]
+    s_red: int
+    s_blue: int
+    participants: int
+    excluded: Set[int] = field(default_factory=set)
+    hunt_rounds: int = 0
+    newly_excluded: Optional[int] = None
+
+
+class AggregationSession:
+    """A long-running base-station query service over one deployment.
+
+    Parameters
+    ----------
+    topology:
+        The deployment served.
+    config:
+        iPDA parameters (l, Th, role mode).
+    compromised:
+        ``{node_id: offset}`` — nodes under attacker control; each
+        pollutes every round it participates in as an aggregator.
+    hunt_after:
+        Consecutive rejections that trigger the bisection hunt.
+    seed:
+        Root seed for the session's randomness.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[IpdaConfig] = None,
+        *,
+        compromised: Optional[Mapping[int, int]] = None,
+        hunt_after: int = 2,
+        seed: int = 0,
+        base_station: int = 0,
+    ):
+        if hunt_after < 1:
+            raise ProtocolError("hunt_after must be >= 1")
+        self.topology = topology
+        self.config = config if config is not None else IpdaConfig()
+        self.base_station = base_station
+        self.compromised: Dict[int, int] = dict(compromised or {})
+        self.hunt_after = hunt_after
+        self.excluded: Set[int] = set()
+        self.history: List[RoundRecord] = []
+        self._rng = np.random.default_rng(seed)
+        self._round_id = 0
+        self._rejection_streak = 0
+
+    # ------------------------------------------------------------------
+    # Public service loop
+    # ------------------------------------------------------------------
+    def run_round(self, readings: Mapping[int, int]) -> RoundRecord:
+        """Serve one query; hunts and excludes on a rejection streak."""
+        result = self._aggregate(readings, contributors=None)
+        record = RoundRecord(
+            round_id=self._round_id,
+            accepted=result.verification.accepted,
+            reported=result.reported,
+            s_red=result.s_red,
+            s_blue=result.s_blue,
+            participants=len(result.participants),
+            excluded=set(self.excluded),
+        )
+        self._round_id += 1
+        if record.accepted:
+            self._rejection_streak = 0
+        else:
+            self._rejection_streak += 1
+            if self._rejection_streak >= self.hunt_after:
+                culprit, hunt_rounds = self._hunt(readings)
+                record.hunt_rounds = hunt_rounds
+                record.newly_excluded = culprit
+                self.excluded.add(culprit)
+                self._rejection_streak = 0
+        self.history.append(record)
+        return record
+
+    def run_rounds(
+        self, readings: Mapping[int, int], count: int
+    ) -> List[RoundRecord]:
+        """Serve ``count`` identical queries (re-randomised each round)."""
+        return [self.run_round(readings) for _ in range(count)]
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of service rounds accepted so far."""
+        if not self.history:
+            return 0.0
+        accepted = sum(1 for record in self.history if record.accepted)
+        return accepted / len(self.history)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _aggregate(
+        self,
+        readings: Mapping[int, int],
+        *,
+        contributors: Optional[Set[int]],
+        trees=None,
+    ) -> LosslessRound:
+        eligible = set(readings) - self.excluded
+        if contributors is not None:
+            eligible &= contributors
+        if trees is None:
+            trees = build_disjoint_trees(
+                self.topology,
+                self.config,
+                self._rng,
+                base_station=self.base_station,
+            )
+        active_polluters = {
+            node: offset
+            for node, offset in self.compromised.items()
+            if node in eligible and trees.role_of(node).is_aggregator
+        }
+        return run_lossless_round(
+            self.topology,
+            readings,
+            self.config,
+            rng=self._rng,
+            base_station=self.base_station,
+            contributors=eligible,
+            polluters=active_polluters or None,
+            trees=trees,
+        )
+
+    def _hunt(self, readings: Mapping[int, int]):
+        """Bisect the participants to isolate the persistent polluter.
+
+        The hunt pins one set of trees for its duration so a suspect's
+        aggregator role stays stable across probe rounds.
+        """
+        trees = build_disjoint_trees(
+            self.topology,
+            self.config,
+            self._rng,
+            base_station=self.base_station,
+        )
+        suspects = (
+            trees.aggregators(TreeColor.RED)
+            | trees.aggregators(TreeColor.BLUE)
+        ) - self.excluded
+        if not suspects:
+            raise ProtocolError("nothing to hunt: no aggregators")
+        localizer = PolluterLocalizer(suspects)
+
+        def probe_is_polluted(probe: Set[int]) -> bool:
+            contributors = (set(readings) - suspects) | probe
+            result = self._aggregate(
+                readings, contributors=contributors, trees=trees
+            )
+            return not result.verification.accepted
+
+        culprit = localizer.run(probe_is_polluted)
+        return culprit, localizer.rounds_used

@@ -1,0 +1,194 @@
+"""Data slicing and assembling (Phase II primitives).
+
+A sensor hides its reading ``d(i)`` by cutting it into ``l`` integer
+pieces that sum *exactly* to ``d(i)`` (Section III-C).  Two independent
+cuts are made — one scattered to red aggregators, one to blue — so each
+tree reconstructs the full total.  Because arithmetic is integer, no
+precision is lost, which is what lets iPDA report exact aggregates
+(the paper's "Accuracy" design goal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..sim.messages import TreeColor
+
+__all__ = ["slice_value", "SlicePlan", "plan_slices", "SliceAssembler"]
+
+
+def slice_value(
+    value: int,
+    pieces: int,
+    rng: np.random.Generator,
+    *,
+    magnitude: int = 1_000_000,
+) -> List[int]:
+    """Cut ``value`` into ``pieces`` random integers summing to ``value``.
+
+    The first ``pieces - 1`` components are uniform on
+    ``[-magnitude, magnitude]``; the last makes the sum exact.  With
+    ``pieces == 1`` the "cut" is the value itself (the l = 1 series of
+    the evaluation, i.e. no privacy).
+    """
+    if pieces < 1:
+        raise ProtocolError("cannot slice into fewer than 1 piece")
+    if magnitude < 1:
+        raise ProtocolError("magnitude must be >= 1")
+    if pieces == 1:
+        return [int(value)]
+    randoms = [
+        _uniform_int(rng, -magnitude, magnitude) for _ in range(pieces - 1)
+    ]
+    last = int(value) - sum(randoms)
+    return randoms + [last]
+
+
+def _uniform_int(rng: np.random.Generator, low: int, high: int) -> int:
+    """Uniform integer in ``[low, high]``, supporting arbitrary precision.
+
+    numpy generators cap at 64 bits; larger windows (power-mean
+    components are big Python ints) are composed from 32-bit chunks with
+    an 8-bit rejection margin, which makes the modulo bias negligible
+    for simulation purposes.
+    """
+    span = high - low + 1
+    if span <= (1 << 62):
+        return int(rng.integers(low, high + 1))
+    bits = span.bit_length() + 8
+    chunks = (bits + 31) // 32
+    value = 0
+    for _ in range(chunks):
+        value = (value << 32) | int(rng.integers(0, 1 << 32))
+    return low + value % span
+
+
+@dataclass
+class SlicePlan:
+    """Where one node's reading goes, for one colour.
+
+    ``kept`` is the piece retained locally (aggregators keep ``d_ii``;
+    pure senders keep nothing and ``kept`` is None).  ``outgoing`` maps
+    each selected aggregator to its piece.
+    """
+
+    color: TreeColor
+    kept: Optional[int]
+    outgoing: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def transmission_count(self) -> int:
+        """Frames this plan costs on the air."""
+        return len(self.outgoing)
+
+    def total(self) -> int:
+        """Sum of all pieces — must equal the original reading."""
+        total = sum(piece for _target, piece in self.outgoing)
+        if self.kept is not None:
+            total += self.kept
+        return total
+
+
+def plan_slices(
+    node_id: int,
+    value: int,
+    *,
+    own_color: Optional[TreeColor],
+    red_candidates: Sequence[int],
+    blue_candidates: Sequence[int],
+    pieces: int,
+    rng: np.random.Generator,
+    magnitude: int = 1_000_000,
+) -> Dict[TreeColor, SlicePlan]:
+    """Build both colour plans for one node, or raise if impossible.
+
+    Implements the selection rule of Section III-C.1: choose ``l`` red
+    and ``l`` blue aggregators from the neighbourhood *including itself*
+    — an aggregator always selects itself and ``l - 1`` peers of its own
+    colour, keeping one piece local.  Candidate lists must not contain
+    ``node_id`` itself (self-selection is handled here).
+
+    Raises :class:`ProtocolError` when a colour has fewer than ``l``
+    candidates — the node must then sit out (data-loss factor (b) of
+    Section IV-B.3).
+    """
+    plans: Dict[TreeColor, SlicePlan] = {}
+    for color, candidates in (
+        (TreeColor.RED, list(red_candidates)),
+        (TreeColor.BLUE, list(blue_candidates)),
+    ):
+        if node_id in candidates:
+            raise ProtocolError(
+                f"candidate list for {color.value} must exclude node {node_id}"
+            )
+        includes_self = own_color is color
+        remote_needed = pieces - 1 if includes_self else pieces
+        if len(candidates) < remote_needed:
+            raise ProtocolError(
+                f"node {node_id} has only {len(candidates)} {color.value} "
+                f"aggregator(s) in range but needs {remote_needed}"
+            )
+        chosen = _choose(candidates, remote_needed, rng)
+        cut = slice_value(value, pieces, rng, magnitude=magnitude)
+        if includes_self:
+            kept: Optional[int] = cut[0]
+            outgoing = list(zip(chosen, cut[1:]))
+        else:
+            kept = None
+            outgoing = list(zip(chosen, cut))
+        plans[color] = SlicePlan(color=color, kept=kept, outgoing=outgoing)
+    return plans
+
+
+def _choose(
+    candidates: Sequence[int], count: int, rng: np.random.Generator
+) -> List[int]:
+    if count == 0:
+        return []
+    ordered = sorted(candidates)
+    picked = rng.choice(len(ordered), size=count, replace=False)
+    return [ordered[int(i)] for i in sorted(picked)]
+
+
+class SliceAssembler:
+    """Collects the slices one aggregator receives in a round.
+
+    After the slicing window closes, :meth:`assembled_value` yields
+    ``r(j) = d_jj + sum of received d_ij`` (Section III-C.2), which the
+    aggregator then treats as its own reading for Phase III.
+    """
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self._kept = 0
+        self._received: List[Tuple[int, int]] = []
+
+    def keep(self, piece: int) -> None:
+        """Retain one of this node's own pieces locally (``d_ii``)."""
+        self._kept += int(piece)
+
+    def receive(self, sender: int, piece: int) -> None:
+        """Record a decrypted slice from ``sender``."""
+        self._received.append((sender, int(piece)))
+
+    @property
+    def received_count(self) -> int:
+        """Number of remote slices received so far."""
+        return len(self._received)
+
+    def senders(self) -> List[int]:
+        """Distinct senders heard from, sorted."""
+        return sorted({sender for sender, _piece in self._received})
+
+    def assembled_value(self) -> int:
+        """``r(j)``: the sum of the kept piece and all received slices."""
+        return self._kept + sum(piece for _sender, piece in self._received)
+
+
+def exact_sum(values: Iterable[int]) -> int:
+    """Reference aggregate: the exact sum of the given readings."""
+    return sum(int(v) for v in values)

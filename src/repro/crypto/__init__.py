@@ -1,0 +1,27 @@
+"""Simulated link-level cryptography and key management."""
+
+from .cipher import KEY_BYTES, NONCE_BYTES, keystream, xor_decrypt, xor_encrypt
+from .envelope import SEALED_BYTES, VALUE_BYTES, make_nonce, open_sealed, seal
+from .keys import (
+    GlobalKeyScheme,
+    KeyManagementScheme,
+    PairwiseKeyScheme,
+    RandomPredistributionScheme,
+)
+
+__all__ = [
+    "KEY_BYTES",
+    "NONCE_BYTES",
+    "keystream",
+    "xor_encrypt",
+    "xor_decrypt",
+    "seal",
+    "open_sealed",
+    "make_nonce",
+    "VALUE_BYTES",
+    "SEALED_BYTES",
+    "KeyManagementScheme",
+    "PairwiseKeyScheme",
+    "GlobalKeyScheme",
+    "RandomPredistributionScheme",
+]

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch one base class at an API
+boundary without accidentally swallowing programming errors such as
+``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class TopologyError(ReproError):
+    """A deployment or graph construction request cannot be satisfied."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class ProtocolError(SimulationError):
+    """A protocol implementation observed a message or state it cannot handle."""
+
+
+class CryptoError(ReproError):
+    """Key lookup or encryption/decryption failed."""
+
+
+class KeyNotFoundError(CryptoError):
+    """No shared key exists for the requested link."""
+
+
+class IntegrityError(ReproError):
+    """An aggregation result failed the base station's integrity check."""
+
+
+class AnalysisError(ReproError):
+    """A closed-form analysis routine received out-of-domain parameters."""

@@ -1,0 +1,33 @@
+"""Experiment harness: one module per table/figure, plus ablations."""
+
+from . import (
+    ablations,
+    collusion_study,
+    energy,
+    fig1_trees,
+    fig4_messages,
+    fig5_privacy,
+    fig6_threshold,
+    fig7_overhead,
+    fig8_coverage_accuracy,
+    latency,
+    table1_density,
+)
+from .common import PAPER_SIZES, ExperimentTable, mean_std
+
+__all__ = [
+    "ExperimentTable",
+    "mean_std",
+    "PAPER_SIZES",
+    "table1_density",
+    "fig1_trees",
+    "fig4_messages",
+    "fig5_privacy",
+    "fig6_threshold",
+    "fig7_overhead",
+    "fig8_coverage_accuracy",
+    "ablations",
+    "energy",
+    "latency",
+    "collusion_study",
+]

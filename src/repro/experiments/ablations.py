@@ -1,0 +1,362 @@
+"""Ablation studies beyond the paper's figures.
+
+Each ablation isolates one design choice DESIGN.md calls out:
+
+* ``run_slices`` — the privacy/overhead/accuracy trade-off of ``l``;
+* ``run_budget`` — the aggregator-budget ``k`` of the adaptive mode
+  (coverage vs. number of aggregators);
+* ``run_role_mode`` — adaptive Equation 1 vs. fixed Equation 2;
+* ``run_key_schemes`` — insider exposure under pairwise keys vs.
+  Eschenauer-Gligor predistribution vs. a global key;
+* ``run_threshold`` — Th sensitivity: benign-loss false rejections vs.
+  smallest detectable pollution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.overhead import overhead_ratio
+from ..analysis.privacy import average_disclosure_probability
+from ..attacks.collusion import coalition_disclosure, random_coalition
+from ..core.config import IpdaConfig, RoleMode
+from ..core.pipeline import run_lossless_round
+from ..core.trees import build_disjoint_trees
+from ..crypto.keys import (
+    GlobalKeyScheme,
+    PairwiseKeyScheme,
+    RandomPredistributionScheme,
+)
+from ..net.topology import random_deployment
+from ..protocols.ipda import IpdaProtocol
+from ..rng import RngStreams
+from ..sim.messages import TreeColor
+from ..workloads.readings import count_readings
+from .common import ExperimentTable, mean_std
+
+__all__ = [
+    "run_slices",
+    "run_budget",
+    "run_role_mode",
+    "run_key_schemes",
+    "run_threshold",
+    "run_tree_count",
+]
+
+
+def run_slices(
+    *,
+    node_count: int = 400,
+    slice_counts: Sequence[int] = (1, 2, 3, 4),
+    px: float = 0.05,
+    repetitions: int = 3,
+    seed: int = 0,
+) -> ExperimentTable:
+    """l sweep: privacy (Eq. 11), overhead ratio, accuracy, participation."""
+    table = ExperimentTable(
+        name="Ablation: number of slices l",
+        columns=[
+            "l",
+            "analytic_pdisclose",
+            "overhead_ratio",
+            "accuracy",
+            "participation",
+        ],
+    )
+    for slices in slice_counts:
+        accuracies, participation = [], []
+        topology = random_deployment(node_count, seed=seed)
+        for rep in range(repetitions):
+            readings = count_readings(topology)
+            outcome = IpdaProtocol(IpdaConfig(slices=slices)).run_round(
+                topology,
+                readings,
+                streams=RngStreams(seed + rep),
+                round_id=rep,
+            )
+            collected = (outcome.s_red + outcome.s_blue) / 2
+            accuracies.append(collected / outcome.true_total)
+            participation.append(
+                len(outcome.participants) / (node_count - 1)
+            )
+        table.add_row(
+            slices,
+            average_disclosure_probability(topology, px, slices),
+            overhead_ratio(slices),
+            mean_std(accuracies)[0],
+            mean_std(participation)[0],
+        )
+    table.add_note(
+        f"privacy at px={px}; the paper recommends l=2 as the knee "
+        "(Section IV-A.3)"
+    )
+    return table
+
+
+def run_budget(
+    *,
+    node_count: int = 500,
+    budgets: Sequence[int] = (2, 4, 8, 16),
+    repetitions: int = 10,
+    seed: int = 0,
+) -> ExperimentTable:
+    """k sweep under the adaptive role mode (Equation 1)."""
+    table = ExperimentTable(
+        name="Ablation: aggregator budget k (adaptive mode)",
+        columns=["k", "aggregator_fraction", "covered_fraction"],
+    )
+    for budget in budgets:
+        config = IpdaConfig(
+            role_mode=RoleMode.ADAPTIVE, aggregator_budget=budget
+        )
+        agg_fractions, covered = [], []
+        for rep in range(repetitions):
+            topology = random_deployment(node_count, seed=seed + rep)
+            trees = build_disjoint_trees(
+                topology, config, np.random.default_rng(seed + 100 * rep)
+            )
+            sensors = node_count - 1
+            aggregators = len(trees.aggregators(TreeColor.RED)) + len(
+                trees.aggregators(TreeColor.BLUE)
+            )
+            agg_fractions.append(aggregators / sensors)
+            covered.append(
+                len(trees.covered_nodes() - {trees.base_station}) / sensors
+            )
+        table.add_row(
+            budget, mean_std(agg_fractions)[0], mean_std(covered)[0]
+        )
+    table.add_note(
+        "k trades HELLO/result forwarding load (fewer aggregators) "
+        "against tree coverage; the paper fixes k=4"
+    )
+    return table
+
+
+def run_role_mode(
+    *,
+    node_count: int = 500,
+    repetitions: int = 10,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Equation 1 (adaptive) vs Equation 2 (fixed 0.5/0.5)."""
+    table = ExperimentTable(
+        name="Ablation: adaptive vs fixed role probabilities",
+        columns=[
+            "mode",
+            "aggregator_fraction",
+            "covered_fraction",
+            "colour_imbalance",
+        ],
+    )
+    for mode in (RoleMode.FIXED, RoleMode.ADAPTIVE):
+        config = IpdaConfig(role_mode=mode)
+        fractions, covered, imbalance = [], [], []
+        for rep in range(repetitions):
+            topology = random_deployment(node_count, seed=seed + rep)
+            trees = build_disjoint_trees(
+                topology, config, np.random.default_rng(seed + 7 * rep)
+            )
+            sensors = node_count - 1
+            red = len(trees.aggregators(TreeColor.RED))
+            blue = len(trees.aggregators(TreeColor.BLUE))
+            fractions.append((red + blue) / sensors)
+            covered.append(
+                len(trees.covered_nodes() - {trees.base_station}) / sensors
+            )
+            if red + blue:
+                imbalance.append(abs(red - blue) / (red + blue))
+        table.add_row(
+            mode.value,
+            mean_std(fractions)[0],
+            mean_std(covered)[0],
+            mean_std(imbalance)[0],
+        )
+    return table
+
+
+def run_key_schemes(
+    *,
+    node_count: int = 300,
+    repetitions: int = 3,
+    coalition_size: int = 20,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Key-management comparison: who else can read a link's slices."""
+    table = ExperimentTable(
+        name="Ablation: key management schemes",
+        columns=[
+            "scheme",
+            "participation",
+            "coalition_disclosure_rate",
+        ],
+    )
+    schemes = [
+        ("pairwise", lambda n: PairwiseKeyScheme(n, seed=seed)),
+        (
+            "eg-predistribution",
+            lambda n: RandomPredistributionScheme(
+                n, pool_size=500, ring_size=40, seed=seed
+            ),
+        ),
+        ("global-key", lambda n: GlobalKeyScheme(n, seed=seed)),
+    ]
+    for name, factory in schemes:
+        participation, disclosure = [], []
+        for rep in range(repetitions):
+            topology = random_deployment(node_count, seed=seed + rep)
+            readings = count_readings(topology)
+            scheme = factory(topology.node_count)
+            result = run_lossless_round(
+                topology,
+                readings,
+                IpdaConfig(),
+                rng=RngStreams(seed + rep).get("keyschemes"),
+                key_scheme=scheme,
+                record_flows=True,
+            )
+            sensors = node_count - 1
+            participation.append(len(result.participants) / sensors)
+            rng = np.random.default_rng(seed + 55 * rep)
+            coalition = random_coalition(
+                topology, coalition_size, rng, exclude={0}
+            )
+            report = coalition_disclosure(result, coalition)
+            disclosure.append(report.disclosure_rate)
+        table.add_row(
+            name, mean_std(participation)[0], mean_std(disclosure)[0]
+        )
+    table.add_note(
+        "EG predistribution may lack shared keys on some links, "
+        "shrinking the slice-target pool (lower participation)"
+    )
+    return table
+
+
+def run_threshold(
+    *,
+    node_count: int = 400,
+    thresholds: Sequence[int] = (0, 1, 5, 20, 100),
+    repetitions: int = 5,
+    pollution_offset: int = 50,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Th sensitivity: benign false-rejects vs. detected pollution."""
+    table = ExperimentTable(
+        name="Ablation: acceptance threshold Th",
+        columns=["Th", "benign_accept_rate", "attack_detect_rate"],
+    )
+    for threshold in thresholds:
+        benign_accepts, detections = [], []
+        for rep in range(repetitions):
+            topology = random_deployment(node_count, seed=seed + rep + 7)
+            readings = count_readings(topology)
+            config = IpdaConfig(threshold=threshold)
+            protocol = IpdaProtocol(config)
+            benign = protocol.run_round(
+                topology,
+                readings,
+                streams=RngStreams(seed + rep),
+                round_id=rep,
+            )
+            benign_accepts.append(1.0 if benign.accepted else 0.0)
+            polluter = max(benign.covered, default=None)
+            if polluter is None:
+                continue
+            attacked = protocol.run_round(
+                topology,
+                readings,
+                streams=RngStreams(seed + rep),
+                round_id=rep,
+                polluters={polluter: pollution_offset},
+            )
+            detections.append(0.0 if attacked.accepted else 1.0)
+        table.add_row(
+            threshold,
+            mean_std(benign_accepts)[0],
+            mean_std(detections)[0] if detections else float("nan"),
+        )
+    table.add_note(
+        f"attack injects a +{pollution_offset} offset at one aggregator; "
+        "Th must sit between benign loss noise and the smallest attack "
+        "worth detecting"
+    )
+    return table
+
+
+def run_tree_count(
+    *,
+    node_count: int = 600,
+    tree_counts: Sequence[int] = (2, 3, 4),
+    repetitions: int = 5,
+    pollution_offset: int = 500,
+    seed: int = 0,
+) -> ExperimentTable:
+    """m-tree generalisation: coverage, overhead, pollution tolerance.
+
+    With m = 2 pollution is only *detected* (round rejected); with
+    m >= 3 the majority vote identifies the polluted tree and still
+    accepts the round — the column ``tolerated_rate`` measures that.
+    """
+    from ..core.multitree import (
+        build_multi_trees,
+        multitree_messages_per_node,
+        run_multitree_round,
+    )
+
+    table = ExperimentTable(
+        name="Ablation: number of disjoint trees m",
+        columns=[
+            "m",
+            "messages_per_node",
+            "participation",
+            "detected_rate",
+            "tolerated_rate",
+        ],
+    )
+    for tree_count in tree_counts:
+        participation, detected, tolerated = [], [], []
+        for rep in range(repetitions):
+            topology = random_deployment(node_count, seed=seed + rep)
+            readings = count_readings(topology)
+            rng = np.random.default_rng(seed + 101 * rep + tree_count)
+            trees = build_multi_trees(topology, tree_count, rng)
+            sensors = node_count - 1
+            clean = run_multitree_round(
+                topology,
+                readings,
+                tree_count,
+                rng=rng,
+                trees=trees,
+            )
+            participation.append(len(clean.participants) / sensors)
+            # One polluter on tree 0.
+            tree0 = sorted(trees.aggregators(0))
+            if not tree0:
+                continue
+            attacked = run_multitree_round(
+                topology,
+                readings,
+                tree_count,
+                rng=rng,
+                trees=trees,
+                polluters={tree0[0]: pollution_offset},
+            )
+            polluted = attacked.verification.polluted_trees
+            detected.append(1.0 if 0 in polluted or not attacked.verification.accepted else 0.0)
+            tolerated.append(1.0 if attacked.verification.accepted else 0.0)
+        table.add_row(
+            tree_count,
+            multitree_messages_per_node(tree_count, 2),
+            mean_std(participation)[0],
+            mean_std(detected)[0] if detected else float("nan"),
+            mean_std(tolerated)[0] if tolerated else float("nan"),
+        )
+    table.add_note(
+        "m=2 detects (rejects) pollution; m>=3 also *tolerates* it by "
+        "majority vote, at (m*l+1)/2 x TAG message cost and a density "
+        "requirement growing with m"
+    )
+    return table

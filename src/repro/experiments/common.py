@@ -1,0 +1,150 @@
+"""Experiment-harness plumbing: result tables, sweeps, CSV output.
+
+Every experiment module exposes ``run(...) -> ExperimentTable`` and the
+table renders both as an aligned text table (what the CLI prints and
+what EXPERIMENTS.md embeds) and as CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["ExperimentTable", "mean_std", "mean_ci", "PAPER_SIZES"]
+
+#: Network sizes of the paper's simulation sweeps (Section IV-B).
+PAPER_SIZES = (200, 300, 400, 500, 600)
+
+
+def mean_std(values: Sequence[float]) -> tuple:
+    """Return ``(mean, sample std)``; std is 0 for fewer than 2 values."""
+    if not values:
+        raise ConfigurationError("mean_std of no values")
+    mean = sum(values) / len(values)
+    std = statistics.stdev(values) if len(values) > 1 else 0.0
+    return mean, std
+
+
+def mean_ci(values: Sequence[float], confidence: float = 0.95) -> tuple:
+    """Return ``(mean, half-width)`` of a Student-t confidence interval.
+
+    With fewer than two samples the half-width is 0 (no spread
+    information).  Used by experiments that report error bars.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must be in (0, 1)")
+    mean, std = mean_std(values)
+    n = len(values)
+    if n < 2 or std == 0.0:
+        return mean, 0.0
+    from scipy import stats as scipy_stats
+
+    t_value = scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1)
+    return mean, t_value * std / math.sqrt(n)
+
+
+@dataclass
+class ExperimentTable:
+    """A named table of experiment results.
+
+    ``rows`` hold raw values (numbers or strings); formatting decisions
+    are deferred to rendering.
+    """
+
+    name: str
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append a row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form footnote rendered under the table."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[object]:
+        """Extract one column by name."""
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise ConfigurationError(
+                f"no column {name!r} in {self.columns}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _format_cell(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "nan"
+            if value == 0:
+                return "0"
+            magnitude = abs(value)
+            if magnitude >= 1000 or magnitude < 0.001:
+                return f"{value:.3e}"
+            return f"{value:.4f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    def to_text(self) -> str:
+        """Aligned plain-text rendering."""
+        cells = [[self._format_cell(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells))
+            if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.name} =="]
+        header = "  ".join(
+            name.ljust(widths[i]) for i, name in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rendering (header + raw values)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def write_csv(self, path: str) -> None:
+        """Write the CSV rendering to ``path``."""
+        with open(path, "w", newline="") as handle:
+            handle.write(self.to_csv())
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()
+
+
+def geometric_factor(a: float, b: float) -> float:
+    """``a / b`` guarding division by zero (returns inf)."""
+    if b == 0:
+        return math.inf
+    return a / b

@@ -1,0 +1,55 @@
+"""Table I — network size vs. average degree.
+
+Reports, for each network size of the paper's sweep, the analytic
+expected average degree (two-uniform-points-within-range closed form),
+the mean measured degree over seeded random deployments, and the value
+printed in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.density import PAPER_TABLE_I, expected_average_degree
+from ..net.topology import random_deployment
+from .common import PAPER_SIZES, ExperimentTable, mean_std
+
+__all__ = ["run"]
+
+
+def run(
+    sizes: Sequence[int] = PAPER_SIZES,
+    *,
+    repetitions: int = 10,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Regenerate Table I."""
+    table = ExperimentTable(
+        name="Table I: network size vs network density",
+        columns=[
+            "nodes",
+            "analytic_degree",
+            "measured_degree",
+            "measured_std",
+            "paper_degree",
+        ],
+    )
+    for size in sizes:
+        measured = []
+        for rep in range(repetitions):
+            topology = random_deployment(
+                size, seed=seed + 1000 * rep + size, base_station_center=False
+            )
+            measured.append(topology.average_degree())
+        mean, std = mean_std(measured)
+        table.add_row(
+            size,
+            expected_average_degree(size),
+            mean,
+            std,
+            PAPER_TABLE_I.get(size, float("nan")),
+        )
+    table.add_note(
+        "analytic = (N-1) * [pi t^2 - 8/3 t^3 + t^4/2], t = range/side"
+    )
+    return table

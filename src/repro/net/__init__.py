@@ -1,0 +1,29 @@
+"""Topology substrate: deployments, disc graphs, and graph utilities."""
+
+from .geometry import Point, distance, pairwise_distances
+from .graphs import bfs_hops, bfs_tree, children_map, largest_component, to_networkx
+from .topology import (
+    PAPER_AREA_M,
+    PAPER_RANGE_M,
+    Topology,
+    grid_deployment,
+    random_deployment,
+    regular_topology,
+)
+
+__all__ = [
+    "Point",
+    "distance",
+    "pairwise_distances",
+    "Topology",
+    "random_deployment",
+    "grid_deployment",
+    "regular_topology",
+    "bfs_hops",
+    "bfs_tree",
+    "children_map",
+    "largest_component",
+    "to_networkx",
+    "PAPER_AREA_M",
+    "PAPER_RANGE_M",
+]

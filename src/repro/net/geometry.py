@@ -1,0 +1,72 @@
+"""Planar geometry primitives used by deployments and radio propagation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Point", "distance", "pairwise_distances", "points_within_range"]
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point in the 2-D deployment plane, in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return a.distance_to(b)
+
+
+def pairwise_distances(points: Sequence[Point]) -> np.ndarray:
+    """Return the symmetric ``(n, n)`` matrix of pairwise distances.
+
+    Vectorised with numpy; O(n^2) memory, fine for the network sizes the
+    paper evaluates (hundreds to a few thousand nodes).
+    """
+    coords = np.array([(p.x, p.y) for p in points], dtype=float)
+    if coords.size == 0:
+        return np.zeros((0, 0))
+    deltas = coords[:, None, :] - coords[None, :, :]
+    return np.sqrt((deltas**2).sum(axis=-1))
+
+
+def points_within_range(
+    points: Sequence[Point], radius: float
+) -> List[Tuple[int, int]]:
+    """Return index pairs ``(i, j)`` with ``i < j`` at distance <= radius.
+
+    This is the edge set of the unit-disc graph the paper's network model
+    (Section II-A) uses: an edge exists iff two sensors can communicate
+    directly.
+    """
+    dists = pairwise_distances(points)
+    n = len(points)
+    pairs: List[Tuple[int, int]] = []
+    for i in range(n):
+        close = np.nonzero(dists[i, i + 1 :] <= radius)[0]
+        pairs.extend((i, i + 1 + int(j)) for j in close)
+    return pairs
+
+
+def iter_grid_positions(
+    rows: int, cols: int, spacing: float
+) -> Iterable[Point]:
+    """Yield ``rows * cols`` grid points with the given spacing."""
+    for r in range(rows):
+        for c in range(cols):
+            yield Point(c * spacing, r * spacing)

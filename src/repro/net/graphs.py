@@ -1,0 +1,111 @@
+"""Graph utilities over :class:`~repro.net.topology.Topology`.
+
+Thin algorithmic layer (BFS trees, hop counts, conversion to networkx
+for cross-validation in tests) shared by the protocol implementations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set
+
+import networkx as nx
+
+from ..errors import TopologyError
+from .topology import Topology
+
+__all__ = [
+    "bfs_hops",
+    "bfs_tree",
+    "to_networkx",
+    "subgraph_neighbors",
+    "largest_component",
+]
+
+
+def bfs_hops(topology: Topology, root: int = 0) -> Dict[int, int]:
+    """Return hop distance from ``root`` for every reachable node."""
+    hops = {root: 0}
+    queue = deque([root])
+    while queue:
+        current = queue.popleft()
+        for nbr in topology.neighbors(current):
+            if nbr not in hops:
+                hops[nbr] = hops[current] + 1
+                queue.append(nbr)
+    return hops
+
+
+def bfs_tree(topology: Topology, root: int = 0) -> Dict[int, Optional[int]]:
+    """Return a BFS spanning tree as a ``{node: parent}`` map.
+
+    The root maps to ``None``.  Nodes unreachable from the root are
+    absent from the result.  This is the tree TAG builds with its
+    hop-count HELLO flood.
+    """
+    parents: Dict[int, Optional[int]] = {root: None}
+    queue = deque([root])
+    while queue:
+        current = queue.popleft()
+        for nbr in sorted(topology.neighbors(current)):
+            if nbr not in parents:
+                parents[nbr] = current
+                queue.append(nbr)
+    return parents
+
+
+def children_map(parents: Dict[int, Optional[int]]) -> Dict[int, List[int]]:
+    """Invert a ``{node: parent}`` map into ``{node: [children]}``."""
+    children: Dict[int, List[int]] = {node: [] for node in parents}
+    for node, parent in parents.items():
+        if parent is not None:
+            children[parent].append(node)
+    return {node: sorted(kids) for node, kids in children.items()}
+
+
+def tree_depth(parents: Dict[int, Optional[int]]) -> int:
+    """Return the maximum root-to-leaf depth of a parent map."""
+    depth = 0
+    for node in parents:
+        d = 0
+        current: Optional[int] = node
+        while current is not None:
+            parent = parents.get(current)
+            if parent is None:
+                break
+            current = parent
+            d += 1
+            if d > len(parents):
+                raise TopologyError("cycle detected in parent map")
+        depth = max(depth, d)
+    return depth
+
+
+def to_networkx(topology: Topology) -> nx.Graph:
+    """Convert to a :class:`networkx.Graph` (positions as node attrs)."""
+    graph = nx.Graph()
+    for node_id, point in enumerate(topology.positions):
+        graph.add_node(node_id, pos=point.as_tuple())
+    graph.add_edges_from(topology.edges())
+    return graph
+
+
+def subgraph_neighbors(
+    topology: Topology, node_id: int, allowed: Iterable[int]
+) -> Set[int]:
+    """Neighbours of ``node_id`` restricted to the ``allowed`` set."""
+    allowed_set = set(allowed)
+    return {nbr for nbr in topology.neighbors(node_id) if nbr in allowed_set}
+
+
+def largest_component(topology: Topology) -> Set[int]:
+    """Return the node set of the largest connected component."""
+    remaining = set(range(topology.node_count))
+    best: Set[int] = set()
+    while remaining:
+        start = next(iter(remaining))
+        component = set(topology.connected_component_of(start))
+        remaining -= component
+        if len(component) > len(best):
+            best = component
+    return best

@@ -1,0 +1,258 @@
+"""Sensor-field deployments.
+
+The paper deploys ``N`` sensors uniformly at random over a
+400 m x 400 m square with a 50 m transmission range (Section IV-B) and
+models the network as the induced unit-disc graph G(V, E).  This module
+builds those deployments (plus grids and d-regular graphs used by the
+theoretical analysis in Section IV-A) as :class:`Topology` objects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TopologyError
+from ..rng import RngStreams
+from .geometry import Point, iter_grid_positions, points_within_range
+
+__all__ = [
+    "Topology",
+    "random_deployment",
+    "grid_deployment",
+    "regular_topology",
+    "PAPER_AREA_M",
+    "PAPER_RANGE_M",
+]
+
+# Deployment constants from Section IV-B of the paper.
+PAPER_AREA_M = 400.0
+PAPER_RANGE_M = 50.0
+
+
+@dataclass
+class Topology:
+    """An immutable snapshot of a deployed sensor field.
+
+    Attributes
+    ----------
+    positions:
+        Node positions indexed by node id ``0..n-1``.  By convention the
+        base station, when one is placed, is node ``0``.
+    radio_range:
+        Transmission range in metres; two nodes are neighbours iff their
+        distance is at most this.
+    adjacency:
+        Neighbour sets indexed by node id (excluding the node itself).
+    """
+
+    positions: List[Point]
+    radio_range: float
+    adjacency: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.radio_range <= 0:
+            raise TopologyError("radio_range must be positive")
+        if not self.adjacency:
+            self.adjacency = _build_adjacency(self.positions, self.radio_range)
+
+    @property
+    def node_count(self) -> int:
+        """Number of deployed nodes (including the base station)."""
+        return len(self.positions)
+
+    def neighbors(self, node_id: int) -> FrozenSet[int]:
+        """Return the one-hop neighbour set of ``node_id``."""
+        try:
+            return self.adjacency[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node id {node_id}") from None
+
+    def degree(self, node_id: int) -> int:
+        """Return the physical degree d_i of ``node_id``."""
+        return len(self.neighbors(node_id))
+
+    def average_degree(self) -> float:
+        """Mean physical degree over all nodes (Table I metric)."""
+        if not self.positions:
+            return 0.0
+        total = sum(len(nbrs) for nbrs in self.adjacency.values())
+        return total / self.node_count
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Return ``{degree: node count}``."""
+        hist: Dict[int, int] = {}
+        for nbrs in self.adjacency.values():
+            hist[len(nbrs)] = hist.get(len(nbrs), 0) + 1
+        return hist
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Return each undirected edge once, as ``(i, j)`` with i < j."""
+        out: List[Tuple[int, int]] = []
+        for i, nbrs in self.adjacency.items():
+            out.extend((i, j) for j in nbrs if i < j)
+        return sorted(out)
+
+    def is_connected(self) -> bool:
+        """True iff the disc graph is a single connected component."""
+        if not self.positions:
+            return True
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            current = frontier.pop()
+            for nbr in self.adjacency[current]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    frontier.append(nbr)
+        return len(seen) == self.node_count
+
+    def connected_component_of(self, node_id: int) -> FrozenSet[int]:
+        """Return the set of nodes reachable from ``node_id``."""
+        seen = {node_id}
+        frontier = [node_id]
+        while frontier:
+            current = frontier.pop()
+            for nbr in self.adjacency[current]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    frontier.append(nbr)
+        return frozenset(seen)
+
+
+def _build_adjacency(
+    positions: Sequence[Point], radio_range: float
+) -> Dict[int, FrozenSet[int]]:
+    neighbour_lists: Dict[int, set] = {i: set() for i in range(len(positions))}
+    for i, j in points_within_range(positions, radio_range):
+        neighbour_lists[i].add(j)
+        neighbour_lists[j].add(i)
+    return {i: frozenset(nbrs) for i, nbrs in neighbour_lists.items()}
+
+
+def random_deployment(
+    node_count: int,
+    *,
+    area: float = PAPER_AREA_M,
+    radio_range: float = PAPER_RANGE_M,
+    streams: Optional[RngStreams] = None,
+    seed: int = 0,
+    base_station_center: bool = True,
+    require_connected: bool = False,
+    max_attempts: int = 50,
+) -> Topology:
+    """Deploy ``node_count`` sensors uniformly over an ``area x area`` square.
+
+    This reproduces the paper's simulation setting (Section IV-B):
+    random placement over 400 m x 400 m, 50 m range.  Node 0 is the base
+    station; with ``base_station_center`` it is pinned to the centre of
+    the field (so both aggregation trees can root there), otherwise it is
+    placed randomly like every other node.
+
+    With ``require_connected``, re-draws the deployment until the disc
+    graph is connected (up to ``max_attempts`` attempts).
+    """
+    if node_count < 1:
+        raise TopologyError("node_count must be >= 1")
+    if area <= 0:
+        raise TopologyError("area must be positive")
+    rng_factory = streams if streams is not None else RngStreams(seed)
+    rng = rng_factory.get("deployment")
+
+    for _attempt in range(max_attempts):
+        coords = rng.uniform(0.0, area, size=(node_count, 2))
+        positions = [Point(float(x), float(y)) for x, y in coords]
+        if base_station_center:
+            positions[0] = Point(area / 2.0, area / 2.0)
+        topology = Topology(positions=positions, radio_range=radio_range)
+        if not require_connected or topology.is_connected():
+            return topology
+    raise TopologyError(
+        f"could not draw a connected deployment of {node_count} nodes "
+        f"in {max_attempts} attempts (area={area}, range={radio_range})"
+    )
+
+
+def grid_deployment(
+    rows: int,
+    cols: int,
+    *,
+    spacing: float,
+    radio_range: float = PAPER_RANGE_M,
+) -> Topology:
+    """Deploy nodes on a ``rows x cols`` grid with the given spacing.
+
+    Deterministic; handy for unit tests where exact neighbourhoods
+    matter.  Node 0 sits at the origin corner.
+    """
+    if rows < 1 or cols < 1:
+        raise TopologyError("grid dimensions must be >= 1")
+    if spacing <= 0:
+        raise TopologyError("spacing must be positive")
+    positions = list(iter_grid_positions(rows, cols, spacing))
+    return Topology(positions=positions, radio_range=radio_range)
+
+
+def regular_topology(
+    node_count: int,
+    degree: int,
+    *,
+    streams: Optional[RngStreams] = None,
+    seed: int = 0,
+) -> Topology:
+    """Build a random d-regular *logical* topology.
+
+    Section IV-A of the paper analyses d-regular graphs (e.g. the
+    "d-regular graph, d = 10" worked example for the coverage bound).
+    A d-regular graph has no consistent planar embedding with a single
+    disc radius, so we synthesise positions on a circle and override the
+    adjacency explicitly; the radio range is set large enough that the
+    geometric adjacency is a superset, then restricted.
+    """
+    if degree < 0 or degree >= node_count:
+        raise TopologyError("need 0 <= degree < node_count")
+    if (node_count * degree) % 2 != 0:
+        raise TopologyError("node_count * degree must be even")
+    rng_factory = streams if streams is not None else RngStreams(seed)
+    rng = rng_factory.get("regular-topology")
+
+    adjacency = _random_regular_adjacency(node_count, degree, rng)
+    # Lay the nodes on a circle purely for visualisation / distance APIs.
+    angles = np.linspace(0.0, 2.0 * math.pi, node_count, endpoint=False)
+    radius = max(1.0, node_count / math.pi)
+    positions = [
+        Point(radius * math.cos(a) + radius, radius * math.sin(a) + radius)
+        for a in angles
+    ]
+    return Topology(
+        positions=positions,
+        radio_range=4.0 * radius,
+        adjacency={i: frozenset(nbrs) for i, nbrs in adjacency.items()},
+    )
+
+
+def _random_regular_adjacency(
+    node_count: int, degree: int, rng: np.random.Generator
+) -> Dict[int, set]:
+    """Random d-regular simple graph via networkx's pairing algorithm."""
+    import networkx as nx
+
+    if degree == 0:
+        return {i: set() for i in range(node_count)}
+    try:
+        graph = nx.random_regular_graph(
+            degree, node_count, seed=int(rng.integers(0, 2**31))
+        )
+    except nx.NetworkXError as exc:
+        raise TopologyError(
+            f"failed to build a {degree}-regular graph on "
+            f"{node_count} nodes: {exc}"
+        ) from exc
+    adjacency: Dict[int, set] = {i: set() for i in range(node_count)}
+    for a, b in graph.edges():
+        adjacency[int(a)].add(int(b))
+        adjacency[int(b)].add(int(a))
+    return adjacency

@@ -1,0 +1,49 @@
+"""Aggregation protocols: iPDA, the TAG baseline, and relatives."""
+
+from .aggregates import (
+    AdditiveStatistic,
+    AverageStatistic,
+    CountStatistic,
+    PowerMeanMax,
+    PowerMeanMin,
+    StdDevStatistic,
+    SumStatistic,
+    VarianceStatistic,
+    statistic_by_name,
+)
+from .base import AggregationProtocol, RoundOutcome
+from .ipda import IpdaOutcome, IpdaProtocol
+from .epochs import EpochedIpdaSession, EpochOutcome, RadioAggregationService
+from .kipda import KipdaConfig, KipdaMaxProtocol, KipdaMinProtocol, KipdaOutcome
+from .mipda import MipdaOutcome, MipdaProtocol
+from .pda import PdaParams, PdaProtocol
+from .tag import TagParams, TagProtocol
+
+__all__ = [
+    "AggregationProtocol",
+    "RoundOutcome",
+    "IpdaProtocol",
+    "IpdaOutcome",
+    "TagProtocol",
+    "TagParams",
+    "PdaProtocol",
+    "PdaParams",
+    "KipdaMaxProtocol",
+    "KipdaMinProtocol",
+    "EpochedIpdaSession",
+    "MipdaProtocol",
+    "MipdaOutcome",
+    "EpochOutcome",
+    "RadioAggregationService",
+    "KipdaConfig",
+    "KipdaOutcome",
+    "AdditiveStatistic",
+    "SumStatistic",
+    "CountStatistic",
+    "AverageStatistic",
+    "VarianceStatistic",
+    "StdDevStatistic",
+    "PowerMeanMax",
+    "PowerMeanMin",
+    "statistic_by_name",
+]

@@ -1,0 +1,346 @@
+"""Epoched iPDA: one tree construction, many query rounds.
+
+The single-round runner re-floods HELLOs per query; real deployments
+(and TAG's epoch design) amortise Phase I across many queries.
+:class:`EpochedIpdaSession` keeps one :class:`~repro.sim.network.Network`
+alive, runs Phase I once, then serves an arbitrary sequence of query
+epochs — each a fresh Phase II (slicing with fresh randomness) and
+Phase III (convergecast) on the standing trees.
+
+Per-epoch cost therefore drops from ``2l + 1`` to ``2l`` messages per
+node (the HELLO is amortised), which :func:`amortized_messages_per_node`
+captures and the benchmarks verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set
+
+from ..core.config import IpdaConfig
+from ..core.integrity import IntegrityChecker, VerificationResult
+from ..core.slicing import SliceAssembler
+from ..crypto.keys import PairwiseKeyScheme
+from ..errors import AnalysisError, ProtocolError
+from ..net.topology import Topology
+from ..sim.mac import MacConfig
+from ..sim.messages import TreeColor
+from ..sim.network import Network
+from ..sim.node import Node
+from ..sim.radio import RadioConfig
+from ..sim.rng import RngStreams
+from .ipda import MAX_DEPTH_SLOTS, _IpdaBaseStation, _IpdaNode
+
+__all__ = [
+    "EpochOutcome",
+    "EpochedIpdaSession",
+    "RadioAggregationService",
+    "amortized_messages_per_node",
+]
+
+
+@dataclass
+class EpochOutcome:
+    """Result of one query epoch on the standing trees."""
+
+    epoch: int
+    s_red: int
+    s_blue: int
+    verification: VerificationResult
+    participants: Set[int] = field(default_factory=set)
+    bytes_this_epoch: int = 0
+
+    @property
+    def accepted(self) -> bool:
+        """Did the base station accept this epoch's result?"""
+        return self.verification.accepted
+
+    @property
+    def reported(self) -> Optional[int]:
+        """Accepted value, or None on rejection."""
+        if not self.verification.accepted:
+            return None
+        return self.verification.accepted_value
+
+
+class EpochedIpdaSession:
+    """A standing iPDA deployment serving repeated queries.
+
+    Usage::
+
+        session = EpochedIpdaSession(topology, streams=RngStreams(7))
+        session.construct_trees()
+        outcome = session.run_epoch({i: 1 for i in range(1, n)})
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[IpdaConfig] = None,
+        *,
+        streams: Optional[RngStreams] = None,
+        seed: int = 0,
+        key_scheme_factory=PairwiseKeyScheme,
+        radio_config: Optional[RadioConfig] = None,
+        mac_config: Optional[MacConfig] = None,
+        base_station: int = 0,
+    ):
+        self.topology = topology
+        self.config = config if config is not None else IpdaConfig()
+        self.base_station = base_station
+        self._streams = streams if streams is not None else RngStreams(seed)
+        self._keys = key_scheme_factory(topology.node_count)
+        self._constructed = False
+        self._epoch = 0
+        self._construction_bytes = 0
+        self.history: List[EpochOutcome] = []
+
+        def factory(node_id: int, network: Network) -> Node:
+            cls = _IpdaBaseStation if node_id == base_station else _IpdaNode
+            node = cls(node_id, network)
+            node.config = self.config
+            node.keys = self._keys
+            node.base_station = base_station
+            node.contributes = False
+            node.auto_report = False  # epochs drive their own reports
+            return node
+
+        self.network = Network(
+            topology,
+            factory,
+            streams=self._streams.spawn("epoched"),
+            radio_config=radio_config,
+            mac_config=mac_config,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase I (once)
+    # ------------------------------------------------------------------
+    def construct_trees(self) -> None:
+        """Flood the twin HELLOs and let roles settle (Phase I)."""
+        if self._constructed:
+            raise ProtocolError("trees already constructed")
+        root = self.network.node(self.base_station)
+        assert isinstance(root, _IpdaBaseStation)
+        root.start()
+        self.network.run(until=self.config.timing.tree_construction_window)
+        self.network.run()
+        self._constructed = True
+        self._construction_bytes = self.network.trace.total_bytes_sent
+        # Cancel the per-round reports the construction scheduled; the
+        # epochs drive their own convergecasts.
+        # (Reports fired during the drained run already; any residue is
+        # harmless because child sums are reset per epoch.)
+
+    @property
+    def construction_bytes(self) -> int:
+        """Bytes spent on the amortised Phase I."""
+        return self._construction_bytes
+
+    def covered(self) -> Set[int]:
+        """Nodes that heard both colours during Phase I."""
+        return {
+            node.id
+            for node in self.network.iter_nodes()
+            if isinstance(node, _IpdaNode)
+            and node.id != self.base_station
+            and node.is_covered
+        }
+
+    # ------------------------------------------------------------------
+    # Phases II+III (per epoch)
+    # ------------------------------------------------------------------
+    def run_epoch(
+        self,
+        readings: Mapping[int, int],
+        *,
+        contributors: Optional[Set[int]] = None,
+        polluters: Optional[Mapping[int, int]] = None,
+    ) -> EpochOutcome:
+        """Serve one query on the standing trees."""
+        if not self._constructed:
+            raise ProtocolError("construct_trees() must run first")
+        if self.base_station in readings:
+            raise ProtocolError("the base station does not produce a reading")
+        epoch = self._epoch
+        self._epoch += 1
+        bytes_before = self.network.trace.total_bytes_sent
+        magnitude = self.config.effective_magnitude(readings.values())
+        pollution = dict(polluters) if polluters else {}
+
+        root = self.network.node(self.base_station)
+        assert isinstance(root, _IpdaBaseStation)
+        self._reset_epoch_state(root)
+        for node in self.network.iter_nodes():
+            if node.id == self.base_station or not isinstance(node, _IpdaNode):
+                continue
+            node.round_id = epoch
+            node.reading = int(readings.get(node.id, 0))
+            node.magnitude = magnitude
+            node.pollution_offset = int(pollution.get(node.id, 0))
+            node.contributes = node.id in readings and (
+                contributors is None or node.id in contributors
+            )
+
+        timing = self.config.timing
+        engine = self.network.engine
+        t_slice = engine.now + 0.001
+        for node in self.network.iter_nodes():
+            if node.id != self.base_station and isinstance(node, _IpdaNode):
+                engine.schedule_at(t_slice, _slicing_starter(node))
+        t_report = t_slice + timing.slicing_window + timing.assembly_guard
+        for node in self.network.iter_nodes():
+            if (
+                isinstance(node, _IpdaNode)
+                and node.id != self.base_station
+                and node.color is not None
+            ):
+                engine.schedule_at(
+                    t_report
+                    + max(MAX_DEPTH_SLOTS - (node.hops or 0), 0)
+                    * timing.aggregation_slot
+                    + float(node.rng.uniform(0.0, 0.8 * timing.aggregation_slot)),
+                    _reporter(node),
+                )
+        self.network.run()
+
+        s_red = root.tree_sum(TreeColor.RED)
+        s_blue = root.tree_sum(TreeColor.BLUE)
+        verification = IntegrityChecker(self.config.threshold).verify(
+            s_red, s_blue
+        )
+        outcome = EpochOutcome(
+            epoch=epoch,
+            s_red=s_red,
+            s_blue=s_blue,
+            verification=verification,
+            participants={
+                node.id
+                for node in self.network.iter_nodes()
+                if isinstance(node, _IpdaNode)
+                and node.id != self.base_station
+                and node.participant
+            },
+            bytes_this_epoch=(
+                self.network.trace.total_bytes_sent - bytes_before
+            ),
+        )
+        self.history.append(outcome)
+        return outcome
+
+    def _reset_epoch_state(self, root: _IpdaBaseStation) -> None:
+        for node in self.network.iter_nodes():
+            if not isinstance(node, _IpdaNode):
+                continue
+            node.participant = False
+            for color in list(node.assemblers):
+                node.assemblers[color] = SliceAssembler(node.id)
+            node.child_sum = {TreeColor.RED: 0, TreeColor.BLUE: 0}
+
+
+def _slicing_starter(node: _IpdaNode):
+    def fire() -> None:
+        node.begin_slicing()
+
+    return fire
+
+
+def _reporter(node: _IpdaNode):
+    def fire() -> None:
+        node._report()
+
+    return fire
+
+
+class RadioAggregationService:
+    """Self-healing query service on a standing radio deployment.
+
+    The radio counterpart of
+    :class:`repro.core.session.AggregationSession`: serves query epochs
+    on one :class:`EpochedIpdaSession`, and when rejections persist it
+    bisects the covered aggregators with restricted-participation
+    epochs (all over the real radio stack) until the persistent
+    polluter is isolated, then excludes it from further epochs.
+
+    ``compromised`` maps node ids to offsets injected in every epoch
+    where the node aggregates.
+    """
+
+    def __init__(
+        self,
+        session: EpochedIpdaSession,
+        *,
+        compromised: Optional[Mapping[int, int]] = None,
+        hunt_after: int = 2,
+    ):
+        if hunt_after < 1:
+            raise ProtocolError("hunt_after must be >= 1")
+        self.session = session
+        self.compromised: Dict[int, int] = dict(compromised or {})
+        self.hunt_after = hunt_after
+        self.excluded: Set[int] = set()
+        self.hunts: List[Dict[str, object]] = []
+        self._rejection_streak = 0
+
+    def serve(self, readings: Mapping[int, int]) -> EpochOutcome:
+        """Serve one query epoch; hunt + exclude on a rejection streak."""
+        outcome = self._epoch(readings, contributors=None)
+        if outcome.accepted:
+            self._rejection_streak = 0
+            return outcome
+        self._rejection_streak += 1
+        if self._rejection_streak >= self.hunt_after:
+            culprit, probe_epochs = self._hunt(readings)
+            self.excluded.add(culprit)
+            self.hunts.append(
+                {"culprit": culprit, "probe_epochs": probe_epochs}
+            )
+            self._rejection_streak = 0
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _epoch(
+        self,
+        readings: Mapping[int, int],
+        *,
+        contributors: Optional[Set[int]],
+    ) -> EpochOutcome:
+        eligible = set(readings) - self.excluded
+        if contributors is not None:
+            eligible &= contributors
+        polluters = {
+            node: offset
+            for node, offset in self.compromised.items()
+            if node in eligible
+        }
+        return self.session.run_epoch(
+            readings,
+            contributors=eligible,
+            polluters=polluters or None,
+        )
+
+    def _hunt(self, readings: Mapping[int, int]):
+        from ..core.integrity import PolluterLocalizer
+
+        suspects = self.session.covered() - self.excluded
+        if not suspects:
+            raise ProtocolError("nothing to hunt: no covered aggregators")
+        localizer = PolluterLocalizer(suspects)
+
+        def probe_is_polluted(probe: Set[int]) -> bool:
+            contributors = (set(readings) - suspects) | probe
+            outcome = self._epoch(readings, contributors=contributors)
+            return not outcome.accepted
+
+        culprit = localizer.run(probe_is_polluted)
+        return culprit, localizer.rounds_used
+
+
+def amortized_messages_per_node(slices: int, epochs: int) -> float:
+    """Per-epoch message budget with Phase I amortised over ``epochs``.
+
+    ``(2l) + 1/epochs`` — converges to ``2l`` as the tree is reused.
+    """
+    if slices < 1 or epochs < 1:
+        raise AnalysisError("need l >= 1 and epochs >= 1")
+    return 2 * slices + 1 / epochs

@@ -1,0 +1,579 @@
+"""iPDA over the full radio stack (Sections III-B/C/D end to end).
+
+Phase I — the base station floods HELLOs as an aggregator of both
+colours; a node that has heard both colours waits
+``role_decision_delay`` collecting more HELLOs, elects its role
+(Equations 1–2), picks the shallowest same-colour aggregator as parent
+and, if it became an aggregator, re-broadcasts the HELLO.
+
+Phase II — every participating node cuts its reading twice (one cut per
+colour), link-encrypts each piece under the key-management scheme, and
+scatters the pieces to ``l`` aggregators of each colour over the
+slicing window; aggregators decrypt and assemble ``r(j)``.
+
+Phase III — each tree runs a depth-scheduled convergecast of the
+assembled values; the base station compares ``S_red`` and ``S_blue``
+and accepts iff they agree within ``Th``.
+
+Attack hooks: ``polluters`` adds an offset to a node's outgoing
+intermediate result (data-pollution, Section II-C); ``contributors``
+restricts which sensors inject their reading (the bisection hook for
+polluter localisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Set
+
+from ..core.config import IpdaConfig
+from ..core.integrity import IntegrityChecker, VerificationResult
+from ..core.slicing import SliceAssembler, plan_slices
+from ..core.trees import role_probabilities
+from ..crypto.envelope import make_nonce, open_sealed, seal
+from ..crypto.keys import KeyManagementScheme, PairwiseKeyScheme
+from ..errors import ProtocolError
+from ..net.topology import Topology
+from ..sim.mac import MacConfig
+from ..sim.messages import (
+    BROADCAST,
+    AggregateMessage,
+    HelloMessage,
+    Message,
+    SliceMessage,
+    TreeColor,
+)
+from ..sim.network import Network
+from ..sim.node import Node
+from ..sim.radio import RadioConfig
+from ..sim.rng import RngStreams
+from .base import AggregationProtocol, RoundOutcome, validate_readings
+
+__all__ = ["IpdaOutcome", "IpdaProtocol"]
+
+#: Convergecast depth bound (slots), mirroring TAG's epoch division.
+MAX_DEPTH_SLOTS = 32
+
+
+@dataclass
+class IpdaOutcome(RoundOutcome):
+    """A :class:`RoundOutcome` extended with iPDA's dual-tree results."""
+
+    s_red: int = 0
+    s_blue: int = 0
+    verification: Optional[VerificationResult] = None
+    covered: Set[int] = field(default_factory=set)
+
+    @property
+    def accepted(self) -> bool:
+        """Did the base station accept the round?"""
+        return self.verification is not None and self.verification.accepted
+
+
+class _IpdaNode(Node):
+    """A sensor running iPDA."""
+
+    def __init__(self, node_id: int, network: Network):
+        super().__init__(node_id, network)
+        self.config: IpdaConfig = IpdaConfig()
+        self.keys: Optional[KeyManagementScheme] = None
+        self.round_id = 0
+        self.reading = 0
+        self.contributes = False
+        self.pollution_offset = 0
+        self.magnitude = 4
+        self.base_station = 0
+
+        self.heard: Dict[TreeColor, Dict[int, int]] = {
+            TreeColor.RED: {},
+            TreeColor.BLUE: {},
+        }
+        #: neighbours caught announcing both colours (Section III-B: the
+        #: shared medium makes the duplicity visible; such nodes are
+        #: excluded from both trees).
+        self.blacklist: Set[int] = set()
+        self._hello_colors: Dict[int, Set[TreeColor]] = {}
+        self.color: Optional[TreeColor] = None
+        self.parent: Optional[int] = None
+        self.hops: Optional[int] = None
+        self.decided = False
+        self._decision_pending = False
+        self.participant = False
+        self.assemblers: Dict[TreeColor, SliceAssembler] = {}
+        self.child_sum: Dict[TreeColor, int] = {
+            TreeColor.RED: 0,
+            TreeColor.BLUE: 0,
+        }
+        self.mismatched_aggregates = 0
+        self._slice_seq = 0
+        #: single-round mode schedules the Phase-III report right after
+        #: role election; the epoched session drives reports itself.
+        self.auto_report = True
+
+    # ------------------------------------------------------------------
+    # Receive dispatch
+    # ------------------------------------------------------------------
+    def on_receive(self, message: Message) -> None:
+        if isinstance(message, HelloMessage):
+            self._handle_hello(message)
+        elif isinstance(message, SliceMessage):
+            self._handle_slice(message)
+        elif isinstance(message, AggregateMessage):
+            self._handle_aggregate(message)
+
+    # ------------------------------------------------------------------
+    # Phase I: role election and tree joining
+    # ------------------------------------------------------------------
+    def _handle_hello(self, message: HelloMessage) -> None:
+        if message.color is None:
+            raise ProtocolError("iPDA HELLO must carry a colour")
+        if message.src in self.blacklist:
+            return
+        # Two-faced detection (Section III-B): the same neighbour
+        # announcing both colours is an adversary trying to sit on both
+        # trees; the shared medium makes the duplicity visible.  The
+        # base station legitimately roots both trees.
+        if message.src != self.base_station:
+            seen = self._hello_colors.setdefault(message.src, set())
+            seen.add(message.color)
+            if len(seen) > 1:
+                self.blacklist.add(message.src)
+                for table in self.heard.values():
+                    table.pop(message.src, None)
+                if self.parent == message.src and self.color is not None:
+                    self._repick_parent()
+                return
+        table = self.heard[message.color]
+        if message.src not in table or message.hops < table[message.src]:
+            table[message.src] = message.hops
+        if self.decided or self._decision_pending:
+            return
+        if self.heard[TreeColor.RED] and self.heard[TreeColor.BLUE]:
+            self._decision_pending = True
+            self.schedule(self.config.timing.role_decision_delay, self._decide)
+
+    def _repick_parent(self) -> None:
+        """Re-parent after the current parent was blacklisted."""
+        assert self.color is not None
+        own_heard = self.heard[self.color]
+        if own_heard:
+            self.parent = min(own_heard, key=lambda a: (own_heard[a], a))
+            self.hops = own_heard[self.parent] + 1
+        else:
+            self.parent = None  # orphaned: this subtree's data is lost
+
+    def _decide(self) -> None:
+        if self.decided:
+            return
+        self.decided = True
+        n_red = len(self.heard[TreeColor.RED])
+        n_blue = len(self.heard[TreeColor.BLUE])
+        p_red, p_blue = role_probabilities(
+            n_red,
+            n_blue,
+            mode=self.config.role_mode,
+            budget=self.config.aggregator_budget,
+        )
+        draw = float(self.rng.random())
+        if draw < p_red:
+            self.color = TreeColor.RED
+        elif draw < p_red + p_blue:
+            self.color = TreeColor.BLUE
+        else:
+            self.color = None
+            return
+        own_heard = self.heard[self.color]
+        self.parent = min(own_heard, key=lambda a: (own_heard[a], a))
+        self.hops = own_heard[self.parent] + 1
+        self.assemblers[self.color] = SliceAssembler(self.id)
+        self.send(
+            HelloMessage(
+                src=self.id,
+                dst=BROADCAST,
+                color=self.color,
+                hops=self.hops,
+                round_id=self.round_id,
+            )
+        )
+        self._schedule_report()
+
+    # ------------------------------------------------------------------
+    # Phase II: slicing and assembling
+    # ------------------------------------------------------------------
+    def begin_slicing(self) -> None:
+        """Called at the start of the slicing window by the runner."""
+        if not self.contributes:
+            return
+        candidates = {
+            color: self._slice_candidates(color)
+            for color in (TreeColor.RED, TreeColor.BLUE)
+        }
+        try:
+            plans = plan_slices(
+                self.id,
+                self.reading,
+                own_color=self.color,
+                red_candidates=sorted(candidates[TreeColor.RED]),
+                blue_candidates=sorted(candidates[TreeColor.BLUE]),
+                pieces=self.config.slices,
+                rng=self.rng,
+                magnitude=self.magnitude,
+            )
+        except ProtocolError:
+            return  # not enough aggregators in range: sit out (factor (b))
+        self.participant = True
+        window = 0.9 * self.config.timing.slicing_window
+        for color, plan in plans.items():
+            if plan.kept is not None:
+                self.assemblers[color].keep(plan.kept)
+            for target, piece in plan.outgoing:
+                delay = float(self.rng.uniform(0.0, window))
+                self.schedule(
+                    delay, self._slice_sender(target, piece, color)
+                )
+
+    def _slice_candidates(self, color: TreeColor) -> Set[int]:
+        assert self.keys is not None
+        out = set()
+        for aggregator in self.heard[color]:
+            if aggregator == self.id:
+                continue
+            if self.keys.can_communicate(self.id, aggregator):
+                out.add(aggregator)
+        return out
+
+    def _slice_sender(self, target: int, piece: int, color: TreeColor):
+        def fire() -> None:
+            assert self.keys is not None
+            self._slice_seq += 1
+            seq = self._slice_seq
+            nonce = make_nonce(self.id, target, self.round_id, seq)
+            key = self.keys.link_key(self.id, target)
+            self.send(
+                SliceMessage(
+                    src=self.id,
+                    dst=target,
+                    round_id=self.round_id,
+                    color=color,
+                    seq=seq,
+                    ciphertext=seal(piece, key, nonce),
+                )
+            )
+
+        return fire
+
+    def _handle_slice(self, message: SliceMessage) -> None:
+        if message.color is None:
+            raise ProtocolError("slice without a colour tag")
+        assembler = self.assemblers.get(message.color)
+        if assembler is None:
+            return  # stray slice for a tree we are not on; drop it
+        assert self.keys is not None
+        key = self.keys.link_key(message.src, self.id)
+        nonce = make_nonce(message.src, self.id, message.round_id, message.seq)
+        assembler.receive(
+            message.src, open_sealed(message.ciphertext, key, nonce)
+        )
+
+    # ------------------------------------------------------------------
+    # Phase III: convergecast along the coloured trees
+    # ------------------------------------------------------------------
+    def _schedule_report(self) -> None:
+        if not self.auto_report:
+            return
+        assert self.hops is not None
+        timing = self.config.timing
+        phase3_start = (
+            timing.tree_construction_window
+            + timing.slicing_window
+            + timing.assembly_guard
+        )
+        depth_slot = max(MAX_DEPTH_SLOTS - self.hops, 0)
+        when = (
+            phase3_start
+            + depth_slot * timing.aggregation_slot
+            + float(self.rng.uniform(0.0, 0.8 * timing.aggregation_slot))
+        )
+        self.engine.schedule_at(max(when, self.now), self._guarded(self._report))
+
+    def _report(self) -> None:
+        if self.color is None or self.parent is None:
+            return
+        assembled = self.assemblers[self.color].assembled_value()
+        value = assembled + self.child_sum[self.color] + self.pollution_offset
+        self.send(
+            AggregateMessage(
+                src=self.id,
+                dst=self.parent,
+                round_id=self.round_id,
+                color=self.color,
+                value=value,
+                contributor_count=self.assemblers[self.color].received_count,
+            )
+        )
+
+    def _handle_aggregate(self, message: AggregateMessage) -> None:
+        if message.color is None:
+            raise ProtocolError("iPDA aggregate must carry a colour")
+        if message.color is not self.color:
+            self.mismatched_aggregates += 1
+            return
+        self.child_sum[message.color] += message.value
+
+    # ------------------------------------------------------------------
+    # Introspection used by the runner
+    # ------------------------------------------------------------------
+    @property
+    def is_covered(self) -> bool:
+        """Heard at least one aggregator of each colour."""
+        return bool(self.heard[TreeColor.RED] and self.heard[TreeColor.BLUE])
+
+
+class _TwoFacedNode(_IpdaNode):
+    """The Section III-B adversary: announces itself on *both* trees.
+
+    It elects red internally (so it aggregates somewhere) but also
+    broadcasts a blue HELLO, hoping to become a parent on both trees
+    and defeat the disjointness redundancy.  Honest neighbours hear the
+    contradictory HELLOs and blacklist it.
+    """
+
+    def _decide(self) -> None:
+        if self.decided:
+            return
+        self.decided = True
+        heard_red = self.heard[TreeColor.RED]
+        heard_blue = self.heard[TreeColor.BLUE]
+        if not heard_red or not heard_blue:
+            return
+        self.color = TreeColor.RED
+        self.parent = min(heard_red, key=lambda a: (heard_red[a], a))
+        self.hops = heard_red[self.parent] + 1
+        self.assemblers[TreeColor.RED] = SliceAssembler(self.id)
+        self.assemblers[TreeColor.BLUE] = SliceAssembler(self.id)
+        for color in (TreeColor.RED, TreeColor.BLUE):
+            self.send(
+                HelloMessage(
+                    src=self.id,
+                    dst=BROADCAST,
+                    color=color,
+                    hops=self.hops,
+                    round_id=self.round_id,
+                )
+            )
+        self._schedule_report()
+
+
+class _IpdaBaseStation(_IpdaNode):
+    """Root of both trees: floods the twin HELLOs, verifies the results."""
+
+    def __init__(self, node_id: int, network: Network):
+        super().__init__(node_id, network)
+        self.decided = True
+        self.assemblers = {
+            TreeColor.RED: SliceAssembler(node_id),
+            TreeColor.BLUE: SliceAssembler(node_id),
+        }
+        #: when the last partial result arrived — the round's latency.
+        self.last_result_time = 0.0
+
+    def start(self) -> None:
+        for color in (TreeColor.RED, TreeColor.BLUE):
+            self.send(
+                HelloMessage(
+                    src=self.id,
+                    dst=BROADCAST,
+                    color=color,
+                    hops=0,
+                    round_id=self.round_id,
+                )
+            )
+
+    def _handle_hello(self, message: HelloMessage) -> None:
+        return  # the root never re-parents or re-elects
+
+    def _handle_aggregate(self, message: AggregateMessage) -> None:
+        if message.color is None:
+            raise ProtocolError("iPDA aggregate must carry a colour")
+        self.child_sum[message.color] += message.value
+        self.last_result_time = self.now
+
+    def tree_sum(self, color: TreeColor) -> int:
+        """``S_color``: assembled slices at the root plus child results."""
+        return self.assemblers[color].assembled_value() + self.child_sum[color]
+
+
+class IpdaProtocol(AggregationProtocol):
+    """Runner for iPDA rounds over the full radio stack."""
+
+    name = "ipda"
+
+    def __init__(
+        self,
+        config: Optional[IpdaConfig] = None,
+        *,
+        key_scheme_factory=PairwiseKeyScheme,
+        radio_config: Optional[RadioConfig] = None,
+        mac_config: Optional[MacConfig] = None,
+        base_station: int = 0,
+        keep_frames: bool = False,
+    ):
+        self.config = config if config is not None else IpdaConfig()
+        self.key_scheme_factory = key_scheme_factory
+        self.radio_config = radio_config
+        self.mac_config = mac_config
+        self.base_station = base_station
+        #: retain the full frame log in the outcome's stats — the
+        #: capture surface for the radio-level eavesdropping attack.
+        self.keep_frames = keep_frames
+
+    def run_round(
+        self,
+        topology: Topology,
+        readings: Mapping[int, int],
+        *,
+        streams: RngStreams,
+        round_id: int = 0,
+        contributors: Optional[Set[int]] = None,
+        polluters: Optional[Mapping[int, int]] = None,
+        failures: Optional[Mapping[int, float]] = None,
+        two_faced: Optional[Set[int]] = None,
+    ) -> IpdaOutcome:
+        """Run one iPDA round.
+
+        ``failures`` maps node ids to fail-stop times (simulated
+        seconds): the node goes silent at that instant — the crash
+        injection used by the robustness tests.  ``two_faced`` marks
+        nodes running the both-colours HELLO attack of Section III-B.
+        """
+        validate_readings(topology, readings, self.base_station)
+        keys = self.key_scheme_factory(topology.node_count)
+        magnitude = self.config.effective_magnitude(readings.values())
+        pollution = dict(polluters) if polluters else {}
+
+        adversaries = set(two_faced) if two_faced else set()
+        if self.base_station in adversaries:
+            raise ProtocolError("the base station cannot be the adversary")
+
+        def factory(node_id: int, network: Network) -> Node:
+            if node_id == self.base_station:
+                cls = _IpdaBaseStation
+            elif node_id in adversaries:
+                cls = _TwoFacedNode
+            else:
+                cls = _IpdaNode
+            node = cls(node_id, network)
+            node.config = self.config
+            node.keys = keys
+            node.round_id = round_id
+            node.magnitude = magnitude
+            node.base_station = self.base_station
+            node.reading = int(readings.get(node_id, 0))
+            node.contributes = node_id != self.base_station and (
+                contributors is None or node_id in contributors
+            )
+            node.pollution_offset = int(pollution.get(node_id, 0))
+            return node
+
+        network = Network(
+            topology,
+            factory,
+            streams=streams.spawn("ipda", round_id),
+            radio_config=self.radio_config,
+            mac_config=self.mac_config,
+            keep_frames=self.keep_frames,
+        )
+        root = network.node(self.base_station)
+        assert isinstance(root, _IpdaBaseStation)
+
+        timing = self.config.timing
+        t_slice = timing.tree_construction_window
+        t_report_end = (
+            t_slice
+            + timing.slicing_window
+            + timing.assembly_guard
+            + (MAX_DEPTH_SLOTS + 2) * timing.aggregation_slot
+        )
+        root.start()
+        for node in network.iter_nodes():
+            if node.id != self.base_station:
+                network.engine.schedule_at(
+                    t_slice, _begin_slicing_callback(node)
+                )
+        if failures:
+            for node_id, when in failures.items():
+                network.engine.schedule_at(
+                    float(when), network.node(node_id).kill
+                )
+        network.run(until=t_report_end)
+        network.run()  # drain MAC backoff tails
+
+        s_red = root.tree_sum(TreeColor.RED)
+        s_blue = root.tree_sum(TreeColor.BLUE)
+        checker = IntegrityChecker(self.config.threshold)
+        verification = checker.verify(s_red, s_blue)
+
+        participants = {
+            node.id
+            for node in network.iter_nodes()
+            if isinstance(node, _IpdaNode)
+            and node.id != self.base_station
+            and node.participant
+        }
+        covered = {
+            node.id
+            for node in network.iter_nodes()
+            if isinstance(node, _IpdaNode)
+            and node.id != self.base_station
+            and node.is_covered
+        }
+        red_aggs = sum(
+            1
+            for node in network.iter_nodes()
+            if isinstance(node, _IpdaNode) and node.color is TreeColor.RED
+        )
+        blue_aggs = sum(
+            1
+            for node in network.iter_nodes()
+            if isinstance(node, _IpdaNode) and node.color is TreeColor.BLUE
+        )
+        reported = verification.accepted_value if verification.accepted else None
+        return IpdaOutcome(
+            protocol=self.name,
+            round_id=round_id,
+            reported=reported,
+            true_total=sum(int(v) for v in readings.values()),
+            participant_total=sum(int(readings[i]) for i in participants),
+            participants=participants,
+            bytes_sent=network.trace.total_bytes_sent,
+            frames_sent=network.trace.total_frames_sent,
+            s_red=s_red,
+            s_blue=s_blue,
+            verification=verification,
+            covered=covered,
+            stats={
+                "sensor_count": topology.node_count - 1,
+                "red_aggregators": red_aggs,
+                "blue_aggregators": blue_aggs,
+                "adversary_blacklisted_by": sum(
+                    1
+                    for node in network.iter_nodes()
+                    if isinstance(node, _IpdaNode) and node.blacklist
+                ),
+                "slices": self.config.slices,
+                "magnitude": magnitude,
+                "loss_rate": network.trace.loss_rate(),
+                "sent_bytes_by_node": dict(network.trace.sent_bytes_by_node),
+                "latency": root.last_result_time,
+                "trace": network.trace.summary(),
+                "frames": network.trace.frames if self.keep_frames else None,
+            },
+        )
+
+
+def _begin_slicing_callback(node: Node):
+    def fire() -> None:
+        if isinstance(node, _IpdaNode):
+            node.begin_slicing()
+
+    return fire

@@ -1,0 +1,278 @@
+"""KIPDA-style k-indistinguishable aggregation (extension).
+
+The task header's title points at the *indistinguishable privacy* line
+of work that followed iPDA (KIPDA: k-indistinguishable
+privacy-preserving data aggregation, by the same group).  This module
+implements its core idea for MAX/MIN aggregation, where slicing does
+not apply and encryption is avoided entirely:
+
+* every node publishes a *vector* of ``k`` values;
+* a secret position set (shared with the base station at deployment)
+  marks which entries may carry real data — node ``i`` writes its
+  reading into one secret-real position and camouflage elsewhere;
+* camouflage placed in *real* positions must not exceed the node's own
+  reading (so it can never corrupt a MAX), while camouflage in fake
+  positions is unconstrained noise;
+* aggregators combine vectors element-wise (max), no decryption needed;
+* the base station reads the true maximum off the real positions.
+
+An eavesdropper seeing a vector cannot tell which of the ``k`` entries
+is real — each reading is *k-indistinguishable* — and the chance of
+guessing a real position is ``m/k`` for ``m`` real positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+import numpy as np
+
+from ..errors import ConfigurationError, ProtocolError
+from ..net.graphs import bfs_tree, children_map
+from ..net.topology import Topology
+from ..sim.rng import RngStreams
+
+__all__ = [
+    "KipdaConfig",
+    "KipdaOutcome",
+    "KipdaMaxProtocol",
+    "KipdaMinProtocol",
+]
+
+
+@dataclass
+class KipdaConfig:
+    """Parameters of the camouflage vector.
+
+    ``vector_size`` is ``k`` (total positions); ``real_positions`` is
+    ``m`` (secret positions allowed to carry data).  Camouflage values
+    in fake positions are drawn above the data range to be convincing;
+    ``camouflage_low``/``camouflage_high`` bound them.
+    """
+
+    vector_size: int = 12
+    real_positions: int = 3
+    camouflage_low: int = 0
+    camouflage_high: int = 1_000
+
+    def __post_init__(self) -> None:
+        if self.real_positions < 1:
+            raise ConfigurationError("need at least one real position")
+        if self.vector_size <= self.real_positions:
+            raise ConfigurationError("vector_size must exceed real_positions")
+        if self.camouflage_low > self.camouflage_high:
+            raise ConfigurationError("camouflage bounds out of order")
+
+    @property
+    def indistinguishability(self) -> float:
+        """Probability an eavesdropper guesses a real position: m/k."""
+        return self.real_positions / self.vector_size
+
+
+@dataclass
+class KipdaOutcome:
+    """Result of one KIPDA MAX round."""
+
+    reported: Optional[int]
+    true_max: int
+    participants: Set[int] = field(default_factory=set)
+    vectors_published: int = 0
+
+    @property
+    def exact(self) -> bool:
+        """Did the protocol recover the true maximum?"""
+        return self.reported == self.true_max
+
+
+class _KipdaExtremumProtocol:
+    """Shared machinery for k-indistinguishable MAX/MIN aggregation.
+
+    Runs losslessly on the topology (the privacy mechanism is the
+    contribution here, not the channel); the radio-level behaviour
+    matches TAG's single convergecast with vector payloads.
+    """
+
+    name = "kipda"
+
+    def __init__(self, config: Optional[KipdaConfig] = None, *, base_station: int = 0):
+        self.config = config if config is not None else KipdaConfig()
+        self.base_station = base_station
+
+    # -- extremum-specific hooks ---------------------------------------
+    def _combine(self, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    def _extreme(self, values):
+        raise NotImplementedError
+
+    def _real_camouflage(self, reading: int, rng: np.random.Generator) -> int:
+        """Camouflage for a non-chosen *real* position.
+
+        Must never beat the reading at the combine operation, or it
+        would corrupt the aggregate.
+        """
+        raise NotImplementedError
+
+    def _check_readings(self, values) -> None:
+        raise NotImplementedError
+
+    # -- common machinery -------------------------------------------------
+    def deploy_secret(self, rng: np.random.Generator) -> List[int]:
+        """Draw the secret real-position set shared with every node."""
+        positions = rng.choice(
+            self.config.vector_size,
+            size=self.config.real_positions,
+            replace=False,
+        )
+        return sorted(int(p) for p in positions)
+
+    def build_vector(
+        self,
+        reading: int,
+        secret: Sequence[int],
+        rng: np.random.Generator,
+    ) -> List[int]:
+        """Encode ``reading`` into a camouflage vector.
+
+        Real positions other than the chosen one get camouflage that
+        can never beat the reading at the combine operation; fake
+        positions get unconstrained camouflage.
+        """
+        cfg = self.config
+        if len(secret) != cfg.real_positions:
+            raise ProtocolError("secret size does not match configuration")
+        vector = [0] * cfg.vector_size
+        chosen = int(secret[int(rng.integers(0, len(secret)))])
+        secret_set = set(int(p) for p in secret)
+        for position in range(cfg.vector_size):
+            if position == chosen:
+                vector[position] = int(reading)
+            elif position in secret_set:
+                vector[position] = self._real_camouflage(int(reading), rng)
+            else:
+                vector[position] = int(
+                    rng.integers(cfg.camouflage_low, cfg.camouflage_high + 1)
+                )
+        return vector
+
+    def run_round(
+        self,
+        topology: Topology,
+        readings: Mapping[int, int],
+        *,
+        streams: RngStreams,
+        round_id: int = 0,
+    ) -> KipdaOutcome:
+        """Aggregate the extremum over all readings, k-indistinguishably."""
+        if self.base_station in readings:
+            raise ProtocolError("the base station does not produce a reading")
+        if not readings:
+            raise ProtocolError("need at least one reading")
+        self._check_readings(readings.values())
+        rng = streams.get("kipda", round_id)
+        secret = self.deploy_secret(rng)
+
+        parents = bfs_tree(topology, self.base_station)
+        kids = children_map(parents)
+        participants = {n for n in parents if n != self.base_station}
+
+        vectors: Dict[int, List[int]] = {}
+        published = 0
+        for node_id in sorted(participants):
+            if node_id in readings:
+                vectors[node_id] = self.build_vector(
+                    int(readings[node_id]), secret, rng
+                )
+                published += 1
+
+        def combine(node_id: int) -> Optional[List[int]]:
+            own = vectors.get(node_id)
+            merged = list(own) if own is not None else None
+            for child in kids.get(node_id, []):
+                child_vec = combine(child)
+                if child_vec is None:
+                    continue
+                if merged is None:
+                    merged = list(child_vec)
+                else:
+                    merged = [
+                        self._combine(a, b)
+                        for a, b in zip(merged, child_vec)
+                    ]
+            return merged
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, topology.node_count * 4 + 100))
+        try:
+            final = combine(self.base_station)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+        reported = (
+            self._extreme(final[p] for p in secret)
+            if final is not None
+            else None
+        )
+        reachable = participants & set(readings)
+        true_value = (
+            self._extreme(int(readings[i]) for i in reachable)
+            if reachable
+            else 0
+        )
+        return KipdaOutcome(
+            reported=reported,
+            true_max=true_value,
+            participants=reachable,
+            vectors_published=published,
+        )
+
+
+class KipdaMaxProtocol(_KipdaExtremumProtocol):
+    """k-indistinguishable MAX aggregation over a logical BFS tree."""
+
+    name = "kipda-max"
+
+    def _combine(self, a: int, b: int) -> int:
+        return max(a, b)
+
+    def _extreme(self, values):
+        return max(values)
+
+    def _real_camouflage(self, reading: int, rng: np.random.Generator) -> int:
+        low = min(self.config.camouflage_low, reading)
+        return int(rng.integers(low, reading + 1))
+
+    def _check_readings(self, values) -> None:
+        if min(int(v) for v in values) < self.config.camouflage_low:
+            raise ProtocolError(
+                "readings below camouflage_low would be distinguishable"
+            )
+
+
+class KipdaMinProtocol(_KipdaExtremumProtocol):
+    """k-indistinguishable MIN aggregation (element-wise minimum).
+
+    Symmetric to MAX: real-position camouflage must sit *at or above*
+    the node's reading so it can never drag the minimum below truth.
+    """
+
+    name = "kipda-min"
+
+    def _combine(self, a: int, b: int) -> int:
+        return min(a, b)
+
+    def _extreme(self, values):
+        return min(values)
+
+    def _real_camouflage(self, reading: int, rng: np.random.Generator) -> int:
+        high = max(self.config.camouflage_high, reading)
+        return int(rng.integers(reading, high + 1))
+
+    def _check_readings(self, values) -> None:
+        if max(int(v) for v in values) > self.config.camouflage_high:
+            raise ProtocolError(
+                "readings above camouflage_high would be distinguishable"
+            )

@@ -1,0 +1,227 @@
+"""TAG: Tiny AGgregation (Madden et al., OSDI'02) — the paper's baseline.
+
+A single spanning tree rooted at the base station is built by a HELLO
+flood (first HELLO heard wins as parent); aggregation then runs as a
+depth-scheduled convergecast — nodes at hop ``h`` transmit their
+partial sum in the epoch slot for depth ``h``, deepest first, exactly
+as TAG divides its epoch.  No privacy, no integrity: each node sends
+two frames per query (HELLO + partial result), the 2-message budget
+Figure 4(a) shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Set
+
+from ..errors import ProtocolError
+from ..net.topology import Topology
+from ..sim.mac import MacConfig
+from ..sim.messages import BROADCAST, AggregateMessage, HelloMessage, Message
+from ..sim.network import Network
+from ..sim.node import Node
+from ..sim.radio import RadioConfig
+from ..sim.rng import RngStreams
+from .base import AggregationProtocol, RoundOutcome, validate_readings
+
+__all__ = ["TagParams", "TagProtocol"]
+
+
+@dataclass
+class TagParams:
+    """Timing knobs for the TAG rounds.
+
+    ``max_depth`` bounds the convergecast schedule: a node at hop ``h``
+    transmits in slot ``max_depth - h`` so parents always listen after
+    their children.
+    """
+
+    hello_window: float = 10.0
+    slot: float = 2.0
+    max_depth: int = 32
+    forward_jitter: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.hello_window <= 0 or self.slot <= 0:
+            raise ProtocolError("hello_window and slot must be positive")
+        if self.max_depth < 1:
+            raise ProtocolError("max_depth must be >= 1")
+
+
+class _TagNode(Node):
+    """A sensor running TAG."""
+
+    def __init__(self, node_id: int, network: Network):
+        super().__init__(node_id, network)
+        self.parent: Optional[int] = None
+        self.hops: Optional[int] = None
+        self.reading = 0
+        self.contributes = False
+        self.child_sum = 0
+        self.child_count = 0
+        self.params: TagParams = TagParams()
+        self.round_id = 0
+
+    # -- Phase 1: tree construction ------------------------------------
+    def on_receive(self, message: Message) -> None:
+        if isinstance(message, HelloMessage):
+            self._handle_hello(message)
+        elif isinstance(message, AggregateMessage):
+            self.child_sum += message.value
+            self.child_count += message.contributor_count
+
+    def _handle_hello(self, message: HelloMessage) -> None:
+        if self.parent is not None:
+            return
+        self.parent = message.src
+        self.hops = message.hops + 1
+        jitter = float(self.rng.uniform(0.0, self.params.forward_jitter))
+        self.schedule(jitter, self._forward_hello)
+        self._schedule_report()
+
+    def _forward_hello(self) -> None:
+        self.send(
+            HelloMessage(
+                src=self.id, dst=BROADCAST, hops=self.hops or 0,
+                round_id=self.round_id,
+            )
+        )
+
+    # -- Phase 2: depth-scheduled convergecast -------------------------
+    def _schedule_report(self) -> None:
+        assert self.hops is not None
+        depth_slot = max(self.params.max_depth - self.hops, 0)
+        start = (
+            self.params.hello_window
+            + depth_slot * self.params.slot
+            + float(self.rng.uniform(0.0, 0.8 * self.params.slot))
+        )
+        self.engine.schedule_at(max(start, self.now), self._guarded(self._report))
+
+    def _report(self) -> None:
+        if self.parent is None:
+            return
+        own = self.reading if self.contributes else 0
+        own_count = 1 if self.contributes else 0
+        self.send(
+            AggregateMessage(
+                src=self.id,
+                dst=self.parent,
+                round_id=self.round_id,
+                value=own + self.child_sum,
+                contributor_count=own_count + self.child_count,
+            )
+        )
+
+
+class _TagBaseStation(_TagNode):
+    """The root: floods the HELLO and keeps the final sums."""
+
+    def __init__(self, node_id: int, network: Network):
+        super().__init__(node_id, network)
+        #: when the last partial result arrived — the round's latency.
+        self.last_result_time = 0.0
+
+    def on_receive(self, message: Message) -> None:
+        super().on_receive(message)
+        if isinstance(message, AggregateMessage):
+            self.last_result_time = self.now
+
+    def start(self) -> None:
+        self.hops = 0
+        self.send(HelloMessage(src=self.id, dst=BROADCAST, hops=0,
+                               round_id=self.round_id))
+
+    def _handle_hello(self, message: HelloMessage) -> None:
+        return  # the root never re-parents
+
+    @property
+    def collected(self) -> int:
+        return self.child_sum
+
+
+class TagProtocol(AggregationProtocol):
+    """Runner for TAG rounds over the full radio stack."""
+
+    name = "tag"
+
+    def __init__(
+        self,
+        params: Optional[TagParams] = None,
+        *,
+        radio_config: Optional[RadioConfig] = None,
+        mac_config: Optional[MacConfig] = None,
+        base_station: int = 0,
+    ):
+        self.params = params if params is not None else TagParams()
+        self.radio_config = radio_config
+        self.mac_config = mac_config
+        self.base_station = base_station
+
+    def run_round(
+        self,
+        topology: Topology,
+        readings: Mapping[int, int],
+        *,
+        streams: RngStreams,
+        round_id: int = 0,
+        contributors: Optional[Set[int]] = None,
+    ) -> RoundOutcome:
+        validate_readings(topology, readings, self.base_station)
+
+        def factory(node_id: int, network: Network) -> Node:
+            cls = _TagBaseStation if node_id == self.base_station else _TagNode
+            node = cls(node_id, network)
+            node.params = self.params
+            node.round_id = round_id
+            node.reading = int(readings.get(node_id, 0))
+            node.contributes = node_id != self.base_station and (
+                contributors is None or node_id in contributors
+            )
+            return node
+
+        network = Network(
+            topology,
+            factory,
+            streams=streams.spawn("tag", round_id),
+            radio_config=self.radio_config,
+            mac_config=self.mac_config,
+        )
+        root = network.node(self.base_station)
+        assert isinstance(root, _TagBaseStation)
+        root.start()
+        horizon = (
+            self.params.hello_window
+            + (self.params.max_depth + 2) * self.params.slot
+        )
+        network.run(until=horizon)
+        network.run()  # drain any MAC backoff tails
+
+        joined = {
+            node.id
+            for node in network.iter_nodes()
+            if isinstance(node, _TagNode)
+            and node.id != self.base_station
+            and node.parent is not None
+        }
+        eligible = contributors if contributors is not None else set(readings)
+        participants = joined & set(eligible)
+        return RoundOutcome(
+            protocol=self.name,
+            round_id=round_id,
+            reported=root.collected,
+            true_total=sum(int(v) for v in readings.values()),
+            participant_total=sum(int(readings[i]) for i in participants),
+            participants=participants,
+            bytes_sent=network.trace.total_bytes_sent,
+            frames_sent=network.trace.total_frames_sent,
+            stats={
+                "sensor_count": topology.node_count - 1,
+                "tree_size": len(joined),
+                "contributor_count_reported": root.child_count,
+                "loss_rate": network.trace.loss_rate(),
+                "sent_bytes_by_node": dict(network.trace.sent_bytes_by_node),
+                "latency": root.last_result_time,
+                "trace": network.trace.summary(),
+            },
+        )

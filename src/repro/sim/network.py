@@ -1,0 +1,133 @@
+"""Network container: wires topology, engine, radio, MACs, and nodes.
+
+:class:`Network` is the composition root of a simulation run.  Protocol
+runners construct one with a node factory, run the engine, and read
+results off their node objects and the trace collector.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..net.topology import Topology
+from .engine import EventEngine
+from .mac import CsmaMac, MacConfig
+from .messages import Message
+from .node import Node
+from .radio import RadioConfig, RadioMedium
+from .rng import RngStreams
+from .trace import TraceCollector
+
+__all__ = ["Network", "NodeFactory"]
+
+NodeFactory = Callable[[int, "Network"], Node]
+
+
+class Network:
+    """A fully wired simulated sensor network.
+
+    Parameters
+    ----------
+    topology:
+        The deployment to simulate over.
+    node_factory:
+        Called as ``factory(node_id, network)`` for every node id; lets
+        protocols install their own node classes (and a distinct class
+        for the base station, conventionally node 0).
+    streams / seed:
+        Random stream factory (or a root seed to build one).
+    radio_config / mac_config:
+        Physical and MAC layer parameters.
+    keep_frames:
+        Retain a full frame log in the trace (needed by attacks).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        node_factory: Optional[NodeFactory] = None,
+        *,
+        streams: Optional[RngStreams] = None,
+        seed: int = 0,
+        radio_config: Optional[RadioConfig] = None,
+        mac_config: Optional[MacConfig] = None,
+        keep_frames: bool = False,
+    ):
+        self.topology = topology
+        self.streams = streams if streams is not None else RngStreams(seed)
+        self.engine = EventEngine()
+        self.trace = TraceCollector(keep_frames=keep_frames)
+        self.radio = RadioMedium(
+            engine=self.engine,
+            topology=topology,
+            trace=self.trace,
+            deliver=self._deliver,
+            rng=self.streams.get("radio"),
+            config=radio_config,
+            notify_sender=self._notify_sender,
+        )
+        self._mac_config = mac_config if mac_config is not None else MacConfig()
+        self._macs: Dict[int, CsmaMac] = {}
+        factory = node_factory if node_factory is not None else Node
+        self.nodes: Dict[int, Node] = {
+            node_id: factory(node_id, self)
+            for node_id in range(topology.node_count)
+        }
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def mac(self, node_id: int) -> CsmaMac:
+        """Return (lazily creating) the MAC instance of ``node_id``."""
+        mac = self._macs.get(node_id)
+        if mac is None:
+            mac = CsmaMac(
+                node_id=node_id,
+                engine=self.engine,
+                radio=self.radio,
+                rng=self.streams.get("mac", node_id),
+                config=self._mac_config,
+            )
+            self._macs[node_id] = mac
+        return mac
+
+    def node_rng(self, node_id: int) -> np.random.Generator:
+        """Per-node private random stream."""
+        return self.streams.get("node", node_id)
+
+    def node(self, node_id: int) -> Node:
+        """Return the node object for ``node_id``."""
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise SimulationError(f"unknown node id {node_id}") from None
+
+    def _deliver(self, receiver: int, message: Message, addressed: bool) -> None:
+        node = self.nodes.get(receiver)
+        if node is None:
+            return
+        node.deliver(message, addressed)
+
+    def _notify_sender(self, message: Message, delivered: bool) -> None:
+        self.mac(message.src).transmission_result(message, delivered)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the event loop; returns the stop time."""
+        return self.engine.run(until)
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Iterate nodes in id order."""
+        for node_id in sorted(self.nodes):
+            yield self.nodes[node_id]
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(nodes={self.topology.node_count}, "
+            f"t={self.engine.now:.4f})"
+        )

@@ -1,0 +1,266 @@
+"""Shared wireless medium.
+
+Models the physical layer the paper's evaluation rides on (ns-2 in the
+original): disc propagation over the deployment topology, per-frame
+airtime at a configurable data rate (1 Mbps in Section IV-B), and the
+*protocol interference model* for collisions — a frame is lost at a
+receiver iff another frame's airtime overlaps it there, or the receiver
+was itself transmitting (half-duplex).  A Bernoulli loss knob exists
+for controlled experiments; both mechanisms can be disabled to get a
+perfect channel for unit tests.
+
+Because the medium is shared, every neighbour of a sender *hears* every
+frame — unicast frames are delivered only to their addressee but are
+recorded as overheard, which is exactly the surface the eavesdropping
+attack (Section II-C) exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..net.topology import Topology
+from .engine import EventEngine
+from .messages import Message
+from .trace import DropReason, FrameRecord, TraceCollector
+
+__all__ = ["RadioConfig", "RadioMedium", "Reception"]
+
+#: Paper's simulated data rate (Section IV-B): 1 Mbps.
+PAPER_DATA_RATE_BPS: float = 1_000_000.0
+
+
+@dataclass
+class RadioConfig:
+    """Physical-layer parameters.
+
+    Attributes
+    ----------
+    data_rate_bps:
+        Link speed; airtime of a frame is ``size * 8 / data_rate_bps``.
+    collisions_enabled:
+        Apply the overlap-collision rule.  Disable for a perfect channel.
+    loss_probability:
+        Independent Bernoulli loss applied per (frame, receiver) after
+        collision filtering; models fading/noise beyond collisions.
+    propagation_delay:
+        Constant propagation latency added to every delivery (seconds).
+    """
+
+    data_rate_bps: float = PAPER_DATA_RATE_BPS
+    collisions_enabled: bool = True
+    loss_probability: float = 0.0
+    propagation_delay: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.data_rate_bps <= 0:
+            raise SimulationError("data_rate_bps must be positive")
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise SimulationError("loss_probability must be in [0, 1]")
+        if self.propagation_delay < 0:
+            raise SimulationError("propagation_delay must be >= 0")
+
+
+@dataclass
+class Reception:
+    """An in-flight frame as experienced by one receiver."""
+
+    message: Message
+    receiver: int
+    start: float
+    end: float
+    collided: bool = False
+    record: Optional[FrameRecord] = None
+
+
+@dataclass
+class _Transmission:
+    """An in-flight frame as produced by its sender."""
+
+    message: Message
+    sender: int
+    start: float
+    end: float
+    receptions: List[Reception] = field(default_factory=list)
+
+
+DeliverFn = Callable[[int, Message, bool], None]
+NotifySenderFn = Callable[[Message, bool], None]
+
+
+class RadioMedium:
+    """The shared channel connecting all nodes of a topology.
+
+    Parameters
+    ----------
+    engine:
+        The event engine driving the simulation.
+    topology:
+        Deployment; defines who hears whom.
+    trace:
+        Byte/frame accounting sink.
+    deliver:
+        Callback ``deliver(receiver_id, message, addressed)`` invoked at
+        end-of-frame for every successful reception.  ``addressed`` is
+        False for overheard unicast frames.
+    notify_sender:
+        Callback ``notify_sender(message, delivered)`` invoked at
+        end-of-frame, telling the sender's MAC whether the addressee
+        decoded the frame (the abstracted link-layer ACK).  Broadcasts
+        always report ``delivered=True``.
+    rng:
+        Generator used for Bernoulli losses.
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        topology: Topology,
+        trace: TraceCollector,
+        deliver: DeliverFn,
+        rng: np.random.Generator,
+        config: Optional[RadioConfig] = None,
+        notify_sender: Optional[NotifySenderFn] = None,
+    ):
+        self.engine = engine
+        self.topology = topology
+        self.trace = trace
+        self.config = config if config is not None else RadioConfig()
+        self._deliver = deliver
+        self._notify_sender = notify_sender
+        self._rng = rng
+        self._transmitting_until: Dict[int, float] = {}
+        self._active_receptions: Dict[int, List[Reception]] = {}
+
+    # ------------------------------------------------------------------
+    # Channel state queries (used by the MAC for carrier sensing)
+    # ------------------------------------------------------------------
+    def airtime(self, message: Message) -> float:
+        """Seconds the frame occupies the channel."""
+        return message.size_bytes * 8.0 / self.config.data_rate_bps
+
+    def is_transmitting(self, node_id: int) -> bool:
+        """True while ``node_id`` has a frame on the air."""
+        until = self._transmitting_until.get(node_id)
+        return until is not None and until > self.engine.now
+
+    def senses_busy(self, node_id: int) -> bool:
+        """Carrier sense: the node or any neighbour is transmitting."""
+        if self.is_transmitting(node_id):
+            return True
+        now = self.engine.now
+        for nbr in self.topology.neighbors(node_id):
+            until = self._transmitting_until.get(nbr)
+            if until is not None and until > now:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(self, message: Message) -> float:
+        """Put ``message`` on the air; returns its end-of-frame time.
+
+        The sender must not already be transmitting (the MAC serialises
+        each node's queue; violating this indicates a protocol bug).
+        """
+        sender = message.src
+        now = self.engine.now
+        if self.is_transmitting(sender):
+            raise SimulationError(
+                f"node {sender} started a frame while already transmitting"
+            )
+        start = now + self.config.propagation_delay
+        end = start + self.airtime(message)
+        self._transmitting_until[sender] = end
+
+        record = self.trace.record_send(now, message)
+        transmission = _Transmission(
+            message=message, sender=sender, start=start, end=end
+        )
+
+        if self.config.collisions_enabled:
+            # Half-duplex: anything the sender was receiving is ruined.
+            for reception in self._active_receptions.get(sender, []):
+                if reception.end > start and not reception.collided:
+                    reception.collided = True
+
+        for receiver in sorted(self.topology.neighbors(sender)):
+            reception = Reception(
+                message=message,
+                receiver=receiver,
+                start=start,
+                end=end,
+                record=record,
+            )
+            if self.config.collisions_enabled:
+                self._apply_collisions(reception)
+            transmission.receptions.append(reception)
+            self._active_receptions.setdefault(receiver, []).append(reception)
+
+        self.engine.schedule_at(
+            end, lambda: self._finish_transmission(transmission), priority=-1
+        )
+        return end
+
+    def _apply_collisions(self, reception: Reception) -> None:
+        receiver = reception.receiver
+        # Receiver busy sending: the incoming frame is unreadable.
+        until = self._transmitting_until.get(receiver)
+        if until is not None and until > reception.start:
+            reception.collided = True
+        # Overlap with any other in-flight frame at this receiver ruins both.
+        for other in self._active_receptions.get(receiver, []):
+            if other.end > reception.start:
+                other.collided = True
+                reception.collided = True
+
+    def _finish_transmission(self, transmission: _Transmission) -> None:
+        message = transmission.message
+        self._transmitting_until.pop(transmission.sender, None)
+        addressee_got_it = message.is_broadcast
+        addressee_seen = message.is_broadcast
+        for reception in transmission.receptions:
+            active = self._active_receptions.get(reception.receiver)
+            if active is not None:
+                active.remove(reception)
+                if not active:
+                    del self._active_receptions[reception.receiver]
+            decoded = self._conclude_reception(reception, message)
+            if not message.is_broadcast and reception.receiver == message.dst:
+                addressee_seen = True
+                addressee_got_it = decoded
+        if not addressee_seen:
+            # Unicast to a node outside radio range: nobody to decode it.
+            self.trace.record_drop(
+                None, message, message.dst, DropReason.NO_RECEIVER
+            )
+        if self._notify_sender is not None:
+            self._notify_sender(message, addressee_got_it)
+
+    def _conclude_reception(self, reception: Reception, message: Message) -> bool:
+        """Conclude one reception; returns True when it was decoded."""
+        receiver = reception.receiver
+        if reception.collided:
+            reason = (
+                DropReason.HALF_DUPLEX
+                if self.is_transmitting(receiver)
+                else DropReason.COLLISION
+            )
+            self.trace.record_drop(reception.record, message, receiver, reason)
+            return False
+        loss_p = self.config.loss_probability
+        if loss_p > 0.0 and self._rng.random() < loss_p:
+            self.trace.record_drop(
+                reception.record, message, receiver, DropReason.RANDOM_LOSS
+            )
+            return False
+        addressed = message.is_broadcast or message.dst == receiver
+        if addressed:
+            self.trace.record_delivery(reception.record, message, receiver)
+        self._deliver(receiver, message, addressed)
+        return True

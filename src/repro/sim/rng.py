@@ -1,0 +1,10 @@
+"""Re-export of :mod:`repro.rng` kept for import locality.
+
+The RNG streams live at the package top level (they are used by the
+topology layer as well, and importing them must not initialise the
+whole :mod:`repro.sim` package).
+"""
+
+from ..rng import RngStreams, derive_seed
+
+__all__ = ["RngStreams", "derive_seed"]

@@ -1,0 +1,113 @@
+"""Human-readable rendering of a captured frame log.
+
+Debugging distributed protocols from counters alone is painful; this
+module renders a :class:`~repro.sim.trace.TraceCollector` frame log as
+a chronological text timeline with per-frame outcomes, and supports
+filtering by node, kind, and time window.
+
+Example::
+
+    outcome = IpdaProtocol(keep_frames=True).run_round(...)
+    print(render_timeline(outcome.stats["frames"], limit=40))
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..errors import ConfigurationError
+from .messages import BROADCAST
+from .trace import FrameRecord
+
+__all__ = ["filter_frames", "render_timeline", "summarize_conversation"]
+
+
+def filter_frames(
+    frames: Iterable[FrameRecord],
+    *,
+    node: Optional[int] = None,
+    kind: Optional[str] = None,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+) -> List[FrameRecord]:
+    """Select frames by participant, kind, and time window.
+
+    ``node`` matches the sender, the addressee, or any recorded
+    receiver of the frame.
+    """
+    out: List[FrameRecord] = []
+    for record in frames:
+        if kind is not None and record.kind != kind:
+            continue
+        if start is not None and record.time < start:
+            continue
+        if end is not None and record.time > end:
+            continue
+        if node is not None:
+            involved = (
+                record.src == node
+                or record.dst == node
+                or node in record.delivered_to
+                or any(receiver == node for receiver, _ in record.dropped_at)
+            )
+            if not involved:
+                continue
+        out.append(record)
+    return out
+
+
+def _describe_outcome(record: FrameRecord) -> str:
+    parts = []
+    if record.delivered_to:
+        parts.append(f"ok->{sorted(record.delivered_to)}")
+    for receiver, reason in record.dropped_at:
+        parts.append(f"x{receiver}({reason})")
+    return " ".join(parts) if parts else "(no receivers)"
+
+
+def render_timeline(
+    frames: Iterable[FrameRecord],
+    *,
+    limit: Optional[int] = None,
+    **filters,
+) -> str:
+    """Render frames as aligned, chronological text lines.
+
+    Accepts the same keyword filters as :func:`filter_frames`; ``limit``
+    truncates the output (a note reports how many lines were omitted).
+    """
+    selected = filter_frames(frames, **filters)
+    selected.sort(key=lambda r: r.time)
+    total = len(selected)
+    if limit is not None:
+        if limit < 1:
+            raise ConfigurationError("limit must be >= 1")
+        selected = selected[:limit]
+    lines = []
+    for record in selected:
+        dst = "*" if record.dst == BROADCAST else str(record.dst)
+        lines.append(
+            f"{record.time:12.6f}s  {record.kind:<9s} "
+            f"{record.src:>4d} -> {dst:<4s} {record.size_bytes:>4d}B  "
+            f"{_describe_outcome(record)}"
+        )
+    if limit is not None and total > limit:
+        lines.append(f"... {total - limit} more frames omitted")
+    return "\n".join(lines)
+
+
+def summarize_conversation(
+    frames: Iterable[FrameRecord], a: int, b: int
+) -> str:
+    """Summarise all traffic between two nodes (either direction)."""
+    relevant = [
+        record
+        for record in frames
+        if {record.src, record.dst} == {a, b}
+    ]
+    relevant.sort(key=lambda r: r.time)
+    if not relevant:
+        return f"no frames between {a} and {b}"
+    lines = [f"{len(relevant)} frame(s) between {a} and {b}:"]
+    lines.append(render_timeline(relevant))
+    return "\n".join(lines)

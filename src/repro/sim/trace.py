@@ -1,0 +1,157 @@
+"""Simulation tracing and byte accounting.
+
+The evaluation compares protocols by total bytes on the air (Figure 7)
+and per-node message counts (Figure 4), and the attacks need a record
+of which frames crossed which links.  :class:`TraceCollector` gathers
+all of that without the protocols having to know.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .messages import Message
+
+__all__ = ["TraceCollector", "FrameRecord", "DropReason"]
+
+
+class DropReason:
+    """Why a frame failed to be delivered at a receiver."""
+
+    COLLISION = "collision"
+    HALF_DUPLEX = "half-duplex"
+    RANDOM_LOSS = "random-loss"
+    NO_RECEIVER = "no-receiver"
+
+
+@dataclass
+class FrameRecord:
+    """One transmission attempt, as seen on the air.
+
+    ``message`` is the frame itself — what a physical eavesdropper
+    captures (ciphertext payloads included); retransmissions of the
+    same frame share its ``frame_id``.
+    """
+
+    time: float
+    kind: str
+    src: int
+    dst: int
+    size_bytes: int
+    message: Optional[Message] = None
+    delivered_to: List[int] = field(default_factory=list)
+    dropped_at: List[Tuple[int, str]] = field(default_factory=list)
+
+
+class TraceCollector:
+    """Accumulates counters and (optionally) a full frame log.
+
+    Parameters
+    ----------
+    keep_frames:
+        When true, every transmission is kept as a :class:`FrameRecord`
+        (needed by the eavesdropper attack and debugging); counters are
+        always kept.
+    """
+
+    def __init__(self, *, keep_frames: bool = False):
+        self.keep_frames = keep_frames
+        self.frames: List[FrameRecord] = []
+        self.sent_count: Counter = Counter()  # kind -> frames sent
+        self.sent_bytes: Counter = Counter()  # kind -> bytes sent
+        self.sent_by_node: Counter = Counter()  # node -> frames sent
+        self.sent_bytes_by_node: Counter = Counter()
+        self.delivered_count: Counter = Counter()  # kind -> deliveries
+        self.dropped_count: Counter = Counter()  # reason -> drops
+        self.sent_kind_by_node: Dict[int, Counter] = defaultdict(Counter)
+        self.received_kind_by_node: Dict[int, Counter] = defaultdict(Counter)
+
+    # ------------------------------------------------------------------
+    # Recording (called by the radio layer)
+    # ------------------------------------------------------------------
+    def record_send(self, time: float, message: Message) -> Optional[FrameRecord]:
+        """Record a transmission attempt; returns the record if kept."""
+        self.sent_count[message.kind] += 1
+        self.sent_bytes[message.kind] += message.size_bytes
+        self.sent_by_node[message.src] += 1
+        self.sent_bytes_by_node[message.src] += message.size_bytes
+        self.sent_kind_by_node[message.src][message.kind] += 1
+        if not self.keep_frames:
+            return None
+        record = FrameRecord(
+            time=time,
+            kind=message.kind,
+            src=message.src,
+            dst=message.dst,
+            size_bytes=message.size_bytes,
+            message=message,
+        )
+        self.frames.append(record)
+        return record
+
+    def record_delivery(
+        self, record: Optional[FrameRecord], message: Message, receiver: int
+    ) -> None:
+        """Record a successful delivery of ``message`` at ``receiver``."""
+        self.delivered_count[message.kind] += 1
+        self.received_kind_by_node[receiver][message.kind] += 1
+        if record is not None:
+            record.delivered_to.append(receiver)
+
+    def record_drop(
+        self,
+        record: Optional[FrameRecord],
+        message: Message,
+        receiver: int,
+        reason: str,
+    ) -> None:
+        """Record a failed delivery and its reason."""
+        self.dropped_count[reason] += 1
+        if record is not None:
+            record.dropped_at.append((receiver, reason))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def total_frames_sent(self) -> int:
+        """Total transmission attempts across all kinds."""
+        return sum(self.sent_count.values())
+
+    @property
+    def total_bytes_sent(self) -> int:
+        """Total bytes on the air (the Figure 7 metric)."""
+        return sum(self.sent_bytes.values())
+
+    @property
+    def total_drops(self) -> int:
+        """Total failed deliveries across all reasons."""
+        return sum(self.dropped_count.values())
+
+    def messages_sent_by(self, node_id: int) -> int:
+        """Frames transmitted by one node (the Figure 4 metric)."""
+        return self.sent_by_node.get(node_id, 0)
+
+    def loss_rate(self) -> float:
+        """Fraction of (frame, receiver) delivery attempts that failed."""
+        delivered = sum(self.delivered_count.values())
+        dropped = self.total_drops
+        attempts = delivered + dropped
+        if attempts == 0:
+            return 0.0
+        return dropped / attempts
+
+    def summary(self) -> Dict[str, object]:
+        """Return a plain-dict snapshot, convenient for tables/CSV."""
+        return {
+            "frames_sent": self.total_frames_sent,
+            "bytes_sent": self.total_bytes_sent,
+            "delivered": sum(self.delivered_count.values()),
+            "dropped": self.total_drops,
+            "loss_rate": round(self.loss_rate(), 6),
+            "bytes_by_kind": dict(self.sent_bytes),
+            "frames_by_kind": dict(self.sent_count),
+            "drops_by_reason": dict(self.dropped_count),
+        }

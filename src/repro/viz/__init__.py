@@ -1,0 +1,12 @@
+"""Dependency-free SVG rendering of the paper's figures."""
+
+from .figures import FIGURE_SPECS, chart_from_table, render_known_figure
+from .svg import LineChart, Series
+
+__all__ = [
+    "LineChart",
+    "Series",
+    "chart_from_table",
+    "render_known_figure",
+    "FIGURE_SPECS",
+]

@@ -1,0 +1,122 @@
+"""Render experiment tables as the paper's figures (SVG).
+
+Maps each :class:`~repro.experiments.common.ExperimentTable` produced
+by the harness onto a line chart mirroring the printed figure: the
+right columns on the right axes, log-y where the paper uses it.
+``render_known_figure`` dispatches on the experiment name used by the
+CLI, so ``python -m repro fig7 --svg out/`` writes ``out/fig7.svg``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..experiments.common import ExperimentTable
+from .svg import LineChart
+
+__all__ = ["chart_from_table", "render_known_figure", "FIGURE_SPECS"]
+
+
+def chart_from_table(
+    table: ExperimentTable,
+    *,
+    x_column: str,
+    series_columns: Sequence[str],
+    x_label: Optional[str] = None,
+    y_label: str = "",
+    log_y: bool = False,
+    title: Optional[str] = None,
+) -> LineChart:
+    """Build a line chart from named columns of a table."""
+    if not series_columns:
+        raise ConfigurationError("need at least one series column")
+    xs = [float(v) for v in table.column(x_column)]
+    chart = LineChart(
+        title=title if title is not None else table.name,
+        x_label=x_label if x_label is not None else x_column,
+        y_label=y_label,
+        log_y=log_y,
+    )
+    for column in series_columns:
+        ys = [float(v) for v in table.column(column)]
+        chart.add_series(column, list(zip(xs, ys)))
+    return chart
+
+
+#: How each CLI experiment maps onto a figure, mirroring the paper.
+FIGURE_SPECS: Dict[str, Dict[str, object]] = {
+    "table1": {
+        "x_column": "nodes",
+        "series_columns": ["analytic_degree", "measured_degree", "paper_degree"],
+        "y_label": "average degree",
+    },
+    "fig5": {
+        "x_column": "px",
+        "series_columns": [
+            "analytic_deg7_l2",
+            "analytic_deg17_l2",
+            "analytic_deg7_l3",
+            "analytic_deg17_l3",
+        ],
+        "x_label": "p_x (link compromise probability)",
+        "y_label": "average P_disclose",
+        "log_y": True,
+    },
+    "fig6": {
+        "x_column": "nodes",
+        "series_columns": [
+            "perfect",
+            "red_l1",
+            "blue_l1",
+            "red_l2",
+            "blue_l2",
+        ],
+        "y_label": "aggregated COUNT",
+    },
+    "fig7": {
+        "x_column": "nodes",
+        "series_columns": ["tag_bytes", "ipda_l1_bytes", "ipda_l2_bytes"],
+        "y_label": "bytes on air per query",
+    },
+    "fig8": {
+        "x_column": "nodes",
+        "series_columns": [
+            "covered_fraction",
+            "participants_l2",
+            "accuracy_ipda_l2",
+            "accuracy_tag",
+        ],
+        "y_label": "fraction",
+    },
+}
+
+
+def render_known_figure(
+    name: str, table: ExperimentTable, directory: str
+) -> Optional[str]:
+    """Render ``table`` as ``<directory>/<name>.svg`` when a spec exists.
+
+    Returns the written path, or None for experiments without a chart
+    form (e.g. the Figure 1 property table).
+    """
+    spec = FIGURE_SPECS.get(name)
+    if spec is None:
+        return None
+    available = set(table.columns)
+    series = [c for c in spec["series_columns"] if c in available]
+    if not series:
+        return None
+    chart = chart_from_table(
+        table,
+        x_column=str(spec["x_column"]),
+        series_columns=series,
+        x_label=spec.get("x_label"),  # type: ignore[arg-type]
+        y_label=str(spec.get("y_label", "")),
+        log_y=bool(spec.get("log_y", False)),
+    )
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.svg")
+    chart.write(path)
+    return path

@@ -1,0 +1,278 @@
+"""Minimal SVG line-chart renderer.
+
+The reproduction environment has no plotting stack, so this module
+hand-renders the paper's figures as standalone SVG files: multiple
+series over a shared x-axis, linear or log-y scaling, axis ticks,
+point markers and a legend.  It produces plain strings — no third-party
+dependencies — and the tests validate the output as XML.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+from ..errors import ConfigurationError
+
+__all__ = ["Series", "LineChart"]
+
+#: Default series colours (colour-blind-safe-ish hues).
+PALETTE = [
+    "#c23b22",  # red
+    "#1f6fb2",  # blue
+    "#3a923a",  # green
+    "#8c5aa8",  # purple
+    "#e08a00",  # orange
+    "#4d4d4d",  # grey
+]
+
+_MARKERS = ["circle", "square", "diamond", "triangle"]
+
+
+@dataclass
+class Series:
+    """One plotted line: a label and (x, y) points."""
+
+    label: str
+    points: List[Tuple[float, float]]
+    color: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigurationError(f"series {self.label!r} has no points")
+
+
+@dataclass
+class LineChart:
+    """A multi-series line chart rendered to SVG."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    width: int = 640
+    height: int = 420
+    log_y: bool = False
+    y_min: Optional[float] = None
+    y_max: Optional[float] = None
+
+    _MARGIN_LEFT = 70
+    _MARGIN_RIGHT = 20
+    _MARGIN_TOP = 40
+    _MARGIN_BOTTOM = 55
+
+    def add_series(
+        self,
+        label: str,
+        points: Sequence[Tuple[float, float]],
+        *,
+        color: Optional[str] = None,
+    ) -> None:
+        """Append one line to the chart."""
+        self.series.append(Series(label=label, points=list(points), color=color))
+
+    # ------------------------------------------------------------------
+    # Scaling
+    # ------------------------------------------------------------------
+    def _x_range(self) -> Tuple[float, float]:
+        xs = [x for s in self.series for x, _y in s.points]
+        lo, hi = min(xs), max(xs)
+        if lo == hi:
+            lo, hi = lo - 1.0, hi + 1.0
+        return lo, hi
+
+    def _y_range(self) -> Tuple[float, float]:
+        ys = [y for s in self.series for _x, y in s.points]
+        lo = self.y_min if self.y_min is not None else min(ys)
+        hi = self.y_max if self.y_max is not None else max(ys)
+        if self.log_y:
+            positive = [y for y in ys if y > 0]
+            if not positive:
+                raise ConfigurationError("log scale needs positive values")
+            lo = self.y_min if self.y_min is not None else min(positive)
+            hi = self.y_max if self.y_max is not None else max(positive)
+        if lo == hi:
+            lo, hi = lo - 1.0, hi + 1.0
+        return lo, hi
+
+    def _plot_box(self) -> Tuple[float, float, float, float]:
+        return (
+            self._MARGIN_LEFT,
+            self._MARGIN_TOP,
+            self.width - self._MARGIN_RIGHT,
+            self.height - self._MARGIN_BOTTOM,
+        )
+
+    def _x_pixel(self, x: float) -> float:
+        lo, hi = self._x_range()
+        left, _top, right, _bottom = self._plot_box()
+        return left + (x - lo) / (hi - lo) * (right - left)
+
+    def _y_pixel(self, y: float) -> float:
+        lo, hi = self._y_range()
+        left, top, _right, bottom = self._plot_box()
+        if self.log_y:
+            y = max(y, lo)
+            frac = (math.log10(y) - math.log10(lo)) / (
+                math.log10(hi) - math.log10(lo)
+            )
+        else:
+            frac = (y - lo) / (hi - lo)
+        return bottom - frac * (bottom - top)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_svg(self) -> str:
+        """Render the chart as a standalone SVG document."""
+        if not self.series:
+            raise ConfigurationError("chart has no series")
+        parts: List[str] = []
+        parts.append(
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}" '
+            f'font-family="sans-serif" font-size="12">'
+        )
+        parts.append(
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>'
+        )
+        parts.append(
+            f'<text x="{self.width / 2}" y="22" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{escape(self.title)}</text>'
+        )
+        parts.extend(self._render_axes())
+        for index, series in enumerate(self.series):
+            parts.extend(self._render_series(series, index))
+        parts.extend(self._render_legend())
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def write(self, path: str) -> None:
+        """Write the SVG document to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_svg())
+
+    # -- pieces ---------------------------------------------------------
+    def _render_axes(self) -> List[str]:
+        left, top, right, bottom = self._plot_box()
+        out = [
+            f'<rect x="{left}" y="{top}" width="{right - left}" '
+            f'height="{bottom - top}" fill="none" stroke="#999"/>'
+        ]
+        for x in self._x_ticks():
+            px = self._x_pixel(x)
+            out.append(
+                f'<line x1="{px:.1f}" y1="{bottom}" x2="{px:.1f}" '
+                f'y2="{bottom + 5}" stroke="#666"/>'
+            )
+            out.append(
+                f'<text x="{px:.1f}" y="{bottom + 18}" '
+                f'text-anchor="middle">{_fmt(x)}</text>'
+            )
+        for y in self._y_ticks():
+            py = self._y_pixel(y)
+            out.append(
+                f'<line x1="{left - 5}" y1="{py:.1f}" x2="{left}" '
+                f'y2="{py:.1f}" stroke="#666"/>'
+            )
+            out.append(
+                f'<line x1="{left}" y1="{py:.1f}" x2="{right}" '
+                f'y2="{py:.1f}" stroke="#eee"/>'
+            )
+            out.append(
+                f'<text x="{left - 8}" y="{py + 4:.1f}" '
+                f'text-anchor="end">{_fmt(y)}</text>'
+            )
+        out.append(
+            f'<text x="{(left + right) / 2}" y="{self.height - 10}" '
+            f'text-anchor="middle">{escape(self.x_label)}</text>'
+        )
+        out.append(
+            f'<text x="16" y="{(top + bottom) / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 16 {(top + bottom) / 2})">'
+            f"{escape(self.y_label)}</text>"
+        )
+        return out
+
+    def _render_series(self, series: Series, index: int) -> List[str]:
+        color = series.color or PALETTE[index % len(PALETTE)]
+        pts = sorted(series.points)
+        coords = " ".join(
+            f"{self._x_pixel(x):.1f},{self._y_pixel(y):.1f}"
+            for x, y in pts
+            if not (self.log_y and y <= 0)
+        )
+        out = [
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        ]
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            if self.log_y and y <= 0:
+                continue
+            out.append(
+                _marker_svg(marker, self._x_pixel(x), self._y_pixel(y), color)
+            )
+        return out
+
+    def _render_legend(self) -> List[str]:
+        left, top, right, _bottom = self._plot_box()
+        out = []
+        y = top + 14
+        for index, series in enumerate(self.series):
+            color = series.color or PALETTE[index % len(PALETTE)]
+            x = right - 150
+            out.append(
+                f'<line x1="{x}" y1="{y - 4}" x2="{x + 22}" y2="{y - 4}" '
+                f'stroke="{color}" stroke-width="2"/>'
+            )
+            out.append(
+                f'<text x="{x + 28}" y="{y}">{escape(series.label)}</text>'
+            )
+            y += 16
+        return out
+
+    def _x_ticks(self, count: int = 6) -> List[float]:
+        lo, hi = self._x_range()
+        return [lo + (hi - lo) * i / (count - 1) for i in range(count)]
+
+    def _y_ticks(self, count: int = 6) -> List[float]:
+        lo, hi = self._y_range()
+        if self.log_y:
+            lo_exp = math.floor(math.log10(lo))
+            hi_exp = math.ceil(math.log10(hi))
+            return [10.0**e for e in range(lo_exp, hi_exp + 1)]
+        return [lo + (hi - lo) * i / (count - 1) for i in range(count)]
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 10_000 or magnitude < 0.01:
+        return f"{value:.0e}"
+    if magnitude >= 100:
+        return f"{value:.0f}"
+    return f"{value:g}"
+
+
+def _marker_svg(kind: str, x: float, y: float, color: str) -> str:
+    if kind == "circle":
+        return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3.2" fill="{color}"/>'
+    if kind == "square":
+        return (
+            f'<rect x="{x - 3:.1f}" y="{y - 3:.1f}" width="6" height="6" '
+            f'fill="{color}"/>'
+        )
+    if kind == "diamond":
+        return (
+            f'<polygon points="{x:.1f},{y - 4:.1f} {x + 4:.1f},{y:.1f} '
+            f'{x:.1f},{y + 4:.1f} {x - 4:.1f},{y:.1f}" fill="{color}"/>'
+        )
+    return (
+        f'<polygon points="{x:.1f},{y - 4:.1f} {x + 4:.1f},{y + 3:.1f} '
+        f'{x - 4:.1f},{y + 3:.1f}" fill="{color}"/>'
+    )

@@ -1,0 +1,23 @@
+"""Workload generators: generic readings and the AMI metering scenario."""
+
+from .metering import HouseholdProfile, MeteringWorkload, bill_shaving_offset
+from .readings import (
+    constant_readings,
+    gradient_readings,
+    count_readings,
+    gaussian_readings,
+    hotspot_readings,
+    uniform_readings,
+)
+
+__all__ = [
+    "constant_readings",
+    "count_readings",
+    "uniform_readings",
+    "gaussian_readings",
+    "hotspot_readings",
+    "gradient_readings",
+    "MeteringWorkload",
+    "HouseholdProfile",
+    "bill_shaving_offset",
+]

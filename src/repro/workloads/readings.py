@@ -1,0 +1,152 @@
+"""Sensor-reading generators.
+
+Every generator returns ``{node_id: int}`` for the sensors of a
+topology (node 0, the base station, never reads).  Readings are
+integers — the aggregation pipeline is exact-integer end to end — so
+real-valued phenomena should be scaled to a fixed-point resolution by
+the caller (the metering workload scales watts to whole watts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..net.topology import Topology
+
+__all__ = [
+    "constant_readings",
+    "count_readings",
+    "uniform_readings",
+    "gaussian_readings",
+    "hotspot_readings",
+    "gradient_readings",
+]
+
+
+def _sensor_ids(topology: Topology, base_station: int):
+    return (
+        node_id
+        for node_id in range(topology.node_count)
+        if node_id != base_station
+    )
+
+
+def constant_readings(
+    topology: Topology, value: int, *, base_station: int = 0
+) -> Dict[int, int]:
+    """Every sensor reads ``value``."""
+    return {i: int(value) for i in _sensor_ids(topology, base_station)}
+
+
+def count_readings(topology: Topology, *, base_station: int = 0) -> Dict[int, int]:
+    """The COUNT workload of Figure 6: every sensor contributes 1."""
+    return constant_readings(topology, 1, base_station=base_station)
+
+
+def uniform_readings(
+    topology: Topology,
+    rng: np.random.Generator,
+    *,
+    low: int = 0,
+    high: int = 100,
+    base_station: int = 0,
+) -> Dict[int, int]:
+    """Independent uniform integers in ``[low, high]``."""
+    if low > high:
+        raise ConfigurationError("low must be <= high")
+    return {
+        i: int(rng.integers(low, high + 1))
+        for i in _sensor_ids(topology, base_station)
+    }
+
+
+def gaussian_readings(
+    topology: Topology,
+    rng: np.random.Generator,
+    *,
+    mean: float = 50.0,
+    std: float = 10.0,
+    minimum: int = 0,
+    maximum: Optional[int] = None,
+    base_station: int = 0,
+) -> Dict[int, int]:
+    """Rounded normal readings, clipped to ``[minimum, maximum]``."""
+    if std < 0:
+        raise ConfigurationError("std must be >= 0")
+    out: Dict[int, int] = {}
+    for node_id in _sensor_ids(topology, base_station):
+        value = int(round(rng.normal(mean, std)))
+        value = max(value, minimum)
+        if maximum is not None:
+            value = min(value, maximum)
+        out[node_id] = value
+    return out
+
+
+def gradient_readings(
+    topology: Topology,
+    rng: np.random.Generator,
+    *,
+    low: int = 10,
+    high: int = 110,
+    noise: int = 3,
+    base_station: int = 0,
+) -> Dict[int, int]:
+    """A smooth spatial field: readings rise along the x-axis.
+
+    Models physical phenomena with spatial correlation (temperature,
+    humidity gradients) — neighbouring sensors read similar values, the
+    regime where an eavesdropper recovering *one* reading approximates
+    a whole neighbourhood, which is why per-node privacy matters.
+    """
+    if low > high:
+        raise ConfigurationError("low must be <= high")
+    if noise < 0:
+        raise ConfigurationError("noise must be >= 0")
+    xs = [p.x for p in topology.positions]
+    x_min, x_max = min(xs), max(xs)
+    span = max(x_max - x_min, 1e-9)
+    out: Dict[int, int] = {}
+    for node_id in _sensor_ids(topology, base_station):
+        frac = (topology.positions[node_id].x - x_min) / span
+        base = low + frac * (high - low)
+        jitter = int(rng.integers(-noise, noise + 1)) if noise else 0
+        out[node_id] = int(round(base)) + jitter
+    return out
+
+
+def hotspot_readings(
+    topology: Topology,
+    rng: np.random.Generator,
+    *,
+    background: int = 10,
+    peak: int = 200,
+    hotspot_fraction: float = 0.1,
+    base_station: int = 0,
+) -> Dict[int, int]:
+    """A spatial hotspot: sensors near a random point read hot.
+
+    Models the event-detection workloads (fires, leaks, intrusions) the
+    WSN literature motivates MAX/variance queries with.
+    """
+    if not 0.0 < hotspot_fraction <= 1.0:
+        raise ConfigurationError("hotspot_fraction must be in (0, 1]")
+    sensors = list(_sensor_ids(topology, base_station))
+    center = sensors[int(rng.integers(0, len(sensors)))]
+    center_pos = topology.positions[center]
+    by_distance = sorted(
+        sensors,
+        key=lambda i: topology.positions[i].distance_to(center_pos),
+    )
+    hot_count = max(1, int(round(hotspot_fraction * len(sensors))))
+    hot = set(by_distance[:hot_count])
+    out: Dict[int, int] = {}
+    for node_id in sensors:
+        base = background + int(rng.integers(0, max(background // 2, 1) + 1))
+        if node_id in hot:
+            base += peak + int(rng.integers(0, peak // 4 + 1))
+        out[node_id] = base
+    return out

@@ -1,0 +1,119 @@
+"""Tests for the coverage analysis (Section IV-A.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.coverage import (
+    coverage_bound_for_topology,
+    coverage_lower_bound,
+    coverage_lower_bound_regular,
+    expected_isolated_nodes,
+    isolation_probability,
+    joint_isolation_probability,
+    paper_worked_example,
+)
+from repro.core.config import IpdaConfig
+from repro.core.trees import build_disjoint_trees
+from repro.errors import AnalysisError
+from repro.net.topology import random_deployment
+
+
+class TestIsolationProbability:
+    def test_equation_nine_value(self):
+        # p_i = 1 - (1 - p_b^d)(1 - p_r^d) for d=3, 0.5/0.5:
+        # = 1 - (1 - 1/8)^2 = 1 - 49/64
+        assert isolation_probability(3) == pytest.approx(15 / 64)
+
+    def test_decreases_with_degree(self):
+        values = [isolation_probability(d) for d in range(1, 20)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_degree_zero_always_isolated(self):
+        assert isolation_probability(0) == pytest.approx(1.0)
+
+    def test_asymmetric_probabilities(self):
+        # Heavier red assignment makes missing-red rarer.
+        balanced = isolation_probability(5, 0.5, 0.5)
+        skewed = isolation_probability(5, 0.9, 0.1)
+        assert skewed > balanced  # skew hurts the rarer colour
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            isolation_probability(3, 0.0, 0.5)
+        with pytest.raises(AnalysisError):
+            isolation_probability(3, 0.7, 0.7)
+        with pytest.raises(AnalysisError):
+            isolation_probability(-1)
+
+
+class TestBounds:
+    def test_markov_bound_monotone_in_density(self):
+        sparse = coverage_lower_bound([5] * 100)
+        dense = coverage_lower_bound([15] * 100)
+        assert dense > sparse
+
+    def test_clamped_at_zero(self):
+        assert coverage_lower_bound([1] * 1000) == 0.0
+
+    def test_regular_specialisation_matches_general(self):
+        assert coverage_lower_bound_regular(50, 12) == pytest.approx(
+            coverage_lower_bound([12] * 50)
+        )
+
+    def test_dense_regular_graph_nearly_covered(self):
+        assert coverage_lower_bound_regular(1000, 25) > 0.99
+
+    def test_expected_isolated_nodes_additive(self):
+        assert expected_isolated_nodes([4, 4]) == pytest.approx(
+            2 * isolation_probability(4)
+        )
+
+    def test_topology_bound_uses_real_degrees(self):
+        topology = random_deployment(400, seed=3)
+        bound = coverage_bound_for_topology(topology)
+        degrees = [topology.degree(n) for n in range(topology.node_count)]
+        assert bound == pytest.approx(coverage_lower_bound(degrees))
+
+
+class TestPaperExample:
+    def test_joint_isolation_is_two_to_minus_2d(self):
+        assert joint_isolation_probability(10) == pytest.approx(2**-20)
+
+    def test_worked_example_value(self):
+        # The paper rounds 1 - 1000/2^20 = 0.99905 up to "0.999".
+        assert paper_worked_example() == pytest.approx(0.99905, abs=1e-4)
+        assert paper_worked_example() >= 0.999
+
+
+class TestEmpiricalAgreement:
+    def test_dense_network_mean_coverage_high(self):
+        """The Section IV-A.1 conclusion: dense networks are covered.
+
+        Equation 10 speaks about the static colouring; the protocol's
+        wave construction adds waiting effects, so we check the paper's
+        operational claim instead — at Table I densities >= 18 the mean
+        covered fraction is near 1.
+        """
+        topology = random_deployment(450, seed=5)
+        fractions = []
+        for rep in range(10):
+            trees = build_disjoint_trees(
+                topology, IpdaConfig(), np.random.default_rng(rep)
+            )
+            covered = trees.covered_nodes() - {0}
+            fractions.append(covered and len(covered) / (topology.node_count - 1))
+        assert sum(fractions) / len(fractions) > 0.9
+
+    def test_sparse_network_coverage_poor(self):
+        """The flip side: below the density knee coverage collapses."""
+        fractions = []
+        for rep in range(10):
+            topology = random_deployment(150, seed=rep)
+            trees = build_disjoint_trees(
+                topology, IpdaConfig(), np.random.default_rng(rep)
+            )
+            covered = trees.covered_nodes() - {0}
+            fractions.append(len(covered) / (topology.node_count - 1))
+        assert sum(fractions) / len(fractions) < 0.5

@@ -1,0 +1,79 @@
+"""Tests for the density analysis (Table I)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.density import (
+    PAPER_TABLE_I,
+    density_table,
+    expected_average_degree,
+    minimum_nodes_for_degree,
+    within_range_probability,
+)
+from repro.errors import AnalysisError
+from repro.net.topology import random_deployment
+
+
+class TestClosedForm:
+    def test_paper_regime_value(self):
+        # t = 50/400 = 0.125.
+        t = 0.125
+        import math
+
+        expected = math.pi * t**2 - (8 / 3) * t**3 + 0.5 * t**4
+        assert within_range_probability(50.0, 400.0) == pytest.approx(
+            expected
+        )
+
+    def test_probability_bounds(self):
+        p = within_range_probability(50.0, 400.0)
+        assert 0.0 < p < 1.0
+
+    def test_monotone_in_range(self):
+        a = within_range_probability(30.0, 400.0)
+        b = within_range_probability(60.0, 400.0)
+        assert b > a
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            within_range_probability(0.0, 400.0)
+        with pytest.raises(AnalysisError):
+            within_range_probability(500.0, 400.0)
+
+
+class TestTableI:
+    def test_close_to_paper_values(self):
+        table = density_table()
+        for size, paper_value in PAPER_TABLE_I.items():
+            assert table[size] == pytest.approx(paper_value, rel=0.12)
+
+    def test_linear_in_n(self):
+        assert expected_average_degree(401) / expected_average_degree(
+            201
+        ) == pytest.approx(400 / 200, rel=0.01)
+
+    def test_matches_measured_degree(self):
+        for size in (200, 400):
+            measured = []
+            for seed in range(5):
+                topology = random_deployment(
+                    size, seed=seed, base_station_center=False
+                )
+                measured.append(topology.average_degree())
+            mean = sum(measured) / len(measured)
+            assert mean == pytest.approx(
+                expected_average_degree(size), rel=0.1
+            )
+
+    def test_density_knee_inversion(self):
+        # Section IV-B.3: accuracy needs density > 18 => N ≈ 400+.
+        n = minimum_nodes_for_degree(18.0)
+        assert 380 <= n <= 450
+        assert expected_average_degree(n) >= 18.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            expected_average_degree(0)
+        with pytest.raises(AnalysisError):
+            minimum_nodes_for_degree(0.0)

@@ -1,0 +1,98 @@
+"""Tests for the radio energy model and lifetime estimates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RngStreams
+from repro.analysis.energy import (
+    EnergyReport,
+    RadioEnergyModel,
+    price_round,
+    price_trace,
+)
+from repro.errors import AnalysisError
+from repro.net.topology import grid_deployment, random_deployment
+from repro.protocols.ipda import IpdaProtocol
+from repro.protocols.tag import TagProtocol
+from repro.sim.messages import BROADCAST, HelloMessage
+from repro.sim.network import Network
+
+
+class TestModel:
+    def test_tx_energy_formula(self):
+        model = RadioEnergyModel(elec_j_per_bit=1.0, amp_j_per_bit_m2=0.5)
+        # 1 byte = 8 bits over 2 m: 8 * (1 + 0.5 * 4) = 24 J.
+        assert model.tx_energy(1, 2.0) == pytest.approx(24.0)
+
+    def test_rx_energy_formula(self):
+        model = RadioEnergyModel(elec_j_per_bit=2.0)
+        assert model.rx_energy(3) == pytest.approx(48.0)
+
+    def test_tx_exceeds_rx(self):
+        model = RadioEnergyModel()
+        assert model.tx_energy(10, 50.0) > model.rx_energy(10)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            RadioEnergyModel(elec_j_per_bit=0.0)
+        with pytest.raises(AnalysisError):
+            RadioEnergyModel().tx_energy(-1, 1.0)
+        with pytest.raises(AnalysisError):
+            RadioEnergyModel().rx_energy(-1)
+
+
+class TestPricing:
+    def test_receivers_billed_per_neighbour(self):
+        topology = grid_deployment(1, 3, spacing=40.0, radio_range=50.0)
+        model = RadioEnergyModel(elec_j_per_bit=1.0, amp_j_per_bit_m2=0.0)
+        report = price_round({1: 10}, topology, model=model)
+        # Node 1 transmits 80 bits; nodes 0 and 2 each decode 80 bits.
+        assert report.per_node_joules[1] == pytest.approx(80.0)
+        assert report.per_node_joules[0] == pytest.approx(80.0)
+        assert report.per_node_joules[2] == pytest.approx(80.0)
+
+    def test_price_trace_equivalent(self):
+        topology = grid_deployment(1, 3, spacing=40.0, radio_range=50.0)
+        network = Network(topology)
+        network.mac(1).send(HelloMessage(src=1, dst=BROADCAST))
+        network.run()
+        from_trace = price_trace(network.trace, topology)
+        from_map = price_round(
+            network.trace.sent_bytes_by_node, topology
+        )
+        assert from_trace.per_node_joules == from_map.per_node_joules
+
+    def test_total_and_peak(self):
+        report = EnergyReport(per_node_joules={0: 1.0, 1: 3.0, 2: 2.0})
+        assert report.total_joules == pytest.approx(6.0)
+        assert report.peak_joules == pytest.approx(3.0)
+
+    def test_lifetime_projection(self):
+        report = EnergyReport(per_node_joules={0: 0.5})
+        assert report.rounds_until_depletion(100.0) == 200
+        with pytest.raises(AnalysisError):
+            report.rounds_until_depletion(0.0)
+        empty = EnergyReport(per_node_joules={})
+        with pytest.raises(AnalysisError):
+            empty.rounds_until_depletion(1.0)
+
+
+class TestProtocolComparison:
+    def test_ipda_costs_more_energy_than_tag(self):
+        topology = random_deployment(200, area=300.0, seed=5)
+        readings = {i: 1 for i in range(1, topology.node_count)}
+        streams = RngStreams(5)
+        tag = TagProtocol().run_round(topology, readings, streams=streams)
+        ipda = IpdaProtocol().run_round(topology, readings, streams=streams)
+        tag_energy = price_round(
+            tag.stats["sent_bytes_by_node"], topology
+        )
+        ipda_energy = price_round(
+            ipda.stats["sent_bytes_by_node"], topology
+        )
+        assert ipda_energy.total_joules > tag_energy.total_joules
+        # The energy ratio follows the byte ratio (~(2l+1)/2).
+        ratio = ipda_energy.total_joules / tag_energy.total_joules
+        byte_ratio = ipda.bytes_sent / tag.bytes_sent
+        assert ratio == pytest.approx(byte_ratio, rel=0.35)

@@ -1,0 +1,52 @@
+"""Tests for the overhead analysis (Section IV-A.2, Figure 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.overhead import (
+    byte_overhead_ratio,
+    ipda_bytes_per_node,
+    ipda_messages_per_node,
+    overhead_ratio,
+    tag_bytes_per_node,
+    tag_messages_per_node,
+)
+from repro.errors import AnalysisError
+
+
+class TestMessageBudgets:
+    def test_tag_sends_two(self):
+        assert tag_messages_per_node() == 2
+
+    @pytest.mark.parametrize("l,expected", [(1, 3), (2, 5), (3, 7)])
+    def test_ipda_sends_2l_plus_1(self, l, expected):
+        assert ipda_messages_per_node(l) == expected
+
+    @pytest.mark.parametrize("l,expected", [(1, 1.5), (2, 2.5), (3, 3.5)])
+    def test_ratio_is_2l_plus_1_over_2(self, l, expected):
+        assert overhead_ratio(l) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            ipda_messages_per_node(0)
+
+
+class TestByteBudgets:
+    def test_byte_ratio_close_to_message_ratio(self):
+        # The uniform-packet design keeps byte ratios within ~10% of
+        # the message-count ratios.
+        for l in (1, 2, 3):
+            assert byte_overhead_ratio(l) == pytest.approx(
+                overhead_ratio(l), rel=0.1
+            )
+
+    def test_bytes_grow_linearly_in_l(self):
+        deltas = [
+            ipda_bytes_per_node(l + 1) - ipda_bytes_per_node(l)
+            for l in (1, 2, 3)
+        ]
+        assert deltas[0] == deltas[1] == deltas[2]
+
+    def test_tag_bytes_positive(self):
+        assert tag_bytes_per_node() > 0

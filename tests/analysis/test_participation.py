@@ -1,0 +1,121 @@
+"""Tests for the participation (factor b) closed form."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.participation import (
+    aggregator_participation_probability,
+    binomial_interval_probability,
+    expected_participation_fraction,
+    leaf_participation_probability,
+    participation_fraction_for_topology,
+    participation_probability,
+)
+from repro.core.config import IpdaConfig
+from repro.core.trees import build_disjoint_trees
+from repro.errors import AnalysisError
+from repro.net.topology import random_deployment
+
+
+class TestBinomialInterval:
+    def test_full_interval_is_one(self):
+        assert binomial_interval_probability(10, 0, 10) == pytest.approx(1.0)
+
+    def test_point_mass(self):
+        # P(Bin(4, 1/2) = 2) = 6/16.
+        assert binomial_interval_probability(4, 2, 2) == pytest.approx(6 / 16)
+
+    def test_empty_interval_zero(self):
+        assert binomial_interval_probability(10, 7, 3) == 0.0
+
+    def test_clamps_out_of_range(self):
+        assert binomial_interval_probability(4, -3, 99) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            binomial_interval_probability(-1, 0, 0)
+
+
+class TestParticipationForms:
+    def test_aggregator_easier_than_leaf(self):
+        for degree in (4, 8, 16):
+            assert aggregator_participation_probability(
+                degree, 2
+            ) >= leaf_participation_probability(degree, 2)
+
+    def test_monotone_in_degree(self):
+        values = [
+            aggregator_participation_probability(d, 2)
+            for d in range(4, 30)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_decreasing_in_slices(self):
+        for degree in (6, 12, 20):
+            p2 = participation_probability(degree, 2)
+            p3 = participation_probability(degree, 3)
+            assert p3 <= p2
+
+    def test_degenerate_degrees(self):
+        # Degree 1 cannot support l=2 at all.
+        assert leaf_participation_probability(1, 2) == 0.0
+        # Degree 2 leaf with l=1 needs one of each colour: P = 1/2.
+        assert leaf_participation_probability(2, 1) == pytest.approx(0.5)
+
+    def test_mixing_fraction(self):
+        degree = 10
+        pure_agg = participation_probability(degree, 2)
+        mixed = participation_probability(
+            degree, 2, aggregator_fraction=0.5
+        )
+        pure_leaf = participation_probability(
+            degree, 2, aggregator_fraction=0.0
+        )
+        assert pure_leaf <= mixed <= pure_agg
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            participation_probability(5, 0)
+        with pytest.raises(AnalysisError):
+            participation_probability(5, 2, aggregator_fraction=1.5)
+        with pytest.raises(AnalysisError):
+            expected_participation_fraction([], 2)
+
+
+class TestAgainstSimulation:
+    def test_predicts_dense_regime_participation(self):
+        """The closed form should track the simulated Phase I closely
+        once coverage saturates (the analytic form assumes every
+        neighbour decided, i.e. the supercritical regime)."""
+        topology = random_deployment(500, seed=31)
+        analytic = participation_fraction_for_topology(topology, 2)
+        simulated = []
+        for rep in range(10):
+            trees = build_disjoint_trees(
+                topology, IpdaConfig(), np.random.default_rng(rep)
+            )
+            simulated.append(
+                len(trees.participants(2)) / (topology.node_count - 1)
+            )
+        mean = sum(simulated) / len(simulated)
+        assert mean == pytest.approx(analytic, abs=0.05)
+
+    def test_analytic_upper_bounds_sparse_regime(self):
+        """Below the percolation knee the simulation falls short of the
+        closed form (waiting effects), never above it."""
+        means = []
+        analytics = []
+        for seed in range(5):
+            topology = random_deployment(250, seed=seed)
+            analytics.append(
+                participation_fraction_for_topology(topology, 2)
+            )
+            trees = build_disjoint_trees(
+                topology, IpdaConfig(), np.random.default_rng(seed)
+            )
+            means.append(
+                len(trees.participants(2)) / (topology.node_count - 1)
+            )
+        assert sum(means) / len(means) <= sum(analytics) / len(analytics) + 0.02

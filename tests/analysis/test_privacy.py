@@ -1,0 +1,105 @@
+"""Tests for the privacy-capacity analysis (Equation 11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.privacy import (
+    average_disclosure_probability,
+    expected_incoming_links,
+    node_disclosure_probability,
+    regular_disclosure_probability,
+)
+from repro.errors import AnalysisError
+from repro.net.topology import random_deployment, regular_topology
+
+
+class TestEquationEleven:
+    def test_paper_worked_example(self):
+        # l=3, d=10 (so E[n_l] = 2l-1 = 5), p_x = 0.1:
+        # 1 - (1 - 1e-3)(1 - 1e-7) ≈ 0.001 (Section IV-A.3).
+        value = regular_disclosure_probability(0.1, 3, 10)
+        assert value == pytest.approx(0.001, rel=0.01)
+
+    def test_monotone_in_px(self):
+        values = [
+            node_disclosure_probability(px, 2, 3.0)
+            for px in (0.01, 0.05, 0.1, 0.5, 0.9)
+        ]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_decreasing_in_slices(self):
+        for px in (0.05, 0.1, 0.3):
+            l2 = node_disclosure_probability(px, 2, 3.0)
+            l3 = node_disclosure_probability(px, 3, 5.0)
+            assert l3 < l2
+
+    def test_l1_discloses_with_probability_px_ish(self):
+        # One slice = the reading itself: way one alone is p_x.
+        value = node_disclosure_probability(0.2, 1, 0.0)
+        # way_two = p_x^0 = 1 when there are no incoming links and no
+        # kept piece; l=1 with zero incoming means the node's aggregate
+        # IS its reading, disclosed by overhearing the plaintext frame.
+        assert value == pytest.approx(1.0)
+
+    def test_px_zero_never_discloses(self):
+        assert node_disclosure_probability(0.0, 2, 3.0) == 0.0
+
+    def test_px_one_always_discloses(self):
+        assert node_disclosure_probability(1.0, 2, 3.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            node_disclosure_probability(1.5, 2, 3.0)
+        with pytest.raises(AnalysisError):
+            node_disclosure_probability(0.5, 0, 3.0)
+        with pytest.raises(AnalysisError):
+            node_disclosure_probability(0.5, 2, -1.0)
+        with pytest.raises(AnalysisError):
+            regular_disclosure_probability(0.5, 2, 0)
+
+
+class TestIncomingLinks:
+    def test_regular_graph_expectation(self):
+        # On a d-regular graph each neighbour contributes (2l-1)/d,
+        # so the sum over d neighbours is exactly 2l-1.
+        topology = regular_topology(40, 6, seed=1)
+        for node in range(5):
+            assert expected_incoming_links(topology, node, 2) == (
+                pytest.approx(3.0)
+            )
+
+    def test_grows_with_slices(self):
+        topology = random_deployment(200, seed=2)
+        node = 5
+        assert expected_incoming_links(
+            topology, node, 3
+        ) > expected_incoming_links(topology, node, 2)
+
+    def test_validation(self):
+        topology = random_deployment(50, area=150.0, seed=1)
+        with pytest.raises(AnalysisError):
+            expected_incoming_links(topology, 0, 0)
+
+
+class TestAverages:
+    def test_average_in_unit_interval(self):
+        topology = random_deployment(150, seed=3)
+        value = average_disclosure_probability(topology, 0.1, 2)
+        assert 0.0 < value < 1.0
+
+    def test_insensitive_to_density(self):
+        # Figure 5's observation: degree 7 vs 17 curves nearly coincide.
+        sparse = random_deployment(160, seed=4)
+        dense = random_deployment(388, seed=4)
+        p_sparse = average_disclosure_probability(sparse, 0.05, 2)
+        p_dense = average_disclosure_probability(dense, 0.05, 2)
+        assert p_sparse == pytest.approx(p_dense, rel=0.5)
+
+    def test_skip_excludes_base_station(self):
+        topology = random_deployment(100, seed=5)
+        with_bs = average_disclosure_probability(
+            topology, 0.1, 2, skip=None
+        )
+        without_bs = average_disclosure_probability(topology, 0.1, 2)
+        assert with_bs != without_bs

@@ -1,0 +1,117 @@
+"""Tests for the colluding-neighbour analysis (future-work threat)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.collusion import (
+    coalition_disclosure,
+    random_coalition,
+)
+from repro.core.config import IpdaConfig
+from repro.core.pipeline import run_lossless_round
+from repro.errors import ProtocolError
+from repro.net.topology import random_deployment
+from repro.sim.messages import TreeColor
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    topology = random_deployment(200, seed=61)
+    readings = {
+        i: 100 + (i % 7) for i in range(1, topology.node_count)
+    }
+    result = run_lossless_round(
+        topology, readings, IpdaConfig(), seed=61, record_flows=True
+    )
+    return topology, readings, result
+
+
+class TestCoalitionDraw:
+    def test_size_and_exclusion(self, scenario, rng):
+        topology, _, _ = scenario
+        coalition = random_coalition(topology, 15, rng, exclude={0})
+        assert len(coalition) == 15
+        assert 0 not in coalition
+
+    def test_oversized_rejected(self, scenario, rng):
+        topology, _, _ = scenario
+        with pytest.raises(ProtocolError):
+            random_coalition(topology, topology.node_count + 1, rng)
+
+
+class TestDisclosure:
+    def test_requires_flows(self, scenario):
+        topology, readings, _ = scenario
+        plain = run_lossless_round(topology, readings, IpdaConfig(), seed=61)
+        with pytest.raises(ProtocolError):
+            coalition_disclosure(plain, {1, 2})
+
+    def test_empty_coalition_learns_nothing(self, scenario):
+        _, _, result = scenario
+        report = coalition_disclosure(result, set())
+        assert report.disclosed == {}
+
+    def test_full_coalition_learns_everything(self, scenario):
+        topology, readings, result = scenario
+        everyone = set(range(topology.node_count))
+        report = coalition_disclosure(result, everyone)
+        # Coalition members themselves are excluded from "attempted".
+        assert report.attempted == set()
+
+    def test_receivers_of_a_full_cut_learn_the_reading(self, scenario):
+        topology, readings, result = scenario
+        victim = next(iter(result.participants))
+        flows = result.flows[victim]
+        kept_color = flows.kept_cut_color()
+        open_color = (
+            kept_color.other if kept_color is not None else TreeColor.RED
+        )
+        coalition = {t for t, _p in flows.outgoing[open_color]}
+        report = coalition_disclosure(result, coalition)
+        assert report.disclosed.get(victim) == readings[victim]
+
+    def test_partial_cut_receivers_learn_nothing(self, scenario):
+        topology, readings, result = scenario
+        victim = next(
+            n
+            for n in result.participants
+            if len(
+                result.flows[n].outgoing.get(TreeColor.RED, [])
+            ) >= 2 and result.flows[n].cut_is_complete(TreeColor.RED)
+        )
+        flows = result.flows[victim]
+        targets = [t for t, _p in flows.outgoing[TreeColor.RED]]
+        report = coalition_disclosure(result, set(targets[:-1]))
+        assert victim not in report.disclosed
+
+    def test_disclosure_grows_with_coalition_size(self, scenario):
+        topology, _, result = scenario
+        rng = np.random.default_rng(5)
+        small = coalition_disclosure(
+            result, random_coalition(topology, 10, rng, exclude={0})
+        )
+        large = coalition_disclosure(
+            result, random_coalition(topology, 120, rng, exclude={0})
+        )
+        assert large.disclosure_rate >= small.disclosure_rate
+
+    def test_larger_l_resists_collusion_better(self):
+        topology = random_deployment(200, seed=62)
+        readings = {i: 50 for i in range(1, topology.node_count)}
+        rng = np.random.default_rng(6)
+        coalition = random_coalition(topology, 80, rng, exclude={0})
+        rates = []
+        for slices in (2, 4):
+            result = run_lossless_round(
+                topology,
+                readings,
+                IpdaConfig(slices=slices),
+                seed=62,
+                record_flows=True,
+            )
+            rates.append(
+                coalition_disclosure(result, coalition).disclosure_rate
+            )
+        assert rates[1] <= rates[0]

@@ -1,0 +1,98 @@
+"""Tests for persistent-polluter localisation (O(log N) bisection)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks.dos import localize_persistent_polluter
+from repro.core.config import IpdaConfig
+from repro.core.trees import build_disjoint_trees
+from repro.errors import ProtocolError
+from repro.net.topology import random_deployment
+from repro.sim.messages import TreeColor
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    topology = random_deployment(250, seed=51)
+    readings = {i: 2 for i in range(1, topology.node_count)}
+    trees = build_disjoint_trees(
+        topology, IpdaConfig(), np.random.default_rng(51)
+    )
+    return topology, readings, trees
+
+
+class TestLocalization:
+    def test_finds_the_polluter(self, scenario):
+        topology, readings, trees = scenario
+        polluter = sorted(trees.aggregators(TreeColor.RED))[5]
+        result = localize_persistent_polluter(
+            topology,
+            readings,
+            polluter=polluter,
+            offset=999,
+            rng=np.random.default_rng(1),
+            trees=trees,
+        )
+        assert result.correct
+        assert result.identified == polluter
+
+    def test_respects_log_bound(self, scenario):
+        topology, readings, trees = scenario
+        suspects = sorted(trees.aggregators(TreeColor.BLUE))
+        polluter = suspects[len(suspects) // 2]
+        result = localize_persistent_polluter(
+            topology,
+            readings,
+            polluter=polluter,
+            offset=-500,
+            rng=np.random.default_rng(2),
+            trees=trees,
+        )
+        assert result.within_log_bound
+        assert result.rounds_used <= math.ceil(
+            math.log2(result.suspects_initial)
+        ) + 1
+
+    @pytest.mark.parametrize("index", [0, 1, -1])
+    def test_any_position_found(self, scenario, index):
+        topology, readings, trees = scenario
+        polluter = sorted(trees.aggregators(TreeColor.RED))[index]
+        result = localize_persistent_polluter(
+            topology,
+            readings,
+            polluter=polluter,
+            offset=100,
+            rng=np.random.default_rng(3),
+            trees=trees,
+        )
+        assert result.correct
+
+    def test_zero_offset_rejected(self, scenario):
+        topology, readings, trees = scenario
+        polluter = next(iter(trees.aggregators(TreeColor.RED)))
+        with pytest.raises(ProtocolError):
+            localize_persistent_polluter(
+                topology, readings, polluter=polluter, offset=0, trees=trees
+            )
+
+    def test_leaf_polluter_rejected(self, scenario):
+        topology, readings, trees = scenario
+        leaves = [
+            n
+            for n in range(1, topology.node_count)
+            if not trees.role_of(n).is_aggregator
+        ]
+        if not leaves:
+            pytest.skip("no leaves in this draw")
+        with pytest.raises(ProtocolError):
+            localize_persistent_polluter(
+                topology,
+                readings,
+                polluter=leaves[0],
+                offset=100,
+                trees=trees,
+            )

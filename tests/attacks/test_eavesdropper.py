@@ -1,0 +1,163 @@
+"""Tests for the link-eavesdropping attack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.eavesdropper import (
+    LinkEavesdropper,
+    compromise_links,
+)
+from repro.core.config import IpdaConfig
+from repro.core.pipeline import run_lossless_round
+from repro.errors import ProtocolError
+from repro.net.topology import random_deployment
+from repro.sim.messages import TreeColor
+
+
+@pytest.fixture(scope="module")
+def attacked_round():
+    topology = random_deployment(250, seed=31)
+    readings = {
+        i: 20 + (i % 50) for i in range(1, topology.node_count)
+    }
+    result = run_lossless_round(
+        topology, readings, IpdaConfig(), seed=31, record_flows=True
+    )
+    return topology, readings, result
+
+
+class TestCompromise:
+    def test_px_zero_compromises_nothing(self, attacked_round, rng):
+        topology, _, _ = attacked_round
+        assert compromise_links(topology, 0.0, rng) == set()
+
+    def test_px_one_compromises_everything(self, attacked_round, rng):
+        topology, _, _ = attacked_round
+        assert compromise_links(topology, 1.0, rng) == set(topology.edges())
+
+    def test_bad_px_rejected(self, attacked_round, rng):
+        topology, _, _ = attacked_round
+        with pytest.raises(ProtocolError):
+            compromise_links(topology, 1.5, rng)
+
+
+class TestAttack:
+    def test_requires_recorded_flows(self):
+        topology = random_deployment(60, area=150.0, seed=1)
+        readings = {i: 1 for i in range(1, topology.node_count)}
+        result = run_lossless_round(topology, readings, IpdaConfig(), seed=1)
+        with pytest.raises(ProtocolError):
+            LinkEavesdropper(0.1).attack(topology, result)
+
+    def test_no_compromise_no_disclosure(self, attacked_round):
+        topology, _, result = attacked_round
+        report = LinkEavesdropper(0.0).attack(topology, result)
+        assert report.disclosed == {}
+        assert report.disclosure_rate == 0.0
+
+    def test_total_compromise_discloses_everyone(self, attacked_round):
+        topology, readings, result = attacked_round
+        report = LinkEavesdropper(1.0).attack(topology, result)
+        assert report.attempted == result.participants
+        assert set(report.disclosed) == result.participants
+        assert report.all_correct(readings)
+
+    def test_recovered_values_are_exact(self, attacked_round):
+        topology, readings, result = attacked_round
+        report = LinkEavesdropper(0.3, seed=5).attack(topology, result)
+        assert report.disclosed  # at px=0.3 some node leaks
+        assert report.all_correct(readings)
+
+    def test_targeted_links_way_one(self, attacked_round):
+        # Breaking exactly a node's opposite-colour cut links leaks it.
+        topology, readings, result = attacked_round
+        node = next(iter(result.participants))
+        flows = result.flows[node]
+        kept_color = flows.kept_cut_color()
+        open_color = (
+            kept_color.other if kept_color is not None else TreeColor.RED
+        )
+        links = [(node, t) for t, _p in flows.outgoing[open_color]]
+        report = LinkEavesdropper(0.0).attack(topology, result, links=links)
+        assert report.disclosed.get(node) == readings[node]
+
+    def test_partial_cut_does_not_leak(self, attacked_round):
+        topology, readings, result = attacked_round
+        candidates = [
+            n
+            for n in result.participants
+            if len(
+                result.flows[n].outgoing.get(
+                    (result.flows[n].kept_cut_color() or TreeColor.BLUE).other
+                    if result.flows[n].kept_cut_color() is not None
+                    else TreeColor.RED,
+                    [],
+                )
+            )
+            >= 2
+        ]
+        node = candidates[0]
+        flows = result.flows[node]
+        kept_color = flows.kept_cut_color()
+        open_color = (
+            kept_color.other if kept_color is not None else TreeColor.RED
+        )
+        # Break all but one link of the open cut, and nothing else.
+        links = [(node, t) for t, _p in flows.outgoing[open_color]][:-1]
+        report = LinkEavesdropper(0.0).attack(topology, result, links=links)
+        assert node not in report.disclosed
+
+    def test_way_two_needs_incoming_links_too(self, attacked_round):
+        topology, readings, result = attacked_round
+        node = next(
+            n
+            for n in result.participants
+            if result.flows[n].kept is not None
+            and result.flows[n].incoming
+        )
+        flows = result.flows[node]
+        own_color = flows.kept_cut_color()
+        outgoing_links = [(node, t) for t, _p in flows.outgoing[own_color]]
+        incoming_links = [(s, node) for s, _p in flows.incoming]
+        # Outgoing own-cut alone: no leak.
+        partial = LinkEavesdropper(0.0).attack(
+            topology, result, links=outgoing_links
+        )
+        assert node not in partial.disclosed
+        # Adding every incoming link completes way two.
+        full = LinkEavesdropper(0.0).attack(
+            topology, result, links=outgoing_links + incoming_links
+        )
+        assert full.disclosed.get(node) == readings[node]
+
+    def test_monte_carlo_tracks_analytic_order(self, attacked_round):
+        from repro.analysis.privacy import average_disclosure_probability
+
+        topology, _, result = attacked_round
+        px = 0.2
+        measured = LinkEavesdropper(px, seed=9).monte_carlo_disclosure(
+            topology, result, trials=40
+        )
+        analytic = average_disclosure_probability(topology, px, 2)
+        # Same order of magnitude; the analytic form uses expected
+        # incoming-link counts rather than this round's realisation.
+        assert measured == pytest.approx(analytic, rel=1.0, abs=0.05)
+
+    def test_higher_px_higher_disclosure(self, attacked_round):
+        topology, _, result = attacked_round
+        low = LinkEavesdropper(0.05, seed=1).monte_carlo_disclosure(
+            topology, result, trials=20
+        )
+        high = LinkEavesdropper(0.5, seed=1).monte_carlo_disclosure(
+            topology, result, trials=20
+        )
+        assert high > low
+
+    def test_trials_validated(self, attacked_round):
+        topology, _, result = attacked_round
+        with pytest.raises(ProtocolError):
+            LinkEavesdropper(0.1).monte_carlo_disclosure(
+                topology, result, trials=0
+            )

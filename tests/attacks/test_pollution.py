@@ -1,0 +1,138 @@
+"""Tests for pollution attacks and their detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.pollution import (
+    PollutionAttack,
+    pick_aggregator_near_root,
+    run_polluted_round,
+)
+from repro.core.config import IpdaConfig
+from repro.core.pipeline import run_lossless_round
+from repro.errors import ProtocolError
+from repro.net.topology import random_deployment
+from repro.sim.messages import TreeColor
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    topology = random_deployment(250, seed=41)
+    readings = {i: 5 for i in range(1, topology.node_count)}
+    clean = run_lossless_round(topology, readings, IpdaConfig(), seed=41)
+    return topology, readings, clean
+
+
+class TestAttackModel:
+    def test_needs_polluters(self):
+        with pytest.raises(ProtocolError):
+            PollutionAttack(offsets={})
+
+    def test_zero_offsets_rejected(self):
+        with pytest.raises(ProtocolError):
+            PollutionAttack(offsets={3: 0})
+
+    def test_total_offset_per_tree(self, scenario):
+        _topology, _readings, clean = scenario
+        red = sorted(clean.trees.aggregators(TreeColor.RED))
+        blue = sorted(clean.trees.aggregators(TreeColor.BLUE))
+        attack = PollutionAttack(
+            offsets={red[0]: 100, red[1]: 50, blue[0]: -30}
+        )
+        assert attack.total_offset_on(clean.trees, TreeColor.RED) == 150
+        assert attack.total_offset_on(clean.trees, TreeColor.BLUE) == -30
+
+
+class TestDetection:
+    def test_single_polluter_detected(self, scenario):
+        topology, readings, clean = scenario
+        polluter = next(iter(clean.trees.aggregators(TreeColor.RED)))
+        trial = run_polluted_round(
+            topology,
+            readings,
+            PollutionAttack(offsets={polluter: 777}),
+            seed=41,
+            trees=clean.trees,
+        )
+        assert trial.detected
+        assert not trial.escaped
+        assert trial.injected_red == 777
+        assert trial.injected_blue == 0
+
+    def test_bill_shaving_detected(self, scenario):
+        # The advanced-metering attack from the introduction: shrink the
+        # reported total.
+        topology, readings, clean = scenario
+        polluter = next(iter(clean.trees.aggregators(TreeColor.BLUE)))
+        trial = run_polluted_round(
+            topology,
+            readings,
+            PollutionAttack(offsets={polluter: -10_000}),
+            seed=41,
+            trees=clean.trees,
+        )
+        assert trial.detected
+
+    def test_opposing_polluters_on_both_trees_detected(self, scenario):
+        # Non-colluding attackers on both trees almost never cancel.
+        topology, readings, clean = scenario
+        red = next(iter(clean.trees.aggregators(TreeColor.RED)))
+        blue = next(iter(clean.trees.aggregators(TreeColor.BLUE)))
+        trial = run_polluted_round(
+            topology,
+            readings,
+            PollutionAttack(offsets={red: 400, blue: 90}),
+            seed=41,
+            trees=clean.trees,
+        )
+        assert trial.detected
+
+    def test_perfectly_colluding_attack_escapes(self, scenario):
+        # The known limitation (Section VI future work): identical
+        # offsets on both trees defeat the comparison.
+        topology, readings, clean = scenario
+        red = next(iter(clean.trees.aggregators(TreeColor.RED)))
+        blue = next(iter(clean.trees.aggregators(TreeColor.BLUE)))
+        trial = run_polluted_round(
+            topology,
+            readings,
+            PollutionAttack(offsets={red: 500, blue: 500}),
+            seed=41,
+            trees=clean.trees,
+        )
+        assert trial.escaped
+
+    def test_sub_threshold_attack_escapes(self, scenario):
+        topology, readings, clean = scenario
+        polluter = next(iter(clean.trees.aggregators(TreeColor.RED)))
+        trial = run_polluted_round(
+            topology,
+            readings,
+            PollutionAttack(offsets={polluter: 3}),
+            config=IpdaConfig(threshold=5),
+            seed=41,
+            trees=clean.trees,
+        )
+        assert trial.escaped
+
+
+class TestTargetSelection:
+    def test_picks_shallow_aggregator(self, scenario):
+        _topology, _readings, clean = scenario
+        rng = np.random.default_rng(1)
+        node = pick_aggregator_near_root(clean.trees, TreeColor.RED, rng)
+        hops = clean.trees.roles[node].hops
+        all_hops = sorted(
+            clean.trees.roles[a].hops
+            for a in clean.trees.aggregators(TreeColor.RED)
+        )
+        median = all_hops[len(all_hops) // 2]
+        assert hops <= median
+
+    def test_picked_node_is_on_requested_tree(self, scenario):
+        _topology, _readings, clean = scenario
+        rng = np.random.default_rng(2)
+        node = pick_aggregator_near_root(clean.trees, TreeColor.BLUE, rng)
+        assert clean.trees.role_of(node).color is TreeColor.BLUE

@@ -1,0 +1,138 @@
+"""Tests for the frame-log (radio-level) eavesdropping attack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IpdaConfig, RngStreams
+from repro.attacks.radio_eavesdropper import (
+    RadioCapture,
+    RadioEavesdropper,
+)
+from repro.crypto.keys import PairwiseKeyScheme
+from repro.errors import ProtocolError
+from repro.net.topology import random_deployment
+from repro.protocols.ipda import IpdaProtocol
+from repro.sim.messages import TreeColor
+from repro.sim.radio import RadioConfig
+
+
+@pytest.fixture(scope="module")
+def captured_round():
+    topology = random_deployment(150, area=250.0, seed=151)
+    readings = {
+        i: 40 + (i * 7) % 60 for i in range(1, topology.node_count)
+    }
+    keys = PairwiseKeyScheme(topology.node_count)
+    outcome = IpdaProtocol(
+        IpdaConfig(slices=2),
+        key_scheme_factory=lambda n: keys,
+        radio_config=RadioConfig(collisions_enabled=False),
+        keep_frames=True,
+    ).run_round(topology, readings, streams=RngStreams(151))
+    assert outcome.stats["frames"] is not None
+    return topology, readings, keys, outcome
+
+
+class TestCapture:
+    def test_colors_learned_from_plain_hellos(self, captured_round):
+        topology, _readings, _keys, outcome = captured_round
+        capture = RadioCapture.from_frames(outcome.stats["frames"])
+        # Every covered node that decided broadcast its colour.
+        assert set(capture.colors) >= outcome.covered
+        assert all(
+            c in (TreeColor.RED, TreeColor.BLUE)
+            for c in capture.colors.values()
+        )
+
+    def test_retransmissions_deduplicated(self, captured_round):
+        _topology, _readings, _keys, outcome = captured_round
+        capture = RadioCapture.from_frames(outcome.stats["frames"])
+        # Each participant transmits exactly 2l-1 = 3 unique slices.
+        for victim in sorted(outcome.participants)[:20]:
+            assert len(capture.slices_from(victim)) == 3
+
+    def test_missing_bodies_rejected(self, captured_round):
+        from repro.sim.trace import FrameRecord
+
+        with pytest.raises(ProtocolError):
+            RadioCapture.from_frames(
+                [FrameRecord(time=0, kind="hello", src=1, dst=-1,
+                             size_bytes=22)]
+            )
+
+
+class TestAttack:
+    def test_no_links_no_disclosure(self, captured_round):
+        topology, _readings, keys, outcome = captured_round
+        attacker = RadioEavesdropper(0.0, keys, slices=2)
+        report = attacker.attack(topology, outcome.stats["frames"])
+        assert report.disclosed == {}
+        assert report.attempted >= outcome.participants
+
+    def test_total_compromise_recovers_all_exactly(self, captured_round):
+        topology, readings, keys, outcome = captured_round
+        attacker = RadioEavesdropper(1.0, keys, slices=2)
+        report = attacker.attack(topology, outcome.stats["frames"])
+        assert set(report.disclosed) >= outcome.participants
+        for victim, value in report.disclosed.items():
+            assert value == readings[victim]
+
+    def test_partial_compromise_values_still_exact(self, captured_round):
+        topology, readings, keys, outcome = captured_round
+        attacker = RadioEavesdropper(0.4, keys, slices=2, seed=5)
+        report = attacker.attack(topology, outcome.stats["frames"])
+        assert report.disclosed, "p_x=0.4 should leak someone"
+        for victim, value in report.disclosed.items():
+            assert value == readings[victim]
+        # And it should not leak everyone.
+        assert set(report.disclosed) < report.attempted
+
+    def test_rate_grows_with_px(self, captured_round):
+        topology, _readings, keys, outcome = captured_round
+        frames = outcome.stats["frames"]
+        low = RadioEavesdropper(0.1, keys, slices=2, seed=1).attack(
+            topology, frames
+        )
+        high = RadioEavesdropper(0.7, keys, slices=2, seed=1).attack(
+            topology, frames
+        )
+        assert high.disclosure_rate > low.disclosure_rate
+
+    def test_way_two_through_plain_aggregates(self, captured_round):
+        # Compromise exactly one victim's own-cut link plus all its
+        # incoming links: way 2 must recover the reading even though
+        # the opposite cut stays dark.
+        topology, readings, keys, outcome = captured_round
+        capture = RadioCapture.from_frames(outcome.stats["frames"])
+        victim = None
+        for candidate in sorted(outcome.participants):
+            color = capture.colors.get(candidate)
+            own = [
+                m
+                for m in capture.slices_from(candidate)
+                if m.color is color
+            ]
+            if len(own) == 1 and capture.aggregate_from(candidate):
+                victim = candidate
+                break
+        assert victim is not None
+        color = capture.colors[victim]
+        links = [
+            (m.src, m.dst)
+            for m in capture.slices_from(victim)
+            if m.color is color
+        ]
+        links += [(m.src, m.dst) for m in capture.slices_to(victim)]
+        attacker = RadioEavesdropper(0.0, keys, slices=2)
+        report = attacker.attack(
+            topology, outcome.stats["frames"], links=links
+        )
+        assert report.disclosed.get(victim) == readings[victim]
+
+    def test_validation(self, captured_round):
+        _topology, _readings, keys, _outcome = captured_round
+        with pytest.raises(ProtocolError):
+            RadioEavesdropper(1.5, keys)
+        with pytest.raises(ProtocolError):
+            RadioEavesdropper(0.5, keys, slices=0)

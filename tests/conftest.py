@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IpdaConfig, RngStreams, grid_deployment, random_deployment
+
+
+@pytest.fixture
+def streams():
+    """A seeded stream factory."""
+    return RngStreams(1234)
+
+
+@pytest.fixture
+def rng():
+    """A plain seeded generator for tests that need one."""
+    return np.random.default_rng(99)
+
+
+@pytest.fixture
+def small_topology():
+    """A tiny dense deployment (fast, connected)."""
+    return random_deployment(40, area=120.0, seed=5)
+
+
+@pytest.fixture
+def paper_topology():
+    """A mid-size deployment in the paper's dense regime."""
+    return random_deployment(300, seed=8)
+
+
+@pytest.fixture
+def line_topology():
+    """Five nodes in a line, each only reaching its direct neighbours."""
+    return grid_deployment(1, 5, spacing=40.0, radio_range=50.0)
+
+
+@pytest.fixture
+def config():
+    """Default iPDA configuration (l=2, k=4, Th=5)."""
+    return IpdaConfig()
+
+
+def count_readings_for(topology, base_station: int = 0):
+    """COUNT workload helper used across test modules."""
+    return {
+        i: 1 for i in range(topology.node_count) if i != base_station
+    }

@@ -1,0 +1,63 @@
+"""Tests for protocol configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import IpdaConfig, RoleMode, TimingConfig
+from repro.errors import ConfigurationError
+
+
+class TestIpdaConfig:
+    def test_paper_defaults(self):
+        config = IpdaConfig()
+        assert config.slices == 2  # Section IV-A.3 recommendation
+        assert config.aggregator_budget == 4  # Section III-B
+        assert config.threshold == 5  # Section IV-B.1
+        assert config.role_mode is RoleMode.FIXED  # Equation 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IpdaConfig(slices=0)
+        with pytest.raises(ConfigurationError):
+            IpdaConfig(aggregator_budget=1)
+        with pytest.raises(ConfigurationError):
+            IpdaConfig(threshold=-1)
+        with pytest.raises(ConfigurationError):
+            IpdaConfig(slice_magnitude=0)
+
+    def test_role_mode_coerced_from_string(self):
+        assert IpdaConfig(role_mode="adaptive").role_mode is RoleMode.ADAPTIVE
+
+    def test_effective_magnitude_explicit(self):
+        config = IpdaConfig(slice_magnitude=123)
+        assert config.effective_magnitude([1, 2, 3]) == 123
+
+    def test_effective_magnitude_auto_scales(self):
+        config = IpdaConfig()
+        assert config.effective_magnitude([1, 1, 1]) == 4
+        assert config.effective_magnitude([100, -250]) == 500
+
+    def test_effective_magnitude_empty(self):
+        assert IpdaConfig().effective_magnitude([]) == 4
+
+
+class TestTimingConfig:
+    def test_defaults_positive(self):
+        timing = TimingConfig()
+        assert timing.tree_construction_window > 0
+        assert timing.slicing_window > 0
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "role_decision_delay",
+            "tree_construction_window",
+            "slicing_window",
+            "assembly_guard",
+            "aggregation_slot",
+        ],
+    )
+    def test_validation(self, field):
+        with pytest.raises(ConfigurationError):
+            TimingConfig(**{field: 0.0})

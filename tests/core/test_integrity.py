@@ -1,0 +1,115 @@
+"""Tests for the base station's integrity verification and localiser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.integrity import (
+    IntegrityChecker,
+    PolluterLocalizer,
+    VerificationResult,
+)
+from repro.errors import IntegrityError, ProtocolError
+
+
+class TestVerification:
+    def test_exact_agreement_accepted(self):
+        result = IntegrityChecker(5).verify(100, 100)
+        assert result.accepted
+        assert result.accepted_value == 100
+
+    def test_within_threshold_accepted(self):
+        result = IntegrityChecker(5).verify(100, 105)
+        assert result.accepted
+        assert result.difference == 5
+
+    def test_beyond_threshold_rejected(self):
+        result = IntegrityChecker(5).verify(100, 106)
+        assert not result.accepted
+
+    def test_accepted_value_averages(self):
+        result = IntegrityChecker(5).verify(100, 104)
+        assert result.accepted_value == 102
+
+    def test_accepted_value_on_rejection_raises(self):
+        result = IntegrityChecker(0).verify(1, 100)
+        with pytest.raises(IntegrityError):
+            _ = result.accepted_value
+
+    def test_threshold_zero_requires_exactness(self):
+        checker = IntegrityChecker(0)
+        assert checker.verify(7, 7).accepted
+        assert not checker.verify(7, 8).accepted
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ProtocolError):
+            IntegrityChecker(-1)
+
+    def test_symmetry(self):
+        a = VerificationResult(s_red=10, s_blue=20, threshold=5)
+        b = VerificationResult(s_red=20, s_blue=10, threshold=5)
+        assert a.difference == b.difference
+
+    def test_history_and_streak(self):
+        checker = IntegrityChecker(0)
+        checker.verify(1, 1)
+        checker.verify(1, 9)
+        checker.verify(1, 9)
+        assert len(checker.history) == 3
+        assert checker.rejection_streak == 2
+        checker.verify(2, 2)
+        assert checker.rejection_streak == 0
+
+
+class TestLocalizer:
+    def _hunt(self, suspects, polluter):
+        localizer = PolluterLocalizer(suspects)
+        found = localizer.run(lambda probe: polluter in probe)
+        return localizer, found
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 16, 100, 1000])
+    def test_finds_every_possible_polluter_position(self, n):
+        import math
+
+        suspects = set(range(n))
+        for polluter in (0, n // 2, n - 1):
+            localizer, found = self._hunt(suspects, polluter)
+            assert found == polluter
+            assert localizer.rounds_used <= math.ceil(math.log2(n)) + 1
+
+    def test_single_suspect_needs_no_rounds(self):
+        localizer = PolluterLocalizer({42})
+        assert localizer.localized == 42
+        assert localizer.rounds_used == 0
+
+    def test_empty_suspects_rejected(self):
+        with pytest.raises(ProtocolError):
+            PolluterLocalizer(set())
+
+    def test_probe_must_be_reported_before_next(self):
+        localizer = PolluterLocalizer({1, 2, 3, 4})
+        localizer.next_probe()
+        with pytest.raises(ProtocolError):
+            localizer.next_probe()
+
+    def test_report_without_probe_rejected(self):
+        localizer = PolluterLocalizer({1, 2})
+        with pytest.raises(ProtocolError):
+            localizer.report(True)
+
+    def test_two_suspects_resolved_in_one_round(self):
+        localizer = PolluterLocalizer({1, 2})
+        localizer.next_probe()
+        localizer.report(False)  # polluter was not in the probed half
+        assert localizer.localized == 2
+        assert localizer.rounds_used == 1
+
+    def test_next_probe_after_localized_rejected(self):
+        localizer = PolluterLocalizer({5})
+        with pytest.raises(ProtocolError):
+            localizer.next_probe()
+
+    def test_probe_halves_suspects(self):
+        localizer = PolluterLocalizer(set(range(10)))
+        probe = localizer.next_probe()
+        assert len(probe) == 5

@@ -1,0 +1,210 @@
+"""Tests for the lossless pipeline and the statistic reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import IpdaConfig
+from repro.core.pipeline import run_lossless_round
+from repro.crypto.keys import PairwiseKeyScheme, RandomPredistributionScheme
+from repro.errors import ProtocolError
+from repro.net.topology import random_deployment
+from repro.sim.messages import TreeColor
+
+
+@pytest.fixture
+def dense():
+    topology = random_deployment(250, seed=21)
+    readings = {i: int(7 + (i % 13)) for i in range(1, topology.node_count)}
+    return topology, readings
+
+
+class TestConservation:
+    def test_both_trees_equal_participant_total(self, dense):
+        topology, readings = dense
+        result = run_lossless_round(topology, readings, IpdaConfig(), seed=1)
+        assert result.s_red == result.s_blue == result.participant_total
+
+    def test_accepted_without_attack(self, dense):
+        topology, readings = dense
+        result = run_lossless_round(topology, readings, IpdaConfig(), seed=1)
+        assert result.accepted
+        assert result.reported == result.participant_total
+
+    def test_l1_matches_l3(self, dense):
+        # The slice count must not change the aggregate, only privacy.
+        topology, readings = dense
+        r1 = run_lossless_round(
+            topology, readings, IpdaConfig(slices=1), seed=2
+        )
+        r3 = run_lossless_round(
+            topology, readings, IpdaConfig(slices=3), seed=2
+        )
+        assert r1.s_red == r1.participant_total
+        assert r3.s_red == r3.participant_total
+
+    def test_negative_readings_supported(self, dense):
+        topology, _ = dense
+        readings = {
+            i: -50 + (i % 101) for i in range(1, topology.node_count)
+        }
+        result = run_lossless_round(topology, readings, IpdaConfig(), seed=3)
+        assert result.s_red == result.participant_total
+
+    def test_base_station_reading_rejected(self, dense):
+        topology, readings = dense
+        readings = dict(readings)
+        readings[0] = 1
+        with pytest.raises(ProtocolError):
+            run_lossless_round(topology, readings, IpdaConfig(), seed=1)
+
+
+class TestContributorsAndPolluters:
+    def test_contributors_restrict_injection(self, dense):
+        topology, readings = dense
+        all_result = run_lossless_round(
+            topology, readings, IpdaConfig(), seed=4
+        )
+        subset = set(list(sorted(readings))[:50])
+        sub_result = run_lossless_round(
+            topology,
+            readings,
+            IpdaConfig(),
+            seed=4,
+            contributors=subset,
+            trees=all_result.trees,
+        )
+        assert sub_result.participants <= subset
+        assert sub_result.s_red == sub_result.participant_total
+
+    def test_polluter_shifts_exactly_one_tree(self, dense):
+        topology, readings = dense
+        clean = run_lossless_round(topology, readings, IpdaConfig(), seed=5)
+        polluter = next(iter(clean.trees.aggregators(TreeColor.RED)))
+        polluted = run_lossless_round(
+            topology,
+            readings,
+            IpdaConfig(),
+            seed=5,
+            polluters={polluter: 1000},
+            trees=clean.trees,
+        )
+        assert polluted.s_red == polluted.participant_total + 1000
+        assert polluted.s_blue == polluted.participant_total
+        assert not polluted.accepted
+        assert polluted.reported is None
+
+    def test_leaf_polluter_is_harmless(self, dense):
+        topology, readings = dense
+        clean = run_lossless_round(topology, readings, IpdaConfig(), seed=6)
+        leaves = [
+            n
+            for n in range(1, topology.node_count)
+            if not clean.trees.role_of(n).is_aggregator
+        ]
+        if not leaves:
+            pytest.skip("no leaves in this draw")
+        polluted = run_lossless_round(
+            topology,
+            readings,
+            IpdaConfig(),
+            seed=6,
+            polluters={leaves[0]: 10**6},
+            trees=clean.trees,
+        )
+        assert polluted.accepted
+
+    def test_sub_threshold_pollution_escapes(self, dense):
+        # Th tolerates small offsets by design: document the boundary.
+        topology, readings = dense
+        clean = run_lossless_round(topology, readings, IpdaConfig(), seed=7)
+        polluter = next(iter(clean.trees.aggregators(TreeColor.BLUE)))
+        polluted = run_lossless_round(
+            topology,
+            readings,
+            IpdaConfig(threshold=5),
+            seed=7,
+            polluters={polluter: 5},
+            trees=clean.trees,
+        )
+        assert polluted.accepted
+
+
+class TestKeySchemes:
+    def test_pairwise_scheme_changes_nothing(self, dense):
+        topology, readings = dense
+        unrestricted = run_lossless_round(
+            topology, readings, IpdaConfig(), seed=8
+        )
+        paired = run_lossless_round(
+            topology,
+            readings,
+            IpdaConfig(),
+            seed=8,
+            key_scheme=PairwiseKeyScheme(topology.node_count),
+        )
+        assert paired.s_red == paired.participant_total
+        assert len(paired.participants) == len(unrestricted.participants)
+
+    def test_sparse_key_rings_reduce_participation(self, dense):
+        topology, readings = dense
+        scheme = RandomPredistributionScheme(
+            topology.node_count, pool_size=1000, ring_size=15, seed=1
+        )
+        restricted = run_lossless_round(
+            topology,
+            readings,
+            IpdaConfig(),
+            seed=9,
+            key_scheme=scheme,
+        )
+        unrestricted = run_lossless_round(
+            topology, readings, IpdaConfig(), seed=9
+        )
+        assert len(restricted.participants) < len(unrestricted.participants)
+        # Conservation still holds for whoever participates.
+        assert restricted.s_red == restricted.participant_total
+
+
+class TestFlows:
+    def test_flows_absent_by_default(self, dense):
+        topology, readings = dense
+        result = run_lossless_round(topology, readings, IpdaConfig(), seed=10)
+        assert result.flows is None
+
+    def test_flows_consistent_with_totals(self, dense):
+        topology, readings = dense
+        result = run_lossless_round(
+            topology, readings, IpdaConfig(), seed=10, record_flows=True
+        )
+        assert result.flows is not None
+        for node_id in result.participants:
+            flows = result.flows[node_id]
+            for color in (TreeColor.RED, TreeColor.BLUE):
+                total = sum(p for _t, p in flows.outgoing.get(color, []))
+                if flows.kept_cut_color() is color:
+                    total += flows.kept
+                assert total == readings[node_id]
+
+    def test_incoming_matches_outgoing(self, dense):
+        topology, readings = dense
+        result = run_lossless_round(
+            topology, readings, IpdaConfig(), seed=11, record_flows=True
+        )
+        sent = {}
+        for flows in result.flows.values():
+            for plan in flows.outgoing.values():
+                for target, piece in plan:
+                    sent.setdefault(target, []).append((flows.node_id, piece))
+        for target, pieces in sent.items():
+            incoming = sorted(result.flows[target].incoming)
+            assert sorted(pieces) == incoming
+
+    def test_accuracy_property(self, dense):
+        topology, readings = dense
+        result = run_lossless_round(topology, readings, IpdaConfig(), seed=12)
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.accuracy == pytest.approx(
+            result.participant_total / result.true_total
+        )

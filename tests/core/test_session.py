@@ -1,0 +1,122 @@
+"""Tests for the self-healing multi-round aggregation session."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.config import IpdaConfig
+from repro.core.session import AggregationSession
+from repro.errors import ProtocolError
+from repro.net.topology import random_deployment
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    topology = random_deployment(300, seed=101)
+    readings = {i: 4 for i in range(1, topology.node_count)}
+    return topology, readings
+
+
+class TestCleanService:
+    def test_rounds_accepted(self, deployment):
+        topology, readings = deployment
+        session = AggregationSession(topology, seed=1)
+        records = session.run_rounds(readings, 5)
+        assert all(record.accepted for record in records)
+        assert session.acceptance_rate == 1.0
+
+    def test_round_ids_increment(self, deployment):
+        topology, readings = deployment
+        session = AggregationSession(topology, seed=2)
+        records = session.run_rounds(readings, 3)
+        assert [record.round_id for record in records] == [0, 1, 2]
+
+    def test_rounds_rerandomise(self, deployment):
+        topology, readings = deployment
+        session = AggregationSession(topology, seed=3)
+        records = session.run_rounds(readings, 2)
+        # Fresh trees each round: participant counts generally differ.
+        assert records[0].participants > 0
+        assert records[1].participants > 0
+
+    def test_empty_history_rate(self, deployment):
+        topology, _ = deployment
+        assert AggregationSession(topology, seed=0).acceptance_rate == 0.0
+
+    def test_validation(self, deployment):
+        topology, _ = deployment
+        with pytest.raises(ProtocolError):
+            AggregationSession(topology, hunt_after=0)
+
+
+class TestCompromisedService:
+    def test_polluter_triggers_rejections_then_exclusion(self, deployment):
+        topology, readings = deployment
+        attacker = 42
+        session = AggregationSession(
+            topology,
+            IpdaConfig(),
+            compromised={attacker: 5_000},
+            hunt_after=2,
+            seed=4,
+        )
+        records = session.run_rounds(readings, 8)
+        # Early rounds get rejected while the attacker aggregates.
+        rejected = [r for r in records if not r.accepted]
+        assert rejected, "polluter never caused a rejection"
+        # The hunt fires and excludes the right node.
+        hunts = [r for r in records if r.newly_excluded is not None]
+        assert hunts, "hunt never triggered"
+        assert hunts[0].newly_excluded == attacker
+        assert attacker in session.excluded
+        # Hunt cost respects the O(log N) bound.
+        bound = math.ceil(math.log2(topology.node_count)) + 1
+        assert hunts[0].hunt_rounds <= bound
+        # Service recovers afterwards.
+        after = records[records.index(hunts[0]) + 1 :]
+        assert after and all(r.accepted for r in after)
+
+    def test_excluded_node_no_longer_contributes(self, deployment):
+        topology, readings = deployment
+        attacker = 42
+        session = AggregationSession(
+            topology,
+            compromised={attacker: 5_000},
+            hunt_after=1,
+            seed=5,
+        )
+        records = session.run_rounds(readings, 6)
+        final = records[-1]
+        assert final.accepted
+        # The reported total misses exactly the excluded reading(s).
+        missing = sum(readings[i] for i in session.excluded)
+        assert final.reported <= sum(readings.values()) - missing + 5
+
+    def test_two_sequential_attackers_both_excluded(self, deployment):
+        topology, readings = deployment
+        session = AggregationSession(
+            topology,
+            compromised={10: 9_000, 77: -7_000},
+            hunt_after=1,
+            seed=6,
+        )
+        session.run_rounds(readings, 14)
+        assert {10, 77} <= session.excluded
+        # After both exclusions service is clean again.
+        tail = session.history[-2:]
+        assert all(record.accepted for record in tail)
+
+    def test_sub_threshold_attacker_never_hunted(self, deployment):
+        topology, readings = deployment
+        session = AggregationSession(
+            topology,
+            IpdaConfig(threshold=50),
+            compromised={42: 10},  # below Th: tolerated by design
+            hunt_after=1,
+            seed=7,
+        )
+        records = session.run_rounds(readings, 4)
+        assert all(record.accepted for record in records)
+        assert session.excluded == set()

@@ -1,0 +1,194 @@
+"""Tests for the slicing/assembling primitives (Phase II)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.slicing import SliceAssembler, plan_slices, slice_value
+from repro.errors import ProtocolError
+from repro.sim.messages import TreeColor
+
+
+@pytest.fixture
+def gen():
+    return np.random.default_rng(0)
+
+
+class TestSliceValue:
+    @pytest.mark.parametrize("value", [0, 1, -5, 1000, -123456])
+    @pytest.mark.parametrize("pieces", [1, 2, 3, 7])
+    def test_pieces_sum_exactly(self, gen, value, pieces):
+        pieces_list = slice_value(value, pieces, gen, magnitude=100)
+        assert len(pieces_list) == pieces
+        assert sum(pieces_list) == value
+
+    def test_single_piece_is_identity(self, gen):
+        assert slice_value(42, 1, gen) == [42]
+
+    def test_rejects_zero_pieces(self, gen):
+        with pytest.raises(ProtocolError):
+            slice_value(1, 0, gen)
+
+    def test_rejects_bad_magnitude(self, gen):
+        with pytest.raises(ProtocolError):
+            slice_value(1, 2, gen, magnitude=0)
+
+    def test_random_components_bounded(self, gen):
+        for _ in range(50):
+            pieces = slice_value(0, 3, gen, magnitude=10)
+            # all but the last are draws from [-10, 10]
+            assert all(-10 <= p <= 10 for p in pieces[:-1])
+
+    def test_huge_magnitude_supported(self, gen):
+        big = 10**40
+        pieces = slice_value(7, 4, gen, magnitude=big)
+        assert sum(pieces) == 7
+        assert any(abs(p) > 2**63 for p in pieces)  # actually huge
+
+    def test_deterministic_for_same_rng_state(self):
+        a = slice_value(9, 3, np.random.default_rng(5), magnitude=50)
+        b = slice_value(9, 3, np.random.default_rng(5), magnitude=50)
+        assert a == b
+
+
+class TestPlanSlices:
+    def test_leaf_sends_all_pieces_both_colors(self, gen):
+        plans = plan_slices(
+            10,
+            7,
+            own_color=None,
+            red_candidates=[1, 2, 3],
+            blue_candidates=[4, 5, 6],
+            pieces=2,
+            rng=gen,
+        )
+        for color in (TreeColor.RED, TreeColor.BLUE):
+            assert plans[color].kept is None
+            assert plans[color].transmission_count == 2
+            assert plans[color].total() == 7
+
+    def test_aggregator_keeps_one_piece_of_own_cut(self, gen):
+        plans = plan_slices(
+            10,
+            7,
+            own_color=TreeColor.RED,
+            red_candidates=[1, 2, 3],
+            blue_candidates=[4, 5, 6],
+            pieces=2,
+            rng=gen,
+        )
+        assert plans[TreeColor.RED].kept is not None
+        assert plans[TreeColor.RED].transmission_count == 1
+        assert plans[TreeColor.BLUE].kept is None
+        assert plans[TreeColor.BLUE].transmission_count == 2
+        # 2l - 1 transmissions in total (Section III-C.1).
+        total = sum(p.transmission_count for p in plans.values())
+        assert total == 2 * 2 - 1
+
+    def test_both_cuts_sum_to_reading(self, gen):
+        plans = plan_slices(
+            10,
+            -33,
+            own_color=TreeColor.BLUE,
+            red_candidates=[1, 2, 3],
+            blue_candidates=[4, 5],
+            pieces=3,
+            rng=gen,
+        )
+        assert plans[TreeColor.RED].total() == -33
+        assert plans[TreeColor.BLUE].total() == -33
+
+    def test_cuts_are_independent(self):
+        # Same reading, the two cuts should (almost surely) differ.
+        plans = plan_slices(
+            10,
+            5,
+            own_color=None,
+            red_candidates=[1, 2],
+            blue_candidates=[3, 4],
+            pieces=2,
+            rng=np.random.default_rng(1),
+            magnitude=10**6,
+        )
+        red = sorted(p for _t, p in plans[TreeColor.RED].outgoing)
+        blue = sorted(p for _t, p in plans[TreeColor.BLUE].outgoing)
+        assert red != blue
+
+    def test_insufficient_candidates_raises(self, gen):
+        with pytest.raises(ProtocolError):
+            plan_slices(
+                10,
+                1,
+                own_color=None,
+                red_candidates=[1],
+                blue_candidates=[2, 3],
+                pieces=2,
+                rng=gen,
+            )
+
+    def test_own_color_lowers_requirement(self, gen):
+        # A red aggregator needs only l-1 = 1 remote red target.
+        plans = plan_slices(
+            10,
+            1,
+            own_color=TreeColor.RED,
+            red_candidates=[1],
+            blue_candidates=[2, 3],
+            pieces=2,
+            rng=gen,
+        )
+        assert plans[TreeColor.RED].transmission_count == 1
+
+    def test_self_in_candidates_rejected(self, gen):
+        with pytest.raises(ProtocolError):
+            plan_slices(
+                10,
+                1,
+                own_color=TreeColor.RED,
+                red_candidates=[10, 1],
+                blue_candidates=[2, 3],
+                pieces=2,
+                rng=gen,
+            )
+
+    def test_targets_are_distinct(self, gen):
+        plans = plan_slices(
+            10,
+            8,
+            own_color=None,
+            red_candidates=[1, 2, 3, 4, 5],
+            blue_candidates=[6, 7, 8, 9],
+            pieces=3,
+            rng=gen,
+        )
+        for plan in plans.values():
+            targets = [t for t, _p in plan.outgoing]
+            assert len(targets) == len(set(targets))
+
+
+class TestAssembler:
+    def test_assembles_kept_plus_received(self):
+        assembler = SliceAssembler(5)
+        assembler.keep(10)
+        assembler.receive(1, 3)
+        assembler.receive(2, -4)
+        assert assembler.assembled_value() == 9
+        assert assembler.received_count == 2
+        assert assembler.senders() == [1, 2]
+
+    def test_empty_assembler_is_zero(self):
+        assert SliceAssembler(1).assembled_value() == 0
+
+    def test_multiple_keeps_accumulate(self):
+        assembler = SliceAssembler(1)
+        assembler.keep(2)
+        assembler.keep(3)
+        assert assembler.assembled_value() == 5
+
+    def test_duplicate_senders_tracked_once_in_senders(self):
+        assembler = SliceAssembler(1)
+        assembler.receive(4, 1)
+        assembler.receive(4, 1)
+        assert assembler.senders() == [4]
+        assert assembler.received_count == 2

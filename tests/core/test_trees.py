@@ -1,0 +1,205 @@
+"""Tests for disjoint aggregation tree construction (Phase I)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import IpdaConfig, RoleMode
+from repro.core.trees import (
+    build_disjoint_trees,
+    role_probabilities,
+)
+from repro.errors import ProtocolError
+from repro.net.topology import grid_deployment, random_deployment
+from repro.sim.messages import TreeColor
+
+
+class TestRoleProbabilities:
+    def test_fixed_mode_is_half_half(self):
+        assert role_probabilities(3, 9, mode=RoleMode.FIXED, budget=4) == (
+            0.5,
+            0.5,
+        )
+
+    def test_adaptive_balances_toward_minority(self):
+        # Many red HELLOs heard -> node should lean blue.
+        p_red, p_blue = role_probabilities(
+            8, 2, mode=RoleMode.ADAPTIVE, budget=100
+        )
+        assert p_blue > p_red
+        assert p_red == pytest.approx(0.2)
+        assert p_blue == pytest.approx(0.8)
+
+    def test_adaptive_budget_caps_total(self):
+        p_red, p_blue = role_probabilities(
+            10, 10, mode=RoleMode.ADAPTIVE, budget=4
+        )
+        assert p_red + p_blue == pytest.approx(4 / 20)
+
+    def test_adaptive_sparse_neighborhood_all_aggregators(self):
+        p_red, p_blue = role_probabilities(
+            1, 1, mode=RoleMode.ADAPTIVE, budget=4
+        )
+        assert p_red + p_blue == pytest.approx(1.0)
+
+    def test_no_hellos_rejected(self):
+        with pytest.raises(ProtocolError):
+            role_probabilities(0, 0, mode=RoleMode.FIXED, budget=4)
+
+
+@pytest.fixture
+def dense_trees():
+    topology = random_deployment(300, seed=42)
+    trees = build_disjoint_trees(
+        topology, IpdaConfig(), np.random.default_rng(7)
+    )
+    return topology, trees
+
+
+class TestConstruction:
+    def test_trees_are_node_disjoint(self, dense_trees):
+        _topology, trees = dense_trees
+        assert trees.is_node_disjoint()
+
+    def test_trees_are_structurally_consistent(self, dense_trees):
+        _topology, trees = dense_trees
+        assert trees.tree_is_consistent(TreeColor.RED)
+        assert trees.tree_is_consistent(TreeColor.BLUE)
+
+    def test_parents_are_heard_neighbors(self, dense_trees):
+        topology, trees = dense_trees
+        for color in (TreeColor.RED, TreeColor.BLUE):
+            for node in trees.aggregators(color):
+                parent = trees.roles[node].parent
+                assert parent in topology.neighbors(node)
+
+    def test_parent_maps_root_at_base_station(self, dense_trees):
+        _topology, trees = dense_trees
+        for color in (TreeColor.RED, TreeColor.BLUE):
+            parents = trees.parent_map(color)
+            assert parents[trees.base_station] is None
+            roots = [n for n, p in parents.items() if p is None]
+            assert roots == [trees.base_station]
+
+    def test_hops_increase_along_tree(self, dense_trees):
+        _topology, trees = dense_trees
+        for color in (TreeColor.RED, TreeColor.BLUE):
+            for node in trees.aggregators(color):
+                role = trees.roles[node]
+                parent_role = trees.role_of(role.parent)
+                if role.parent == trees.base_station:
+                    assert role.hops == 1
+                else:
+                    assert role.hops == parent_role.hops + 1
+
+    def test_fixed_mode_every_decided_node_is_aggregator(self, dense_trees):
+        _topology, trees = dense_trees
+        for node, role in trees.roles.items():
+            assert role.is_aggregator, f"node {node} decided leaf under p=1"
+
+    def test_deterministic_given_rng(self):
+        topology = random_deployment(150, seed=4)
+        a = build_disjoint_trees(
+            topology, IpdaConfig(), np.random.default_rng(1)
+        )
+        b = build_disjoint_trees(
+            topology, IpdaConfig(), np.random.default_rng(1)
+        )
+        assert a.roles == b.roles
+
+    def test_bad_base_station_rejected(self):
+        topology = grid_deployment(2, 2, spacing=10.0)
+        with pytest.raises(ProtocolError):
+            build_disjoint_trees(
+                topology,
+                IpdaConfig(),
+                np.random.default_rng(0),
+                base_station=9,
+            )
+
+
+class TestCoverageAndParticipation:
+    def test_covered_requires_both_colors(self, dense_trees):
+        topology, trees = dense_trees
+        for node in range(topology.node_count):
+            covered = trees.is_covered(node)
+            if node == trees.base_station:
+                assert covered
+                continue
+            both = bool(
+                trees.heard_aggregators(node, TreeColor.RED)
+            ) and bool(trees.heard_aggregators(node, TreeColor.BLUE))
+            assert covered == both
+
+    def test_participants_subset_of_covered(self, dense_trees):
+        _topology, trees = dense_trees
+        participants = trees.participants(2)
+        covered = trees.covered_nodes()
+        assert participants <= covered
+
+    def test_more_slices_never_increases_participation(self, dense_trees):
+        _topology, trees = dense_trees
+        p1 = trees.participants(1)
+        p2 = trees.participants(2)
+        p4 = trees.participants(4)
+        assert p4 <= p2 <= p1
+
+    def test_dense_network_covers_almost_everyone(self, dense_trees):
+        topology, trees = dense_trees
+        fraction = len(trees.covered_nodes()) / topology.node_count
+        assert fraction > 0.8
+
+    def test_isolated_node_not_covered(self):
+        # Line of 4 where the last node is out of everyone's range.
+        topology = grid_deployment(1, 4, spacing=40.0, radio_range=50.0)
+        # Make node 3 unreachable by stretching the line: use custom grid.
+        from repro.net.geometry import Point
+        from repro.net.topology import Topology
+
+        stretched = Topology(
+            positions=[Point(0, 0), Point(40, 0), Point(80, 0), Point(400, 0)],
+            radio_range=50.0,
+        )
+        trees = build_disjoint_trees(
+            stretched, IpdaConfig(), np.random.default_rng(0)
+        )
+        assert not trees.is_covered(3)
+        assert 3 not in trees.participants(1)
+
+    def test_summary_counts_add_up(self, dense_trees):
+        topology, trees = dense_trees
+        summary = trees.summary()
+        assert (
+            summary["red_aggregators"]
+            + summary["blue_aggregators"]
+            + summary["leaves"]
+            == topology.node_count - 1
+        )
+
+
+class TestAdaptiveMode:
+    def test_adaptive_reduces_aggregator_count_in_dense_network(self):
+        topology = random_deployment(400, seed=9)
+        fixed = build_disjoint_trees(
+            topology, IpdaConfig(role_mode=RoleMode.FIXED),
+            np.random.default_rng(2),
+        )
+        adaptive = build_disjoint_trees(
+            topology,
+            IpdaConfig(role_mode=RoleMode.ADAPTIVE, aggregator_budget=4),
+            np.random.default_rng(2),
+        )
+        count = lambda t: len(t.aggregators(TreeColor.RED)) + len(
+            t.aggregators(TreeColor.BLUE)
+        )
+        assert count(adaptive) < count(fixed)
+
+    def test_adaptive_trees_still_disjoint(self):
+        topology = random_deployment(300, seed=10)
+        trees = build_disjoint_trees(
+            topology,
+            IpdaConfig(role_mode=RoleMode.ADAPTIVE),
+            np.random.default_rng(3),
+        )
+        assert trees.is_node_disjoint()

@@ -1,0 +1,75 @@
+"""Tests for the keyed-PRF stream cipher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.cipher import (
+    KEY_BYTES,
+    NONCE_BYTES,
+    keystream,
+    xor_decrypt,
+    xor_encrypt,
+)
+from repro.errors import CryptoError
+
+KEY = bytes(range(KEY_BYTES))
+NONCE = bytes(range(NONCE_BYTES))
+
+
+class TestKeystream:
+    def test_deterministic(self):
+        assert keystream(KEY, NONCE, 64) == keystream(KEY, NONCE, 64)
+
+    def test_length(self):
+        for n in (0, 1, 31, 32, 33, 100):
+            assert len(keystream(KEY, NONCE, n)) == n
+
+    def test_prefix_property(self):
+        long = keystream(KEY, NONCE, 64)
+        short = keystream(KEY, NONCE, 16)
+        assert long[:16] == short
+
+    def test_key_sensitivity(self):
+        other = bytes([KEY[0] ^ 1]) + KEY[1:]
+        assert keystream(KEY, NONCE, 32) != keystream(other, NONCE, 32)
+
+    def test_nonce_sensitivity(self):
+        other = bytes([NONCE[0] ^ 1]) + NONCE[1:]
+        assert keystream(KEY, NONCE, 32) != keystream(KEY, other, 32)
+
+    def test_rejects_bad_key_length(self):
+        with pytest.raises(CryptoError):
+            keystream(b"short", NONCE, 8)
+
+    def test_rejects_bad_nonce_length(self):
+        with pytest.raises(CryptoError):
+            keystream(KEY, b"no", 8)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(CryptoError):
+            keystream(KEY, NONCE, -1)
+
+
+class TestXor:
+    def test_roundtrip(self):
+        plaintext = b"attack at dawn!!"
+        ciphertext = xor_encrypt(plaintext, KEY, NONCE)
+        assert ciphertext != plaintext
+        assert xor_decrypt(ciphertext, KEY, NONCE) == plaintext
+
+    def test_involution(self):
+        data = b"\x00\xff\x7f" * 11
+        once = xor_encrypt(data, KEY, NONCE)
+        twice = xor_encrypt(once, KEY, NONCE)
+        assert twice == data
+
+    def test_wrong_key_garbles(self):
+        plaintext = b"secret"
+        other = bytes([KEY[0] ^ 1]) + KEY[1:]
+        assert xor_decrypt(
+            xor_encrypt(plaintext, KEY, NONCE), other, NONCE
+        ) != plaintext
+
+    def test_empty_plaintext(self):
+        assert xor_encrypt(b"", KEY, NONCE) == b""

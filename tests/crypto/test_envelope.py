@@ -1,0 +1,69 @@
+"""Tests for sealed slice payloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.cipher import KEY_BYTES
+from repro.crypto.envelope import (
+    SEALED_BYTES,
+    make_nonce,
+    open_sealed,
+    seal,
+)
+from repro.errors import CryptoError
+
+KEY = bytes(range(KEY_BYTES))
+
+
+class TestNonce:
+    def test_deterministic(self):
+        assert make_nonce(1, 2, 3, 4) == make_nonce(1, 2, 3, 4)
+
+    def test_direction_sensitive(self):
+        assert make_nonce(1, 2, 3, 4) != make_nonce(2, 1, 3, 4)
+
+    def test_round_and_sequence_sensitive(self):
+        base = make_nonce(1, 2, 3, 4)
+        assert base != make_nonce(1, 2, 9, 4)
+        assert base != make_nonce(1, 2, 3, 9)
+
+
+class TestSeal:
+    @pytest.mark.parametrize(
+        "value",
+        [0, 1, -1, 123456, -999999, 2**63 - 1, -(2**63)],
+    )
+    def test_roundtrip(self, value):
+        nonce = make_nonce(5, 6, 1, 1)
+        assert open_sealed(seal(value, KEY, nonce), KEY, nonce) == value
+
+    def test_ciphertext_fixed_size(self):
+        nonce = make_nonce(5, 6, 1, 1)
+        assert len(seal(42, KEY, nonce)) == SEALED_BYTES
+
+    def test_out_of_range_rejected(self):
+        nonce = make_nonce(5, 6, 1, 1)
+        with pytest.raises(CryptoError):
+            seal(2**63, KEY, nonce)
+
+    def test_wrong_length_rejected(self):
+        nonce = make_nonce(5, 6, 1, 1)
+        with pytest.raises(CryptoError):
+            open_sealed(b"short", KEY, nonce)
+
+    def test_wrong_key_yields_garbage_not_error(self):
+        nonce = make_nonce(5, 6, 1, 1)
+        sealed = seal(42, KEY, nonce)
+        other_key = bytes([KEY[0] ^ 1]) + KEY[1:]
+        assert open_sealed(sealed, other_key, nonce) != 42
+
+    def test_wrong_nonce_yields_garbage(self):
+        nonce = make_nonce(5, 6, 1, 1)
+        sealed = seal(42, KEY, nonce)
+        assert open_sealed(sealed, KEY, make_nonce(5, 6, 1, 2)) != 42
+
+    def test_distinct_nonces_distinct_ciphertexts(self):
+        a = seal(42, KEY, make_nonce(1, 2, 1, 1))
+        b = seal(42, KEY, make_nonce(1, 2, 1, 2))
+        assert a != b

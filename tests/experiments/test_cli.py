@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_experiment_registry_covers_all_artefacts(self):
+        for name in ("table1", "fig1", "fig4", "fig5", "fig6", "fig7", "fig8"):
+            assert name in EXPERIMENTS
+
+    def test_runs_table1(self, capsys):
+        assert main(["table1", "--fast", "--repetitions", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "paper_degree" in out
+
+    def test_runs_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        assert "disjoint tree" in capsys.readouterr().out
+
+    def test_csv_output(self, tmp_path, capsys):
+        csv_dir = tmp_path / "results"
+        assert (
+            main(
+                [
+                    "table1",
+                    "--fast",
+                    "--repetitions",
+                    "1",
+                    "--csv",
+                    str(csv_dir),
+                ]
+            )
+            == 0
+        )
+        assert (csv_dir / "table1.csv").exists()
+        header = (csv_dir / "table1.csv").read_text().splitlines()[0]
+        assert header.startswith("nodes,")
+
+    def test_seed_changes_measurements(self, capsys):
+        main(["table1", "--fast", "--repetitions", "1", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["table1", "--fast", "--repetitions", "1", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

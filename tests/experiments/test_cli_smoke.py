@@ -1,0 +1,19 @@
+"""Smoke tests: every registered CLI experiment runs end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_experiment_runs_fast(name):
+    runner = EXPERIMENTS[name]
+    table = runner(True, 1, 0)  # fast=True, repetitions=1, seed=0
+    assert table.columns
+    assert table.rows
+    text = table.to_text()
+    assert table.name in text
+    csv_text = table.to_csv()
+    assert csv_text.startswith(",".join(table.columns))

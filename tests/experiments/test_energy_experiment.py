@@ -1,0 +1,43 @@
+"""Tests for the energy/lifetime experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import energy
+
+
+class TestEnergyExperiment:
+    #: dense regime (degree ~18): the (2l+1)/2 ratio needs participation.
+    NODES = 400
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        return energy.run(node_count=self.NODES, repetitions=1, seed=3)
+
+    def test_all_protocols_present(self, table):
+        protocols = table.column("protocol")
+        assert protocols == ["tag", "ipda l=1", "ipda l=2"]
+
+    def test_cost_ordering(self, table):
+        totals = table.column("total_mJ_per_round")
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_lifetime_inverse_ordering(self, table):
+        lifetimes = table.column("rounds_until_first_death")
+        assert lifetimes[0] > lifetimes[1] > lifetimes[2]
+
+    def test_peak_exceeds_average(self, table):
+        for row in table.rows:
+            _name, total_mj, peak_uj, _lifetime = row
+            # peak node (µJ) must exceed the per-node average (µJ).
+            average_uj = total_mj * 1000 / self.NODES
+            assert peak_uj > average_uj
+
+    def test_energy_ratio_tracks_overhead(self, table):
+        totals = dict(
+            zip(table.column("protocol"), table.column("total_mJ_per_round"))
+        )
+        assert totals["ipda l=2"] / totals["tag"] == pytest.approx(
+            2.5, rel=0.35
+        )

@@ -1,0 +1,46 @@
+"""Tests for the latency experiment and the latency stat itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RngStreams
+from repro.core.config import IpdaConfig
+from repro.experiments import latency
+from repro.net.topology import random_deployment
+from repro.protocols.ipda import IpdaProtocol
+from repro.protocols.tag import TagProtocol
+
+
+class TestLatencyStat:
+    def test_recorded_and_positive(self):
+        topology = random_deployment(100, area=250.0, seed=2)
+        readings = {i: 1 for i in range(1, topology.node_count)}
+        tag = TagProtocol().run_round(topology, readings, streams=RngStreams(2))
+        ipda = IpdaProtocol().run_round(
+            topology, readings, streams=RngStreams(2)
+        )
+        assert tag.stats["latency"] > 0
+        assert ipda.stats["latency"] > tag.stats["latency"]
+
+    def test_ipda_pays_roughly_the_slicing_window(self):
+        topology = random_deployment(100, area=250.0, seed=3)
+        readings = {i: 1 for i in range(1, topology.node_count)}
+        timing = IpdaConfig().timing
+        tag = TagProtocol().run_round(topology, readings, streams=RngStreams(3))
+        ipda = IpdaProtocol().run_round(
+            topology, readings, streams=RngStreams(3)
+        )
+        delta = ipda.stats["latency"] - tag.stats["latency"]
+        expected = timing.slicing_window + timing.assembly_guard
+        assert delta == pytest.approx(expected, rel=0.4)
+
+
+class TestLatencyExperiment:
+    def test_table_shape(self):
+        table = latency.run(sizes=(150, 300), repetitions=1, seed=1)
+        deltas = table.column("delta_s")
+        assert all(d > 0 for d in deltas)
+        tag_col = table.column("tag_latency_s")
+        # Depth-scheduled convergecast: density barely moves latency.
+        assert tag_col[0] == pytest.approx(tag_col[1], rel=0.2)

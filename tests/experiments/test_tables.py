@@ -1,0 +1,229 @@
+"""Tests for the experiment harness and each table/figure runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ablations,
+    fig1_trees,
+    fig4_messages,
+    fig5_privacy,
+    fig6_threshold,
+    fig7_overhead,
+    fig8_coverage_accuracy,
+    table1_density,
+)
+from repro.experiments.common import ExperimentTable, mean_std
+
+
+class TestExperimentTable:
+    def test_row_shape_enforced(self):
+        table = ExperimentTable(name="t", columns=["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = ExperimentTable(name="t", columns=["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+        with pytest.raises(ConfigurationError):
+            table.column("c")
+
+    def test_text_rendering(self):
+        table = ExperimentTable(name="demo", columns=["x", "value"])
+        table.add_row(1, 0.123456)
+        table.add_note("a note")
+        text = table.to_text()
+        assert "demo" in text
+        assert "0.1235" in text
+        assert "note: a note" in text
+
+    def test_csv_rendering(self):
+        table = ExperimentTable(name="demo", columns=["x", "y"])
+        table.add_row(1, "z")
+        csv_text = table.to_csv()
+        assert csv_text.splitlines() == ["x,y", "1,z"]
+
+    def test_csv_file(self, tmp_path):
+        table = ExperimentTable(name="demo", columns=["x"])
+        table.add_row(5)
+        path = tmp_path / "out.csv"
+        table.write_csv(str(path))
+        assert path.read_text().splitlines() == ["x", "5"]
+
+    def test_mean_std(self):
+        mean, std = mean_std([1.0, 3.0])
+        assert mean == 2.0
+        assert std == pytest.approx(1.4142, rel=0.01)
+        assert mean_std([4.0]) == (4.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            mean_std([])
+
+    def test_mean_ci(self):
+        from repro.experiments.common import mean_ci
+
+        mean, half = mean_ci([10.0, 12.0, 8.0, 11.0, 9.0])
+        assert mean == pytest.approx(10.0)
+        assert half > 0
+        # Wider confidence -> wider interval.
+        _mean99, half99 = mean_ci(
+            [10.0, 12.0, 8.0, 11.0, 9.0], confidence=0.99
+        )
+        assert half99 > half
+        # Degenerate cases collapse to zero width.
+        assert mean_ci([5.0]) == (5.0, 0.0)
+        assert mean_ci([5.0, 5.0]) == (5.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            mean_ci([1.0, 2.0], confidence=1.5)
+
+    def test_float_formatting(self):
+        fmt = ExperimentTable._format_cell
+        assert fmt(True) == "yes"
+        assert fmt(0.0) == "0"
+        assert fmt(1e-9) == "1.000e-09"
+        assert fmt(12345.6) == "1.235e+04"
+
+
+class TestTable1:
+    def test_shape_holds(self):
+        table = table1_density.run(sizes=(200, 400), repetitions=3)
+        measured = table.column("measured_degree")
+        # Degree grows with N and brackets the paper's knee at 18.
+        assert measured[0] < measured[1]
+        assert 6 < measured[0] < 12
+        assert 15 < measured[1] < 22
+
+
+class TestFig1:
+    def test_structural_facts(self):
+        table = fig1_trees.run(seed=1)
+        values = dict(zip(table.column("property"), table.column("value")))
+        assert values["node-disjoint"] is True
+        assert values["red tree consistent"] is True
+        assert values["blue tree consistent"] is True
+
+
+class TestFig4:
+    def test_measured_budgets_match_analytic(self):
+        table = fig4_messages.run(node_count=250, slice_counts=(1, 2), seed=1)
+        for row in table.rows:
+            protocol, analytic, measured = row
+            assert measured == pytest.approx(analytic, rel=0.15)
+
+
+class TestFig5:
+    def test_series_shapes(self):
+        table = fig5_privacy.run(
+            px_values=(0.02, 0.05, 0.1), monte_carlo_trials=0
+        )
+        l2 = table.column("analytic_deg7_l2")
+        l3 = table.column("analytic_deg7_l3")
+        # Increasing in px; l=3 strictly below l=2.
+        assert l2[0] < l2[1] < l2[2]
+        assert all(b < a for a, b in zip(l2, l3))
+        # Density insensitivity (Figure 5's observation).
+        d17 = table.column("analytic_deg17_l2")
+        for a, b in zip(l2, d17):
+            assert a == pytest.approx(b, rel=0.5)
+
+    def test_paperform_column_matches_px_power(self):
+        table = fig5_privacy.run(px_values=(0.1,), monte_carlo_trials=0)
+        paperform_l2 = table.column("paperform_l2")[0]
+        assert paperform_l2 == pytest.approx(
+            1 - (1 - 0.1**2) * (1 - 0.1), rel=1e-6
+        )
+
+    def test_monte_carlo_columns_present_when_requested(self):
+        table = fig5_privacy.run(
+            px_values=(0.05,),
+            degrees=(7,),
+            slice_counts=(2,),
+            monte_carlo_trials=2,
+        )
+        assert "measured_deg7_l2" in table.columns
+
+
+class TestFig6:
+    def test_trees_agree_within_threshold(self):
+        table = fig6_threshold.run(
+            sizes=(300,), slice_counts=(1, 2), repetitions=2
+        )
+        (row,) = table.rows
+        values = dict(zip(table.columns, row))
+        assert values["maxdiff_l1"] <= 5
+        assert values["maxdiff_l2"] <= 5
+        assert values["red_l1"] <= values["perfect"]
+
+
+class TestFig7:
+    def test_ratio_shape(self):
+        table = fig7_overhead.run(
+            sizes=(250, 450), slice_counts=(2,), repetitions=1
+        )
+        ratios = table.column("ratio_l2")
+        # Rises toward (2l+1)/2 = 2.5 with density.
+        assert ratios[0] < ratios[1]
+        assert ratios[1] == pytest.approx(2.5, rel=0.25)
+
+
+class TestFig8:
+    def test_curves_rise_and_saturate(self):
+        table = fig8_coverage_accuracy.run(
+            sizes=(200, 450),
+            slice_counts=(2,),
+            repetitions=1,
+            coverage_repetitions=5,
+        )
+        covered = table.column("covered_fraction")
+        accuracy = table.column("accuracy_ipda_l2")
+        tag = table.column("accuracy_tag")
+        assert covered[0] < covered[1]
+        assert accuracy[0] < accuracy[1]
+        assert covered[1] > 0.9
+        assert accuracy[1] > 0.9
+        # TAG tolerates sparsity better than iPDA (Figure 8c).
+        assert tag[0] > accuracy[0]
+
+
+class TestAblations:
+    def test_slices_tradeoff(self):
+        table = ablations.run_slices(
+            node_count=250, slice_counts=(1, 2), repetitions=1
+        )
+        privacy = table.column("analytic_pdisclose")
+        overhead = table.column("overhead_ratio")
+        assert privacy[1] < privacy[0]  # more slices, less disclosure
+        assert overhead[1] > overhead[0]  # ... at more cost
+
+    def test_budget_tradeoff(self):
+        table = ablations.run_budget(
+            node_count=300, budgets=(2, 16), repetitions=3
+        )
+        fraction = table.column("aggregator_fraction")
+        assert fraction[0] < fraction[1]
+
+    def test_role_mode_rows(self):
+        table = ablations.run_role_mode(node_count=250, repetitions=2)
+        modes = table.column("mode")
+        assert set(modes) == {"fixed", "adaptive"}
+
+    def test_key_schemes_rows(self):
+        table = ablations.run_key_schemes(node_count=150, repetitions=1)
+        schemes = table.column("scheme")
+        assert "pairwise" in schemes
+        assert "global-key" in schemes
+
+    def test_threshold_tradeoff(self):
+        table = ablations.run_threshold(
+            node_count=250,
+            thresholds=(0, 100),
+            repetitions=2,
+            pollution_offset=50,
+        )
+        detect = table.column("attack_detect_rate")
+        # Th=0 detects the +50 attack; Th=100 lets it through.
+        assert detect[0] == pytest.approx(1.0)
+        assert detect[1] == pytest.approx(0.0)

@@ -1,0 +1,100 @@
+"""Failure injection on the full radio stack.
+
+A fail-stop crash of an aggregator between slicing and the convergecast
+silently amputates its subtree from exactly one tree — the event iPDA's
+acceptance test is designed to notice (a benign analogue of pollution).
+A crash *before* Phase II, by contrast, removes the node from both
+trees' inputs symmetrically and service continues.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IpdaConfig, RngStreams
+from repro.net.topology import random_deployment
+from repro.protocols.ipda import IpdaProtocol
+from repro.sim.messages import TreeColor
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    topology = random_deployment(250, seed=111)
+    readings = {i: 10 for i in range(1, topology.node_count)}
+    clean = IpdaProtocol().run_round(
+        topology, readings, streams=RngStreams(111)
+    )
+    assert clean.accepted
+    return topology, readings, clean
+
+
+def _timing():
+    return IpdaConfig().timing
+
+
+class TestCrashes:
+    def test_crash_before_slicing_is_symmetric(self, scenario):
+        topology, readings, clean = scenario
+        victim = max(clean.participants)
+        outcome = IpdaProtocol().run_round(
+            topology,
+            readings,
+            streams=RngStreams(111),
+            failures={victim: 0.5},  # dies during tree construction
+        )
+        # The victim contributes to neither tree: still balanced.
+        assert abs(outcome.s_red - outcome.s_blue) <= IpdaConfig().threshold
+
+    def test_crash_between_slicing_and_report_unbalances_trees(
+        self, scenario
+    ):
+        topology, readings, clean = scenario
+        timing = _timing()
+        # Any participating aggregator: its assembled value (and maybe
+        # its subtree) vanishes from exactly one tree.
+        candidates = sorted(clean.participants & clean.covered)
+        victim = candidates[len(candidates) // 2]
+        crash_time = (
+            timing.tree_construction_window
+            + timing.slicing_window
+            + timing.assembly_guard
+            + 0.1
+        )
+        outcome = IpdaProtocol().run_round(
+            topology,
+            readings,
+            streams=RngStreams(111),
+            failures={victim: crash_time},
+        )
+        # The round still completes without error; the dead node's
+        # assembled value (and possibly its subtree) is missing from
+        # exactly one tree, so the difference is generally non-zero.
+        assert outcome.s_red != 0 and outcome.s_blue != 0
+        assert outcome.verification is not None
+
+    def test_mass_failure_degrades_but_never_crashes(self, scenario):
+        topology, readings, clean = scenario
+        victims = sorted(clean.participants)[:40]
+        timing = _timing()
+        outcome = IpdaProtocol().run_round(
+            topology,
+            readings,
+            streams=RngStreams(111),
+            failures={
+                v: timing.tree_construction_window + 1.0 for v in victims
+            },
+        )
+        # Simulation completes; collected totals are below the clean run.
+        assert outcome.s_red <= clean.s_red
+        assert outcome.s_blue <= clean.s_blue
+
+    def test_dead_base_station_yields_empty_round(self, scenario):
+        topology, readings, _clean = scenario
+        outcome = IpdaProtocol().run_round(
+            topology,
+            readings,
+            streams=RngStreams(111),
+            failures={0: 0.0},
+        )
+        assert outcome.s_red == 0
+        assert outcome.s_blue == 0

@@ -1,0 +1,110 @@
+"""Golden-trace regression tests.
+
+A tiny, fully deterministic scenario is pinned down to its exact frame
+sequence; any change to engine ordering, MAC timing, or protocol logic
+that alters observable behaviour must consciously update these
+expectations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RngStreams
+from repro.net.geometry import Point
+from repro.net.topology import Topology
+from repro.protocols.ipda import IpdaProtocol
+from repro.protocols.tag import TagProtocol
+from repro.sim.radio import RadioConfig
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    """Five nodes in a cross: the base station can reach everyone."""
+    positions = [
+        Point(50, 50),  # 0: base station, centre
+        Point(10, 50),
+        Point(90, 50),
+        Point(50, 10),
+        Point(50, 90),
+    ]
+    return Topology(positions=positions, radio_range=45.0)
+
+
+def frame_kinds(outcome):
+    return outcome.stats["trace"]["frames_by_kind"]
+
+
+class TestGoldenTag:
+    def test_exact_frame_counts(self, tiny):
+        readings = {1: 10, 2: 20, 3: 30, 4: 40}
+        outcome = TagProtocol(
+            radio_config=RadioConfig(collisions_enabled=False)
+        ).run_round(tiny, readings, streams=RngStreams(0))
+        # 5 HELLOs (root + 4 forwards), 4 results.
+        assert frame_kinds(outcome) == {"hello": 5, "aggregate": 4}
+        assert outcome.reported == 100
+        assert outcome.participants == {1, 2, 3, 4}
+
+    def test_byte_total_pinned(self, tiny):
+        readings = {1: 10, 2: 20, 3: 30, 4: 40}
+        outcome = TagProtocol(
+            radio_config=RadioConfig(collisions_enabled=False)
+        ).run_round(tiny, readings, streams=RngStreams(0))
+        # 5 * 22 (hello) + 4 * 29 (aggregate) = 226.
+        assert outcome.bytes_sent == 226
+
+    def test_reproducible_across_runs(self, tiny):
+        readings = {1: 1, 2: 2, 3: 3, 4: 4}
+        runs = [
+            TagProtocol().run_round(tiny, readings, streams=RngStreams(5))
+            for _ in range(2)
+        ]
+        assert runs[0].stats["latency"] == runs[1].stats["latency"]
+        assert runs[0].bytes_sent == runs[1].bytes_sent
+
+
+class TestGoldenIpda:
+    def test_exact_frame_counts(self, tiny):
+        # All four sensors neighbour the BS and each other via the BS
+        # only -- they cannot see each other (distance >= 56.6 > 45),
+        # so their only aggregator candidates are the BS and themselves.
+        readings = {1: 10, 2: 20, 3: 30, 4: 40}
+        outcome = IpdaProtocol(
+            radio_config=RadioConfig(collisions_enabled=False)
+        ).run_round(tiny, readings, streams=RngStreams(0))
+        kinds = frame_kinds(outcome)
+        # 2 BS HELLOs + one HELLO per decided sensor.
+        assert kinds["hello"] == 2 + 4
+        # With l=2: an aggregator with only the BS as peer of each
+        # colour needs l-1=1 own-colour and l=2 other-colour targets;
+        # the BS alone cannot provide 2 distinct other-colour targets,
+        # so participation collapses -- structural sparsity, factor (b).
+        assert len(outcome.participants) == 0
+        assert outcome.s_red == outcome.s_blue == 0
+        assert outcome.accepted  # empty but consistent
+
+    def test_line_of_five_ipda_l1(self):
+        # A line lets l=1 work: each node needs one aggregator per
+        # colour among its neighbours.
+        positions = [Point(i * 40.0, 0.0) for i in range(5)]
+        line = Topology(positions=positions, radio_range=45.0)
+        readings = {1: 1, 2: 1, 3: 1, 4: 1}
+        from repro import IpdaConfig
+
+        outcome = IpdaProtocol(
+            IpdaConfig(slices=1),
+            radio_config=RadioConfig(collisions_enabled=False),
+        ).run_round(line, readings, streams=RngStreams(3))
+        assert outcome.s_red == outcome.s_blue
+        assert outcome.accepted
+
+    def test_latency_recorded(self, tiny):
+        readings = {1: 1, 2: 1, 3: 1, 4: 1}
+        outcome = IpdaProtocol(
+            radio_config=RadioConfig(collisions_enabled=False)
+        ).run_round(tiny, readings, streams=RngStreams(0))
+        # No aggregates flow in the collapsed-participation scenario
+        # only if no aggregator has children; sensors still report to
+        # the BS (their parent), so latency is positive.
+        assert outcome.stats["latency"] > 0.0

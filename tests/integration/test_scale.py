@@ -1,0 +1,58 @@
+"""Scalability sanity: paper-scale and beyond on a laptop budget."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import IpdaConfig, RngStreams
+from repro.core.trees import build_disjoint_trees
+from repro.net.topology import random_deployment
+from repro.protocols.ipda import IpdaProtocol
+
+
+class TestScale:
+    def test_thousand_node_round_completes_quickly(self):
+        topology = random_deployment(1000, seed=9)
+        readings = {i: 1 for i in range(1, topology.node_count)}
+        started = time.time()
+        outcome = IpdaProtocol(IpdaConfig()).run_round(
+            topology, readings, streams=RngStreams(9)
+        )
+        elapsed = time.time() - started
+        assert outcome.s_red == outcome.s_blue
+        assert outcome.accepted
+        # Dense regime (degree ~44): everyone participates.
+        assert len(outcome.participants) > 0.98 * (topology.node_count - 1)
+        assert elapsed < 30.0, f"1000-node round took {elapsed:.1f}s"
+
+    def test_logical_builder_scales_to_2000(self):
+        topology = random_deployment(2000, seed=10)
+        started = time.time()
+        trees = build_disjoint_trees(
+            topology, IpdaConfig(), np.random.default_rng(10)
+        )
+        elapsed = time.time() - started
+        assert trees.is_node_disjoint()
+        assert len(trees.covered_nodes()) > 0.99 * topology.node_count
+        assert elapsed < 20.0, f"2000-node Phase I took {elapsed:.1f}s"
+
+    def test_event_counts_scale_linearly(self):
+        """Per-participant frame counts stay flat as N doubles (no
+        quadratic blowup in the protocol itself).  Dense sizes are used
+        so the participation fraction is saturated at both points."""
+        per_participant = []
+        for size in (500, 1000):
+            topology = random_deployment(size, seed=11)
+            readings = {i: 1 for i in range(1, topology.node_count)}
+            outcome = IpdaProtocol().run_round(
+                topology, readings, streams=RngStreams(11)
+            )
+            per_participant.append(
+                outcome.frames_sent / max(len(outcome.participants), 1)
+            )
+        assert per_participant[1] == pytest.approx(
+            per_participant[0], rel=0.15
+        )

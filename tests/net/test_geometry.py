@@ -1,0 +1,84 @@
+"""Tests for planar geometry primitives."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.net.geometry import (
+    Point,
+    distance,
+    pairwise_distances,
+    points_within_range,
+)
+
+
+class TestPoint:
+    def test_distance_to_self_is_zero(self):
+        p = Point(3.0, 4.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_symmetric(self):
+        a, b = Point(1, 2), Point(-4, 7)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1  # type: ignore[misc]
+
+    def test_module_distance_function(self):
+        assert distance(Point(0, 0), Point(0, 2)) == pytest.approx(2.0)
+
+
+class TestPairwiseDistances:
+    def test_empty(self):
+        assert pairwise_distances([]).shape == (0, 0)
+
+    def test_matrix_shape_and_symmetry(self):
+        points = [Point(0, 0), Point(1, 0), Point(0, 1)]
+        d = pairwise_distances(points)
+        assert d.shape == (3, 3)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_values(self):
+        points = [Point(0, 0), Point(3, 4)]
+        d = pairwise_distances(points)
+        assert d[0, 1] == pytest.approx(5.0)
+
+    def test_triangle_inequality(self):
+        points = [Point(0, 0), Point(5, 1), Point(2, 9), Point(-3, 4)]
+        d = pairwise_distances(points)
+        n = len(points)
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-9
+
+
+class TestPointsWithinRange:
+    def test_orders_pairs(self):
+        points = [Point(0, 0), Point(1, 0), Point(10, 0)]
+        pairs = points_within_range(points, 1.5)
+        assert pairs == [(0, 1)]
+
+    def test_boundary_inclusive(self):
+        points = [Point(0, 0), Point(2, 0)]
+        assert points_within_range(points, 2.0) == [(0, 1)]
+
+    def test_just_outside_excluded(self):
+        points = [Point(0, 0), Point(2.001, 0)]
+        assert points_within_range(points, 2.0) == []
+
+    def test_complete_graph_when_range_large(self):
+        points = [Point(i, 0) for i in range(5)]
+        pairs = points_within_range(points, 100.0)
+        assert len(pairs) == 10  # C(5, 2)

@@ -1,0 +1,94 @@
+"""Tests for graph utilities (BFS trees, hops, conversions)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.graphs import (
+    bfs_hops,
+    bfs_tree,
+    children_map,
+    largest_component,
+    subgraph_neighbors,
+    to_networkx,
+    tree_depth,
+)
+from repro.net.topology import grid_deployment, random_deployment
+
+
+class TestBfs:
+    def test_hops_on_line(self, line_topology):
+        hops = bfs_hops(line_topology, root=0)
+        assert hops == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_tree_on_line(self, line_topology):
+        parents = bfs_tree(line_topology, root=0)
+        assert parents == {0: None, 1: 0, 2: 1, 3: 2, 4: 3}
+
+    def test_tree_spans_connected_component_only(self):
+        topo = grid_deployment(1, 4, spacing=100.0, radio_range=50.0)
+        parents = bfs_tree(topo, root=0)
+        assert parents == {0: None}
+
+    def test_tree_parents_are_one_hop_closer(self, paper_topology):
+        hops = bfs_hops(paper_topology, root=0)
+        parents = bfs_tree(paper_topology, root=0)
+        for node, parent in parents.items():
+            if parent is not None:
+                assert hops[node] == hops[parent] + 1
+
+    def test_hops_match_networkx(self, small_topology):
+        expected = nx.single_source_shortest_path_length(
+            to_networkx(small_topology), 0
+        )
+        assert bfs_hops(small_topology, 0) == dict(expected)
+
+
+class TestChildrenMap:
+    def test_inverts_parent_map(self):
+        parents = {0: None, 1: 0, 2: 0, 3: 1}
+        kids = children_map(parents)
+        assert kids == {0: [1, 2], 1: [3], 2: [], 3: []}
+
+    def test_depth(self):
+        parents = {0: None, 1: 0, 2: 1, 3: 2}
+        assert tree_depth(parents) == 3
+
+    def test_depth_of_root_only(self):
+        assert tree_depth({0: None}) == 0
+
+    def test_depth_detects_cycles(self):
+        with pytest.raises(TopologyError):
+            tree_depth({1: 2, 2: 1})
+
+
+class TestConversions:
+    def test_to_networkx_preserves_structure(self, small_topology):
+        graph = to_networkx(small_topology)
+        assert graph.number_of_nodes() == small_topology.node_count
+        assert graph.number_of_edges() == len(small_topology.edges())
+
+    def test_positions_attached(self, small_topology):
+        graph = to_networkx(small_topology)
+        pos = graph.nodes[0]["pos"]
+        assert pos == small_topology.positions[0].as_tuple()
+
+    def test_connectivity_agrees_with_networkx(self):
+        topo = random_deployment(80, area=300.0, seed=3)
+        assert topo.is_connected() == nx.is_connected(to_networkx(topo))
+
+
+class TestSetHelpers:
+    def test_subgraph_neighbors(self, line_topology):
+        assert subgraph_neighbors(line_topology, 1, {0, 3}) == {0}
+
+    def test_largest_component_connected(self, small_topology):
+        assert largest_component(small_topology) == set(
+            range(small_topology.node_count)
+        )
+
+    def test_largest_component_disconnected(self):
+        topo = grid_deployment(1, 5, spacing=100.0, radio_range=50.0)
+        assert len(largest_component(topo)) == 1

@@ -1,0 +1,116 @@
+"""Property-based invariants of the radio + MAC substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.net.topology import random_deployment
+from repro.sim.messages import BROADCAST, HelloMessage
+from repro.sim.network import Network
+from repro.sim.radio import RadioConfig
+
+
+def run_random_traffic(seed: int, sends: int, loss_probability: float):
+    topology = random_deployment(20, area=120.0, seed=seed % 7)
+    network = Network(
+        topology,
+        seed=seed,
+        radio_config=RadioConfig(loss_probability=loss_probability),
+        keep_frames=True,
+    )
+    rng = np.random.default_rng(seed)
+    for _ in range(sends):
+        src = int(rng.integers(0, topology.node_count))
+        if rng.random() < 0.5:
+            dst = BROADCAST
+        else:
+            neighbors = sorted(topology.neighbors(src))
+            if not neighbors:
+                continue
+            dst = neighbors[int(rng.integers(0, len(neighbors)))]
+        network.mac(src).send(HelloMessage(src=src, dst=dst))
+    network.run()
+    return topology, network
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    sends=st.integers(min_value=1, max_value=30),
+    loss=st.sampled_from([0.0, 0.2, 1.0]),
+)
+def test_accounting_invariants(seed, sends, loss):
+    topology, network = run_random_traffic(seed, sends, loss)
+    trace = network.trace
+
+    # 1. Delivery/drop accounting: every (frame, receiver) attempt ends
+    #    exactly once, and no receiver appears twice for one frame.
+    for record in trace.frames:
+        receivers = [r for r in record.delivered_to]
+        receivers += [r for r, _reason in record.dropped_at]
+        neighbor_set = topology.neighbors(record.src)
+        for receiver in record.delivered_to:
+            assert receiver in neighbor_set
+        delivered_set = set(record.delivered_to)
+        assert len(delivered_set) == len(record.delivered_to)
+
+    # 2. Addressed unicast deliveries never exceed one per unique frame
+    #    (ARQ must not duplicate).
+    seen_frames = {}
+    for record in trace.frames:
+        message = record.message
+        if message is None or message.is_broadcast:
+            continue
+        count = sum(
+            1 for r in record.delivered_to if r == message.dst
+        )
+        seen_frames[message.frame_id] = (
+            seen_frames.get(message.frame_id, 0) + count
+        )
+    assert all(count <= 1 for count in seen_frames.values())
+
+    # 3. Global counters reconcile with the frame log.
+    assert trace.total_frames_sent == len(trace.frames)
+    assert trace.total_bytes_sent == sum(
+        r.size_bytes for r in trace.frames
+    )
+
+    # 4. With certain loss, nothing is ever delivered.
+    if loss == 1.0:
+        assert sum(trace.delivered_count.values()) == 0
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_arq_delivers_on_lossless_channel(seed):
+    """Every unicast to a live neighbour arrives when the channel only
+    loses frames to collisions (ARQ recovers those)."""
+    topology, network = run_random_traffic(seed, 10, 0.0)
+    trace = network.trace
+    wanted = {}
+    for record in trace.frames:
+        message = record.message
+        if message is None or message.is_broadcast:
+            continue
+        wanted.setdefault(message.frame_id, message)
+    for frame_id, message in wanted.items():
+        if message.dst not in topology.neighbors(message.src):
+            continue
+        delivered = any(
+            message.dst in record.delivered_to
+            for record in trace.frames
+            if record.message is not None
+            and record.message.frame_id == frame_id
+        )
+        assert delivered, f"unicast frame {frame_id} never arrived"

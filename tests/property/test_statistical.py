@@ -1,0 +1,108 @@
+"""Statistical validation of the stochastic components (scipy-based)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.analysis.privacy import regular_disclosure_probability
+from repro.attacks.eavesdropper import LinkEavesdropper
+from repro.core.config import IpdaConfig
+from repro.core.pipeline import run_lossless_round
+from repro.core.slicing import slice_value
+from repro.crypto.cipher import KEY_BYTES, keystream
+from repro.net.topology import regular_topology
+
+
+class TestSliceDistribution:
+    def test_random_components_uniform(self):
+        """The l-1 free slice components must look uniform on [-W, W].
+
+        Privacy rests on the pieces carrying no information about the
+        reading; a KS test against the uniform CDF checks the sampler.
+        """
+        rng = np.random.default_rng(0)
+        magnitude = 10_000
+        samples = []
+        for _ in range(4000):
+            pieces = slice_value(123, 2, rng, magnitude=magnitude)
+            samples.append(pieces[0])  # the free component
+        result = scipy_stats.kstest(
+            np.array(samples),
+            scipy_stats.uniform(
+                loc=-magnitude, scale=2 * magnitude
+            ).cdf,
+        )
+        assert result.pvalue > 0.001
+
+    def test_free_component_independent_of_reading(self):
+        """Distribution of the free piece must not shift with the value."""
+        rng = np.random.default_rng(1)
+        magnitude = 10_000
+        small = [
+            slice_value(1, 2, rng, magnitude=magnitude)[0]
+            for _ in range(3000)
+        ]
+        large = [
+            slice_value(9_999, 2, rng, magnitude=magnitude)[0]
+            for _ in range(3000)
+        ]
+        result = scipy_stats.ks_2samp(small, large)
+        assert result.pvalue > 0.001
+
+
+class TestKeystreamQuality:
+    def test_keystream_bytes_uniform(self):
+        stream = keystream(bytes(KEY_BYTES), bytes(8), 20_000)
+        counts = np.bincount(np.frombuffer(stream, dtype=np.uint8),
+                             minlength=256)
+        chi2 = scipy_stats.chisquare(counts)
+        assert chi2.pvalue > 0.001
+
+    def test_keystream_bit_balance(self):
+        stream = keystream(bytes(KEY_BYTES), bytes(8), 20_000)
+        bits = np.unpackbits(np.frombuffer(stream, dtype=np.uint8))
+        # Balanced within 1%.
+        assert abs(bits.mean() - 0.5) < 0.01
+
+
+class TestEavesdropperCalibration:
+    def test_monte_carlo_matches_eq11_on_regular_graph(self):
+        """On a d-regular graph E[n_l] = 2l-1 is exact, so the measured
+        disclosure rate should agree with Equation 11 closely."""
+        topology = regular_topology(200, 10, seed=3)
+        readings = {i: 7 for i in range(1, topology.node_count)}
+        result = run_lossless_round(
+            topology,
+            readings,
+            IpdaConfig(slices=2),
+            seed=3,
+            record_flows=True,
+        )
+        px = 0.3
+        attacker = LinkEavesdropper(px, seed=9)
+        measured = attacker.monte_carlo_disclosure(
+            topology, result, trials=60
+        )
+        analytic = regular_disclosure_probability(px, 2, 10)
+        assert measured == pytest.approx(analytic, rel=0.5)
+
+    def test_disclosure_scales_like_px_squared_for_l2(self):
+        """Way one dominates: doubling p_x quadruples disclosure."""
+        topology = regular_topology(200, 10, seed=4)
+        readings = {i: 7 for i in range(1, topology.node_count)}
+        result = run_lossless_round(
+            topology,
+            readings,
+            IpdaConfig(slices=2),
+            seed=4,
+            record_flows=True,
+        )
+        low = LinkEavesdropper(0.2, seed=1).monte_carlo_disclosure(
+            topology, result, trials=60
+        )
+        high = LinkEavesdropper(0.4, seed=1).monte_carlo_disclosure(
+            topology, result, trials=60
+        )
+        assert high / max(low, 1e-9) == pytest.approx(4.0, rel=0.6)

@@ -1,0 +1,139 @@
+"""Tests for additive statistic encodings (Section II-B)."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocols.aggregates import (
+    AverageStatistic,
+    CountStatistic,
+    PowerMeanMax,
+    PowerMeanMin,
+    StdDevStatistic,
+    SumStatistic,
+    VarianceStatistic,
+    statistic_by_name,
+)
+
+DATA = [3, 17, 42, 8, 8, 25, 1, 30]
+
+
+def totals_for(statistic, data):
+    parts = [statistic.encode(v) for v in data]
+    return [
+        sum(p[i] for p in parts) for i in range(statistic.component_count)
+    ]
+
+
+class TestExactStatistics:
+    def test_sum(self):
+        stat = SumStatistic()
+        assert stat.decode(totals_for(stat, DATA)) == sum(DATA)
+
+    def test_count(self):
+        stat = CountStatistic()
+        assert stat.decode(totals_for(stat, DATA)) == len(DATA)
+
+    def test_count_ignores_value(self):
+        stat = CountStatistic()
+        assert stat.encode(123456) == (1,)
+
+    def test_average(self):
+        stat = AverageStatistic()
+        assert stat.decode(totals_for(stat, DATA)) == pytest.approx(
+            statistics.mean(DATA)
+        )
+
+    def test_variance(self):
+        stat = VarianceStatistic()
+        assert stat.decode(totals_for(stat, DATA)) == pytest.approx(
+            statistics.pvariance(DATA)
+        )
+
+    def test_stddev(self):
+        stat = StdDevStatistic()
+        assert stat.decode(totals_for(stat, DATA)) == pytest.approx(
+            statistics.pstdev(DATA)
+        )
+
+    def test_variance_of_constant_is_zero(self):
+        stat = VarianceStatistic()
+        assert stat.decode(totals_for(stat, [5] * 10)) == pytest.approx(0.0)
+
+    def test_component_counts(self):
+        assert SumStatistic().component_count == 1
+        assert AverageStatistic().component_count == 2
+        assert VarianceStatistic().component_count == 3
+
+    def test_zero_sensors_rejected(self):
+        with pytest.raises(ProtocolError):
+            AverageStatistic().decode([0, 0])
+        with pytest.raises(ProtocolError):
+            VarianceStatistic().decode([0, 0, 0])
+
+    def test_wrong_component_count_rejected(self):
+        with pytest.raises(ProtocolError):
+            SumStatistic().decode([1, 2])
+
+
+class TestPowerMeans:
+    def test_max_recovers_true_max(self):
+        stat = PowerMeanMax(exponent=64)
+        assert stat.decode(totals_for(stat, DATA)) == max(DATA)
+
+    def test_max_error_bound(self):
+        # Relative error bounded by N^(1/k) - 1 (paper's limit argument).
+        stat = PowerMeanMax(exponent=16)
+        approx = stat.decode(totals_for(stat, DATA))
+        bound = max(DATA) * (len(DATA) ** (1 / 16) - 1)
+        assert 0 <= approx - max(DATA) <= bound + 1
+
+    def test_min_recovers_true_min(self):
+        stat = PowerMeanMin(exponent=64)
+        approx = stat.decode(totals_for(stat, DATA))
+        assert approx == pytest.approx(min(DATA), abs=1)
+
+    def test_max_of_zeros(self):
+        stat = PowerMeanMax()
+        assert stat.decode(totals_for(stat, [0, 0, 0])) == 0.0
+
+    def test_max_rejects_negative_readings(self):
+        with pytest.raises(ProtocolError):
+            PowerMeanMax().encode(-1)
+
+    def test_min_rejects_non_positive(self):
+        with pytest.raises(ProtocolError):
+            PowerMeanMin().encode(0)
+
+    def test_exponent_validation(self):
+        with pytest.raises(ProtocolError):
+            PowerMeanMax(exponent=0)
+        with pytest.raises(ProtocolError):
+            PowerMeanMin(exponent=0)
+
+    def test_large_values_do_not_overflow(self):
+        stat = PowerMeanMax(exponent=32)
+        data = [10_000, 9_999, 500]
+        # Two near-ties double the power sum: error ~ 2^(1/32) - 1 ≈ 2.2%.
+        assert stat.decode(totals_for(stat, data)) == pytest.approx(
+            10_000, rel=0.05
+        )
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name",
+        ["sum", "count", "average", "variance", "stddev", "max", "min"],
+    )
+    def test_lookup(self, name):
+        assert statistic_by_name(name).name == name
+
+    def test_lookup_case_insensitive(self):
+        assert statistic_by_name(" SUM ").name == "sum"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ProtocolError):
+            statistic_by_name("median")

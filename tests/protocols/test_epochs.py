@@ -1,0 +1,138 @@
+"""Tests for the epoched iPDA session (amortised Phase I)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IpdaConfig, RngStreams
+from repro.errors import AnalysisError, ProtocolError
+from repro.net.topology import random_deployment
+from repro.protocols.epochs import (
+    EpochedIpdaSession,
+    amortized_messages_per_node,
+)
+from repro.sim.radio import RadioConfig
+
+
+@pytest.fixture(scope="module")
+def session():
+    topology = random_deployment(200, area=300.0, seed=121)
+    s = EpochedIpdaSession(
+        topology,
+        IpdaConfig(),
+        streams=RngStreams(121),
+        radio_config=RadioConfig(collisions_enabled=False),
+    )
+    s.construct_trees()
+    return topology, s
+
+
+class TestLifecycle:
+    def test_epoch_before_construction_rejected(self):
+        topology = random_deployment(50, area=150.0, seed=1)
+        session = EpochedIpdaSession(topology, seed=1)
+        with pytest.raises(ProtocolError):
+            session.run_epoch({i: 1 for i in range(1, 50)})
+
+    def test_double_construction_rejected(self, session):
+        _topology, s = session
+        with pytest.raises(ProtocolError):
+            s.construct_trees()
+
+    def test_construction_covers_dense_network(self, session):
+        topology, s = session
+        assert len(s.covered()) > 0.8 * (topology.node_count - 1)
+
+
+class TestEpochs:
+    def test_epoch_conserves_sum(self, session):
+        topology, s = session
+        readings = {i: 3 for i in range(1, topology.node_count)}
+        outcome = s.run_epoch(readings)
+        assert outcome.s_red == outcome.s_blue
+        assert outcome.accepted
+        assert outcome.reported == 3 * len(outcome.participants)
+
+    def test_epochs_are_independent(self, session):
+        topology, s = session
+        first = s.run_epoch({i: 1 for i in range(1, topology.node_count)})
+        second = s.run_epoch({i: 5 for i in range(1, topology.node_count)})
+        assert second.epoch == first.epoch + 1
+        assert second.reported == 5 * len(second.participants)
+        # No leakage of the first epoch's sums into the second.
+        assert second.s_red == 5 * len(second.participants)
+
+    def test_per_epoch_bytes_cheaper_than_standalone_round(self, session):
+        topology, s = session
+        readings = {i: 1 for i in range(1, topology.node_count)}
+        outcome = s.run_epoch(readings)
+        # An epoch repeats Phases II+III only; Phase I was amortised.
+        assert 0 < outcome.bytes_this_epoch
+        assert s.construction_bytes > 0
+        from repro.protocols.ipda import IpdaProtocol
+
+        standalone = IpdaProtocol(
+            radio_config=RadioConfig(collisions_enabled=False)
+        ).run_round(topology, readings, streams=RngStreams(9))
+        assert outcome.bytes_this_epoch < standalone.bytes_sent
+
+    def test_pollution_detected_per_epoch(self, session):
+        topology, s = session
+        readings = {i: 1 for i in range(1, topology.node_count)}
+        polluter = max(s.covered())
+        outcome = s.run_epoch(readings, polluters={polluter: 400})
+        assert not outcome.accepted
+        # Service recovers in the next epoch.
+        clean = s.run_epoch(readings)
+        assert clean.accepted
+
+    def test_contributor_restriction(self, session):
+        topology, s = session
+        readings = {i: 2 for i in range(1, topology.node_count)}
+        subset = set(list(readings)[:40])
+        outcome = s.run_epoch(readings, contributors=subset)
+        assert outcome.participants <= subset
+        assert outcome.s_red == 2 * len(outcome.participants)
+
+    def test_base_station_reading_rejected(self, session):
+        topology, s = session
+        with pytest.raises(ProtocolError):
+            s.run_epoch({0: 1, 1: 1})
+
+
+class TestAmortisation:
+    def test_budget_formula(self):
+        assert amortized_messages_per_node(2, 1) == pytest.approx(5.0)
+        assert amortized_messages_per_node(2, 10) == pytest.approx(4.1)
+        assert amortized_messages_per_node(2, 10**6) == pytest.approx(
+            4.0, abs=0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            amortized_messages_per_node(0, 1)
+        with pytest.raises(AnalysisError):
+            amortized_messages_per_node(2, 0)
+
+    def test_history_accumulates(self, session):
+        _topology, s = session
+        assert len(s.history) >= 1
+        assert [o.epoch for o in s.history] == sorted(
+            o.epoch for o in s.history
+        )
+
+
+class TestRealisticChannel:
+    def test_epochs_survive_collisions(self):
+        """With the collision channel on, epochs still conserve and the
+        trees agree within Th (ARQ covers the data frames)."""
+        topology = random_deployment(200, area=300.0, seed=123)
+        session = EpochedIpdaSession(
+            topology, IpdaConfig(), streams=RngStreams(123)
+        )
+        session.construct_trees()
+        readings = {i: 1 for i in range(1, topology.node_count)}
+        for _ in range(3):
+            outcome = session.run_epoch(readings)
+            assert abs(outcome.s_red - outcome.s_blue) <= 5
+            assert outcome.accepted

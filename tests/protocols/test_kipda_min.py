@@ -1,0 +1,75 @@
+"""Tests for the KIPDA MIN variant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import RngStreams
+from repro.errors import ProtocolError
+from repro.net.topology import random_deployment
+from repro.protocols.kipda import KipdaConfig, KipdaMinProtocol
+
+
+@pytest.fixture(scope="module")
+def dense():
+    topology = random_deployment(120, area=250.0, seed=29)
+    readings = {
+        i: 50 + ((i * 53) % 300) for i in range(1, topology.node_count)
+    }
+    return topology, readings
+
+
+class TestVectors:
+    def test_real_camouflage_never_below_reading(self):
+        protocol = KipdaMinProtocol()
+        rng = np.random.default_rng(1)
+        secret = protocol.deploy_secret(rng)
+        for reading in (5, 100, 900):
+            vector = protocol.build_vector(reading, secret, rng)
+            for p in secret:
+                assert vector[p] >= reading
+            assert min(vector[p] for p in secret) == reading
+
+
+class TestRound:
+    def test_recovers_true_min(self, dense):
+        topology, readings = dense
+        outcome = KipdaMinProtocol().run_round(
+            topology, readings, streams=RngStreams(3)
+        )
+        assert outcome.reported == min(readings.values())
+        assert outcome.exact
+
+    def test_low_fake_camouflage_cannot_corrupt(self, dense):
+        # Fake positions may carry values below the true minimum; the
+        # base station only reads the secret real positions.
+        topology, readings = dense
+        config = KipdaConfig(camouflage_low=0, camouflage_high=1_000)
+        outcome = KipdaMinProtocol(config).run_round(
+            topology, readings, streams=RngStreams(4)
+        )
+        assert outcome.reported == min(readings.values())
+
+    def test_readings_above_ceiling_rejected(self, dense):
+        topology, _ = dense
+        readings = {
+            i: 10_000 for i in range(1, topology.node_count)
+        }
+        with pytest.raises(ProtocolError):
+            KipdaMinProtocol().run_round(
+                topology, readings, streams=RngStreams(5)
+            )
+
+    def test_min_and_max_agree_on_constant_field(self, dense):
+        from repro.protocols.kipda import KipdaMaxProtocol
+
+        topology, _ = dense
+        readings = {i: 77 for i in range(1, topology.node_count)}
+        low = KipdaMinProtocol().run_round(
+            topology, readings, streams=RngStreams(6)
+        )
+        high = KipdaMaxProtocol().run_round(
+            topology, readings, streams=RngStreams(6)
+        )
+        assert low.reported == high.reported == 77

@@ -1,0 +1,82 @@
+"""Tests for the slicing-only PDA ablation baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RngStreams
+from repro.errors import ProtocolError
+from repro.net.topology import random_deployment
+from repro.protocols.pda import PdaParams, PdaProtocol
+from repro.protocols.tag import TagProtocol
+from repro.sim.radio import RadioConfig
+
+
+@pytest.fixture(scope="module")
+def dense():
+    topology = random_deployment(150, area=250.0, seed=17)
+    readings = {i: 3 for i in range(1, topology.node_count)}
+    return topology, readings
+
+
+class TestRound:
+    def test_perfect_channel_exact(self, dense):
+        topology, readings = dense
+        outcome = PdaProtocol(
+            radio_config=RadioConfig(collisions_enabled=False)
+        ).run_round(topology, readings, streams=RngStreams(1))
+        assert outcome.reported == outcome.participant_total
+        assert len(outcome.participants) == len(readings)
+
+    def test_realistic_channel_close(self, dense):
+        topology, readings = dense
+        outcome = PdaProtocol().run_round(
+            topology, readings, streams=RngStreams(2)
+        )
+        assert outcome.accuracy > 0.9
+
+    def test_cheaper_than_ipda_pricier_than_tag(self, dense):
+        from repro import IpdaConfig
+        from repro.protocols.ipda import IpdaProtocol
+
+        topology, readings = dense
+        streams = RngStreams(3)
+        tag = TagProtocol().run_round(topology, readings, streams=streams)
+        pda = PdaProtocol(PdaParams(slices=2)).run_round(
+            topology, readings, streams=streams
+        )
+        ipda = IpdaProtocol(IpdaConfig(slices=2)).run_round(
+            topology, readings, streams=streams
+        )
+        # PDA slices to one tree only: l-1 extra frames vs TAG's 2, but
+        # fewer than iPDA's 2l+1.
+        assert tag.bytes_sent < pda.bytes_sent < ipda.bytes_sent
+
+    def test_no_integrity_mechanism(self, dense):
+        # PDA's outcome has no verification: pollution is undetectable.
+        topology, readings = dense
+        outcome = PdaProtocol().run_round(
+            topology, readings, streams=RngStreams(4)
+        )
+        assert not hasattr(outcome, "verification")
+
+    def test_l1_degenerates_to_tag_like_flow(self, dense):
+        topology, readings = dense
+        outcome = PdaProtocol(
+            PdaParams(slices=1),
+            radio_config=RadioConfig(collisions_enabled=False),
+        ).run_round(topology, readings, streams=RngStreams(5))
+        assert outcome.reported == sum(readings.values())
+
+    def test_deterministic(self, dense):
+        topology, readings = dense
+        a = PdaProtocol().run_round(topology, readings, streams=RngStreams(6))
+        b = PdaProtocol().run_round(topology, readings, streams=RngStreams(6))
+        assert a.reported == b.reported
+
+    def test_validation(self, dense):
+        topology, readings = dense
+        with pytest.raises(ProtocolError):
+            PdaProtocol().run_round(topology, {1: 1}, streams=RngStreams(1))
+        with pytest.raises(ProtocolError):
+            PdaParams(slices=0)

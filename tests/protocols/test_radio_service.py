@@ -1,0 +1,71 @@
+"""Tests for the self-healing radio aggregation service."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import IpdaConfig, RngStreams
+from repro.errors import ProtocolError
+from repro.net.topology import random_deployment
+from repro.protocols.epochs import EpochedIpdaSession, RadioAggregationService
+from repro.sim.radio import RadioConfig
+
+
+def make_service(attacker_offset=None, seed=161, nodes=150):
+    topology = random_deployment(nodes, area=250.0, seed=seed)
+    session = EpochedIpdaSession(
+        topology,
+        IpdaConfig(),
+        streams=RngStreams(seed),
+        radio_config=RadioConfig(collisions_enabled=False),
+    )
+    session.construct_trees()
+    compromised = None
+    if attacker_offset is not None:
+        attacker = max(session.covered())
+        compromised = {attacker: attacker_offset}
+    service = RadioAggregationService(
+        session, compromised=compromised, hunt_after=1
+    )
+    readings = {i: 3 for i in range(1, topology.node_count)}
+    return service, readings, compromised
+
+
+class TestCleanService:
+    def test_epochs_accepted(self):
+        service, readings, _ = make_service()
+        outcomes = [service.serve(readings) for _ in range(3)]
+        assert all(o.accepted for o in outcomes)
+        assert service.excluded == set()
+        assert service.hunts == []
+
+    def test_hunt_after_validation(self):
+        service, _, _ = make_service()
+        with pytest.raises(ProtocolError):
+            RadioAggregationService(service.session, hunt_after=0)
+
+
+class TestAttackedService:
+    def test_polluter_hunted_over_radio_epochs(self):
+        service, readings, compromised = make_service(attacker_offset=700)
+        attacker = next(iter(compromised))
+        first = service.serve(readings)
+        assert not first.accepted
+        # hunt_after=1: the hunt already ran inside serve().
+        assert service.hunts, "hunt did not trigger"
+        assert service.hunts[0]["culprit"] == attacker
+        assert attacker in service.excluded
+        bound = math.ceil(math.log2(len(service.session.covered()))) + 1
+        assert service.hunts[0]["probe_epochs"] <= bound
+        # Service recovers on the standing trees.
+        recovered = service.serve(readings)
+        assert recovered.accepted
+        assert attacker not in recovered.participants
+
+    def test_excluded_attacker_cannot_pollute_again(self):
+        service, readings, compromised = make_service(attacker_offset=-900)
+        service.serve(readings)  # triggers hunt + exclusion
+        tail = [service.serve(readings) for _ in range(2)]
+        assert all(o.accepted for o in tail)

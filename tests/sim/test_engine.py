@@ -1,0 +1,129 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import EventEngine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        engine = EventEngine()
+        fired = []
+        for label in "abc":
+            engine.schedule(1.0, lambda lab=label: fired.append(lab))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_priority_overrides_sequence_at_same_time(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("later"), priority=1)
+        engine.schedule(1.0, lambda: fired.append("sooner"), priority=-1)
+        engine.run()
+        assert fired == ["sooner", "later"]
+
+    def test_now_advances_with_events(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule(0.5, lambda: seen.append(engine.now))
+        engine.schedule(1.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [0.5, 1.5]
+
+    def test_negative_delay_rejected(self):
+        engine = EventEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule(1.0, lambda: engine.schedule_at(
+            3.0, lambda: seen.append(engine.now)
+        ))
+        engine.run()
+        assert seen == [3.0]
+
+    def test_events_can_schedule_events(self):
+        engine = EventEngine()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                engine.schedule(1.0, lambda: chain(depth + 1))
+
+        engine.schedule(0.0, lambda: chain(0))
+        engine.run()
+        assert fired == [0, 1, 2, 3]
+
+
+class TestRunControl:
+    def test_run_until_stops_before_future_events(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(5.0, lambda: fired.append(5))
+        engine.run(until=2.0)
+        assert fired == [1]
+        assert engine.now == 2.0
+        engine.run()
+        assert fired == [1, 5]
+
+    def test_run_until_advances_clock_when_no_events(self):
+        engine = EventEngine()
+        engine.run(until=7.0)
+        assert engine.now == 7.0
+
+    def test_max_events(self):
+        engine = EventEngine()
+        fired = []
+        for i in range(5):
+            engine.schedule(float(i), lambda i=i: fired.append(i))
+        engine.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_cancelled_events_are_skipped(self):
+        engine = EventEngine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append("cancelled"))
+        engine.schedule(2.0, lambda: fired.append("kept"))
+        handle.cancel()
+        engine.run()
+        assert fired == ["kept"]
+
+    def test_processed_events_counter(self):
+        engine = EventEngine()
+        for i in range(3):
+            engine.schedule(float(i), lambda: None)
+        engine.run()
+        assert engine.processed_events == 3
+
+    def test_reentrant_run_rejected(self):
+        engine = EventEngine()
+        errors = []
+
+        def reenter():
+            try:
+                engine.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        engine.schedule(0.0, reenter)
+        engine.run()
+        assert len(errors) == 1
+
+    def test_repr_smoke(self):
+        assert "EventEngine" in repr(EventEngine())

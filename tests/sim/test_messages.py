@@ -1,0 +1,80 @@
+"""Tests for the typed over-the-air messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.messages import (
+    BROADCAST,
+    LINK_HEADER_BYTES,
+    AggregateMessage,
+    HelloMessage,
+    Message,
+    QueryMessage,
+    SliceMessage,
+    TreeColor,
+)
+
+
+class TestTreeColor:
+    def test_other_color(self):
+        assert TreeColor.RED.other is TreeColor.BLUE
+        assert TreeColor.BLUE.other is TreeColor.RED
+
+    def test_round_trips_through_value(self):
+        assert TreeColor("red") is TreeColor.RED
+
+
+class TestSizes:
+    def test_base_message_is_header_only(self):
+        assert Message(src=0, dst=1).size_bytes == LINK_HEADER_BYTES
+
+    def test_hello_size(self):
+        msg = HelloMessage(src=0, dst=BROADCAST, color=TreeColor.RED, hops=2)
+        assert msg.size_bytes == LINK_HEADER_BYTES + 6
+
+    def test_query_size(self):
+        assert QueryMessage(src=0, dst=BROADCAST).size_bytes == (
+            LINK_HEADER_BYTES + 8
+        )
+
+    def test_aggregate_size(self):
+        msg = AggregateMessage(src=1, dst=0, value=12345)
+        assert msg.size_bytes == LINK_HEADER_BYTES + 13
+
+    def test_slice_size_tracks_ciphertext(self):
+        msg = SliceMessage(src=1, dst=2, ciphertext=b"\x00" * 8)
+        assert msg.size_bytes == LINK_HEADER_BYTES + 5 + 8
+
+    def test_slice_frame_same_size_as_aggregate_frame(self):
+        # The uniform-packet model behind the (2l+1)/2 overhead ratio.
+        slice_msg = SliceMessage(src=1, dst=2, ciphertext=b"\x00" * 8)
+        agg_msg = AggregateMessage(src=1, dst=0)
+        assert slice_msg.size_bytes == agg_msg.size_bytes
+
+    def test_subclasses_do_not_inherit_zero_payload(self):
+        # Regression: PAYLOAD_BYTES must be a ClassVar, not a field.
+        assert HelloMessage(src=0, dst=BROADCAST).payload_bytes() == 6
+
+
+class TestSemantics:
+    def test_broadcast_flag(self):
+        assert HelloMessage(src=0, dst=BROADCAST).is_broadcast
+        assert not AggregateMessage(src=1, dst=0).is_broadcast
+
+    def test_kind_names(self):
+        assert HelloMessage(src=0, dst=BROADCAST).kind == "hello"
+        assert SliceMessage(src=0, dst=1).kind == "slice"
+        assert AggregateMessage(src=0, dst=1).kind == "aggregate"
+        assert QueryMessage(src=0, dst=1).kind == "query"
+
+    def test_frame_ids_unique(self):
+        a = HelloMessage(src=0, dst=BROADCAST)
+        b = HelloMessage(src=0, dst=BROADCAST)
+        assert a.frame_id != b.frame_id
+
+    def test_describe_helper(self):
+        from repro.sim.messages import describe
+
+        msg = AggregateMessage(src=3, dst=0, value=9)
+        assert describe(msg) == ("aggregate", 3, 0, msg.size_bytes)

@@ -1,0 +1,132 @@
+"""Tests for the Network container and Node runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.topology import grid_deployment
+from repro.sim.messages import BROADCAST, HelloMessage, Message
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+
+class Recorder(Node):
+    """Node that records everything it hears."""
+
+    def __init__(self, node_id, network):
+        super().__init__(node_id, network)
+        self.received = []
+        self.overheard = []
+
+    def on_receive(self, message: Message) -> None:
+        self.received.append(message)
+
+    def on_overhear(self, message: Message) -> None:
+        self.overheard.append(message)
+
+
+def make_network(**kwargs):
+    topology = grid_deployment(1, 4, spacing=40.0, radio_range=50.0)
+    return Network(topology, Recorder, **kwargs)
+
+
+class TestWiring:
+    def test_nodes_created_for_every_id(self):
+        net = make_network()
+        assert sorted(net.nodes) == [0, 1, 2, 3]
+        assert all(isinstance(n, Recorder) for n in net.iter_nodes())
+
+    def test_unknown_node_raises(self):
+        net = make_network()
+        with pytest.raises(SimulationError):
+            net.node(42)
+
+    def test_mac_instances_cached(self):
+        net = make_network()
+        assert net.mac(1) is net.mac(1)
+
+    def test_node_rng_streams_distinct_and_cached(self):
+        net = make_network()
+        assert net.node_rng(1) is net.node_rng(1)
+        assert net.node_rng(1) is not net.node_rng(2)
+
+    def test_default_factory_builds_base_nodes(self):
+        topology = grid_deployment(1, 3, spacing=40.0, radio_range=50.0)
+        net = Network(topology)
+        assert type(net.node(0)) is Node
+
+
+class TestMessaging:
+    def test_broadcast_dispatches_to_on_receive(self):
+        net = make_network()
+        net.node(1).send(HelloMessage(src=1, dst=BROADCAST))
+        net.run()
+        assert len(net.node(0).received) == 1
+        assert len(net.node(2).received) == 1
+        assert len(net.node(3).received) == 0  # out of range
+
+    def test_unicast_overheard_by_bystanders(self):
+        net = make_network()
+        net.node(1).send(HelloMessage(src=1, dst=0))
+        net.run()
+        assert len(net.node(0).received) == 1
+        assert len(net.node(2).overheard) == 1
+
+    def test_dead_node_neither_sends_nor_receives(self):
+        net = make_network()
+        net.node(2).kill()
+        net.node(2).send(HelloMessage(src=2, dst=BROADCAST))
+        net.node(1).send(HelloMessage(src=1, dst=BROADCAST))
+        net.run()
+        assert net.trace.sent_by_node[2] == 0
+        assert net.node(2).received == []
+
+    def test_dead_node_timers_suppressed(self):
+        net = make_network()
+        fired = []
+        node = net.node(1)
+        node.schedule(1.0, lambda: fired.append("x"))
+        node.kill()
+        net.run()
+        assert fired == []
+
+    def test_node_timers_fire(self):
+        net = make_network()
+        fired = []
+        net.node(1).schedule(0.5, lambda: fired.append(net.engine.now))
+        net.run()
+        assert fired == [0.5]
+
+    def test_neighbors_accessor(self):
+        net = make_network()
+        assert net.node(1).neighbors() == frozenset({0, 2})
+
+    def test_repr_smoke(self):
+        assert "Network" in repr(make_network())
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_traces(self):
+        def run(seed):
+            net = make_network(seed=seed)
+            for node in net.iter_nodes():
+                node.send(HelloMessage(src=node.id, dst=BROADCAST))
+            net.run()
+            return (
+                net.trace.total_frames_sent,
+                dict(net.trace.delivered_count),
+                dict(net.trace.dropped_count),
+                net.engine.now,
+            )
+
+        assert run(7) == run(7)
+
+    def test_different_seeds_may_differ_in_timing(self):
+        def end_time(seed):
+            net = make_network(seed=seed)
+            net.node(1).send(HelloMessage(src=1, dst=BROADCAST))
+            net.run()
+            return net.engine.now
+
+        assert end_time(1) != end_time(2)

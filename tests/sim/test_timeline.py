@@ -1,0 +1,84 @@
+"""Tests for the frame-log timeline renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.topology import grid_deployment
+from repro.sim.messages import BROADCAST, HelloMessage
+from repro.sim.network import Network
+from repro.sim.timeline import (
+    filter_frames,
+    render_timeline,
+    summarize_conversation,
+)
+
+
+@pytest.fixture
+def frames():
+    topology = grid_deployment(1, 4, spacing=40.0, radio_range=50.0)
+    network = Network(topology, seed=1, keep_frames=True)
+    network.mac(0).send(HelloMessage(src=0, dst=BROADCAST))
+    network.mac(1).send(HelloMessage(src=1, dst=2))
+    network.mac(3).send(HelloMessage(src=3, dst=2))
+    network.run()
+    return network.trace.frames
+
+
+class TestFilter:
+    def test_by_kind(self, frames):
+        assert len(filter_frames(frames, kind="hello")) == len(frames)
+        assert filter_frames(frames, kind="aggregate") == []
+
+    def test_by_node_matches_sender_and_receiver(self, frames):
+        for record in filter_frames(frames, node=2):
+            involved = (
+                record.src == 2
+                or record.dst == 2
+                or 2 in record.delivered_to
+                or any(r == 2 for r, _ in record.dropped_at)
+            )
+            assert involved
+
+    def test_by_time_window(self, frames):
+        mid = sorted(r.time for r in frames)[len(frames) // 2]
+        early = filter_frames(frames, end=mid)
+        late = filter_frames(frames, start=mid)
+        assert len(early) + len(late) >= len(frames)
+
+
+class TestRender:
+    def test_chronological_order(self, frames):
+        text = render_timeline(frames)
+        times = [
+            float(line.split("s")[0]) for line in text.splitlines()
+            if line.strip() and not line.startswith("...")
+        ]
+        assert times == sorted(times)
+
+    def test_broadcast_marked_with_star(self, frames):
+        text = render_timeline(frames, kind="hello")
+        assert "-> *" in text
+
+    def test_outcomes_rendered(self, frames):
+        text = render_timeline(frames)
+        assert "ok->" in text
+
+    def test_limit_truncates_with_note(self, frames):
+        text = render_timeline(frames, limit=1)
+        assert "more frames omitted" in text
+
+    def test_limit_validation(self, frames):
+        with pytest.raises(ConfigurationError):
+            render_timeline(frames, limit=0)
+
+
+class TestConversation:
+    def test_summarises_pairs(self, frames):
+        text = summarize_conversation(frames, 1, 2)
+        assert "between 1 and 2" in text
+        assert "hello" in text
+
+    def test_empty_pair(self, frames):
+        assert "no frames" in summarize_conversation(frames, 0, 3)

@@ -1,0 +1,86 @@
+"""Tests for the trace collector's accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.messages import BROADCAST, AggregateMessage, HelloMessage
+from repro.sim.trace import DropReason, TraceCollector
+
+
+def hello(src=0, dst=BROADCAST):
+    return HelloMessage(src=src, dst=dst)
+
+
+class TestCounters:
+    def test_send_counts_by_kind_and_node(self):
+        trace = TraceCollector()
+        trace.record_send(0.0, hello(src=3))
+        trace.record_send(0.0, hello(src=3))
+        trace.record_send(0.0, AggregateMessage(src=4, dst=0))
+        assert trace.sent_count["hello"] == 2
+        assert trace.sent_count["aggregate"] == 1
+        assert trace.sent_by_node[3] == 2
+        assert trace.messages_sent_by(4) == 1
+        assert trace.messages_sent_by(99) == 0
+
+    def test_bytes_accumulate(self):
+        trace = TraceCollector()
+        msg = hello()
+        trace.record_send(0.0, msg)
+        trace.record_send(0.0, msg)
+        assert trace.total_bytes_sent == 2 * msg.size_bytes
+        assert trace.sent_bytes_by_node[0] == 2 * msg.size_bytes
+
+    def test_delivery_and_drop_counts(self):
+        trace = TraceCollector()
+        msg = hello()
+        record = trace.record_send(0.0, msg)
+        trace.record_delivery(record, msg, receiver=1)
+        trace.record_drop(record, msg, receiver=2, reason=DropReason.COLLISION)
+        assert trace.delivered_count["hello"] == 1
+        assert trace.dropped_count[DropReason.COLLISION] == 1
+        assert trace.loss_rate() == pytest.approx(0.5)
+
+    def test_loss_rate_empty_is_zero(self):
+        assert TraceCollector().loss_rate() == 0.0
+
+    def test_summary_shape(self):
+        trace = TraceCollector()
+        msg = hello()
+        trace.record_send(0.0, msg)
+        summary = trace.summary()
+        assert summary["frames_sent"] == 1
+        assert summary["bytes_sent"] == msg.size_bytes
+        assert "bytes_by_kind" in summary
+        assert "drops_by_reason" in summary
+
+
+class TestFrameLog:
+    def test_disabled_by_default(self):
+        trace = TraceCollector()
+        assert trace.record_send(0.0, hello()) is None
+        assert trace.frames == []
+
+    def test_records_when_enabled(self):
+        trace = TraceCollector(keep_frames=True)
+        record = trace.record_send(1.5, hello(src=2))
+        assert record is not None
+        assert record.time == 1.5
+        assert record.src == 2
+        assert trace.frames == [record]
+
+    def test_record_tracks_outcomes(self):
+        trace = TraceCollector(keep_frames=True)
+        msg = hello(src=2)
+        record = trace.record_send(0.0, msg)
+        trace.record_delivery(record, msg, receiver=5)
+        trace.record_drop(record, msg, receiver=6, reason=DropReason.COLLISION)
+        assert record.delivered_to == [5]
+        assert record.dropped_at == [(6, DropReason.COLLISION)]
+
+    def test_received_kind_by_node(self):
+        trace = TraceCollector()
+        msg = hello(src=2)
+        trace.record_delivery(None, msg, receiver=7)
+        assert trace.received_kind_by_node[7]["hello"] == 1

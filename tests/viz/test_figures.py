@@ -1,0 +1,115 @@
+"""Tests for the table-to-figure rendering layer."""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentTable
+from repro.viz.figures import (
+    FIGURE_SPECS,
+    chart_from_table,
+    render_known_figure,
+)
+
+
+def make_table() -> ExperimentTable:
+    table = ExperimentTable(
+        name="demo", columns=["nodes", "tag_bytes", "ipda_l1_bytes",
+                              "ipda_l2_bytes"]
+    )
+    table.add_row(200, 10_000, 8_000, 14_000)
+    table.add_row(400, 20_000, 31_000, 54_000)
+    table.add_row(600, 30_000, 48_000, 82_000)
+    return table
+
+
+class TestChartFromTable:
+    def test_builds_series_from_columns(self):
+        chart = chart_from_table(
+            make_table(),
+            x_column="nodes",
+            series_columns=["tag_bytes", "ipda_l2_bytes"],
+            y_label="bytes",
+        )
+        assert len(chart.series) == 2
+        assert chart.series[0].points[0] == (200.0, 10_000.0)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ConfigurationError):
+            chart_from_table(
+                make_table(), x_column="nodes", series_columns=["nope"]
+            )
+
+    def test_no_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            chart_from_table(
+                make_table(), x_column="nodes", series_columns=[]
+            )
+
+
+class TestRenderKnownFigure:
+    def test_fig7_spec_renders(self, tmp_path):
+        path = render_known_figure("fig7", make_table(), str(tmp_path))
+        assert path is not None
+        assert os.path.exists(path)
+        root = ET.fromstring(open(path).read())
+        polylines = root.findall("{http://www.w3.org/2000/svg}polyline")
+        assert len(polylines) == 3
+
+    def test_unknown_experiment_skipped(self, tmp_path):
+        assert render_known_figure("fig1", make_table(), str(tmp_path)) is None
+
+    def test_missing_columns_skipped(self, tmp_path):
+        table = ExperimentTable(name="d", columns=["nodes", "other"])
+        table.add_row(1, 2)
+        assert render_known_figure("fig7", table, str(tmp_path)) is None
+
+    def test_specs_reference_real_experiments(self):
+        from repro.cli import EXPERIMENTS
+
+        for name in FIGURE_SPECS:
+            assert name in EXPERIMENTS
+
+    def test_end_to_end_with_real_experiment(self, tmp_path):
+        from repro.experiments import table1_density
+
+        table = table1_density.run(sizes=(200, 300), repetitions=1)
+        path = render_known_figure("table1", table, str(tmp_path))
+        assert path is not None
+        ET.fromstring(open(path).read())
+
+    def test_fig5_log_scale_end_to_end(self, tmp_path):
+        from repro.experiments import fig5_privacy
+
+        table = fig5_privacy.run(
+            px_values=(0.02, 0.1), monte_carlo_trials=0
+        )
+        path = render_known_figure("fig5", table, str(tmp_path))
+        assert path is not None
+        ET.fromstring(open(path).read())
+
+
+class TestCliIntegration:
+    def test_svg_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_dir = tmp_path / "figs"
+        assert (
+            main(
+                [
+                    "table1",
+                    "--fast",
+                    "--repetitions",
+                    "1",
+                    "--svg",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        assert (out_dir / "table1.svg").exists()
+        assert "figure written" in capsys.readouterr().out

@@ -1,0 +1,99 @@
+"""Tests for the SVG chart renderer."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.viz.svg import LineChart, Series
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text: str) -> ET.Element:
+    return ET.fromstring(svg_text)
+
+
+def simple_chart(**kwargs) -> LineChart:
+    chart = LineChart(title="t", x_label="x", y_label="y", **kwargs)
+    chart.add_series("a", [(0, 0), (1, 2), (2, 1)])
+    chart.add_series("b", [(0, 3), (1, 1), (2, 4)])
+    return chart
+
+
+class TestSeries:
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Series(label="x", points=[])
+
+
+class TestChart:
+    def test_output_is_valid_xml(self):
+        root = parse(simple_chart().to_svg())
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_polyline_per_series(self):
+        root = parse(simple_chart().to_svg())
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2
+
+    def test_markers_per_point(self):
+        root = parse(simple_chart().to_svg())
+        circles = root.findall(f"{SVG_NS}circle")
+        rects = root.findall(f"{SVG_NS}rect")
+        # Series 'a' uses circle markers (3 points).
+        assert len(circles) == 3
+        # Series 'b' uses square markers (3 points) + background + frame.
+        assert len(rects) == 3 + 2
+
+    def test_labels_present(self):
+        text = simple_chart().to_svg()
+        assert ">t<" in text  # title
+        assert ">x<" in text
+        assert ">y<" in text
+        assert ">a<" in text and ">b<" in text  # legend
+
+    def test_points_inside_viewbox(self):
+        chart = simple_chart()
+        root = parse(chart.to_svg())
+        for poly in root.findall(f"{SVG_NS}polyline"):
+            for pair in poly.get("points", "").split():
+                x, y = map(float, pair.split(","))
+                assert 0 <= x <= chart.width
+                assert 0 <= y <= chart.height
+
+    def test_log_scale(self):
+        chart = LineChart(
+            title="log", x_label="x", y_label="y", log_y=True
+        )
+        chart.add_series("s", [(1, 1e-4), (2, 1e-2), (3, 1.0)])
+        root = parse(chart.to_svg())
+        assert root.findall(f"{SVG_NS}polyline")
+
+    def test_log_scale_rejects_all_nonpositive(self):
+        chart = LineChart(title="log", x_label="x", y_label="y", log_y=True)
+        chart.add_series("s", [(1, 0.0), (2, -1.0)])
+        with pytest.raises(ConfigurationError):
+            chart.to_svg()
+
+    def test_empty_chart_rejected(self):
+        chart = LineChart(title="e", x_label="x", y_label="y")
+        with pytest.raises(ConfigurationError):
+            chart.to_svg()
+
+    def test_constant_series_handled(self):
+        chart = LineChart(title="c", x_label="x", y_label="y")
+        chart.add_series("flat", [(0, 5), (1, 5)])
+        parse(chart.to_svg())  # no division-by-zero
+
+    def test_title_escaped(self):
+        chart = LineChart(title="a < b & c", x_label="x", y_label="y")
+        chart.add_series("s", [(0, 1), (1, 2)])
+        parse(chart.to_svg())  # would fail on unescaped '<' or '&'
+
+    def test_write(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        simple_chart().write(str(path))
+        parse(path.read_text())

@@ -1,0 +1,51 @@
+"""Tests for the spatial-gradient workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.topology import grid_deployment, random_deployment
+from repro.workloads.readings import gradient_readings
+
+
+class TestGradient:
+    def test_rises_along_x(self):
+        topology = grid_deployment(1, 10, spacing=30.0, radio_range=50.0)
+        readings = gradient_readings(
+            topology, np.random.default_rng(0), low=0, high=90, noise=0
+        )
+        ordered = [readings[i] for i in sorted(readings)]
+        assert ordered == sorted(ordered)
+        assert ordered[0] < ordered[-1]
+
+    def test_bounds_respected_without_noise(self):
+        topology = random_deployment(80, area=200.0, seed=4)
+        readings = gradient_readings(
+            topology, np.random.default_rng(1), low=10, high=20, noise=0
+        )
+        assert all(10 <= v <= 20 for v in readings.values())
+
+    def test_neighbours_read_similar_values(self):
+        topology = random_deployment(150, area=300.0, seed=5)
+        readings = gradient_readings(
+            topology, np.random.default_rng(2), low=0, high=100, noise=2
+        )
+        diffs = []
+        for a, b in topology.edges():
+            if a in readings and b in readings:
+                diffs.append(abs(readings[a] - readings[b]))
+        field_span = max(readings.values()) - min(readings.values())
+        assert max(diffs) < 0.5 * field_span  # spatially correlated
+
+    def test_validation(self):
+        topology = grid_deployment(2, 2, spacing=10.0)
+        with pytest.raises(ConfigurationError):
+            gradient_readings(
+                topology, np.random.default_rng(0), low=5, high=1
+            )
+        with pytest.raises(ConfigurationError):
+            gradient_readings(
+                topology, np.random.default_rng(0), noise=-1
+            )

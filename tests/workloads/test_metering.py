@@ -1,0 +1,100 @@
+"""Tests for the advanced-metering workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.topology import random_deployment
+from repro.workloads.metering import (
+    HouseholdProfile,
+    MeteringWorkload,
+    bill_shaving_offset,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    topology = random_deployment(80, area=250.0, seed=9)
+    return MeteringWorkload(topology, np.random.default_rng(9))
+
+
+class TestHousehold:
+    def test_occupied_household_has_evening_peak(self, rng):
+        profile = HouseholdProfile(meter_id=1, peak_watts=4000, occupied=True)
+        night = np.mean([profile.demand_watts(3, rng) for _ in range(20)])
+        evening = np.mean([profile.demand_watts(19, rng) for _ in range(20)])
+        assert evening > 2 * night
+
+    def test_vacant_household_flatlines(self, rng):
+        profile = HouseholdProfile(
+            meter_id=1, peak_watts=4000, occupied=False
+        )
+        samples = [profile.demand_watts(h, rng) for h in range(24)]
+        assert max(samples) < 200  # standby only: the occupancy signal
+
+    def test_demand_non_negative(self, rng):
+        profile = HouseholdProfile(meter_id=1, peak_watts=1500, occupied=True)
+        assert all(
+            profile.demand_watts(h, rng) >= 0 for h in range(24)
+        )
+
+    def test_hour_validation(self, rng):
+        profile = HouseholdProfile(meter_id=1, peak_watts=1500, occupied=True)
+        with pytest.raises(ConfigurationError):
+            profile.demand_watts(24, rng)
+
+
+class TestWorkload:
+    def test_one_meter_per_sensor(self, workload):
+        assert len(workload.households) == workload.topology.node_count - 1
+        assert 0 not in workload.households
+
+    def test_readings_cover_all_meters(self, workload):
+        readings = workload.readings_at(12)
+        assert set(readings) == set(workload.households)
+
+    def test_daily_readings_shape(self, workload):
+        daily = workload.daily_readings()
+        assert sorted(daily) == list(range(24))
+
+    def test_feeder_total(self, workload):
+        readings = workload.readings_at(19)
+        assert workload.true_total(readings) == sum(readings.values())
+
+    def test_neighbourhood_evening_peak(self, workload):
+        morning = workload.true_total(workload.readings_at(3))
+        evening = workload.true_total(workload.readings_at(19))
+        assert evening > morning
+
+    def test_occupancy_rate_respected(self):
+        topology = random_deployment(200, seed=10)
+        workload = MeteringWorkload(
+            topology, np.random.default_rng(1), occupancy_rate=0.5
+        )
+        occupied = sum(
+            1 for h in workload.households.values() if h.occupied
+        )
+        assert 0.35 < occupied / len(workload.households) < 0.65
+
+    def test_validation(self):
+        topology = random_deployment(20, area=100.0, seed=1)
+        with pytest.raises(ConfigurationError):
+            MeteringWorkload(
+                topology, np.random.default_rng(0), occupancy_rate=1.5
+            )
+        with pytest.raises(ConfigurationError):
+            MeteringWorkload(
+                topology, np.random.default_rng(0), peak_low=0
+            )
+
+
+class TestBillShaving:
+    def test_offset_is_negative_fraction(self):
+        readings = {1: 100, 2: 200, 3: 300}
+        assert bill_shaving_offset(readings, 0.5) == -300
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bill_shaving_offset({1: 100}, 0.0)

@@ -1,0 +1,88 @@
+"""Tests for sensor-reading generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.topology import random_deployment
+from repro.workloads.readings import (
+    constant_readings,
+    count_readings,
+    gaussian_readings,
+    hotspot_readings,
+    uniform_readings,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return random_deployment(100, area=250.0, seed=3)
+
+
+class TestBasicGenerators:
+    def test_constant_covers_all_sensors(self, topo):
+        readings = constant_readings(topo, 7)
+        assert set(readings) == set(range(1, topo.node_count))
+        assert all(v == 7 for v in readings.values())
+
+    def test_count_is_constant_one(self, topo):
+        assert all(v == 1 for v in count_readings(topo).values())
+
+    def test_base_station_excluded(self, topo):
+        assert 0 not in count_readings(topo)
+
+    def test_custom_base_station(self, topo):
+        readings = constant_readings(topo, 1, base_station=5)
+        assert 5 not in readings
+        assert 0 in readings
+
+    def test_uniform_bounds(self, topo, rng):
+        readings = uniform_readings(topo, rng, low=10, high=20)
+        assert all(10 <= v <= 20 for v in readings.values())
+
+    def test_uniform_validation(self, topo, rng):
+        with pytest.raises(ConfigurationError):
+            uniform_readings(topo, rng, low=5, high=1)
+
+    def test_gaussian_clipping(self, topo, rng):
+        readings = gaussian_readings(
+            topo, rng, mean=0.0, std=100.0, minimum=0, maximum=10
+        )
+        assert all(0 <= v <= 10 for v in readings.values())
+
+    def test_gaussian_validation(self, topo, rng):
+        with pytest.raises(ConfigurationError):
+            gaussian_readings(topo, rng, std=-1.0)
+
+    def test_reproducible(self, topo):
+        a = uniform_readings(topo, np.random.default_rng(1))
+        b = uniform_readings(topo, np.random.default_rng(1))
+        assert a == b
+
+
+class TestHotspot:
+    def test_hot_nodes_read_high(self, topo, rng):
+        readings = hotspot_readings(
+            topo, rng, background=10, peak=500, hotspot_fraction=0.1
+        )
+        values = sorted(readings.values())
+        sensors = topo.node_count - 1
+        hot_count = max(1, round(0.1 * sensors))
+        hot, cold = values[-hot_count:], values[:-hot_count]
+        assert min(hot) > max(cold)
+
+    def test_hotspot_is_spatially_clustered(self, topo, rng):
+        readings = hotspot_readings(topo, rng, peak=500)
+        hot = [n for n, v in readings.items() if v > 250]
+        xs = [topo.positions[n].x for n in hot]
+        ys = [topo.positions[n].y for n in hot]
+        spread = max(
+            max(xs) - min(xs), max(ys) - min(ys)
+        )
+        assert spread < 250.0  # clustered, not field-wide
+
+    def test_fraction_validation(self, topo, rng):
+        with pytest.raises(ConfigurationError):
+            hotspot_readings(topo, rng, hotspot_fraction=0.0)
