@@ -1,0 +1,53 @@
+"""Benchmark regenerating the fault-injection sweep (reduced scale)."""
+
+from __future__ import annotations
+
+from repro.experiments import fault_sweep
+
+
+def bench_fault_sweep(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fault_sweep.run(
+            crash_fractions=(0.0, 0.1),
+            loss_levels=("none", "light"),
+            repetitions=2,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    # 2 crash fractions x 2 loss levels x 3 protocol variants.
+    assert len(table.rows) == 12
+    by_key = {(row[0], row[1], row[2]): row for row in table.rows}
+    # Fault-free cell: everyone perfect, no retry effort spent.
+    clean = by_key[(0.0, "none", "ipda-robust")]
+    assert clean[3] == 1.0 and clean[6] == 1.0 and clean[7] == 0.0
+    # Legacy iPDA rejects every crashed round; robust iPDA never
+    # rejects at this crash level and serves a close estimate.
+    legacy = by_key[(0.1, "none", "ipda-legacy")]
+    robust = by_key[(0.1, "none", "ipda-robust")]
+    assert legacy[5] == 1.0
+    assert robust[5] == 0.0
+    assert robust[6] > 0.8
+    # Loss tolerance costs effort: retries appear once faults do.
+    assert by_key[(0.1, "light", "ipda-robust")][7] > 0
+
+
+def bench_fault_session(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fault_sweep.run_session(
+            rounds=5, crash_fraction=0.05, loss_level="light", seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    columns = table.columns
+    honest, polluted = table.rows
+    # The headline invariant at benchmark scale: zero false rejects,
+    # nothing silently wrong, pollution still caught.
+    assert honest[columns.index("false_rejects")] == 0
+    assert honest[columns.index("silently_wrong")] == 0
+    assert polluted[columns.index("silently_wrong")] == 0
+    assert polluted[columns.index("rejected")] >= 4

@@ -1,12 +1,23 @@
 #!/usr/bin/env python3
-"""Self-healing aggregation service under a persistent attacker.
+"""Self-healing aggregation service: pollution, then crashes.
 
-The base station serves a stream of queries while two compromised
-aggregators tamper with every round they sit on.  The session
-(`repro.core.session.AggregationSession`) rejects the polluted rounds,
-triggers the Section III-D bisection hunt after a rejection streak,
-excludes each culprit in O(log N) probe rounds, and resumes clean
-service — the full operational story of the paper's integrity design.
+Act 1 — the base station serves a stream of queries while two
+compromised aggregators tamper with every round they sit on.  The
+session (`repro.core.session.AggregationSession`) rejects the polluted
+rounds, triggers the Section III-D bisection hunt after a rejection
+streak, excludes each culprit in O(log N) probe rounds, and resumes
+clean service.
+
+Act 2 — with the attackers gone, a cluster of meters fail-stops
+mid-stream (a power cut; they come back two rounds later).  To the
+paper's bare `|S_b - S_r| <= Th` test a crashed aggregator is
+indistinguishable from a polluting one, so the legacy service would
+reject those rounds too.  With loss tolerance enabled
+(`IpdaConfig(robustness=...)`) the piece accounting explains the gap:
+the crashed rounds come back *degraded* — served from the
+better-covered tree with an explicit coverage statement, never
+rejected and never silently wrong — and service returns to full
+acceptance when the meters recover.
 
 Run:  python examples/resilient_service.py
 """
@@ -15,12 +26,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import IpdaConfig, random_deployment
+from repro import IpdaConfig, RobustnessConfig, random_deployment
 from repro.core.session import AggregationSession
 from repro.workloads import MeteringWorkload
 
 SEED = 23
 ATTACKERS = {17: -8_000, 140: 12_000}  # meter id -> per-round offset
+CRASHED = {31, 52, 88, 120, 203}  # the mid-stream power cut
+CRASH_ROUNDS = range(16, 18)  # rounds the cut spans (then they revive)
 
 
 def main() -> None:
@@ -31,7 +44,7 @@ def main() -> None:
 
     session = AggregationSession(
         topology,
-        IpdaConfig(),
+        IpdaConfig(robustness=RobustnessConfig()),
         compromised=ATTACKERS,
         hunt_after=2,
         seed=SEED,
@@ -39,9 +52,10 @@ def main() -> None:
     print(f"{topology.node_count - 1} meters, true feeder {true_kw:.1f} kW")
     print(f"compromised aggregators: {sorted(ATTACKERS)}\n")
 
-    print("round  accepted  reported kW  note")
-    for _ in range(16):
-        record = session.run_round(readings)
+    print("round  outcome   reported kW  note")
+    for round_id in range(21):
+        crashed = CRASHED if round_id in CRASH_ROUNDS else None
+        record = session.run_round(readings, crashed=crashed)
         reported = "     -" if record.reported is None else (
             f"{record.reported / 1000:10.1f}"
         )
@@ -49,19 +63,35 @@ def main() -> None:
         if record.newly_excluded is not None:
             note = (f"hunted node {record.newly_excluded} in "
                     f"{record.hunt_rounds} probe rounds -> excluded")
-        print(f"{record.round_id:5d}  {str(record.accepted):8s} "
+        elif record.degraded:
+            note = (f"{len(record.crashed)} meters dark, coverage "
+                    f"{record.coverage:.0%}, confidence "
+                    f"{record.confidence:.0%}")
+        elif crashed:
+            note = f"{len(record.crashed)} meters dark"
+        print(f"{record.round_id:5d}  {record.outcome:8s} "
               f"{reported}  {note}")
-        if session.excluded >= set(ATTACKERS):
-            pass  # keep serving; the tail shows clean rounds
 
     print(f"\nexcluded: {sorted(session.excluded)} "
           f"(attackers were {sorted(ATTACKERS)})")
     print(f"acceptance rate over the session: "
           f"{session.acceptance_rate:.0%}")
-    clean_tail = [r for r in session.history[-3:]]
+
+    hunted = {r.newly_excluded for r in session.history} - {None}
+    assert hunted == set(ATTACKERS), "hunt missed an attacker"
+    crash_records = [
+        r for r in session.history if r.round_id in CRASH_ROUNDS
+    ]
+    assert all(r.outcome != "rejected" for r in crash_records), (
+        "a benign crash round was falsely rejected"
+    )
+    assert not any(r.hunt_rounds for r in crash_records), (
+        "benign crashes must never trigger the polluter hunt"
+    )
+    clean_tail = session.history[-3:]
     assert all(r.accepted for r in clean_tail), "service did not recover"
-    print("service recovered: last rounds all accepted, reported totals "
-          "within the excluded meters of the truth")
+    print("service recovered: crash rounds degraded (not rejected), "
+          "last rounds all accepted")
 
 
 if __name__ == "__main__":

@@ -18,10 +18,12 @@ Quickstart::
 """
 
 from .core import (
+    DegradationPolicy,
     DisjointTrees,
     IntegrityChecker,
     IpdaConfig,
     PolluterLocalizer,
+    RobustnessConfig,
     RoleMode,
     TimingConfig,
     VerificationResult,
@@ -42,6 +44,13 @@ from .errors import (
     ReproError,
     SimulationError,
     TopologyError,
+)
+from .faults import (
+    CrashEvent,
+    FaultInjector,
+    FaultPlan,
+    GilbertElliottChannel,
+    GilbertElliottParams,
 )
 from .net import (
     Topology,
@@ -66,8 +75,10 @@ __all__ = [
     "__version__",
     # core
     "IpdaConfig",
+    "RobustnessConfig",
     "RoleMode",
     "TimingConfig",
+    "DegradationPolicy",
     "DisjointTrees",
     "build_disjoint_trees",
     "run_lossless_round",
@@ -92,6 +103,12 @@ __all__ = [
     "RadioConfig",
     "RngStreams",
     "TreeColor",
+    # faults
+    "FaultPlan",
+    "CrashEvent",
+    "GilbertElliottParams",
+    "GilbertElliottChannel",
+    "FaultInjector",
     # crypto
     "PairwiseKeyScheme",
     "GlobalKeyScheme",

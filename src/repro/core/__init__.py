@@ -1,7 +1,12 @@
 """The paper's primary contribution: the iPDA scheme's building blocks."""
 
-from .config import IpdaConfig, RoleMode, TimingConfig
-from .integrity import IntegrityChecker, PolluterLocalizer, VerificationResult
+from .config import IpdaConfig, RobustnessConfig, RoleMode, TimingConfig
+from .integrity import (
+    DegradationPolicy,
+    IntegrityChecker,
+    PolluterLocalizer,
+    VerificationResult,
+)
 from .multitree import (
     MultiTrees,
     MultiTreeVerification,
@@ -17,8 +22,10 @@ from .trees import DisjointTrees, NodeRole, build_disjoint_trees, role_probabili
 
 __all__ = [
     "IpdaConfig",
+    "RobustnessConfig",
     "RoleMode",
     "TimingConfig",
+    "DegradationPolicy",
     "IntegrityChecker",
     "PolluterLocalizer",
     "VerificationResult",

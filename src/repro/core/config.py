@@ -15,7 +15,7 @@ from typing import Optional
 
 from ..errors import ConfigurationError
 
-__all__ = ["RoleMode", "IpdaConfig", "TimingConfig"]
+__all__ = ["RoleMode", "IpdaConfig", "TimingConfig", "RobustnessConfig"]
 
 
 class RoleMode(str, Enum):
@@ -63,6 +63,70 @@ class TimingConfig:
 
 
 @dataclass
+class RobustnessConfig:
+    """Loss-tolerance knobs for the radio-stack protocols.
+
+    Opt-in (``IpdaConfig.robustness = RobustnessConfig()``): the legacy
+    fire-and-forget behaviour stays byte-identical when absent, which
+    keeps the paper-reproduction traces pinned.
+
+    Attributes
+    ----------
+    slice_ack_timeout:
+        Seconds a sender waits for the end-to-end slice ACK before
+        retrying.  Must exceed the MAC's worst-case ARQ tail (7 attempts
+        with exponential backoff — tens of milliseconds).
+    slice_retry_limit:
+        Total protocol-level attempts per slice piece.  Each attempt
+        after the first rotates to the next same-colour aggregator in
+        range (a timeout usually means the target is dead, not that the
+        link glitched — link glitches are already absorbed by MAC ARQ).
+    report_ack_timeout / report_retry_limit:
+        Same for Phase-III aggregate reports; on exhausting retries at
+        one parent the node re-parents to the next *shallower*
+        same-colour aggregator it heard during Phase I.
+    retry_backoff:
+        Base of the jittered exponential backoff between protocol
+        retries (uniform in ``[0.5, 1.5] * retry_backoff * 2**attempt``).
+    degradation:
+        Report per-tree piece coverage to the base station's integrity
+        checker so benign-loss rounds degrade gracefully instead of
+        being rejected (see :mod:`repro.core.integrity`).
+    piece_slack:
+        Max damage one missing slice piece can inflict on a tree sum,
+        in threshold-scaling units; None auto-derives ``2 * magnitude``
+        from the round's slice window.
+    max_missing_fraction:
+        Coverage asymmetry beyond this fraction of the expected pieces
+        is treated as unexplainable by loss: the round is rejected, so
+        an attacker cannot launder arbitrary pollution as "loss".
+    """
+
+    slice_ack_timeout: float = 0.35
+    slice_retry_limit: int = 3
+    report_ack_timeout: float = 0.5
+    report_retry_limit: int = 3
+    retry_backoff: float = 0.15
+    degradation: bool = True
+    piece_slack: Optional[int] = None
+    max_missing_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.slice_ack_timeout <= 0 or self.report_ack_timeout <= 0:
+            raise ConfigurationError("ack timeouts must be positive")
+        if self.slice_retry_limit < 1 or self.report_retry_limit < 1:
+            raise ConfigurationError("retry limits must be >= 1")
+        if self.retry_backoff <= 0:
+            raise ConfigurationError("retry_backoff must be positive")
+        if self.piece_slack is not None and self.piece_slack < 0:
+            raise ConfigurationError("piece_slack must be >= 0 or None")
+        if not 0.0 < self.max_missing_fraction <= 1.0:
+            raise ConfigurationError(
+                "max_missing_fraction must be in (0, 1]"
+            )
+
+
+@dataclass
 class IpdaConfig:
     """Everything that parametrises one iPDA deployment.
 
@@ -89,6 +153,10 @@ class IpdaConfig:
         small constant as in Figure 6.
     timing:
         Event-driven phase timing.
+    robustness:
+        Loss-tolerance parameters (ACK'd slices/reports, re-parenting,
+        graceful degradation); None keeps the paper's fire-and-forget
+        protocol exactly.
     """
 
     slices: int = 2
@@ -97,6 +165,7 @@ class IpdaConfig:
     threshold: int = 5
     slice_magnitude: Optional[int] = None
     timing: TimingConfig = field(default_factory=TimingConfig)
+    robustness: Optional[RobustnessConfig] = None
 
     def __post_init__(self) -> None:
         if self.slices < 1:

@@ -8,6 +8,24 @@ station localises the malicious node by re-running the aggregation on
 bisected participant subsets — "intelligently selecting a different
 portion of the sensors to participate at each round" — which isolates a
 single non-colluding polluter in O(log N) rounds.
+
+Graceful degradation (robustness extension): the bare ``Th`` test
+cannot tell a crashed aggregator from a polluting one — both unbalance
+the trees.  But *loss* also removes slice pieces from exactly the tree
+it damages, and piece counts are reported up the trees alongside the
+sums, while *pollution* alters a sum without touching any count.  When
+per-tree piece coverage is supplied, the checker scales its tolerance
+by the *total* piece deficit across both trees (each missing piece can
+shift the tree difference by at most ``piece_slack`` — and the two
+trees lose independent pieces, so even count-symmetric loss moves the
+sums apart) and classifies the round three ways:
+
+* ``accepted`` — trees agree within ``Th``; report the average.
+* ``degraded`` — disagreement is fully explained by the missing
+  pieces; report the better-covered tree's sum as a partial estimate,
+  with an explicit coverage fraction and confidence.
+* ``rejected`` — disagreement exceeds what loss could cause (or the
+  claimed loss itself is implausibly large): pollution.
 """
 
 from __future__ import annotations
@@ -17,16 +35,83 @@ from typing import Iterable, List, Optional, Set
 
 from ..errors import IntegrityError, ProtocolError
 
-__all__ = ["VerificationResult", "IntegrityChecker", "PolluterLocalizer"]
+__all__ = [
+    "VerificationResult",
+    "DegradationPolicy",
+    "IntegrityChecker",
+    "PolluterLocalizer",
+]
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """How far benign loss may stretch the acceptance threshold.
+
+    ``piece_slack`` bounds the damage of one lost slice piece (random
+    pieces are drawn from ``[-magnitude, magnitude]`` and the final
+    piece of an ``l``-cut reaches ``|reading| + (l-1) * magnitude``, so
+    the runners default to ``max(2, l) * magnitude``).
+    ``max_missing_fraction`` caps how much of the two-tree
+    piece population may be claimed missing before the round is
+    rejected outright: an attacker faking a huge coverage gap to
+    launder pollution as loss runs into this cap.
+    """
+
+    piece_slack: int
+    max_missing_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.piece_slack < 0:
+            raise ProtocolError("piece_slack must be >= 0")
+        if not 0.0 < self.max_missing_fraction <= 1.0:
+            raise ProtocolError("max_missing_fraction must be in (0, 1]")
+
+    def effective_threshold(
+        self,
+        threshold: int,
+        pieces_red: int,
+        pieces_blue: int,
+        expected_pieces: Optional[int],
+    ) -> int:
+        """Threshold scaled by the total observed piece deficit.
+
+        Both trees lose pieces *independently*, so even a
+        count-symmetric loss (k pieces gone on each side, different
+        values) moves the sums apart by up to ``2k * piece_slack``;
+        the stretch therefore counts every missing piece on either
+        tree, not just the net count asymmetry.  Without an expected
+        population only the asymmetry is observable and it degrades to
+        that.
+        """
+        if expected_pieces is None or expected_pieces <= 0:
+            missing = abs(int(pieces_red) - int(pieces_blue))
+            return threshold + self.piece_slack * missing
+        missing = max(expected_pieces - int(pieces_red), 0) + max(
+            expected_pieces - int(pieces_blue), 0
+        )
+        if missing > self.max_missing_fraction * 2 * expected_pieces:
+            return threshold  # too much claimed loss: do not stretch
+        return threshold + self.piece_slack * missing
 
 
 @dataclass(frozen=True)
 class VerificationResult:
-    """Outcome of comparing the two trees' aggregates."""
+    """Outcome of comparing the two trees' aggregates.
+
+    The base fields implement the paper's bare threshold test; the
+    optional piece-coverage fields (filled in loss-tolerant mode) add
+    the degraded middle ground between accept and reject.
+    """
 
     s_red: int
     s_blue: int
     threshold: int
+    #: threshold after coverage scaling; None means no degradation
+    #: context was available (legacy two-way accept/reject).
+    effective_threshold: Optional[int] = None
+    pieces_red: Optional[int] = None
+    pieces_blue: Optional[int] = None
+    expected_pieces: Optional[int] = None
 
     @property
     def difference(self) -> int:
@@ -37,6 +122,74 @@ class VerificationResult:
     def accepted(self) -> bool:
         """True when the difference is within the tolerance ``Th``."""
         return self.difference <= self.threshold
+
+    @property
+    def missing_pieces(self) -> int:
+        """Total piece deficit across both trees (net asymmetry when the
+        expected population is unknown — all that is observable then)."""
+        if self.pieces_red is None or self.pieces_blue is None:
+            return 0
+        if self.expected_pieces:
+            return max(self.expected_pieces - self.pieces_red, 0) + max(
+                self.expected_pieces - self.pieces_blue, 0
+            )
+        return abs(self.pieces_red - self.pieces_blue)
+
+    @property
+    def degraded(self) -> bool:
+        """Loss (not pollution) explains the disagreement."""
+        if self.accepted or self.effective_threshold is None:
+            return False
+        return (
+            self.effective_threshold > self.threshold
+            and self.difference <= self.effective_threshold
+        )
+
+    @property
+    def rejected(self) -> bool:
+        """Neither acceptable nor explainable by reported loss."""
+        return not self.accepted and not self.degraded
+
+    @property
+    def outcome(self) -> str:
+        """``"accepted"``, ``"degraded"``, or ``"rejected"``."""
+        if self.accepted:
+            return "accepted"
+        if self.degraded:
+            return "degraded"
+        return "rejected"
+
+    @property
+    def coverage(self) -> Optional[float]:
+        """Worse tree's piece coverage against the expected population."""
+        if (
+            self.pieces_red is None
+            or self.pieces_blue is None
+            or not self.expected_pieces
+        ):
+            return None
+        # Fail-over retransmissions can (rarely) double-deliver a
+        # subtree, pushing a count past the expectation; clip.
+        return min(
+            1.0, min(self.pieces_red, self.pieces_blue) / self.expected_pieces
+        )
+
+    @property
+    def confidence(self) -> float:
+        """How much of the piece population backs the reported value.
+
+        1.0 for a clean accept; shrinks with the coverage asymmetry the
+        degraded estimate had to paper over; 0.0 on rejection.
+        """
+        if self.accepted:
+            return 1.0
+        if not self.degraded:
+            return 0.0
+        if not self.expected_pieces:
+            return 0.5  # degraded with unknown population: low trust
+        return max(
+            0.0, 1.0 - self.missing_pieces / (2 * self.expected_pieces)
+        )
 
     @property
     def accepted_value(self) -> int:
@@ -53,6 +206,39 @@ class VerificationResult:
             )
         return (self.s_red + self.s_blue) // 2
 
+    @property
+    def degraded_estimate(self) -> int:
+        """Partial estimate on degradation: the better-covered tree.
+
+        "Better" means *closest to the expected population*, not
+        maximal: an end-to-end fail-over can double-deliver a subtree
+        (ACK lost after delivery, resent via the backup parent), and an
+        inflated count is no more trustworthy than a deficient one.
+        With equal (or unknown) coverage the trees average, as in the
+        accepted case.
+        """
+        if self.pieces_red is None or self.pieces_blue is None:
+            return (self.s_red + self.s_blue) // 2
+        if self.expected_pieces:
+            gap_red = abs(self.pieces_red - self.expected_pieces)
+            gap_blue = abs(self.pieces_blue - self.expected_pieces)
+        else:
+            gap_red, gap_blue = -self.pieces_red, -self.pieces_blue
+        if gap_red < gap_blue:
+            return self.s_red
+        if gap_blue < gap_red:
+            return self.s_blue
+        return (self.s_red + self.s_blue) // 2
+
+    @property
+    def report_value(self) -> Optional[int]:
+        """What the base station reports: full, partial, or nothing."""
+        if self.accepted:
+            return self.accepted_value
+        if self.degraded:
+            return self.degraded_estimate
+        return None
+
 
 class IntegrityChecker:
     """The base station's acceptance rule."""
@@ -63,20 +249,55 @@ class IntegrityChecker:
         self.threshold = threshold
         self.history: List[VerificationResult] = []
 
-    def verify(self, s_red: int, s_blue: int) -> VerificationResult:
-        """Compare the two tree results; record and return the outcome."""
+    def verify(
+        self,
+        s_red: int,
+        s_blue: int,
+        *,
+        pieces_red: Optional[int] = None,
+        pieces_blue: Optional[int] = None,
+        expected_pieces: Optional[int] = None,
+        policy: Optional[DegradationPolicy] = None,
+    ) -> VerificationResult:
+        """Compare the two tree results; record and return the outcome.
+
+        Without the keyword context this is the paper's bare two-way
+        test.  With piece counts and a :class:`DegradationPolicy` the
+        result also carries the loss-scaled ``effective_threshold``
+        that enables the ``degraded`` outcome.
+        """
+        effective: Optional[int] = None
+        if (
+            policy is not None
+            and pieces_red is not None
+            and pieces_blue is not None
+        ):
+            effective = policy.effective_threshold(
+                self.threshold, pieces_red, pieces_blue, expected_pieces
+            )
         result = VerificationResult(
-            s_red=int(s_red), s_blue=int(s_blue), threshold=self.threshold
+            s_red=int(s_red),
+            s_blue=int(s_blue),
+            threshold=self.threshold,
+            effective_threshold=effective,
+            pieces_red=pieces_red,
+            pieces_blue=pieces_blue,
+            expected_pieces=expected_pieces,
         )
         self.history.append(result)
         return result
 
     @property
     def rejection_streak(self) -> int:
-        """Consecutive rejections at the end of the history."""
+        """Consecutive rejections at the end of the history.
+
+        Degraded rounds break the streak: their disagreement is
+        explained by reported loss, so they are no evidence of a
+        polluter and must not trigger the bisection hunt.
+        """
         streak = 0
         for result in reversed(self.history):
-            if result.accepted:
+            if not result.rejected:
                 break
             streak += 1
         return streak

@@ -28,7 +28,7 @@ from ..net.topology import Topology
 from ..sim.messages import TreeColor
 from ..sim.rng import RngStreams
 from .config import IpdaConfig
-from .integrity import IntegrityChecker
+from .integrity import DegradationPolicy, IntegrityChecker
 from .slicing import SliceAssembler, plan_slices
 from .trees import DisjointTrees, build_disjoint_trees
 
@@ -115,11 +115,14 @@ class LosslessRound:
         return self.verification.accepted
 
     @property
+    def outcome(self) -> str:
+        """``"accepted"``, ``"degraded"``, or ``"rejected"``."""
+        return self.verification.outcome
+
+    @property
     def reported(self) -> Optional[int]:
-        """The accepted value, or None on rejection."""
-        if not self.verification.accepted:
-            return None
-        return self.verification.accepted_value
+        """The reported value (full or degraded), or None on rejection."""
+        return self.verification.report_value
 
     @property
     def accuracy(self) -> float:
@@ -142,6 +145,7 @@ def run_lossless_round(
     key_scheme=None,
     trees: Optional[DisjointTrees] = None,
     record_flows: bool = False,
+    crashed: Optional[Set[int]] = None,
 ) -> LosslessRound:
     """Run one logical iPDA round with perfect transport.
 
@@ -151,6 +155,12 @@ def run_lossless_round(
     ``trees`` reuses a previously built Phase-I result.
     ``record_flows`` retains every slice transmission in
     :attr:`LosslessRound.flows` for the attack modules.
+    ``crashed`` marks fail-stopped nodes: they neither contribute a
+    reading nor — when they were elected aggregators — deliver their
+    assembled tree share, so every slice piece scattered to them is
+    lost.  With ``config.robustness.degradation`` enabled the integrity
+    check then runs with per-tree piece coverage, letting the base
+    station degrade gracefully instead of rejecting.
     """
     cfg = config if config is not None else IpdaConfig()
     generator = rng if rng is not None else RngStreams(seed).get("lossless")
@@ -173,12 +183,15 @@ def run_lossless_round(
         for aggregator in trees.aggregators(color):
             assemblers[aggregator] = {color: SliceAssembler(aggregator)}
 
+    dead: Set[int] = set(crashed) if crashed else set()
     participants: Set[int] = set()
     slice_transmissions = 0
     flows: Optional[Dict[int, NodeFlows]] = {} if record_flows else None
     for node_id in sorted(readings):
         if contributors is not None and node_id not in contributors:
             continue
+        if node_id in dead:
+            continue  # fail-stopped before it could slice
         role = trees.role_of(node_id)
         candidates = {}
         for color in (TreeColor.RED, TreeColor.BLUE):
@@ -241,19 +254,48 @@ def run_lossless_round(
             flows[node_id] = node_flow
 
     totals: Dict[TreeColor, int] = {}
+    pieces: Dict[TreeColor, int] = {}
     pollution = dict(polluters) if polluters else {}
     for color in (TreeColor.RED, TreeColor.BLUE):
         total = assemblers[base_station][color].assembled_value()
+        count = assemblers[base_station][color].piece_count
         for aggregator in trees.aggregators(color):
+            if aggregator in dead:
+                continue  # its assembled share (and pieces) died with it
             total += assemblers[aggregator][color].assembled_value()
+            count += assemblers[aggregator][color].piece_count
         # Any aggregator's additive tampering lands in its own tree's sum.
         for polluter, offset in pollution.items():
+            if polluter in dead:
+                continue
             if trees.role_of(polluter).color is color:
                 total += int(offset)
         totals[color] = total
+        pieces[color] = count
 
     checker = IntegrityChecker(cfg.threshold)
-    verification = checker.verify(totals[TreeColor.RED], totals[TreeColor.BLUE])
+    robustness = cfg.robustness
+    if robustness is not None and robustness.degradation:
+        slack = robustness.piece_slack
+        if slack is None:
+            # The final piece of an l-cut can reach |reading| +
+            # (l-1)*magnitude, so the per-piece bound scales with l.
+            slack = magnitude * max(2, cfg.slices)
+        verification = checker.verify(
+            totals[TreeColor.RED],
+            totals[TreeColor.BLUE],
+            pieces_red=pieces[TreeColor.RED],
+            pieces_blue=pieces[TreeColor.BLUE],
+            expected_pieces=len(participants) * cfg.slices,
+            policy=DegradationPolicy(
+                piece_slack=slack,
+                max_missing_fraction=robustness.max_missing_fraction,
+            ),
+        )
+    else:
+        verification = checker.verify(
+            totals[TreeColor.RED], totals[TreeColor.BLUE]
+        )
     return LosslessRound(
         trees=trees,
         s_red=totals[TreeColor.RED],

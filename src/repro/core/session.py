@@ -49,6 +49,18 @@ class RoundRecord:
     excluded: Set[int] = field(default_factory=set)
     hunt_rounds: int = 0
     newly_excluded: Optional[int] = None
+    #: three-way verdict; ``degraded`` means the disagreement was fully
+    #: explained by reported loss and a partial estimate was served.
+    outcome: str = "accepted"
+    #: worse tree's piece coverage (None outside loss-tolerant mode).
+    coverage: Optional[float] = None
+    confidence: float = 1.0
+    crashed: Set[int] = field(default_factory=set)
+
+    @property
+    def degraded(self) -> bool:
+        """Was a partial (loss-explained) estimate served?"""
+        return self.outcome == "degraded"
 
 
 class AggregationSession:
@@ -95,25 +107,44 @@ class AggregationSession:
     # ------------------------------------------------------------------
     # Public service loop
     # ------------------------------------------------------------------
-    def run_round(self, readings: Mapping[int, int]) -> RoundRecord:
-        """Serve one query; hunts and excludes on a rejection streak."""
-        result = self._aggregate(readings, contributors=None)
+    def run_round(
+        self,
+        readings: Mapping[int, int],
+        *,
+        crashed: Optional[Set[int]] = None,
+    ) -> RoundRecord:
+        """Serve one query; hunts and excludes on a rejection streak.
+
+        ``crashed`` marks nodes fail-stopped for this round (fault
+        injection): they contribute nothing, and slices scattered to
+        them are lost.  In loss-tolerant mode such rounds *degrade*
+        rather than reject — and degraded rounds do not feed the
+        rejection streak, so benign crashes never trigger the polluter
+        hunt.
+        """
+        dead = set(crashed) if crashed else set()
+        result = self._aggregate(readings, contributors=None, crashed=dead)
+        verification = result.verification
         record = RoundRecord(
             round_id=self._round_id,
-            accepted=result.verification.accepted,
+            accepted=verification.accepted,
             reported=result.reported,
             s_red=result.s_red,
             s_blue=result.s_blue,
             participants=len(result.participants),
             excluded=set(self.excluded),
+            outcome=verification.outcome,
+            coverage=verification.coverage,
+            confidence=verification.confidence,
+            crashed=dead,
         )
         self._round_id += 1
-        if record.accepted:
+        if not verification.rejected:
             self._rejection_streak = 0
         else:
             self._rejection_streak += 1
             if self._rejection_streak >= self.hunt_after:
-                culprit, hunt_rounds = self._hunt(readings)
+                culprit, hunt_rounds = self._hunt(readings, crashed=dead)
                 record.hunt_rounds = hunt_rounds
                 record.newly_excluded = culprit
                 self.excluded.add(culprit)
@@ -144,6 +175,7 @@ class AggregationSession:
         *,
         contributors: Optional[Set[int]],
         trees=None,
+        crashed: Optional[Set[int]] = None,
     ) -> LosslessRound:
         eligible = set(readings) - self.excluded
         if contributors is not None:
@@ -169,9 +201,15 @@ class AggregationSession:
             contributors=eligible,
             polluters=active_polluters or None,
             trees=trees,
+            crashed=crashed,
         )
 
-    def _hunt(self, readings: Mapping[int, int]):
+    def _hunt(
+        self,
+        readings: Mapping[int, int],
+        *,
+        crashed: Optional[Set[int]] = None,
+    ):
         """Bisect the participants to isolate the persistent polluter.
 
         The hunt pins one set of trees for its duration so a suspect's
@@ -194,9 +232,12 @@ class AggregationSession:
         def probe_is_polluted(probe: Set[int]) -> bool:
             contributors = (set(readings) - suspects) | probe
             result = self._aggregate(
-                readings, contributors=contributors, trees=trees
+                readings, contributors=contributors, trees=trees,
+                crashed=crashed,
             )
-            return not result.verification.accepted
+            # A degraded probe is loss, not pollution: count only
+            # genuine rejections as evidence against the probe half.
+            return result.verification.rejected
 
         culprit = localizer.run(probe_is_polluted)
         return culprit, localizer.rounds_used

@@ -165,11 +165,13 @@ class SliceAssembler:
     def __init__(self, node_id: int):
         self.node_id = node_id
         self._kept = 0
+        self._kept_count = 0
         self._received: List[Tuple[int, int]] = []
 
     def keep(self, piece: int) -> None:
         """Retain one of this node's own pieces locally (``d_ii``)."""
         self._kept += int(piece)
+        self._kept_count += 1
 
     def receive(self, sender: int, piece: int) -> None:
         """Record a decrypted slice from ``sender``."""
@@ -179,6 +181,22 @@ class SliceAssembler:
     def received_count(self) -> int:
         """Number of remote slices received so far."""
         return len(self._received)
+
+    @property
+    def kept_count(self) -> int:
+        """Number of own pieces retained locally."""
+        return self._kept_count
+
+    @property
+    def piece_count(self) -> int:
+        """Total pieces folded into this assembler (kept + received).
+
+        The unit of the graceful-degradation coverage accounting: tree
+        sums travel up alongside these counts, so the base station can
+        tell loss (sum *and* count shrink together) from pollution
+        (sum changes, count does not).
+        """
+        return self._kept_count + len(self._received)
 
     def senders(self) -> List[int]:
         """Distinct senders heard from, sorted."""

@@ -4,6 +4,7 @@ from . import (
     ablations,
     collusion_study,
     energy,
+    fault_sweep,
     fig1_trees,
     fig4_messages,
     fig5_privacy,
@@ -30,4 +31,5 @@ __all__ = [
     "energy",
     "latency",
     "collusion_study",
+    "fault_sweep",
 ]

@@ -1,0 +1,28 @@
+"""Fault injection: declarative plans, burst-loss channels, injection.
+
+The paper evaluates iPDA under ns-2's lossy MAC; this package recreates
+— and extends — that regime for the in-repo simulator:
+
+* :class:`FaultPlan` — declarative fail-stop crashes (with optional
+  recovery/churn) plus Gilbert–Elliott burst loss, per run;
+* :class:`GilbertElliottChannel` — the two-state per-link loss process
+  generalising ``RadioConfig.loss_probability``;
+* :class:`FaultInjector` — arms a plan onto a live network, recording
+  every injected fault in the trace.
+
+Pass a plan to ``Network(fault_plan=...)`` or to the protocol runners'
+``fault_plan=`` keyword; see ``docs/simulator.md`` for semantics.
+"""
+
+from .channel import GilbertElliottChannel, LinkState
+from .injector import FaultInjector
+from .plan import CrashEvent, FaultPlan, GilbertElliottParams
+
+__all__ = [
+    "CrashEvent",
+    "FaultPlan",
+    "GilbertElliottParams",
+    "GilbertElliottChannel",
+    "LinkState",
+    "FaultInjector",
+]

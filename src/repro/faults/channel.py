@@ -1,0 +1,125 @@
+"""Gilbert–Elliott burst-loss channels over the shared medium.
+
+The classic two-state loss model (Gilbert 1960, Elliott 1963): each
+directed link is independently in a *good* or *bad* state; frames are
+lost with a state-dependent probability.  We run the state as a
+continuous-time Markov chain and advance it lazily — only when a frame
+actually crosses the link — using the closed-form transient solution,
+so sparse traffic costs nothing and results do not depend on a polling
+step size.
+
+Determinism: every link draws from its own generator derived from
+``(seed, "gilbert", src, dst)``, so the loss pattern on one link never
+depends on traffic elsewhere, and identical plans replay identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..rng import derive_seed
+from .plan import GilbertElliottParams
+
+__all__ = ["GilbertElliottChannel", "LinkState"]
+
+
+@dataclass
+class LinkState:
+    """Lazy per-link chain state: where it was when last queried."""
+
+    in_bad: bool
+    last_time: float
+    rng: np.random.Generator
+    params: GilbertElliottParams
+    #: frames this link dropped (reported into trace summaries).
+    drops: int = 0
+    queries: int = 0
+
+
+class GilbertElliottChannel:
+    """A per-link burst-loss process, pluggable into the radio.
+
+    Instances are callables matching the radio's ``loss_model`` hook:
+    ``channel(src, dst, now) -> True`` means the frame is lost.
+
+    Parameters
+    ----------
+    default:
+        Parameters applied to every directed link (None: only the
+        overridden links run a chain; everything else is lossless).
+    overrides:
+        Per-``(src, dst)`` parameter overrides.
+    seed:
+        Root seed for the per-link generators.
+    """
+
+    def __init__(
+        self,
+        default: Optional[GilbertElliottParams] = None,
+        *,
+        overrides: Optional[
+            Mapping[Tuple[int, int], GilbertElliottParams]
+        ] = None,
+        seed: int = 0,
+    ):
+        self.default = default
+        self.overrides = dict(overrides or {})
+        self.seed = int(seed)
+        self._links: Dict[Tuple[int, int], LinkState] = {}
+
+    def params_for(self, src: int, dst: int) -> Optional[GilbertElliottParams]:
+        """Effective parameters of one directed link, if any."""
+        return self.overrides.get((src, dst), self.default)
+
+    def _state(self, src: int, dst: int) -> Optional[LinkState]:
+        key = (src, dst)
+        state = self._links.get(key)
+        if state is None:
+            params = self.params_for(src, dst)
+            if params is None:
+                return None
+            rng = np.random.default_rng(
+                derive_seed(self.seed, "gilbert", src, dst)
+            )
+            # Start each chain at its stationary distribution so early
+            # frames see the same loss regime as late ones.
+            in_bad = bool(rng.random() < params.steady_state_bad)
+            state = LinkState(
+                in_bad=in_bad, last_time=0.0, rng=rng, params=params
+            )
+            self._links[key] = state
+        return state
+
+    def __call__(self, src: int, dst: int, now: float) -> bool:
+        """The radio's loss hook: advance the chain, then draw the loss."""
+        state = self._state(src, dst)
+        if state is None:
+            return False
+        params = state.params
+        dt = max(now - state.last_time, 0.0)
+        state.last_time = now
+        p_bad = params.transition_to_bad_probability(state.in_bad, dt)
+        state.in_bad = bool(state.rng.random() < p_bad)
+        loss_p = params.loss_bad if state.in_bad else params.loss_good
+        state.queries += 1
+        lost = bool(loss_p > 0.0 and state.rng.random() < loss_p)
+        if lost:
+            state.drops += 1
+        return lost
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests and experiment notes)
+    # ------------------------------------------------------------------
+    def observed_loss_rate(self) -> float:
+        """Fraction of queried frames this channel dropped so far."""
+        queries = sum(s.queries for s in self._links.values())
+        if queries == 0:
+            return 0.0
+        return sum(s.drops for s in self._links.values()) / queries
+
+    def active_links(self) -> int:
+        """Links whose chain has been instantiated by traffic."""
+        return len(self._links)

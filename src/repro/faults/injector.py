@@ -1,0 +1,81 @@
+"""Arming a :class:`FaultPlan` onto a live network.
+
+The injector is the single point where declarative fault plans meet the
+simulator: it schedules every crash and recovery on the event engine
+(via :meth:`Network.kill_node` / :meth:`Network.revive_node`, which
+silence the MAC and record the fault in the trace) and installs the
+Gilbert–Elliott channel as the radio's ``loss_model``.  Protocols never
+see the injector — they observe faults only through their consequences
+on the air, exactly as deployed code would.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .channel import GilbertElliottChannel
+from .plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.network import Network
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Wires one :class:`FaultPlan` into one :class:`Network`."""
+
+    def __init__(self, plan: FaultPlan, network: "Network"):
+        self.plan = plan
+        self.network = network
+        self.channel: GilbertElliottChannel | None = None
+        self._armed = False
+
+    def arm(self) -> None:
+        """Schedule the plan's events; idempotent per injector."""
+        if self._armed:
+            return
+        self._armed = True
+        engine = self.network.engine
+        node_count = self.network.topology.node_count
+        for crash in self.plan.crashes:
+            if crash.node >= node_count:
+                continue  # plan written for a larger deployment
+            engine.schedule_at(
+                crash.at, self._killer(crash.node), priority=-2
+            )
+            if crash.recover_at is not None:
+                engine.schedule_at(
+                    crash.recover_at,
+                    self._reviver(crash.node),
+                    priority=-2,
+                )
+        if self.plan.has_burst_loss:
+            self.channel = GilbertElliottChannel(
+                self.plan.burst_loss,
+                overrides=self.plan.link_params(),
+                seed=self.plan.seed,
+            )
+            self.network.radio.loss_model = self.channel
+            self.network.trace.record_fault(0.0, "burst-loss-model")
+
+    def _killer(self, node_id: int):
+        def fire() -> None:
+            self.network.kill_node(node_id)
+
+        return fire
+
+    def _reviver(self, node_id: int):
+        def fire() -> None:
+            self.network.revive_node(node_id)
+
+        return fire
+
+    @property
+    def injected_crashes(self) -> int:
+        """Crashes recorded in the trace so far."""
+        return sum(
+            1
+            for event in self.network.trace.fault_events
+            if event.kind == "crash"
+        )

@@ -1,0 +1,221 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` names everything that will go wrong in a run
+*before* the run starts: fail-stop crashes (optionally with a recovery
+time — churn), and bursty per-link loss driven by a Gilbert–Elliott
+two-state channel that generalises the flat Bernoulli
+``RadioConfig.loss_probability`` knob.  Plans are plain data: they can
+be generated, logged, compared, and replayed; the
+:class:`~repro.faults.injector.FaultInjector` turns one into scheduled
+events on a live :class:`~repro.sim.network.Network`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["CrashEvent", "GilbertElliottParams", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One fail-stop crash, with an optional recovery (churn).
+
+    ``at`` and ``recover_at`` are simulated seconds.  A crash with no
+    ``recover_at`` is permanent for the run.
+    """
+
+    node: int
+    at: float
+    recover_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ConfigurationError("crash node id must be >= 0")
+        if self.at < 0:
+            raise ConfigurationError("crash time must be >= 0")
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise ConfigurationError("recovery must come after the crash")
+
+    @property
+    def is_churn(self) -> bool:
+        """True when the node comes back during the run."""
+        return self.recover_at is not None
+
+
+@dataclass(frozen=True)
+class GilbertElliottParams:
+    """Two-state burst-loss channel parameters.
+
+    The channel alternates between a *good* and a *bad* state as a
+    continuous-time Markov chain: it leaves good at rate
+    ``bad_rate`` (per second) and leaves bad at rate ``recovery_rate``.
+    While good, frames are lost independently with ``loss_good``; while
+    bad, with ``loss_bad``.  ``bad_rate=0`` degenerates to the flat
+    Bernoulli channel with probability ``loss_good``.
+    """
+
+    bad_rate: float = 0.05
+    recovery_rate: float = 0.5
+    loss_good: float = 0.0
+    loss_bad: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.bad_rate < 0 or self.recovery_rate <= 0:
+            raise ConfigurationError(
+                "bad_rate must be >= 0 and recovery_rate > 0"
+            )
+        for name in ("loss_good", "loss_bad"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+
+    @property
+    def steady_state_bad(self) -> float:
+        """Long-run fraction of time the link spends in the bad state."""
+        total = self.bad_rate + self.recovery_rate
+        if total == 0:
+            return 0.0
+        return self.bad_rate / total
+
+    @property
+    def expected_loss(self) -> float:
+        """Long-run average per-frame loss probability."""
+        pi_bad = self.steady_state_bad
+        return (1.0 - pi_bad) * self.loss_good + pi_bad * self.loss_bad
+
+    @property
+    def mean_burst_seconds(self) -> float:
+        """Expected sojourn of one bad (bursty) period."""
+        return 1.0 / self.recovery_rate
+
+    def transition_to_bad_probability(self, in_bad: bool, dt: float) -> float:
+        """P(bad at ``t + dt``) given the state at ``t`` (closed form).
+
+        Standard two-state CTMC transient solution: with rates
+        ``lambda`` (good->bad) and ``mu`` (bad->good),
+        ``P(bad | good) = pi_bad * (1 - e^{-(lambda+mu) dt})`` and
+        ``P(bad | bad) = pi_bad + (1 - pi_bad) e^{-(lambda+mu) dt}``.
+        """
+        if dt < 0:
+            raise ConfigurationError("dt must be >= 0")
+        pi_bad = self.steady_state_bad
+        decay = math.exp(-(self.bad_rate + self.recovery_rate) * dt)
+        if in_bad:
+            return pi_bad + (1.0 - pi_bad) * decay
+        return pi_bad * (1.0 - decay)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will be injected into one simulation run.
+
+    Attributes
+    ----------
+    crashes:
+        Fail-stop events, at most one per node.
+    burst_loss:
+        Channel-wide Gilbert–Elliott parameters (every directed link
+        gets an independent chain), or None for no burst loss.
+    link_overrides:
+        Per-directed-link ``(src, dst)`` parameter overrides, applied on
+        top of (or instead of) ``burst_loss``.
+    seed:
+        Seeds the burst channels' randomness so a plan replays exactly.
+    """
+
+    crashes: Tuple[CrashEvent, ...] = ()
+    burst_loss: Optional[GilbertElliottParams] = None
+    link_overrides: Tuple[Tuple[Tuple[int, int], GilbertElliottParams], ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        nodes = [crash.node for crash in self.crashes]
+        if len(nodes) != len(set(nodes)):
+            raise ConfigurationError("at most one crash event per node")
+        # Normalise mutable inputs so plans stay hashable/replayable.
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(
+            self, "link_overrides", tuple(self.link_overrides)
+        )
+
+    @property
+    def crashed_nodes(self) -> Tuple[int, ...]:
+        """Ids with a crash event, in event order."""
+        return tuple(crash.node for crash in self.crashes)
+
+    @property
+    def has_burst_loss(self) -> bool:
+        """True when any link runs a Gilbert–Elliott chain."""
+        return self.burst_loss is not None or bool(self.link_overrides)
+
+    def link_params(self) -> Dict[Tuple[int, int], GilbertElliottParams]:
+        """The per-link override map as a plain dict."""
+        return dict(self.link_overrides)
+
+    def crashes_before(self, when: float) -> Tuple[CrashEvent, ...]:
+        """Crash events strictly before ``when`` (symmetry analysis)."""
+        return tuple(c for c in self.crashes if c.at < when)
+
+    def describe(self) -> str:
+        """One-line human summary for logs and experiment notes."""
+        parts = [f"{len(self.crashes)} crash(es)"]
+        churn = sum(1 for c in self.crashes if c.is_churn)
+        if churn:
+            parts.append(f"{churn} with recovery")
+        if self.burst_loss is not None:
+            parts.append(
+                f"burst loss p~{self.burst_loss.expected_loss:.3f}"
+            )
+        if self.link_overrides:
+            parts.append(f"{len(self.link_overrides)} link override(s)")
+        return ", ".join(parts)
+
+    @classmethod
+    def random_crashes(
+        cls,
+        node_ids: Iterable[int],
+        fraction: float,
+        *,
+        rng: np.random.Generator,
+        window: Tuple[float, float],
+        recover_after: Optional[float] = None,
+        protect: Sequence[int] = (0,),
+        burst_loss: Optional[GilbertElliottParams] = None,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """Sample a plan crashing ``fraction`` of the nodes.
+
+        Crash instants are uniform over ``window``; ``protect`` (the
+        base station by default) is never crashed.  ``recover_after``
+        schedules each crashed node's recovery that many seconds after
+        its crash (churn).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError("fraction must be in [0, 1]")
+        start, end = window
+        if end < start or start < 0:
+            raise ConfigurationError("window must be 0 <= start <= end")
+        eligible = sorted(set(node_ids) - set(protect))
+        count = int(round(fraction * len(eligible)))
+        if count == 0 or not eligible:
+            return cls(burst_loss=burst_loss, seed=seed)
+        picked = rng.choice(len(eligible), size=min(count, len(eligible)),
+                            replace=False)
+        crashes = []
+        for index in sorted(int(i) for i in picked):
+            at = float(rng.uniform(start, end))
+            recover_at = None
+            if recover_after is not None:
+                recover_at = at + float(recover_after)
+            crashes.append(
+                CrashEvent(node=eligible[index], at=at, recover_at=recover_at)
+            )
+        return cls(
+            crashes=tuple(crashes), burst_loss=burst_loss, seed=seed
+        )

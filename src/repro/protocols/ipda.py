@@ -19,24 +19,47 @@ Attack hooks: ``polluters`` adds an offset to a node's outgoing
 intermediate result (data-pollution, Section II-C); ``contributors``
 restricts which sensors inject their reading (the bisection hook for
 polluter localisation).
+
+Loss tolerance (``IpdaConfig.robustness``, opt-in): slices and reports
+become end-to-end acknowledged.  A slice that times out is resent to
+the *same* aggregator under jittered exponential backoff — never to a
+different one, because a piece whose delivery the sender cannot
+confirm may have arrived, and re-scattering it elsewhere would count
+it twice; if the target is truly dead the piece dies with the target's
+assembler either way, which the piece accounting reports honestly.  A
+report that exhausts its retries re-parents to a strictly shallower
+same-colour aggregator heard in Phase I (shallower = no cycles); to
+keep that duplicate-safe, every aggregate carries the origin
+aggregator ids it folds in and merge points drop aggregates whose
+origins they have already merged.  Child aggregates arriving after a
+node already reported are forwarded upstream as supplemental reports.
+Piece counts ride along with the sums so the base station can degrade
+gracefully under benign loss instead of rejecting (see
+:mod:`repro.core.integrity`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Set
+from typing import Dict, Mapping, Optional, Set, Tuple
 
-from ..core.config import IpdaConfig
-from ..core.integrity import IntegrityChecker, VerificationResult
+from ..core.config import IpdaConfig, RobustnessConfig
+from ..core.integrity import (
+    DegradationPolicy,
+    IntegrityChecker,
+    VerificationResult,
+)
 from ..core.slicing import SliceAssembler, plan_slices
 from ..core.trees import role_probabilities
 from ..crypto.envelope import make_nonce, open_sealed, seal
 from ..crypto.keys import KeyManagementScheme, PairwiseKeyScheme
 from ..errors import ProtocolError
 from ..net.topology import Topology
+from ..sim.engine import ScheduledEvent
 from ..sim.mac import MacConfig
 from ..sim.messages import (
     BROADCAST,
+    AckMessage,
     AggregateMessage,
     HelloMessage,
     Message,
@@ -56,6 +79,17 @@ MAX_DEPTH_SLOTS = 32
 
 
 @dataclass
+class _PendingSend:
+    """An unacknowledged transfer awaiting its end-to-end ACK."""
+
+    message: Message
+    attempt: int
+    tried: Set[int]
+    timer: Optional[ScheduledEvent]
+    piece: int = 0  # slice transfers only: the plaintext piece
+
+
+@dataclass
 class IpdaOutcome(RoundOutcome):
     """A :class:`RoundOutcome` extended with iPDA's dual-tree results."""
 
@@ -68,6 +102,18 @@ class IpdaOutcome(RoundOutcome):
     def accepted(self) -> bool:
         """Did the base station accept the round?"""
         return self.verification is not None and self.verification.accepted
+
+    @property
+    def degraded(self) -> bool:
+        """Did the round land in the loss-explained degraded band?"""
+        return self.verification is not None and self.verification.degraded
+
+    @property
+    def outcome(self) -> str:
+        """``"accepted"``, ``"degraded"``, or ``"rejected"``."""
+        if self.verification is None:
+            return "rejected"
+        return self.verification.outcome
 
 
 class _IpdaNode(Node):
@@ -110,6 +156,49 @@ class _IpdaNode(Node):
         #: role election; the epoched session drives reports itself.
         self.auto_report = True
 
+        # --- loss-tolerant mode state (inert when robustness is None) ---
+        self._pending_slices: Dict[int, _PendingSend] = {}
+        self._pending_reports: Dict[int, _PendingSend] = {}
+        self._seen_slices: Set[Tuple[int, int]] = set()
+        self._seen_aggregates: Set[int] = set()
+        #: origin aggregators already folded into ``child_sum`` — the
+        #: duplicate filter for fail-over paths.
+        self._merged_origins: Dict[TreeColor, Set[int]] = {
+            TreeColor.RED: set(),
+            TreeColor.BLUE: set(),
+        }
+        #: cumulative slice-piece counts received from children's reports.
+        self.child_pieces: Dict[TreeColor, int] = {
+            TreeColor.RED: 0,
+            TreeColor.BLUE: 0,
+        }
+        self._reported = False
+        self.retries_used = 0
+        self.reparent_count = 0
+
+    @property
+    def robust(self) -> Optional[RobustnessConfig]:
+        """The loss-tolerance knobs, or None in fire-and-forget mode."""
+        return self.config.robustness
+
+    def _backoff(self, attempt: int) -> float:
+        """Jittered exponential backoff before protocol retry ``attempt``."""
+        assert self.robust is not None
+        jitter = float(self.rng.uniform(0.5, 1.5))
+        return jitter * self.robust.retry_backoff * (2 ** (attempt - 1))
+
+    def _ack(self, message: Message) -> None:
+        """Acknowledge ``message`` end to end (loss-tolerant mode)."""
+        self.send(
+            AckMessage(
+                src=self.id,
+                dst=message.src,
+                round_id=self.round_id,
+                color=getattr(message, "color", None),
+                ref=message.frame_id,
+            )
+        )
+
     # ------------------------------------------------------------------
     # Receive dispatch
     # ------------------------------------------------------------------
@@ -120,6 +209,16 @@ class _IpdaNode(Node):
             self._handle_slice(message)
         elif isinstance(message, AggregateMessage):
             self._handle_aggregate(message)
+        elif isinstance(message, AckMessage):
+            self._handle_ack(message)
+
+    def _handle_ack(self, message: AckMessage) -> None:
+        """Settle the pending transfer the ACK references."""
+        state = self._pending_slices.pop(message.ref, None)
+        if state is None:
+            state = self._pending_reports.pop(message.ref, None)
+        if state is not None and state.timer is not None:
+            state.timer.cancel()
 
     # ------------------------------------------------------------------
     # Phase I: role election and tree joining
@@ -244,23 +343,79 @@ class _IpdaNode(Node):
 
     def _slice_sender(self, target: int, piece: int, color: TreeColor):
         def fire() -> None:
-            assert self.keys is not None
+            self._send_slice(target, piece, color, 1)
+
+        return fire
+
+    def _send_slice(
+        self,
+        target: int,
+        piece: int,
+        color: TreeColor,
+        attempt: int,
+        message: Optional[SliceMessage] = None,
+    ) -> None:
+        """Transmit one slice piece, arming the ACK timer in robust mode.
+
+        Resends reuse the frame (stable ``frame_id``, so the receiver's
+        dedup and a late ACK still match) and always address the
+        original target: a silent target may still have received the
+        piece, and scattering it to a second aggregator would double it
+        into the tree sum.
+        """
+        assert self.keys is not None
+        if message is None:
             self._slice_seq += 1
             seq = self._slice_seq
             nonce = make_nonce(self.id, target, self.round_id, seq)
             key = self.keys.link_key(self.id, target)
-            self.send(
-                SliceMessage(
-                    src=self.id,
-                    dst=target,
-                    round_id=self.round_id,
-                    color=color,
-                    seq=seq,
-                    ciphertext=seal(piece, key, nonce),
-                )
+            message = SliceMessage(
+                src=self.id,
+                dst=target,
+                round_id=self.round_id,
+                color=color,
+                seq=seq,
+                ciphertext=seal(piece, key, nonce),
             )
+        self.send(message)
+        if self.robust is None:
+            return
+        frame_id = message.frame_id
+        timer = self.schedule(
+            self.robust.slice_ack_timeout,
+            lambda: self._slice_timeout(frame_id),
+        )
+        self._pending_slices[frame_id] = _PendingSend(
+            message=message,
+            attempt=attempt,
+            tried={target},
+            timer=timer,
+            piece=piece,
+        )
 
-        return fire
+    def _slice_timeout(self, frame_id: int) -> None:
+        """No ACK in time: back off and resend the same frame, or give up."""
+        robust = self.robust
+        state = self._pending_slices.pop(frame_id, None)
+        if state is None or robust is None:
+            return
+        if state.attempt >= robust.slice_retry_limit:
+            return  # retries exhausted; this piece is lost
+        message = state.message
+        assert isinstance(message, SliceMessage)
+        color = message.color
+        assert color is not None
+        self.retries_used += 1
+        self.schedule(
+            self._backoff(state.attempt),
+            lambda: self._send_slice(
+                message.dst,
+                state.piece,
+                color,
+                state.attempt + 1,
+                message,
+            ),
+        )
 
     def _handle_slice(self, message: SliceMessage) -> None:
         if message.color is None:
@@ -268,6 +423,13 @@ class _IpdaNode(Node):
         assembler = self.assemblers.get(message.color)
         if assembler is None:
             return  # stray slice for a tree we are not on; drop it
+        if self.robust is not None:
+            dedup = (message.src, message.seq)
+            if dedup in self._seen_slices:
+                self._ack(message)  # our earlier ACK was lost; repeat it
+                return
+            self._seen_slices.add(dedup)
+            self._ack(message)
         assert self.keys is not None
         key = self.keys.link_key(message.src, self.id)
         nonce = make_nonce(message.src, self.id, message.round_id, message.seq)
@@ -299,18 +461,102 @@ class _IpdaNode(Node):
     def _report(self) -> None:
         if self.color is None or self.parent is None:
             return
-        assembled = self.assemblers[self.color].assembled_value()
+        assembler = self.assemblers[self.color]
+        assembled = assembler.assembled_value()
         value = assembled + self.child_sum[self.color] + self.pollution_offset
-        self.send(
-            AggregateMessage(
-                src=self.id,
-                dst=self.parent,
-                round_id=self.round_id,
-                color=self.color,
-                value=value,
-                contributor_count=self.assemblers[self.color].received_count,
+        if self.robust is not None:
+            # Cumulative piece count: what loss-aware verification sums.
+            count = assembler.piece_count + self.child_pieces[self.color]
+            origins = tuple(
+                sorted({self.id} | self._merged_origins[self.color])
             )
+        else:
+            count = assembler.received_count
+            origins = ()
+        message = AggregateMessage(
+            src=self.id,
+            dst=self.parent,
+            round_id=self.round_id,
+            color=self.color,
+            value=value,
+            contributor_count=count,
+            origins=origins,
         )
+        self._reported = True
+        self._send_report(message, 1, {self.parent})
+
+    def _send_report(
+        self, message: AggregateMessage, attempt: int, tried: Set[int]
+    ) -> None:
+        """Transmit a report upstream, arming its ACK timer in robust mode."""
+        self.send(message)
+        if self.robust is None:
+            return
+        frame_id = message.frame_id
+        timer = self.schedule(
+            self.robust.report_ack_timeout,
+            lambda: self._report_timeout(frame_id),
+        )
+        self._pending_reports[frame_id] = _PendingSend(
+            message=message, attempt=attempt, tried=set(tried), timer=timer
+        )
+
+    def _report_timeout(self, frame_id: int) -> None:
+        """Retry the report; after the per-parent cap, fail over."""
+        robust = self.robust
+        state = self._pending_reports.pop(frame_id, None)
+        if state is None or robust is None:
+            return
+        message = state.message
+        assert isinstance(message, AggregateMessage)
+        self.retries_used += 1
+        delay = self._backoff(state.attempt)
+        if state.attempt < robust.report_retry_limit:
+            # Same frame, same parent: a duplicate at the receiver is
+            # deduplicated by frame_id and simply re-ACKed.
+            self.schedule(
+                delay,
+                lambda: self._send_report(
+                    message, state.attempt + 1, state.tried
+                ),
+            )
+            return
+        backup = self._backup_parent(state.tried)
+        if backup is None:
+            return  # no shallower aggregator left; this subtree is cut off
+        self.reparent_count += 1
+        self.parent = backup
+        fresh = AggregateMessage(
+            src=self.id,
+            dst=backup,
+            round_id=message.round_id,
+            color=message.color,
+            value=message.value,
+            contributor_count=message.contributor_count,
+            origins=message.origins,
+        )
+        self.schedule(
+            delay,
+            lambda: self._send_report(fresh, 1, state.tried | {backup}),
+        )
+
+    def _backup_parent(self, tried: Set[int]) -> Optional[int]:
+        """Next untried same-colour aggregator strictly shallower than us.
+
+        Strict shallowness guarantees reports always flow toward the
+        base station, so fail-over can never create a routing cycle.
+        """
+        if self.color is None or self.hops is None:
+            return None
+        own_heard = self.heard[self.color]
+        candidates = [
+            agg
+            for agg, hops in own_heard.items()
+            if hops < self.hops and agg not in tried
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda a: (own_heard[a], a))
 
     def _handle_aggregate(self, message: AggregateMessage) -> None:
         if message.color is None:
@@ -318,7 +564,42 @@ class _IpdaNode(Node):
         if message.color is not self.color:
             self.mismatched_aggregates += 1
             return
+        if self.robust is not None:
+            if message.frame_id in self._seen_aggregates:
+                self._ack(message)  # duplicate: our ACK was lost, re-ACK
+                return
+            self._seen_aggregates.add(message.frame_id)
+            self._ack(message)
+            merged = self._merged_origins[message.color]
+            if merged & set(message.origins):
+                # A fail-over path re-delivered a subtree we already
+                # merged (under a different frame): drop it whole.
+                # Partial overlap sacrifices the non-overlapping
+                # origins, but their values and piece counts vanish
+                # *together*, so the loss stays visible to the base
+                # station's coverage accounting.
+                return
+            merged.update(message.origins)
         self.child_sum[message.color] += message.value
+        if self.robust is not None:
+            self.child_pieces[message.color] += message.contributor_count
+            if self._reported and self.parent is not None:
+                # Late child (it retried or re-parented past our own
+                # report): forward its contribution as a supplemental
+                # report so the value still reaches the base station.
+                self._send_report(
+                    AggregateMessage(
+                        src=self.id,
+                        dst=self.parent,
+                        round_id=self.round_id,
+                        color=self.color,
+                        value=message.value,
+                        contributor_count=message.contributor_count,
+                        origins=message.origins,
+                    ),
+                    1,
+                    {self.parent},
+                )
 
     # ------------------------------------------------------------------
     # Introspection used by the runner
@@ -395,12 +676,27 @@ class _IpdaBaseStation(_IpdaNode):
     def _handle_aggregate(self, message: AggregateMessage) -> None:
         if message.color is None:
             raise ProtocolError("iPDA aggregate must carry a colour")
+        if self.robust is not None:
+            if message.frame_id in self._seen_aggregates:
+                self._ack(message)
+                return
+            self._seen_aggregates.add(message.frame_id)
+            self._ack(message)
+            merged = self._merged_origins[message.color]
+            if merged & set(message.origins):
+                return  # duplicate fail-over path; see _IpdaNode
+            merged.update(message.origins)
+            self.child_pieces[message.color] += message.contributor_count
         self.child_sum[message.color] += message.value
         self.last_result_time = self.now
 
     def tree_sum(self, color: TreeColor) -> int:
         """``S_color``: assembled slices at the root plus child results."""
         return self.assemblers[color].assembled_value() + self.child_sum[color]
+
+    def tree_pieces(self, color: TreeColor) -> int:
+        """Slice pieces accounted for on one tree (robust mode only)."""
+        return self.assemblers[color].piece_count + self.child_pieces[color]
 
 
 class IpdaProtocol(AggregationProtocol):
@@ -438,12 +734,16 @@ class IpdaProtocol(AggregationProtocol):
         polluters: Optional[Mapping[int, int]] = None,
         failures: Optional[Mapping[int, float]] = None,
         two_faced: Optional[Set[int]] = None,
+        fault_plan=None,
     ) -> IpdaOutcome:
         """Run one iPDA round.
 
         ``failures`` maps node ids to fail-stop times (simulated
         seconds): the node goes silent at that instant — the crash
-        injection used by the robustness tests.  ``two_faced`` marks
+        injection used by the robustness tests.  ``fault_plan`` is the
+        declarative alternative (a :class:`repro.faults.FaultPlan`):
+        crashes with optional recovery plus Gilbert–Elliott burst loss,
+        injected by the network's fault injector.  ``two_faced`` marks
         nodes running the both-colours HELLO attack of Section III-B.
         """
         validate_readings(topology, readings, self.base_station)
@@ -482,6 +782,7 @@ class IpdaProtocol(AggregationProtocol):
             radio_config=self.radio_config,
             mac_config=self.mac_config,
             keep_frames=self.keep_frames,
+            fault_plan=fault_plan,
         )
         root = network.node(self.base_station)
         assert isinstance(root, _IpdaBaseStation)
@@ -503,15 +804,14 @@ class IpdaProtocol(AggregationProtocol):
         if failures:
             for node_id, when in failures.items():
                 network.engine.schedule_at(
-                    float(when), network.node(node_id).kill
+                    float(when), _kill_callback(network, node_id)
                 )
         network.run(until=t_report_end)
-        network.run()  # drain MAC backoff tails
+        network.run()  # drain MAC backoff and protocol-retry tails
 
         s_red = root.tree_sum(TreeColor.RED)
         s_blue = root.tree_sum(TreeColor.BLUE)
         checker = IntegrityChecker(self.config.threshold)
-        verification = checker.verify(s_red, s_blue)
 
         participants = {
             node.id
@@ -537,7 +837,39 @@ class IpdaProtocol(AggregationProtocol):
             for node in network.iter_nodes()
             if isinstance(node, _IpdaNode) and node.color is TreeColor.BLUE
         )
-        reported = verification.accepted_value if verification.accepted else None
+
+        robustness = self.config.robustness
+        if robustness is not None and robustness.degradation:
+            slack = robustness.piece_slack
+            if slack is None:
+                # Random pieces stay within +-magnitude but the final
+                # piece of an l-cut reaches |reading| + (l-1)*magnitude
+                # <= (l - 1/2)*magnitude, so scale with l beyond 2.
+                slack = magnitude * max(2, self.config.slices)
+            verification = checker.verify(
+                s_red,
+                s_blue,
+                pieces_red=root.tree_pieces(TreeColor.RED),
+                pieces_blue=root.tree_pieces(TreeColor.BLUE),
+                expected_pieces=len(participants) * self.config.slices,
+                policy=DegradationPolicy(
+                    piece_slack=slack,
+                    max_missing_fraction=robustness.max_missing_fraction,
+                ),
+            )
+        else:
+            verification = checker.verify(s_red, s_blue)
+        reported = verification.report_value
+        retries_used = sum(
+            node.retries_used
+            for node in network.iter_nodes()
+            if isinstance(node, _IpdaNode)
+        )
+        reparent_count = sum(
+            node.reparent_count
+            for node in network.iter_nodes()
+            if isinstance(node, _IpdaNode)
+        )
         return IpdaOutcome(
             protocol=self.name,
             round_id=round_id,
@@ -562,6 +894,8 @@ class IpdaProtocol(AggregationProtocol):
                 ),
                 "slices": self.config.slices,
                 "magnitude": magnitude,
+                "retries_used": retries_used,
+                "reparent_count": reparent_count,
                 "loss_rate": network.trace.loss_rate(),
                 "sent_bytes_by_node": dict(network.trace.sent_bytes_by_node),
                 "latency": root.last_result_time,
@@ -575,5 +909,12 @@ def _begin_slicing_callback(node: Node):
     def fire() -> None:
         if isinstance(node, _IpdaNode):
             node.begin_slicing()
+
+    return fire
+
+
+def _kill_callback(network: Network, node_id: int):
+    def fire() -> None:
+        network.kill_node(node_id)
 
     return fire

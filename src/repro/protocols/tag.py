@@ -7,17 +7,34 @@ partial sum in the epoch slot for depth ``h``, deepest first, exactly
 as TAG divides its epoch.  No privacy, no integrity: each node sends
 two frames per query (HELLO + partial result), the 2-message budget
 Figure 4(a) shows.
+
+Loss tolerance (``robustness=``, opt-in, mirroring iPDA's): partial
+results become end-to-end acknowledged with bounded retransmissions
+under jittered backoff; on exhausting the per-parent retry budget a
+node fails over to the next strictly-shallower parent candidate it
+heard during the HELLO flood.  Each partial result carries the node
+ids it covers so merge points can drop re-delivered subtrees (an ACK
+lost after delivery otherwise double-counts the whole branch).  The
+default remains TAG's classic fire-and-forget convergecast.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Set
+from typing import Dict, Mapping, Optional, Set
 
+from ..core.config import RobustnessConfig
 from ..errors import ProtocolError
 from ..net.topology import Topology
+from ..sim.engine import ScheduledEvent
 from ..sim.mac import MacConfig
-from ..sim.messages import BROADCAST, AggregateMessage, HelloMessage, Message
+from ..sim.messages import (
+    BROADCAST,
+    AckMessage,
+    AggregateMessage,
+    HelloMessage,
+    Message,
+)
 from ..sim.network import Network
 from ..sim.node import Node
 from ..sim.radio import RadioConfig
@@ -25,6 +42,16 @@ from ..sim.rng import RngStreams
 from .base import AggregationProtocol, RoundOutcome, validate_readings
 
 __all__ = ["TagParams", "TagProtocol"]
+
+
+@dataclass
+class _PendingReport:
+    """An unacknowledged partial result awaiting its end-to-end ACK."""
+
+    message: AggregateMessage
+    attempt: int
+    tried: Set[int]
+    timer: Optional[ScheduledEvent]
 
 
 @dataclass
@@ -61,16 +88,80 @@ class _TagNode(Node):
         self.child_count = 0
         self.params: TagParams = TagParams()
         self.round_id = 0
+        # --- loss-tolerant mode state (inert when robust is None) ---
+        self.robust: Optional[RobustnessConfig] = None
+        #: every HELLO heard, src -> best hops: the fail-over candidates.
+        self.heard: Dict[int, int] = {}
+        self._pending: Dict[int, _PendingReport] = {}
+        self._seen_aggregates: Set[int] = set()
+        #: node ids already folded into ``child_sum`` — the duplicate
+        #: filter for fail-over paths.
+        self._merged_origins: Set[int] = set()
+        self._reported = False
+        self.retries_used = 0
+        self.reparent_count = 0
 
     # -- Phase 1: tree construction ------------------------------------
     def on_receive(self, message: Message) -> None:
         if isinstance(message, HelloMessage):
             self._handle_hello(message)
         elif isinstance(message, AggregateMessage):
-            self.child_sum += message.value
-            self.child_count += message.contributor_count
+            self._handle_aggregate(message)
+        elif isinstance(message, AckMessage):
+            state = self._pending.pop(message.ref, None)
+            if state is not None and state.timer is not None:
+                state.timer.cancel()
+
+    def _handle_aggregate(self, message: AggregateMessage) -> None:
+        if self.robust is not None:
+            if message.frame_id in self._seen_aggregates:
+                self._ack(message)  # duplicate: our ACK was lost, re-ACK
+                return
+            self._seen_aggregates.add(message.frame_id)
+            self._ack(message)
+            if self._merged_origins & set(message.origins):
+                # A fail-over path re-delivered a branch we already
+                # merged: drop it whole (values and counts go together,
+                # so the root's coverage stays honest).
+                return
+            self._merged_origins.update(message.origins)
+        self.child_sum += message.value
+        self.child_count += message.contributor_count
+        if (
+            self.robust is not None
+            and self._reported
+            and self.parent is not None
+        ):
+            # Late child (it retried past our own report): forward its
+            # contribution upstream as a supplemental partial result.
+            self._send_report(
+                AggregateMessage(
+                    src=self.id,
+                    dst=self.parent,
+                    round_id=self.round_id,
+                    value=message.value,
+                    contributor_count=message.contributor_count,
+                    origins=message.origins,
+                ),
+                1,
+                {self.parent},
+            )
+
+    def _ack(self, message: Message) -> None:
+        self.send(
+            AckMessage(
+                src=self.id,
+                dst=message.src,
+                round_id=self.round_id,
+                ref=message.frame_id,
+            )
+        )
 
     def _handle_hello(self, message: HelloMessage) -> None:
+        if self.robust is not None:
+            best = self.heard.get(message.src)
+            if best is None or message.hops < best:
+                self.heard[message.src] = message.hops
         if self.parent is not None:
             return
         self.parent = message.src
@@ -103,15 +194,89 @@ class _TagNode(Node):
             return
         own = self.reading if self.contributes else 0
         own_count = 1 if self.contributes else 0
-        self.send(
-            AggregateMessage(
-                src=self.id,
-                dst=self.parent,
-                round_id=self.round_id,
-                value=own + self.child_sum,
-                contributor_count=own_count + self.child_count,
-            )
+        origins = (
+            tuple(sorted({self.id} | self._merged_origins))
+            if self.robust is not None
+            else ()
         )
+        message = AggregateMessage(
+            src=self.id,
+            dst=self.parent,
+            round_id=self.round_id,
+            value=own + self.child_sum,
+            contributor_count=own_count + self.child_count,
+            origins=origins,
+        )
+        self._reported = True
+        self._send_report(message, 1, {self.parent})
+
+    def _send_report(
+        self, message: AggregateMessage, attempt: int, tried: Set[int]
+    ) -> None:
+        self.send(message)
+        if self.robust is None:
+            return
+        frame_id = message.frame_id
+        timer = self.schedule(
+            self.robust.report_ack_timeout,
+            lambda: self._report_timeout(frame_id),
+        )
+        self._pending[frame_id] = _PendingReport(
+            message=message, attempt=attempt, tried=set(tried), timer=timer
+        )
+
+    def _report_timeout(self, frame_id: int) -> None:
+        """Retry the partial result; after the per-parent cap, fail over."""
+        robust = self.robust
+        state = self._pending.pop(frame_id, None)
+        if state is None or robust is None:
+            return
+        self.retries_used += 1
+        jitter = float(self.rng.uniform(0.5, 1.5))
+        delay = jitter * robust.retry_backoff * (2 ** (state.attempt - 1))
+        if state.attempt < robust.report_retry_limit:
+            # Same frame, same parent: duplicates dedup by frame_id.
+            self.schedule(
+                delay,
+                lambda: self._send_report(
+                    state.message, state.attempt + 1, state.tried
+                ),
+            )
+            return
+        backup = self._backup_parent(state.tried)
+        if backup is None:
+            return  # no shallower candidate left; this subtree is cut off
+        self.reparent_count += 1
+        self.parent = backup
+        fresh = AggregateMessage(
+            src=self.id,
+            dst=backup,
+            round_id=state.message.round_id,
+            value=state.message.value,
+            contributor_count=state.message.contributor_count,
+            origins=state.message.origins,
+        )
+        self.schedule(
+            delay,
+            lambda: self._send_report(fresh, 1, state.tried | {backup}),
+        )
+
+    def _backup_parent(self, tried: Set[int]) -> Optional[int]:
+        """Next untried HELLO source strictly shallower than this node.
+
+        Strict shallowness keeps fail-over acyclic: a re-routed partial
+        result always moves toward the base station.
+        """
+        if self.hops is None:
+            return None
+        candidates = [
+            src
+            for src, hops in self.heard.items()
+            if hops < self.hops and src not in tried
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda s: (self.heard[s], s))
 
 
 class _TagBaseStation(_TagNode):
@@ -152,11 +317,14 @@ class TagProtocol(AggregationProtocol):
         radio_config: Optional[RadioConfig] = None,
         mac_config: Optional[MacConfig] = None,
         base_station: int = 0,
+        robustness: Optional[RobustnessConfig] = None,
     ):
         self.params = params if params is not None else TagParams()
         self.radio_config = radio_config
         self.mac_config = mac_config
         self.base_station = base_station
+        #: opt-in ACK'd convergecast; None keeps classic fire-and-forget.
+        self.robustness = robustness
 
     def run_round(
         self,
@@ -166,13 +334,16 @@ class TagProtocol(AggregationProtocol):
         streams: RngStreams,
         round_id: int = 0,
         contributors: Optional[Set[int]] = None,
+        fault_plan=None,
     ) -> RoundOutcome:
+        """Run one TAG round; ``fault_plan`` injects crashes/burst loss."""
         validate_readings(topology, readings, self.base_station)
 
         def factory(node_id: int, network: Network) -> Node:
             cls = _TagBaseStation if node_id == self.base_station else _TagNode
             node = cls(node_id, network)
             node.params = self.params
+            node.robust = self.robustness
             node.round_id = round_id
             node.reading = int(readings.get(node_id, 0))
             node.contributes = node_id != self.base_station and (
@@ -186,6 +357,7 @@ class TagProtocol(AggregationProtocol):
             streams=streams.spawn("tag", round_id),
             radio_config=self.radio_config,
             mac_config=self.mac_config,
+            fault_plan=fault_plan,
         )
         root = network.node(self.base_station)
         assert isinstance(root, _TagBaseStation)
@@ -219,6 +391,19 @@ class TagProtocol(AggregationProtocol):
                 "sensor_count": topology.node_count - 1,
                 "tree_size": len(joined),
                 "contributor_count_reported": root.child_count,
+                "coverage": (
+                    root.child_count / max(len(eligible), 1)
+                ),
+                "retries_used": sum(
+                    node.retries_used
+                    for node in network.iter_nodes()
+                    if isinstance(node, _TagNode)
+                ),
+                "reparent_count": sum(
+                    node.reparent_count
+                    for node in network.iter_nodes()
+                    if isinstance(node, _TagNode)
+                ),
                 "loss_rate": network.trace.loss_rate(),
                 "sent_bytes_by_node": dict(network.trace.sent_bytes_by_node),
                 "latency": root.last_result_time,

@@ -31,10 +31,16 @@ class ScheduledEvent:
     sequence: int
     callback: Callable[[], Any] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _engine: Optional["EventEngine"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when it comes due."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._engine is not None:
+                self._engine._note_cancellation()
 
 
 class EventEngine:
@@ -47,12 +53,19 @@ class EventEngine:
         engine.run()
     """
 
+    #: Compact the heap when it exceeds this size and more than half of
+    #: it is cancelled; keeps ``pending_events`` honest without paying a
+    #: rebuild on every cancellation.
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: List[ScheduledEvent] = []
         self._sequence = itertools.count()
         self._processed = 0
         self._running = False
+        self._cancelled_pending = 0
+        self._cancelled_total = 0
 
     @property
     def now(self) -> float:
@@ -66,8 +79,29 @@ class EventEngine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still on the heap (including cancelled)."""
-        return len(self._heap)
+        """Number of live (non-cancelled) events still on the heap."""
+        return len(self._heap) - self._cancelled_pending
+
+    @property
+    def cancelled_events(self) -> int:
+        """Total cancellations observed over the engine's lifetime."""
+        return self._cancelled_total
+
+    def _note_cancellation(self) -> None:
+        """Bookkeeping hook invoked by :meth:`ScheduledEvent.cancel`."""
+        self._cancelled_pending += 1
+        self._cancelled_total += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Drop cancelled events when they dominate the heap."""
+        if (
+            len(self._heap) >= self.COMPACT_MIN_SIZE
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_pending = 0
 
     def schedule(
         self,
@@ -88,6 +122,7 @@ class EventEngine:
             priority=priority,
             sequence=next(self._sequence),
             callback=callback,
+            _engine=self,
         )
         heapq.heappush(self._heap, event)
         return event
@@ -126,6 +161,7 @@ class EventEngine:
                     break
                 heapq.heappop(self._heap)
                 if event.cancelled:
+                    self._cancelled_pending -= 1
                     continue
                 self._now = event.time
                 event.callback()

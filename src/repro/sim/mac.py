@@ -87,6 +87,7 @@ class CsmaMac:
         self._busy = False
         self._current: Optional[Message] = None
         self._attempts = 0
+        self._halted = False
         #: unicast frames abandoned after the retry limit.
         self.dropped_frames = 0
         #: total retransmissions performed (attempts beyond the first).
@@ -104,10 +105,30 @@ class CsmaMac:
                 f"MAC of node {self.node_id} asked to send a frame from "
                 f"node {message.src}"
             )
+        if self._halted:
+            return
         self._queue.append(message)
         if not self._busy:
             self._busy = True
             self._start_next()
+
+    def halt(self) -> None:
+        """Fail-stop: drop the queue and stop servicing frames.
+
+        A frame already on the air finishes (the crash lands between
+        frames); any backoff or retry in progress is abandoned.
+        """
+        self._halted = True
+        self._queue.clear()
+        if self._current is not None and not self.radio.is_transmitting(
+            self.node_id
+        ):
+            self._current = None
+            self._busy = False
+
+    def resume(self) -> None:
+        """Recover from :meth:`halt`; the queue starts empty."""
+        self._halted = False
 
     # ------------------------------------------------------------------
     # Internal state machine
@@ -123,7 +144,7 @@ class CsmaMac:
         self.engine.schedule(jitter, lambda: self._attempt(0))
 
     def _attempt(self, deferrals: int) -> None:
-        if self._current is None:
+        if self._current is None or self._halted:
             return
         if (
             self.radio.senses_busy(self.node_id)
@@ -142,6 +163,8 @@ class CsmaMac:
     def transmission_result(self, message: Message, delivered: bool) -> None:
         """Radio feedback at end-of-frame (the abstracted ACK)."""
         if self._current is None or message is not self._current:
+            if self._halted:
+                return  # the frame concluded across a fail-stop
             raise SimulationError(
                 f"MAC of node {self.node_id} got feedback for a frame it "
                 "is not currently sending"
@@ -149,6 +172,7 @@ class CsmaMac:
         retry = (
             not delivered
             and not message.is_broadcast
+            and not self._halted
             and self._attempts < self.config.retry_limit
         )
         if retry:

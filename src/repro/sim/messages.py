@@ -19,6 +19,7 @@ __all__ = [
     "QueryMessage",
     "SliceMessage",
     "AggregateMessage",
+    "AckMessage",
     "BROADCAST",
     "LINK_HEADER_BYTES",
 ]
@@ -151,14 +152,46 @@ class SliceMessage(Message):
 
 @dataclass
 class AggregateMessage(Message):
-    """An intermediate aggregation result travelling up a tree (Phase III)."""
+    """An intermediate aggregation result travelling up a tree (Phase III).
+
+    ``origins`` (loss-tolerant mode only) lists the aggregator ids whose
+    shares the value includes.  End-to-end fail-over can deliver the
+    same subtree twice along different paths; merge points drop any
+    aggregate whose origins overlap what they already merged, making
+    the convergecast duplicate-insensitive.  Carrying the ids costs 2
+    bytes per origin — the classic reliability/compression trade-off of
+    in-network aggregation; the empty default keeps fire-and-forget
+    frames at the paper's fixed cost.
+    """
 
     round_id: int = 0
     color: Optional[TreeColor] = None
     value: int = 0
     contributor_count: int = 0
+    origins: Tuple[int, ...] = ()
 
-    PAYLOAD_BYTES = 13  # round(2) + colour(1) + value(8) + count(2)
+    def payload_bytes(self) -> int:
+        # round(2) + colour(1) + value(8) + count(2) + origin ids(2 each)
+        return 13 + 2 * len(self.origins)
+
+
+@dataclass
+class AckMessage(Message):
+    """Protocol-level acknowledgement (loss-tolerant mode only).
+
+    Confirms receipt of a specific frame: ``ref`` is the acknowledged
+    frame's ``frame_id`` (retransmissions reuse the frame, so one ack
+    settles all attempts).  Link-layer ACKs are already folded into data
+    frames; this is the *end-to-end* acknowledgement that survives a
+    dead addressee — its absence is how a sender learns its counterpart
+    crashed and fails over.
+    """
+
+    round_id: int = 0
+    color: Optional[TreeColor] = None
+    ref: int = 0
+
+    PAYLOAD_BYTES = 7  # round(2) + colour(1) + ref(4)
 
 
 def describe(message: Message) -> Tuple[str, int, int, int]:

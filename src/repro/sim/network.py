@@ -43,6 +43,11 @@ class Network:
         Physical and MAC layer parameters.
     keep_frames:
         Retain a full frame log in the trace (needed by attacks).
+    fault_plan:
+        A declarative :class:`~repro.faults.FaultPlan`; when given, a
+        :class:`~repro.faults.FaultInjector` is armed on this network
+        (crashes and recoveries scheduled, burst-loss channel installed)
+        before the first event runs.
     """
 
     def __init__(
@@ -55,6 +60,7 @@ class Network:
         radio_config: Optional[RadioConfig] = None,
         mac_config: Optional[MacConfig] = None,
         keep_frames: bool = False,
+        fault_plan=None,
     ):
         self.topology = topology
         self.streams = streams if streams is not None else RngStreams(seed)
@@ -68,6 +74,7 @@ class Network:
             rng=self.streams.get("radio"),
             config=radio_config,
             notify_sender=self._notify_sender,
+            node_alive=self._node_alive,
         )
         self._mac_config = mac_config if mac_config is not None else MacConfig()
         self._macs: Dict[int, CsmaMac] = {}
@@ -76,6 +83,12 @@ class Network:
             node_id: factory(node_id, self)
             for node_id in range(topology.node_count)
         }
+        self.injector = None
+        if fault_plan is not None:
+            from ..faults.injector import FaultInjector
+
+            self.injector = FaultInjector(fault_plan, self)
+            self.injector.arm()
 
     # ------------------------------------------------------------------
     # Wiring
@@ -113,6 +126,25 @@ class Network:
 
     def _notify_sender(self, message: Message, delivered: bool) -> None:
         self.mac(message.src).transmission_result(message, delivered)
+
+    def _node_alive(self, node_id: int) -> bool:
+        node = self.nodes.get(node_id)
+        return node is None or node.alive
+
+    # ------------------------------------------------------------------
+    # Fault entry points (used by the fault injector and tests)
+    # ------------------------------------------------------------------
+    def kill_node(self, node_id: int) -> None:
+        """Fail-stop ``node_id`` now: silence its node and flush its MAC."""
+        self.node(node_id).kill()
+        self.mac(node_id).halt()
+        self.trace.record_fault(self.engine.now, "crash", node_id)
+
+    def revive_node(self, node_id: int) -> None:
+        """Bring a fail-stopped node back (churn)."""
+        self.node(node_id).revive()
+        self.mac(node_id).resume()
+        self.trace.record_fault(self.engine.now, "recovery", node_id)
 
     # ------------------------------------------------------------------
     # Running

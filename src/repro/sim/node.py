@@ -83,6 +83,15 @@ class Node:
         """Fail-stop this node: it stops sending and reacting."""
         self.alive = False
 
+    def revive(self) -> None:
+        """Recover from a fail-stop (churn): the node reacts again.
+
+        State is whatever survived the crash; timers that came due while
+        dead were skipped and stay lost, exactly as a rebooted mote
+        misses its schedule.
+        """
+        self.alive = True
+
     # ------------------------------------------------------------------
     # Hooks
     # ------------------------------------------------------------------

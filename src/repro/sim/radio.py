@@ -90,6 +90,14 @@ class _Transmission:
 
 DeliverFn = Callable[[int, Message, bool], None]
 NotifySenderFn = Callable[[Message, bool], None]
+#: ``loss_model(src, dst, now) -> bool`` — True means the frame is lost
+#: on that directed link at that instant (e.g. a Gilbert–Elliott burst
+#: channel from :mod:`repro.faults`).  Applied after collision filtering
+#: and the flat Bernoulli knob, which it generalises.
+LossModelFn = Callable[[int, int, float], bool]
+#: ``node_alive(node_id) -> bool`` — a dead radio decodes nothing, so
+#: link-layer ARQ sees the crash instead of a phantom delivery.
+NodeAliveFn = Callable[[int], bool]
 
 
 class RadioMedium:
@@ -125,6 +133,7 @@ class RadioMedium:
         rng: np.random.Generator,
         config: Optional[RadioConfig] = None,
         notify_sender: Optional[NotifySenderFn] = None,
+        node_alive: Optional[NodeAliveFn] = None,
     ):
         self.engine = engine
         self.topology = topology
@@ -135,6 +144,9 @@ class RadioMedium:
         self._rng = rng
         self._transmitting_until: Dict[int, float] = {}
         self._active_receptions: Dict[int, List[Reception]] = {}
+        #: optional per-link loss process installed by the fault layer.
+        self.loss_model: Optional[LossModelFn] = None
+        self._node_alive = node_alive
 
     # ------------------------------------------------------------------
     # Channel state queries (used by the MAC for carrier sensing)
@@ -253,10 +265,22 @@ class RadioMedium:
             )
             self.trace.record_drop(reception.record, message, receiver, reason)
             return False
+        if self._node_alive is not None and not self._node_alive(receiver):
+            self.trace.record_drop(
+                reception.record, message, receiver, DropReason.RECEIVER_DEAD
+            )
+            return False
         loss_p = self.config.loss_probability
         if loss_p > 0.0 and self._rng.random() < loss_p:
             self.trace.record_drop(
                 reception.record, message, receiver, DropReason.RANDOM_LOSS
+            )
+            return False
+        if self.loss_model is not None and self.loss_model(
+            message.src, receiver, self.engine.now
+        ):
+            self.trace.record_drop(
+                reception.record, message, receiver, DropReason.BURST_LOSS
             )
             return False
         addressed = message.is_broadcast or message.dst == receiver

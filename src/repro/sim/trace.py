@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .messages import Message
 
-__all__ = ["TraceCollector", "FrameRecord", "DropReason"]
+__all__ = ["TraceCollector", "FrameRecord", "DropReason", "FaultEvent"]
 
 
 class DropReason:
@@ -23,7 +23,22 @@ class DropReason:
     COLLISION = "collision"
     HALF_DUPLEX = "half-duplex"
     RANDOM_LOSS = "random-loss"
+    BURST_LOSS = "burst-loss"
+    RECEIVER_DEAD = "receiver-dead"
     NO_RECEIVER = "no-receiver"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as recorded by the fault layer.
+
+    ``kind`` is ``"crash"``, ``"recovery"``, or ``"burst-loss-model"``;
+    ``node`` is the affected node id (or -1 for channel-wide faults).
+    """
+
+    time: float
+    kind: str
+    node: int = -1
 
 
 @dataclass
@@ -67,6 +82,13 @@ class TraceCollector:
         self.dropped_count: Counter = Counter()  # reason -> drops
         self.sent_kind_by_node: Dict[int, Counter] = defaultdict(Counter)
         self.received_kind_by_node: Dict[int, Counter] = defaultdict(Counter)
+        #: (src, receiver) -> reason -> drops; lets fault experiments
+        #: assert which links shed frames and why.
+        self.dropped_by_link: Dict[Tuple[int, int], Counter] = defaultdict(
+            Counter
+        )
+        #: injected faults (crashes, recoveries), in time order.
+        self.fault_events: List[FaultEvent] = []
 
     # ------------------------------------------------------------------
     # Recording (called by the radio layer)
@@ -109,8 +131,13 @@ class TraceCollector:
     ) -> None:
         """Record a failed delivery and its reason."""
         self.dropped_count[reason] += 1
+        self.dropped_by_link[(message.src, receiver)][reason] += 1
         if record is not None:
             record.dropped_at.append((receiver, reason))
+
+    def record_fault(self, time: float, kind: str, node: int = -1) -> None:
+        """Record an injected fault (crash, recovery, ...)."""
+        self.fault_events.append(FaultEvent(time=time, kind=kind, node=node))
 
     # ------------------------------------------------------------------
     # Reporting
@@ -134,6 +161,18 @@ class TraceCollector:
         """Frames transmitted by one node (the Figure 4 metric)."""
         return self.sent_by_node.get(node_id, 0)
 
+    def link_drops(self, src: int, dst: int) -> int:
+        """Total failed deliveries on one directed link."""
+        return sum(self.dropped_by_link.get((src, dst), {}).values())
+
+    def drops_at_node(self, node_id: int) -> int:
+        """Failed deliveries where ``node_id`` was the receiver."""
+        return sum(
+            sum(reasons.values())
+            for (_src, dst), reasons in self.dropped_by_link.items()
+            if dst == node_id
+        )
+
     def loss_rate(self) -> float:
         """Fraction of (frame, receiver) delivery attempts that failed."""
         delivered = sum(self.delivered_count.values())
@@ -154,4 +193,16 @@ class TraceCollector:
             "bytes_by_kind": dict(self.sent_bytes),
             "frames_by_kind": dict(self.sent_count),
             "drops_by_reason": dict(self.dropped_count),
+            "drops_by_link": {
+                f"{src}->{dst}": sum(reasons.values())
+                for (src, dst), reasons in sorted(self.dropped_by_link.items())
+            },
+            "lossiest_links": [
+                (f"{src}->{dst}", sum(reasons.values()))
+                for (src, dst), reasons in sorted(
+                    self.dropped_by_link.items(),
+                    key=lambda item: (-sum(item[1].values()), item[0]),
+                )[:10]
+            ],
+            "fault_events": len(self.fault_events),
         }

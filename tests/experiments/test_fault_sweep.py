@@ -1,0 +1,68 @@
+"""Tests for the fault-injection sweep (reduced scale for speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fault_sweep
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return fault_sweep.run(
+            crash_fractions=(0.0, 0.1),
+            loss_levels=("none",),
+            repetitions=1,
+            seed=5,
+        )
+
+    def test_shape(self, table):
+        # 2 crash fractions x 1 loss level x 3 protocol variants.
+        assert len(table.rows) == 6
+        assert table.columns[:3] == ["crash_fraction", "burst", "protocol"]
+
+    def test_outcome_rates_are_distributions(self, table):
+        for row in table.rows:
+            accept, degrade, reject = row[3], row[4], row[5]
+            assert accept + degrade + reject == pytest.approx(1.0)
+
+    def test_clean_cell_is_perfect(self, table):
+        for row in table.rows:
+            if row[0] == 0.0:
+                assert row[3] == 1.0  # accept_rate
+                assert row[6] == pytest.approx(1.0)  # accuracy
+
+    def test_legacy_rejects_under_crashes_robust_does_not(self, table):
+        by_key = {(row[0], row[2]): row for row in table.rows}
+        legacy = by_key[(0.1, "ipda-legacy")]
+        robust = by_key[(0.1, "ipda-robust")]
+        assert legacy[5] == 1.0  # legacy: crashes always reject
+        assert robust[5] == 0.0  # robust: accepted or degraded
+        assert robust[6] > 0.8  # and the served estimate stays close
+
+    def test_notes_mention_burst_model(self, table):
+        assert any("Gilbert" in note for note in table.notes)
+
+
+class TestSession:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return fault_sweep.run_session(
+            rounds=3, crash_fraction=0.05, loss_level="none", seed=2
+        )
+
+    def test_services(self, table):
+        assert table.column("service") == ["honest", "polluted"]
+
+    def test_honest_never_falsely_rejected(self, table):
+        honest = table.rows[0]
+        columns = table.columns
+        assert honest[columns.index("false_rejects")] == 0
+        assert honest[columns.index("silently_wrong")] == 0
+
+    def test_polluted_rounds_never_silently_wrong(self, table):
+        polluted = table.rows[1]
+        columns = table.columns
+        assert polluted[columns.index("silently_wrong")] == 0
+        assert polluted[columns.index("rejected")] >= 2

@@ -1,0 +1,98 @@
+"""Tests for the lazily-advanced Gilbert–Elliott burst channels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.channel import GilbertElliottChannel
+from repro.faults.plan import GilbertElliottParams
+
+
+def drive(channel, src, dst, frames, spacing=0.05):
+    """Query one link ``frames`` times at a fixed spacing."""
+    return [
+        channel(src, dst, i * spacing) for i in range(frames)
+    ]
+
+
+class TestDeterminism:
+    def test_same_seed_replays_identically(self):
+        params = GilbertElliottParams(bad_rate=0.2, loss_bad=0.7)
+        a = GilbertElliottChannel(params, seed=42)
+        b = GilbertElliottChannel(params, seed=42)
+        assert drive(a, 1, 2, 500) == drive(b, 1, 2, 500)
+
+    def test_links_are_independent_streams(self):
+        params = GilbertElliottParams(bad_rate=0.2, loss_bad=0.7)
+        a = GilbertElliottChannel(params, seed=42)
+        b = GilbertElliottChannel(params, seed=42)
+        # Interleaving traffic on another link must not perturb (1, 2).
+        pattern = []
+        for i in range(500):
+            pattern.append(b(1, 2, i * 0.05))
+            b(3, 4, i * 0.05)
+        assert drive(a, 1, 2, 500) == pattern
+
+    def test_different_seeds_differ(self):
+        params = GilbertElliottParams(bad_rate=0.5, loss_bad=0.9)
+        a = GilbertElliottChannel(params, seed=1)
+        b = GilbertElliottChannel(params, seed=2)
+        assert drive(a, 1, 2, 500) != drive(b, 1, 2, 500)
+
+
+class TestStatistics:
+    def test_long_run_loss_matches_expected(self):
+        params = GilbertElliottParams(
+            bad_rate=0.25, recovery_rate=0.75, loss_good=0.05, loss_bad=0.8
+        )
+        channel = GilbertElliottChannel(params, seed=0)
+        losses = sum(drive(channel, 1, 2, 20_000, spacing=0.2))
+        rate = losses / 20_000
+        assert rate == pytest.approx(params.expected_loss, abs=0.03)
+        assert channel.observed_loss_rate() == pytest.approx(rate)
+
+    def test_degenerates_to_bernoulli_without_bursts(self):
+        params = GilbertElliottParams(
+            bad_rate=0.0, recovery_rate=1.0, loss_good=0.3, loss_bad=0.9
+        )
+        channel = GilbertElliottChannel(params, seed=0)
+        losses = sum(drive(channel, 1, 2, 20_000))
+        assert losses / 20_000 == pytest.approx(0.3, abs=0.02)
+
+    def test_losses_are_bursty(self):
+        """Consecutive-frame loss correlation exceeds the i.i.d. rate."""
+        params = GilbertElliottParams(
+            bad_rate=0.05, recovery_rate=0.5, loss_good=0.0, loss_bad=0.9
+        )
+        channel = GilbertElliottChannel(params, seed=3)
+        outcomes = drive(channel, 1, 2, 50_000, spacing=0.02)
+        loss_rate = sum(outcomes) / len(outcomes)
+        pairs = sum(
+            1 for a, b in zip(outcomes, outcomes[1:]) if a and b
+        )
+        after_loss = pairs / max(sum(outcomes[:-1]), 1)
+        # P(loss | previous frame lost) must clearly exceed P(loss).
+        assert after_loss > 2 * loss_rate
+
+
+class TestPlumbing:
+    def test_lazy_instantiation(self):
+        channel = GilbertElliottChannel(GilbertElliottParams(), seed=0)
+        assert channel.active_links() == 0
+        channel(1, 2, 0.0)
+        channel(1, 2, 1.0)
+        channel(2, 1, 0.5)
+        assert channel.active_links() == 2
+
+    def test_no_default_means_lossless(self):
+        channel = GilbertElliottChannel(None, seed=0)
+        assert not any(drive(channel, 1, 2, 100))
+        assert channel.active_links() == 0
+
+    def test_override_applies_to_one_direction(self):
+        hot = GilbertElliottParams(
+            bad_rate=10.0, recovery_rate=0.1, loss_good=1.0, loss_bad=1.0
+        )
+        channel = GilbertElliottChannel(None, overrides={(1, 2): hot}, seed=0)
+        assert all(drive(channel, 1, 2, 50))
+        assert not any(drive(channel, 2, 1, 50))

@@ -1,0 +1,106 @@
+"""Tests for arming fault plans onto a live network."""
+
+from __future__ import annotations
+
+from repro.faults.channel import GilbertElliottChannel
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import CrashEvent, FaultPlan, GilbertElliottParams
+from repro.net.topology import grid_deployment
+from repro.sim.messages import BROADCAST, HelloMessage, Message
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+
+class Recorder(Node):
+    """Node that records everything it hears."""
+
+    def __init__(self, node_id, network):
+        super().__init__(node_id, network)
+        self.received = []
+
+    def on_receive(self, message: Message) -> None:
+        self.received.append(message)
+
+
+def make_network(plan=None):
+    topology = grid_deployment(1, 4, spacing=40.0, radio_range=50.0)
+    return Network(topology, Recorder, fault_plan=plan)
+
+
+class TestArming:
+    def test_network_arms_plan_on_construction(self):
+        plan = FaultPlan(crashes=(CrashEvent(node=2, at=1.0),))
+        net = make_network(plan)
+        assert net.injector is not None
+        assert net.engine.pending_events >= 1
+
+    def test_crash_fires_at_scheduled_time(self):
+        plan = FaultPlan(crashes=(CrashEvent(node=2, at=1.0),))
+        net = make_network(plan)
+        assert net.node(2).alive
+        net.run(until=2.0)
+        assert not net.node(2).alive
+        kinds = [e.kind for e in net.trace.fault_events]
+        assert "crash" in kinds
+
+    def test_churn_revives_the_node(self):
+        plan = FaultPlan(
+            crashes=(CrashEvent(node=2, at=1.0, recover_at=3.0),)
+        )
+        net = make_network(plan)
+        net.run(until=2.0)
+        assert not net.node(2).alive
+        net.run(until=4.0)
+        assert net.node(2).alive
+        kinds = [e.kind for e in net.trace.fault_events]
+        assert kinds.count("crash") == 1 and kinds.count("recovery") == 1
+
+    def test_dead_node_is_deaf_until_recovery(self):
+        plan = FaultPlan(
+            crashes=(CrashEvent(node=2, at=0.5, recover_at=5.0),)
+        )
+        net = make_network(plan)
+        net.run(until=1.0)
+        net.node(1).send(HelloMessage(src=1, dst=BROADCAST))
+        net.run(until=4.0)
+        assert not net.node(2).received
+        net.run(until=6.0)
+        net.node(1).send(HelloMessage(src=1, dst=BROADCAST))
+        net.run()
+        assert net.node(2).received
+
+    def test_burst_loss_model_installed(self):
+        plan = FaultPlan(burst_loss=GilbertElliottParams())
+        net = make_network(plan)
+        assert isinstance(net.radio.loss_model, GilbertElliottChannel)
+        assert any(
+            e.kind == "burst-loss-model" for e in net.trace.fault_events
+        )
+
+    def test_arm_is_idempotent(self):
+        plan = FaultPlan(crashes=(CrashEvent(node=2, at=1.0),))
+        net = make_network(plan)
+        before = net.engine.pending_events
+        assert net.injector is not None
+        net.injector.arm()  # second call must not duplicate events
+        assert net.engine.pending_events == before
+
+    def test_oversized_plan_nodes_skipped(self):
+        plan = FaultPlan(crashes=(CrashEvent(node=99, at=1.0),))
+        net = make_network(plan)
+        net.run(until=2.0)  # must not raise on the missing node
+        assert not net.trace.fault_events
+
+    def test_injected_crash_counter(self):
+        plan = FaultPlan(
+            crashes=(
+                CrashEvent(node=1, at=0.5),
+                CrashEvent(node=2, at=1.0),
+            )
+        )
+        net = make_network(plan)
+        injector = net.injector
+        assert isinstance(injector, FaultInjector)
+        assert injector.injected_crashes == 0
+        net.run(until=2.0)
+        assert injector.injected_crashes == 2

@@ -1,0 +1,154 @@
+"""Tests for declarative fault plans (crashes, churn, burst loss)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import CrashEvent, FaultPlan, GilbertElliottParams
+
+
+class TestCrashEvent:
+    def test_valid_permanent_crash(self):
+        crash = CrashEvent(node=3, at=1.5)
+        assert not crash.is_churn
+
+    def test_churn_flag(self):
+        assert CrashEvent(node=3, at=1.5, recover_at=9.0).is_churn
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrashEvent(node=-1, at=1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrashEvent(node=1, at=-0.1)
+
+    def test_recovery_must_follow_crash(self):
+        with pytest.raises(ConfigurationError):
+            CrashEvent(node=1, at=5.0, recover_at=5.0)
+
+
+class TestGilbertElliottParams:
+    def test_steady_state_and_expected_loss(self):
+        params = GilbertElliottParams(
+            bad_rate=0.25, recovery_rate=0.75, loss_good=0.0, loss_bad=0.8
+        )
+        assert params.steady_state_bad == pytest.approx(0.25)
+        assert params.expected_loss == pytest.approx(0.25 * 0.8)
+        assert params.mean_burst_seconds == pytest.approx(1 / 0.75)
+
+    def test_transient_solution_limits(self):
+        params = GilbertElliottParams(bad_rate=0.1, recovery_rate=0.4)
+        # dt = 0: the chain has not moved.
+        assert params.transition_to_bad_probability(True, 0.0) == 1.0
+        assert params.transition_to_bad_probability(False, 0.0) == 0.0
+        # dt -> infinity: both conditionals converge to the stationary law.
+        for start in (True, False):
+            assert params.transition_to_bad_probability(
+                start, 1e9
+            ) == pytest.approx(params.steady_state_bad)
+
+    def test_transient_solution_closed_form(self):
+        params = GilbertElliottParams(bad_rate=0.2, recovery_rate=0.5)
+        pi = params.steady_state_bad
+        decay = math.exp(-(0.2 + 0.5) * 2.0)
+        assert params.transition_to_bad_probability(
+            False, 2.0
+        ) == pytest.approx(pi * (1 - decay))
+        assert params.transition_to_bad_probability(
+            True, 2.0
+        ) == pytest.approx(pi + (1 - pi) * decay)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottParams(bad_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            GilbertElliottParams(recovery_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            GilbertElliottParams(loss_bad=1.5)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottParams().transition_to_bad_probability(False, -1.0)
+
+
+class TestFaultPlan:
+    def test_duplicate_crash_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(
+                crashes=(
+                    CrashEvent(node=1, at=1.0),
+                    CrashEvent(node=1, at=2.0),
+                )
+            )
+
+    def test_crashes_before(self):
+        plan = FaultPlan(
+            crashes=(CrashEvent(node=1, at=1.0), CrashEvent(node=2, at=5.0))
+        )
+        assert plan.crashes_before(2.0) == (plan.crashes[0],)
+
+    def test_describe_mentions_everything(self):
+        plan = FaultPlan(
+            crashes=(CrashEvent(node=1, at=1.0, recover_at=6.0),),
+            burst_loss=GilbertElliottParams(),
+        )
+        text = plan.describe()
+        assert "crash" in text and "recovery" in text and "burst" in text
+
+    def test_has_burst_loss(self):
+        assert not FaultPlan().has_burst_loss
+        assert FaultPlan(burst_loss=GilbertElliottParams()).has_burst_loss
+
+
+class TestRandomCrashes:
+    def test_fraction_and_window_respected(self):
+        rng = np.random.default_rng(7)
+        plan = FaultPlan.random_crashes(
+            range(1, 41), 0.25, rng=rng, window=(2.0, 8.0)
+        )
+        assert len(plan.crashes) == 10
+        assert all(2.0 <= c.at <= 8.0 for c in plan.crashes)
+
+    def test_protected_nodes_never_crash(self):
+        rng = np.random.default_rng(7)
+        plan = FaultPlan.random_crashes(
+            range(20), 1.0, rng=rng, window=(0.0, 5.0), protect=(0, 3)
+        )
+        assert 0 not in plan.crashed_nodes
+        assert 3 not in plan.crashed_nodes
+        assert len(plan.crashes) == 18
+
+    def test_recover_after_schedules_churn(self):
+        rng = np.random.default_rng(7)
+        plan = FaultPlan.random_crashes(
+            range(1, 11), 0.5, rng=rng, window=(0.0, 5.0), recover_after=10.0
+        )
+        assert plan.crashes
+        for crash in plan.crashes:
+            assert crash.recover_at == pytest.approx(crash.at + 10.0)
+
+    def test_deterministic_under_seeded_rng(self):
+        first = FaultPlan.random_crashes(
+            range(1, 31), 0.2, rng=np.random.default_rng(3), window=(0.0, 9.0)
+        )
+        second = FaultPlan.random_crashes(
+            range(1, 31), 0.2, rng=np.random.default_rng(3), window=(0.0, 9.0)
+        )
+        assert first == second
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.random_crashes(
+                range(5), 1.5, rng=np.random.default_rng(0), window=(0, 1)
+            )
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.random_crashes(
+                range(5), 0.5, rng=np.random.default_rng(0), window=(5, 1)
+            )

@@ -1,0 +1,156 @@
+"""Property tests for loss tolerance: crashes degrade, never corrupt.
+
+Two families of invariants:
+
+* Logical (lossless pipeline): an honest round under any moderate
+  fail-stop crash set is *never* rejected — the piece accounting must
+  always explain benign loss — and any value served stays within the
+  loss bound of the participants' true total.
+
+* Behavioural (full radio stack): bounded retransmission budgets
+  terminate — a robust round under crashes and burst loss always
+  drains its event queue, and the retry effort stays within the
+  configured caps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import IpdaConfig, RobustnessConfig
+from repro.core.pipeline import run_lossless_round
+from repro.faults.plan import FaultPlan, GilbertElliottParams
+from repro.net.topology import grid_deployment
+from repro.protocols.ipda import IpdaProtocol
+from repro.rng import RngStreams
+
+TOPOLOGY = grid_deployment(5, 5, spacing=20.0)
+READINGS = {i: 10 for i in range(1, TOPOLOGY.node_count)}
+
+
+class TestCrashesNeverFlipHonestRounds:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        crash_count=st.integers(min_value=0, max_value=6),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_honest_round_accepted_or_degraded(self, seed, crash_count):
+        rng = np.random.default_rng(seed)
+        crashed = set(
+            int(i)
+            for i in rng.choice(
+                range(1, TOPOLOGY.node_count), size=crash_count, replace=False
+            )
+        )
+        config = IpdaConfig(robustness=RobustnessConfig())
+        result = run_lossless_round(
+            TOPOLOGY, READINGS, config, rng=rng, crashed=crashed
+        )
+        verification = result.verification
+        assert not verification.rejected, (
+            f"honest round rejected under crashes {sorted(crashed)}: "
+            f"diff={verification.difference} "
+            f"eff={verification.effective_threshold}"
+        )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        crash_count=st.integers(min_value=1, max_value=6),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_served_value_within_loss_bound(self, seed, crash_count):
+        rng = np.random.default_rng(seed)
+        crashed = set(
+            int(i)
+            for i in rng.choice(
+                range(1, TOPOLOGY.node_count), size=crash_count, replace=False
+            )
+        )
+        config = IpdaConfig(robustness=RobustnessConfig())
+        result = run_lossless_round(
+            TOPOLOGY, READINGS, config, rng=rng, crashed=crashed
+        )
+        verification = result.verification
+        if result.reported is None:
+            return
+        magnitude = config.effective_magnitude(READINGS.values())
+        slack = magnitude * max(2, config.slices)
+        expected = verification.expected_pieces
+        gap = min(
+            abs(verification.pieces_red - expected),
+            abs(verification.pieces_blue - expected),
+        )
+        bound = config.threshold + slack * gap
+        assert abs(result.reported - result.participant_total) <= bound
+
+    def test_pollution_still_rejected_under_crashes(self):
+        rng = np.random.default_rng(11)
+        config = IpdaConfig(robustness=RobustnessConfig())
+        rejected = 0
+        for _ in range(5):
+            result = run_lossless_round(
+                TOPOLOGY,
+                READINGS,
+                config,
+                rng=rng,
+                crashed={5, 9},
+                polluters={12: 100_000},
+            )
+            if result.verification.rejected:
+                rejected += 1
+        # Pollution can only escape when the polluter was not an
+        # aggregator (its offset never enters a tree); it must never be
+        # (mis)classified as degraded-but-servable.
+        assert rejected >= 4
+
+
+class TestRetransmissionCapsTerminate:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_robust_round_drains_under_faults(self, seed):
+        topology = grid_deployment(4, 4, spacing=20.0)
+        readings = {i: 5 for i in range(1, topology.node_count)}
+        rng = np.random.default_rng(seed)
+        plan = FaultPlan.random_crashes(
+            range(1, topology.node_count),
+            0.2,
+            rng=rng,
+            window=(0.0, 20.0),
+            burst_loss=GilbertElliottParams(
+                bad_rate=0.1, recovery_rate=0.5, loss_good=0.0, loss_bad=0.9
+            ),
+            seed=seed,
+        )
+        robustness = RobustnessConfig()
+        config = IpdaConfig(robustness=robustness)
+        outcome = IpdaProtocol(config).run_round(
+            topology,
+            readings,
+            streams=RngStreams(seed),
+            round_id=seed,
+            fault_plan=plan,
+        )
+        # run_round returning at all proves the event queue drained:
+        # every retry chain hit an ACK or its cap.  The budget check
+        # bounds the total effort: each slice piece retries at most
+        # (limit - 1) times, each reporter at most (limit - 1) per
+        # parent across at most all strictly-shallower fail-overs.
+        sensors = topology.node_count - 1
+        slice_budget = (
+            sensors * 2 * config.slices * (robustness.slice_retry_limit - 1)
+        )
+        report_budget = (
+            sensors * sensors * robustness.report_retry_limit
+        )
+        assert outcome.stats["retries_used"] <= slice_budget + report_budget
+        assert outcome.outcome in {"accepted", "degraded", "rejected"}

@@ -15,6 +15,7 @@ SUBPACKAGES = [
     "repro.sim",
     "repro.net",
     "repro.crypto",
+    "repro.faults",
     "repro.protocols",
     "repro.attacks",
     "repro.analysis",
