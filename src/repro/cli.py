@@ -2,11 +2,13 @@
 
 Runs any paper experiment (or all of them) and prints the resulting
 table; ``--csv DIR`` additionally writes one CSV per experiment.
+``--jobs N`` shards the sweep's cells over N worker processes — the
+output is byte-identical to a sequential run (see docs/simulator.md).
 
 Examples::
 
     ipda table1
-    ipda fig7 --repetitions 5 --seed 3
+    ipda fig7 --repetitions 5 --seed 3 --jobs 4
     ipda all --fast --csv results/
 """
 
@@ -18,10 +20,12 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional
 
+from .errors import ConfigurationError, ReproError
 from .experiments import (
     ablations,
     collusion_study,
     energy,
+    fault_sweep,
     fig1_trees,
     fig4_messages,
     fig5_privacy,
@@ -41,39 +45,46 @@ _FAST_SIZES = (200, 300, 400)
 Runner = Callable[..., ExperimentTable]
 
 
-def _run_table1(fast: bool, repetitions: Optional[int], seed: int):
+def _run_table1(fast: bool, repetitions: Optional[int], seed: int,
+                jobs: Optional[int] = 1):
     reps = repetitions if repetitions is not None else (3 if fast else 10)
-    return table1_density.run(repetitions=reps, seed=seed)
+    return table1_density.run(repetitions=reps, seed=seed, jobs=jobs)
 
 
-def _run_fig1(fast: bool, repetitions: Optional[int], seed: int):
-    return fig1_trees.run(seed=seed)
+def _run_fig1(fast: bool, repetitions: Optional[int], seed: int,
+              jobs: Optional[int] = 1):
+    return fig1_trees.run(seed=seed, jobs=jobs)
 
 
-def _run_fig4(fast: bool, repetitions: Optional[int], seed: int):
+def _run_fig4(fast: bool, repetitions: Optional[int], seed: int,
+              jobs: Optional[int] = 1):
     return fig4_messages.run(
-        node_count=300 if fast else 500, seed=seed
+        node_count=300 if fast else 500, seed=seed, jobs=jobs
     )
 
 
-def _run_fig5(fast: bool, repetitions: Optional[int], seed: int):
+def _run_fig5(fast: bool, repetitions: Optional[int], seed: int,
+              jobs: Optional[int] = 1):
     trials = 0 if fast else 20
-    return fig5_privacy.run(seed=seed, monte_carlo_trials=trials)
+    return fig5_privacy.run(seed=seed, monte_carlo_trials=trials, jobs=jobs)
 
 
-def _run_fig6(fast: bool, repetitions: Optional[int], seed: int):
+def _run_fig6(fast: bool, repetitions: Optional[int], seed: int,
+              jobs: Optional[int] = 1):
     reps = repetitions if repetitions is not None else (2 if fast else 5)
     sizes = _FAST_SIZES if fast else fig6_threshold.PAPER_SIZES
-    return fig6_threshold.run(sizes, repetitions=reps, seed=seed)
+    return fig6_threshold.run(sizes, repetitions=reps, seed=seed, jobs=jobs)
 
 
-def _run_fig7(fast: bool, repetitions: Optional[int], seed: int):
+def _run_fig7(fast: bool, repetitions: Optional[int], seed: int,
+              jobs: Optional[int] = 1):
     reps = repetitions if repetitions is not None else (1 if fast else 3)
     sizes = _FAST_SIZES if fast else fig7_overhead.PAPER_SIZES
-    return fig7_overhead.run(sizes, repetitions=reps, seed=seed)
+    return fig7_overhead.run(sizes, repetitions=reps, seed=seed, jobs=jobs)
 
 
-def _run_fig8(fast: bool, repetitions: Optional[int], seed: int):
+def _run_fig8(fast: bool, repetitions: Optional[int], seed: int,
+              jobs: Optional[int] = 1):
     reps = repetitions if repetitions is not None else (1 if fast else 3)
     sizes = _FAST_SIZES if fast else fig8_coverage_accuracy.PAPER_SIZES
     return fig8_coverage_accuracy.run(
@@ -81,12 +92,24 @@ def _run_fig8(fast: bool, repetitions: Optional[int], seed: int):
         repetitions=reps,
         coverage_repetitions=5 if fast else 20,
         seed=seed,
+        jobs=jobs,
     )
 
 
+def _run_fault_sweep(fast: bool, repetitions: Optional[int], seed: int,
+                     jobs: Optional[int] = 1):
+    reps = repetitions if repetitions is not None else (2 if fast else 5)
+    kwargs = {"repetitions": reps, "seed": seed, "jobs": jobs}
+    if fast:
+        kwargs["crash_fractions"] = (0.0, 0.05)
+        kwargs["loss_levels"] = ("none", "light")
+    return fault_sweep.run(**kwargs)
+
+
 def _run_ablation(runner: Runner):
-    def run(fast: bool, repetitions: Optional[int], seed: int):
-        kwargs = {"seed": seed}
+    def run(fast: bool, repetitions: Optional[int], seed: int,
+            jobs: Optional[int] = 1):
+        kwargs = {"seed": seed, "jobs": jobs}
         if repetitions is not None:
             kwargs["repetitions"] = repetitions
         elif fast:
@@ -113,6 +136,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "energy": _run_ablation(energy.run),
     "latency": _run_ablation(latency.run),
     "ablation-collusion": _run_ablation(collusion_study.run),
+    "fault-sweep": _run_fault_sweep,
 }
 
 
@@ -142,6 +166,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="root seed")
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the sweep (default: all cores); "
+            "results are identical for any value"
+        ),
+    )
+    parser.add_argument(
         "--csv",
         metavar="DIR",
         default=None,
@@ -156,27 +190,59 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _prepare_output_dir(path: str, flag: str) -> None:
+    """Create ``path`` if missing; reject paths that aren't directories."""
+    if os.path.isdir(path):
+        return
+    if os.path.exists(path):
+        raise ConfigurationError(
+            f"{flag} target {path!r} exists and is not a directory"
+        )
+    os.makedirs(path, exist_ok=True)
+
+
+def _throughput_line(name: str, table: ExperimentTable,
+                     elapsed: float) -> str:
+    """Wall-clock report, with sweep shape when the runner provided it."""
+    meta = table.meta
+    if "cells" in meta:
+        return (
+            f"({name} finished in {elapsed:.1f}s: {meta['cells']} cells "
+            f"on {meta['jobs']} worker(s), "
+            f"{meta['cells_per_second']:.1f} cells/s)"
+        )
+    return f"({name} finished in {elapsed:.1f}s)"
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    if args.csv:
-        os.makedirs(args.csv, exist_ok=True)
-    for name in names:
-        started = time.time()
-        table = EXPERIMENTS[name](args.fast, args.repetitions, args.seed)
-        elapsed = time.time() - started
-        print(table.to_text())
-        print(f"({name} finished in {elapsed:.1f}s)")
-        print()
+    try:
         if args.csv:
-            table.write_csv(os.path.join(args.csv, f"{name}.csv"))
+            _prepare_output_dir(args.csv, "--csv")
         if args.svg:
-            from .viz import render_known_figure
+            _prepare_output_dir(args.svg, "--svg")
+        for name in names:
+            started = time.time()
+            table = EXPERIMENTS[name](
+                args.fast, args.repetitions, args.seed, args.jobs
+            )
+            elapsed = time.time() - started
+            print(table.to_text())
+            print(_throughput_line(name, table, elapsed))
+            print()
+            if args.csv:
+                table.write_csv(os.path.join(args.csv, f"{name}.csv"))
+            if args.svg:
+                from .viz import render_known_figure
 
-            written = render_known_figure(name, table, args.svg)
-            if written:
-                print(f"(figure written to {written})")
+                written = render_known_figure(name, table, args.svg)
+                if written:
+                    print(f"(figure written to {written})")
+    except ReproError as error:
+        print(f"ipda: error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -1,4 +1,11 @@
-"""Experiment harness: one module per table/figure, plus ablations."""
+"""Experiment harness: one module per table/figure, plus ablations.
+
+Every experiment module exposes a :class:`~repro.experiments.common.
+CellExperiment` spec (``SPEC``, or ``SPECS`` for modules bundling
+several); ``SPECS`` below is the name → spec registry the parallel
+runner (:mod:`repro.runner`) uses to resolve cells inside worker
+processes.
+"""
 
 from . import (
     ablations,
@@ -14,12 +21,14 @@ from . import (
     latency,
     table1_density,
 )
-from .common import PAPER_SIZES, ExperimentTable, mean_std
+from .common import PAPER_SIZES, CellExperiment, ExperimentTable, mean_std
 
 __all__ = [
     "ExperimentTable",
+    "CellExperiment",
     "mean_std",
     "PAPER_SIZES",
+    "SPECS",
     "table1_density",
     "fig1_trees",
     "fig4_messages",
@@ -33,3 +42,33 @@ __all__ = [
     "collusion_study",
     "fault_sweep",
 ]
+
+_MODULES = (
+    table1_density,
+    fig1_trees,
+    fig4_messages,
+    fig5_privacy,
+    fig6_threshold,
+    fig7_overhead,
+    fig8_coverage_accuracy,
+    ablations,
+    energy,
+    latency,
+    collusion_study,
+    fault_sweep,
+)
+
+
+def _collect_specs():
+    registry = {}
+    for module in _MODULES:
+        specs = getattr(module, "SPECS", None)
+        if specs is None:
+            specs = (module.SPEC,)
+        for spec in specs:
+            registry[spec.name] = spec
+    return registry
+
+
+#: Name -> :class:`CellExperiment` for every built-in experiment.
+SPECS = _collect_specs()

@@ -9,19 +9,133 @@ inside the existing design (raise ``l``).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from ..attacks.collusion import coalition_disclosure, random_coalition
 from ..core.config import IpdaConfig
 from ..core.pipeline import run_lossless_round
-from ..net.topology import random_deployment
-from ..rng import RngStreams
+from ..rng import RngStreams, derive_seed
 from ..workloads.readings import uniform_readings
-from .common import ExperimentTable, mean_std
+from .common import (
+    Cell,
+    CellExperiment,
+    ExperimentTable,
+    cached_deployment,
+    grouped,
+    make_cell,
+    mean_std,
+)
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
+
+EXPERIMENT = "ablation-collusion"
+
+
+def cells(
+    *,
+    node_count: int = 400,
+    coalition_sizes: Sequence[int] = (10, 40, 80, 160),
+    slice_counts: Sequence[int] = (2, 3),
+    repetitions: int = 3,
+    seed: int = 0,
+) -> List[Cell]:
+    """One cell per slice count; the coalition sweep runs inside it."""
+    return [
+        make_cell(
+            EXPERIMENT,
+            (int(slices),),
+            0,
+            node_count=int(node_count),
+            coalition_sizes=tuple(int(s) for s in coalition_sizes),
+            repetitions=int(repetitions),
+            seed=int(seed),
+        )
+        for slices in slice_counts
+    ]
+
+
+def run_cell(cell: Cell) -> Dict[int, List[float]]:
+    """Record one round at this l, then replay every coalition on it.
+
+    Deployment, readings, and the sampled coalitions are derived
+    without the slice count in their labels, so every l is attacked by
+    the *same* coalitions on the same data — the columns differ only in
+    the defence.
+    """
+    (slices,) = cell.key
+    seed = cell.param("seed")
+    node_count = cell.param("node_count")
+    topology = cached_deployment(
+        node_count, seed=derive_seed(seed, EXPERIMENT, node_count, "deploy")
+    )
+    readings = uniform_readings(
+        topology,
+        np.random.default_rng(
+            derive_seed(seed, EXPERIMENT, node_count, "readings")
+        ),
+        low=0,
+        high=500,
+    )
+    round_record = run_lossless_round(
+        topology,
+        readings,
+        IpdaConfig(slices=slices),
+        rng=RngStreams(
+            derive_seed(seed, EXPERIMENT, node_count, "round", slices)
+        ).get("collusion", slices),
+        record_flows=True,
+    )
+    out: Dict[int, List[float]] = {}
+    for size in cell.param("coalition_sizes"):
+        rates = []
+        for rep in range(cell.param("repetitions")):
+            coalition = random_coalition(
+                topology,
+                size,
+                np.random.default_rng(
+                    derive_seed(
+                        seed, EXPERIMENT, node_count, "coalition", size, rep
+                    )
+                ),
+                exclude={0},
+            )
+            rates.append(
+                coalition_disclosure(round_record, coalition).disclosure_rate
+            )
+        out[size] = rates
+    return out
+
+
+def reduce(cells: Sequence[Cell], results: Sequence[object]) -> ExperimentTable:
+    """One row per coalition size, one disclosure column per l."""
+    slice_counts = [cell.key[0] for cell in cells]
+    columns = ["coalition_size", "coalition_fraction"]
+    columns.extend(f"disclosed_l{slices}" for slices in slice_counts)
+    table = ExperimentTable(
+        name="Collusion: coalition size vs disclosure (future work)",
+        columns=columns,
+    )
+    if cells:
+        node_count = cells[0].param("node_count")
+        series = list(grouped(cells, results).values())
+        for size in cells[0].param("coalition_sizes"):
+            row: list = [size, size / (node_count - 1)]
+            for entries in series:
+                (_cell, result), = entries
+                row.append(mean_std(result[size])[0])
+            table.add_row(*row)
+    table.add_note(
+        "a coalition learns a reading when one complete cut landed on "
+        "its members; no link breaking involved — the collusive threat "
+        "Section VI defers to future work"
+    )
+    table.add_note("mitigation inside the design: raise l (compare columns)")
+    return table
+
+
+SPEC = CellExperiment(EXPERIMENT, cells, run_cell, reduce)
 
 
 def run(
@@ -31,45 +145,17 @@ def run(
     slice_counts: Sequence[int] = (2, 3),
     repetitions: int = 3,
     seed: int = 0,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Disclosure rate vs coalition size, per slice count."""
-    columns = ["coalition_size", "coalition_fraction"]
-    columns.extend(f"disclosed_l{slices}" for slices in slice_counts)
-    table = ExperimentTable(
-        name="Collusion: coalition size vs disclosure (future work)",
-        columns=columns,
+    from ..runner import execute
+
+    return execute(
+        SPEC,
+        jobs=jobs,
+        node_count=node_count,
+        coalition_sizes=tuple(coalition_sizes),
+        slice_counts=tuple(slice_counts),
+        repetitions=repetitions,
+        seed=seed,
     )
-    topology = random_deployment(node_count, seed=seed)
-    readings = uniform_readings(
-        topology, np.random.default_rng(seed), low=0, high=500
-    )
-    rounds = {
-        slices: run_lossless_round(
-            topology,
-            readings,
-            IpdaConfig(slices=slices),
-            rng=RngStreams(seed).get("collusion", slices),
-            record_flows=True,
-        )
-        for slices in slice_counts
-    }
-    for size in coalition_sizes:
-        row: list = [size, size / (node_count - 1)]
-        for slices in slice_counts:
-            rates = []
-            for rep in range(repetitions):
-                rng = np.random.default_rng(seed + 31 * rep + size)
-                coalition = random_coalition(
-                    topology, size, rng, exclude={0}
-                )
-                report = coalition_disclosure(rounds[slices], coalition)
-                rates.append(report.disclosure_rate)
-            row.append(mean_std(rates)[0])
-        table.add_row(*row)
-    table.add_note(
-        "a coalition learns a reading when one complete cut landed on "
-        "its members; no link breaking involved — the collusive threat "
-        "Section VI defers to future work"
-    )
-    table.add_note("mitigation inside the design: raise l (compare columns)")
-    return table

@@ -1,8 +1,24 @@
-"""Experiment-harness plumbing: result tables, sweeps, CSV output.
+"""Experiment-harness plumbing: cells, result tables, sweeps, CSV output.
 
-Every experiment module exposes ``run(...) -> ExperimentTable`` and the
-table renders both as an aligned text table (what the CLI prints and
-what EXPERIMENTS.md embeds) and as CSV.
+Every experiment module exposes two layers:
+
+* the classic ``run(...) -> ExperimentTable`` entry point (what the CLI
+  and the tests call), and
+* the cell interface underneath it — ``cells(...)`` enumerating one
+  :class:`Cell` per ``(experiment, sweep key, repetition)``,
+  ``run_cell(cell)`` computing that cell in isolation, and
+  ``reduce(cells, results)`` folding the per-cell results back into the
+  table — bundled as a :class:`CellExperiment` spec.
+
+The cell layer is what :mod:`repro.runner` shards across worker
+processes.  The determinism contract: ``run_cell`` must be a pure
+function of its cell (every seed it uses is derived inside the cell via
+:func:`repro.rng.derive_seed`), and ``reduce`` must consume results in
+cell-enumeration order.  Under that contract the parallel output is
+byte-identical to the sequential output for any worker count.
+
+The table renders both as an aligned text table (what the CLI prints
+and what EXPERIMENTS.md embeds) and as CSV.
 """
 
 from __future__ import annotations
@@ -11,21 +27,173 @@ import csv
 import io
 import math
 import statistics
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..errors import ConfigurationError
 
-__all__ = ["ExperimentTable", "mean_std", "mean_ci", "PAPER_SIZES"]
+__all__ = [
+    "Cell",
+    "CellExperiment",
+    "ExperimentTable",
+    "cached_deployment",
+    "grouped",
+    "make_cell",
+    "mean_std",
+    "mean_ci",
+    "PAPER_SIZES",
+]
 
 #: Network sizes of the paper's simulation sweeps (Section IV-B).
 PAPER_SIZES = (200, 300, 400, 500, 600)
 
+_MISSING = object()
+
+
+# ----------------------------------------------------------------------
+# The cell interface (what repro.runner shards across workers)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Cell:
+    """One shardable unit of an experiment sweep.
+
+    ``experiment`` names the registered :class:`CellExperiment`, ``key``
+    is the sweep coordinate (e.g. ``(size,)`` or ``(protocol, l)``),
+    ``rep`` the repetition index, and ``params`` a canonically sorted
+    tuple of extra keyword parameters (kept as a tuple so cells stay
+    hashable and cheaply picklable for the process pool).
+    """
+
+    experiment: str
+    key: Tuple[object, ...]
+    rep: int
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def param(self, name: str, default: object = _MISSING) -> object:
+        """Look up one extra parameter; raises unless a default is given."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        if default is not _MISSING:
+            return default
+        raise ConfigurationError(
+            f"cell {self.label} has no parameter {name!r}; "
+            f"carries: {[key for key, _value in self.params]}"
+        )
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identifier (progress/debug output)."""
+        key = "/".join(str(part) for part in self.key)
+        return f"{self.experiment}[{key}#{self.rep}]"
+
+
+def make_cell(
+    experiment: str, key: Sequence[object], rep: int, **params: object
+) -> Cell:
+    """Build a :class:`Cell` with canonically ordered parameters."""
+    return Cell(
+        experiment=experiment,
+        key=tuple(key),
+        rep=int(rep),
+        params=tuple(sorted(params.items())),
+    )
+
+
+@dataclass(frozen=True)
+class CellExperiment:
+    """The shardable description of one experiment.
+
+    ``cells(**kwargs)`` enumerates the sweep in deterministic order;
+    ``run_cell(cell)`` computes one cell from nothing but the cell
+    (it must derive every seed it uses from the cell's parameters);
+    ``reduce(cells, results)`` folds the results — aligned index-for-
+    index with the cells — into the final :class:`ExperimentTable`.
+    """
+
+    name: str
+    cells: Callable[..., List[Cell]]
+    run_cell: Callable[[Cell], object]
+    reduce: Callable[[Sequence[Cell], Sequence[object]], "ExperimentTable"]
+
+
+def grouped(
+    cells: Sequence[Cell], results: Sequence[object]
+) -> "OrderedDict[Tuple[object, ...], List[Tuple[Cell, object]]]":
+    """Group ``(cell, result)`` pairs by cell key, preserving order.
+
+    The standard first step of a ``reduce``: one group per sweep
+    coordinate, repetitions inside each group in enumeration order.
+    """
+    if len(cells) != len(results):
+        raise ConfigurationError(
+            f"{len(results)} results for {len(cells)} cells"
+        )
+    groups: "OrderedDict[Tuple[object, ...], List[Tuple[Cell, object]]]" = (
+        OrderedDict()
+    )
+    for cell, result in zip(cells, results):
+        groups.setdefault(cell.key, []).append((cell, result))
+    return groups
+
+
+# ----------------------------------------------------------------------
+# Per-worker deployment cache
+# ----------------------------------------------------------------------
+#: (node_count, seed, extra kwargs) -> Topology, LRU-bounded.  Worker
+#: processes each hold their own copy (module globals are per-process),
+#: so iPDA and TAG rounds of the same cell — and neighbouring cells that
+#: land on the same worker — reuse one topology instead of rebuilding
+#: it per protocol.  Correctness never depends on a hit: the seed fully
+#: determines the deployment, so a rebuild is byte-identical.
+_DEPLOYMENT_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
+_DEPLOYMENT_CACHE_LIMIT = 32
+
+
+def cached_deployment(node_count: int, *, seed: int, **kwargs):
+    """A memoised :func:`repro.net.topology.random_deployment`.
+
+    Topologies are immutable once built, so sharing one instance across
+    protocol rounds is safe.
+    """
+    key = (int(node_count), int(seed), tuple(sorted(kwargs.items())))
+    topology = _DEPLOYMENT_CACHE.get(key)
+    if topology is None:
+        from ..net.topology import random_deployment
+
+        topology = random_deployment(node_count, seed=seed, **kwargs)
+        _DEPLOYMENT_CACHE[key] = topology
+        if len(_DEPLOYMENT_CACHE) > _DEPLOYMENT_CACHE_LIMIT:
+            _DEPLOYMENT_CACHE.popitem(last=False)
+    else:
+        _DEPLOYMENT_CACHE.move_to_end(key)
+    return topology
+
+
+# ----------------------------------------------------------------------
+# Statistics helpers
+# ----------------------------------------------------------------------
+def _require_finite(values: Sequence[float], who: str) -> None:
+    for index, value in enumerate(values):
+        if not math.isfinite(value):
+            raise ConfigurationError(
+                f"{who} got a non-finite value ({value!r} at index "
+                f"{index}); refusing to propagate NaN/inf into a table — "
+                "filter or fix the producing experiment cell instead"
+            )
+
 
 def mean_std(values: Sequence[float]) -> tuple:
-    """Return ``(mean, sample std)``; std is 0 for fewer than 2 values."""
+    """Return ``(mean, sample std)``; std is 0 for fewer than 2 values.
+
+    Rejects NaN/inf inputs outright: a non-finite sample silently
+    poisons every aggregate downstream, so the producing cell must be
+    fixed rather than averaged over.
+    """
     if not values:
         raise ConfigurationError("mean_std of no values")
+    _require_finite(values, "mean_std")
     mean = sum(values) / len(values)
     std = statistics.stdev(values) if len(values) > 1 else 0.0
     return mean, std
@@ -43,7 +211,14 @@ def mean_ci(values: Sequence[float], confidence: float = 0.95) -> tuple:
     n = len(values)
     if n < 2 or std == 0.0:
         return mean, 0.0
-    from scipy import stats as scipy_stats
+    try:
+        from scipy import stats as scipy_stats
+    except ImportError as exc:
+        raise ConfigurationError(
+            "mean_ci needs scipy for the Student-t quantile "
+            "(pip install scipy), or report mean_std instead of a "
+            "confidence interval"
+        ) from exc
 
     t_value = scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1)
     return mean, t_value * std / math.sqrt(n)
@@ -54,13 +229,16 @@ class ExperimentTable:
     """A named table of experiment results.
 
     ``rows`` hold raw values (numbers or strings); formatting decisions
-    are deferred to rendering.
+    are deferred to rendering.  ``meta`` carries out-of-band run facts
+    (cell counts, wall-clock, worker count) that the CLI reports but
+    that never enter the text/CSV renderings.
     """
 
     name: str
     columns: List[str]
     rows: List[List[object]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
 
     def add_row(self, *values: object) -> None:
         """Append a row; must match the column count."""

@@ -8,32 +8,98 @@ the rounds-until-first-death lifetime for a AA-scale battery budget.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence, Tuple
 
 from ..analysis.energy import price_round
 from ..core.config import IpdaConfig
-from ..net.topology import random_deployment
 from ..protocols.ipda import IpdaProtocol
 from ..protocols.tag import TagProtocol
-from ..rng import RngStreams
+from ..rng import RngStreams, derive_seed
 from ..workloads.readings import count_readings
-from .common import ExperimentTable, mean_std
+from .common import (
+    Cell,
+    CellExperiment,
+    ExperimentTable,
+    cached_deployment,
+    grouped,
+    make_cell,
+    mean_std,
+)
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
+
+EXPERIMENT = "energy"
 
 #: 2x AA alkaline cells, the classic mote budget (~2 * 9 kJ usable).
 DEFAULT_BATTERY_J = 18_000.0
 
 
-def run(
+def cells(
     *,
     node_count: int = 400,
     slice_counts: Sequence[int] = (1, 2),
     repetitions: int = 3,
     battery_joules: float = DEFAULT_BATTERY_J,
     seed: int = 0,
-) -> ExperimentTable:
-    """Per-round energy and lifetime, TAG vs iPDA."""
+) -> List[Cell]:
+    """One cell per (protocol variant, repetition)."""
+    variants = [("tag", 0)]
+    variants.extend(("ipda", int(slices)) for slices in slice_counts)
+    return [
+        make_cell(
+            EXPERIMENT,
+            variant,
+            rep,
+            node_count=int(node_count),
+            battery_joules=float(battery_joules),
+            seed=int(seed),
+        )
+        for variant in variants
+        for rep in range(repetitions)
+    ]
+
+
+def run_cell(cell: Cell) -> Tuple[float, float, float]:
+    """Price one round: (total mJ, peak node uJ, lifetime rounds).
+
+    All variants price rounds on the same deployment (the lifetime
+    comparison is per-terrain) but each (variant, rep) draws from its
+    own derived stream seed — the old harness reused ``seed + rep``
+    across protocols, correlating their channel randomness.
+    """
+    protocol_name, slices = cell.key
+    seed = cell.param("seed")
+    node_count = cell.param("node_count")
+    topology = cached_deployment(
+        node_count,
+        seed=derive_seed(seed, EXPERIMENT, node_count, "deploy"),
+        base_station_center=True,
+    )
+    readings = count_readings(topology)
+    if protocol_name == "tag":
+        protocol = TagProtocol()
+    else:
+        protocol = IpdaProtocol(IpdaConfig(slices=slices))
+    outcome = protocol.run_round(
+        topology,
+        readings,
+        streams=RngStreams(
+            derive_seed(
+                seed, EXPERIMENT, node_count, cell.rep, protocol_name, slices
+            )
+        ),
+        round_id=cell.rep,
+    )
+    report = price_round(outcome.stats["sent_bytes_by_node"], topology)
+    return (
+        report.total_joules * 1e3,
+        report.peak_joules * 1e6,
+        float(report.rounds_until_depletion(cell.param("battery_joules"))),
+    )
+
+
+def reduce(cells: Sequence[Cell], results: Sequence[object]) -> ExperimentTable:
+    """One row per protocol variant, means over repetitions."""
     table = ExperimentTable(
         name="Energy: per-round cost and projected lifetime",
         columns=[
@@ -43,36 +109,18 @@ def run(
             "rounds_until_first_death",
         ],
     )
-    topology = random_deployment(node_count, seed=seed)
-    protocols = [("tag", TagProtocol())]
-    protocols.extend(
-        (f"ipda l={slices}", IpdaProtocol(IpdaConfig(slices=slices)))
-        for slices in slice_counts
-    )
-    for name, protocol in protocols:
-        totals, peaks, lifetimes = [], [], []
-        for rep in range(repetitions):
-            readings = count_readings(topology)
-            outcome = protocol.run_round(
-                topology,
-                readings,
-                streams=RngStreams(seed + rep),
-                round_id=rep,
-            )
-            report = price_round(
-                outcome.stats["sent_bytes_by_node"], topology
-            )
-            totals.append(report.total_joules * 1e3)
-            peaks.append(report.peak_joules * 1e6)
-            lifetimes.append(
-                float(report.rounds_until_depletion(battery_joules))
-            )
+    for key, entries in grouped(cells, results).items():
+        protocol_name, slices = key
+        label = "tag" if protocol_name == "tag" else f"ipda l={slices}"
         table.add_row(
-            name,
-            mean_std(totals)[0],
-            mean_std(peaks)[0],
-            mean_std(lifetimes)[0],
+            label,
+            mean_std([result[0] for _cell, result in entries])[0],
+            mean_std([result[1] for _cell, result in entries])[0],
+            mean_std([result[2] for _cell, result in entries])[0],
         )
+    battery_joules = (
+        cells[0].param("battery_joules") if cells else DEFAULT_BATTERY_J
+    )
     table.add_note(
         "first-order radio model (50 nJ/bit + 100 pJ/bit/m^2 at full "
         f"range); battery budget {battery_joules / 1000:.0f} kJ"
@@ -82,3 +130,29 @@ def run(
         "(2l+1)/2 x TAG in lifetime too"
     )
     return table
+
+
+SPEC = CellExperiment(EXPERIMENT, cells, run_cell, reduce)
+
+
+def run(
+    *,
+    node_count: int = 400,
+    slice_counts: Sequence[int] = (1, 2),
+    repetitions: int = 3,
+    battery_joules: float = DEFAULT_BATTERY_J,
+    seed: int = 0,
+    jobs: int = 1,
+) -> ExperimentTable:
+    """Per-round energy and lifetime, TAG vs iPDA."""
+    from ..runner import execute
+
+    return execute(
+        SPEC,
+        jobs=jobs,
+        node_count=node_count,
+        slice_counts=tuple(slice_counts),
+        repetitions=repetitions,
+        battery_joules=battery_joules,
+        seed=seed,
+    )

@@ -24,7 +24,7 @@ Regenerate the checked-in results with::
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,10 +33,19 @@ from ..faults.plan import FaultPlan, GilbertElliottParams
 from ..net.topology import Topology, grid_deployment
 from ..protocols.ipda import IpdaProtocol
 from ..protocols.tag import TagProtocol
-from ..rng import RngStreams
-from .common import ExperimentTable, mean_std
+from ..rng import RngStreams, derive_seed
+from .common import (
+    Cell,
+    CellExperiment,
+    ExperimentTable,
+    grouped,
+    make_cell,
+    mean_std,
+)
 
-__all__ = ["run", "run_session", "default_topology", "LOSS_LEVELS"]
+__all__ = ["run", "run_session", "default_topology", "LOSS_LEVELS", "SPEC"]
+
+EXPERIMENT = "fault-sweep"
 
 #: Named burst-loss severities for the sweep.  ``expected_loss`` runs
 #: ~0 / ~4% / ~11% long-run average frame loss, but arriving in bursts
@@ -54,6 +63,8 @@ LOSS_LEVELS: Mapping[str, Optional[GilbertElliottParams]] = {
 #: The crash window: anywhere from Phase I into the convergecast, so
 #: crashes hit tree construction, slicing, and reporting alike.
 CRASH_WINDOW = (0.0, 25.0)
+
+_VARIANTS = ("ipda-robust", "ipda-legacy", "tag-robust")
 
 
 def default_topology() -> Topology:
@@ -92,19 +103,93 @@ def _robust_config() -> IpdaConfig:
     return IpdaConfig(robustness=RobustnessConfig())
 
 
-def run(
+def _make_variant(label: str):
+    if label == "ipda-robust":
+        return IpdaProtocol(_robust_config())
+    if label == "ipda-legacy":
+        return IpdaProtocol()
+    return TagProtocol(robustness=RobustnessConfig())
+
+
+def cells(
     crash_fractions: Sequence[float] = (0.0, 0.05, 0.15),
     loss_levels: Sequence[str] = ("none", "light", "heavy"),
     *,
     repetitions: int = 5,
     readings_value: int = 10,
     seed: int = 0,
-) -> ExperimentTable:
-    """Sweep crash fraction x burst loss for the three protocol variants."""
+) -> List[Cell]:
+    """One cell per ``(crash fraction, loss level, repetition)``."""
+    return [
+        make_cell(
+            EXPERIMENT,
+            (float(crash_fraction), str(level)),
+            rep,
+            readings_value=int(readings_value),
+            seed=int(seed),
+        )
+        for crash_fraction in crash_fractions
+        for level in loss_levels
+        for rep in range(repetitions)
+    ]
+
+
+def run_cell(cell: Cell) -> Dict[str, Dict[str, object]]:
+    """Run all three protocol variants against one fault draw.
+
+    The fault plan and the stream seed are shared across the variants
+    (paired comparison: same crashes, same bursts, same channel
+    randomness) but derived per grid cell — the old harness seeded
+    streams with ``seed + 104729 * rep``, making every grid cell replay
+    identical channel randomness.
+    """
+    crash_fraction, level = cell.key
+    seed = cell.param("seed")
     topology = default_topology()
     readings = {
-        i: readings_value for i in range(1, topology.node_count)
+        i: cell.param("readings_value")
+        for i in range(1, topology.node_count)
     }
+    burst = LOSS_LEVELS[level]
+    plan_seed = derive_seed(
+        seed, EXPERIMENT, "plan", str(crash_fraction), level, cell.rep
+    )
+    stream_seed = derive_seed(
+        seed, EXPERIMENT, "streams", str(crash_fraction), level, cell.rep
+    )
+    out: Dict[str, Dict[str, object]] = {}
+    for label in _VARIANTS:
+        plan = _plan(topology, crash_fraction, burst, seed=plan_seed)
+        outcome = _make_variant(label).run_round(
+            topology,
+            readings,
+            streams=RngStreams(stream_seed),
+            round_id=cell.rep,
+            fault_plan=plan,
+        )
+        if label == "tag-robust":
+            # TAG has no integrity check: every round is "accepted";
+            # accuracy is what it collected.
+            result_outcome = "accepted"
+            accuracy = outcome.reported / max(outcome.participant_total, 1)
+        else:
+            result_outcome = outcome.outcome
+            accuracy = (
+                outcome.reported / max(outcome.participant_total, 1)
+                if outcome.reported is not None
+                else None
+            )
+        out[label] = {
+            "outcome": result_outcome,
+            "accuracy": accuracy,
+            "retries": outcome.stats.get("retries_used", 0),
+            "reparents": outcome.stats.get("reparent_count", 0),
+        }
+    return out
+
+
+def reduce(cells: Sequence[Cell], results: Sequence[object]) -> ExperimentTable:
+    """Fold repetition cells into per-(grid cell, variant) rate rows."""
     table = ExperimentTable(
         name="Fault sweep: outcome rates under crashes + burst loss",
         columns=[
@@ -119,51 +204,21 @@ def run(
             "reparents",
         ],
     )
-    variants = (
-        ("ipda-robust", lambda: IpdaProtocol(_robust_config())),
-        ("ipda-legacy", lambda: IpdaProtocol()),
-        ("tag-robust", lambda: TagProtocol(robustness=RobustnessConfig())),
-    )
-    cells = [
-        (f, level) for f in crash_fractions for level in loss_levels
-    ]
-    for cell, (crash_fraction, level) in enumerate(cells):
-        burst = LOSS_LEVELS[level]
-        for label, make in variants:
+    for key, entries in grouped(cells, results).items():
+        crash_fraction, level = key
+        repetitions = len(entries)
+        for label in _VARIANTS:
             outcomes = {"accepted": 0, "degraded": 0, "rejected": 0}
             accuracies = []
             retries = []
             reparents = []
-            for rep in range(repetitions):
-                plan = _plan(
-                    topology,
-                    crash_fraction,
-                    burst,
-                    seed=seed + 7919 * rep + 1009 * cell,
-                )
-                streams = RngStreams(seed + 104729 * rep)
-                out = make().run_round(
-                    topology,
-                    readings,
-                    streams=streams,
-                    round_id=rep,
-                    fault_plan=plan,
-                )
-                if label == "tag-robust":
-                    # TAG has no integrity check: every round is
-                    # "accepted"; accuracy is what it collected.
-                    outcomes["accepted"] += 1
-                    accuracies.append(
-                        out.reported / max(out.participant_total, 1)
-                    )
-                else:
-                    outcomes[out.outcome] += 1
-                    if out.reported is not None:
-                        accuracies.append(
-                            out.reported / max(out.participant_total, 1)
-                        )
-                retries.append(out.stats.get("retries_used", 0))
-                reparents.append(out.stats.get("reparent_count", 0))
+            for _cell, result in entries:
+                variant = result[label]
+                outcomes[variant["outcome"]] += 1
+                if variant["accuracy"] is not None:
+                    accuracies.append(variant["accuracy"])
+                retries.append(variant["retries"])
+                reparents.append(variant["reparents"])
             table.add_row(
                 crash_fraction,
                 level,
@@ -184,6 +239,32 @@ def run(
         "the partial estimate); tag-robust has no integrity check"
     )
     return table
+
+
+SPEC = CellExperiment(EXPERIMENT, cells, run_cell, reduce)
+
+
+def run(
+    crash_fractions: Sequence[float] = (0.0, 0.05, 0.15),
+    loss_levels: Sequence[str] = ("none", "light", "heavy"),
+    *,
+    repetitions: int = 5,
+    readings_value: int = 10,
+    seed: int = 0,
+    jobs: int = 1,
+) -> ExperimentTable:
+    """Sweep crash fraction x burst loss for the three protocol variants."""
+    from ..runner import execute
+
+    return execute(
+        SPEC,
+        jobs=jobs,
+        crash_fractions=tuple(crash_fractions),
+        loss_levels=tuple(loss_levels),
+        repetitions=repetitions,
+        readings_value=readings_value,
+        seed=seed,
+    )
 
 
 def run_session(
@@ -241,18 +322,23 @@ def run_session(
         coverages = []
         silently_wrong = 0
         for round_id in range(rounds):
+            # Plan and stream seeds are shared between the honest and
+            # polluted services: the demo's claim is about the same
+            # fault load with and without the attack.
             plan = _plan(
                 topology,
                 crash_fraction,
                 burst,
-                seed=seed + 31 * round_id,
+                seed=derive_seed(seed, "fault-session", round_id, "plan"),
                 recover_after=churn_recover_after,
                 protect=protect,
             )
             out = IpdaProtocol(config).run_round(
                 topology,
                 readings,
-                streams=RngStreams(seed + 9973 * round_id),
+                streams=RngStreams(
+                    derive_seed(seed, "fault-session", round_id, "streams")
+                ),
                 round_id=round_id,
                 polluters=polluters,
                 fault_plan=plan,

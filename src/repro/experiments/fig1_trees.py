@@ -10,58 +10,103 @@ network when dense.
 
 from __future__ import annotations
 
+from typing import List, Sequence, Tuple
+
 import numpy as np
 
 from ..core.config import IpdaConfig
 from ..core.trees import build_disjoint_trees
 from ..net.graphs import tree_depth
 from ..net.topology import random_deployment
+from ..rng import derive_seed
 from ..sim.messages import TreeColor
-from .common import ExperimentTable
+from .common import Cell, CellExperiment, ExperimentTable, make_cell
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
+
+EXPERIMENT = "fig1"
 
 
-def run(*, node_count: int = 60, area: float = 160.0, seed: int = 1) -> ExperimentTable:
-    """Regenerate the Figure 1 walk-through as a structural table."""
-    topology = random_deployment(node_count, area=area, seed=seed)
+def cells(
+    *, node_count: int = 60, area: float = 160.0, seed: int = 1
+) -> List[Cell]:
+    """A single structural cell (Figure 1 is one walk-through)."""
+    return [
+        make_cell(
+            EXPERIMENT,
+            ("structure",),
+            0,
+            node_count=int(node_count),
+            area=float(area),
+            seed=int(seed),
+        )
+    ]
+
+
+def run_cell(cell: Cell) -> List[Tuple[str, object]]:
+    """Build the trees and collect the structural property rows."""
+    node_count = cell.param("node_count")
+    seed = cell.param("seed")
+    topology = random_deployment(
+        node_count,
+        area=cell.param("area"),
+        seed=derive_seed(seed, EXPERIMENT, node_count, cell.rep),
+    )
     config = IpdaConfig()
     trees = build_disjoint_trees(
-        topology, config, np.random.default_rng(seed)
+        topology,
+        config,
+        np.random.default_rng(
+            derive_seed(seed, EXPERIMENT, node_count, cell.rep, "trees")
+        ),
     )
+    red = trees.aggregators(TreeColor.RED)
+    blue = trees.aggregators(TreeColor.BLUE)
+    covered = trees.covered_nodes() - {trees.base_station}
+    return [
+        ("nodes", topology.node_count),
+        ("average degree", topology.average_degree()),
+        ("red aggregators", len(red)),
+        ("blue aggregators", len(blue)),
+        ("node-disjoint", trees.is_node_disjoint()),
+        ("red tree consistent", trees.tree_is_consistent(TreeColor.RED)),
+        ("blue tree consistent", trees.tree_is_consistent(TreeColor.BLUE)),
+        ("red tree depth", tree_depth(trees.parent_map(TreeColor.RED))),
+        ("blue tree depth", tree_depth(trees.parent_map(TreeColor.BLUE))),
+        ("covered fraction", len(covered) / (topology.node_count - 1)),
+        (
+            "participants (l=2) fraction",
+            len(trees.participants(config.slices))
+            / (topology.node_count - 1),
+        ),
+    ]
+
+
+def reduce(cells: Sequence[Cell], results: Sequence[object]) -> ExperimentTable:
+    """Render the single cell's property list as the Figure 1 table."""
     table = ExperimentTable(
         name="Figure 1: disjoint tree construction",
         columns=["property", "value"],
     )
-    red = trees.aggregators(TreeColor.RED)
-    blue = trees.aggregators(TreeColor.BLUE)
-    table.add_row("nodes", topology.node_count)
-    table.add_row("average degree", topology.average_degree())
-    table.add_row("red aggregators", len(red))
-    table.add_row("blue aggregators", len(blue))
-    table.add_row("node-disjoint", trees.is_node_disjoint())
-    table.add_row(
-        "red tree consistent", trees.tree_is_consistent(TreeColor.RED)
-    )
-    table.add_row(
-        "blue tree consistent", trees.tree_is_consistent(TreeColor.BLUE)
-    )
-    table.add_row(
-        "red tree depth", tree_depth(trees.parent_map(TreeColor.RED))
-    )
-    table.add_row(
-        "blue tree depth", tree_depth(trees.parent_map(TreeColor.BLUE))
-    )
-    covered = trees.covered_nodes() - {trees.base_station}
-    table.add_row(
-        "covered fraction", len(covered) / (topology.node_count - 1)
-    )
-    table.add_row(
-        "participants (l=2) fraction",
-        len(trees.participants(config.slices)) / (topology.node_count - 1),
-    )
+    for rows in results:
+        for name, value in rows:
+            table.add_row(name, value)
     table.add_note(
         "matches Figure 1(c): interleaved node-disjoint trees rooted at "
         "the base station"
     )
     return table
+
+
+SPEC = CellExperiment(EXPERIMENT, cells, run_cell, reduce)
+
+
+def run(
+    *, node_count: int = 60, area: float = 160.0, seed: int = 1, jobs: int = 1
+) -> ExperimentTable:
+    """Regenerate the Figure 1 walk-through as a structural table."""
+    from ..runner import execute
+
+    return execute(
+        SPEC, jobs=jobs, node_count=node_count, area=area, seed=seed
+    )

@@ -9,18 +9,99 @@ analytic budgets.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence, Tuple
 
 from ..analysis.overhead import ipda_messages_per_node, tag_messages_per_node
 from ..core.config import IpdaConfig
-from ..net.topology import random_deployment
 from ..protocols.ipda import IpdaProtocol
 from ..protocols.tag import TagProtocol
-from ..rng import RngStreams
+from ..rng import RngStreams, derive_seed
 from ..workloads.readings import count_readings
-from .common import ExperimentTable
+from .common import (
+    Cell,
+    CellExperiment,
+    ExperimentTable,
+    cached_deployment,
+    make_cell,
+)
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
+
+EXPERIMENT = "fig4"
+
+
+def cells(
+    *,
+    node_count: int = 500,
+    slice_counts: Sequence[int] = (1, 2, 3),
+    seed: int = 0,
+) -> List[Cell]:
+    """One cell per protocol variant: TAG, then iPDA per slice count."""
+    out = [
+        make_cell(
+            EXPERIMENT, ("tag", 0), 0, node_count=int(node_count),
+            seed=int(seed),
+        )
+    ]
+    out.extend(
+        make_cell(
+            EXPERIMENT, ("ipda", int(slices)), 0,
+            node_count=int(node_count), seed=int(seed),
+        )
+        for slices in slice_counts
+    )
+    return out
+
+
+def run_cell(cell: Cell) -> Tuple[float, float]:
+    """Run one protocol round; return (analytic, measured) frames/node.
+
+    All variants share one deployment (same derived seed, served by the
+    per-worker cache) but each draws from its own derived stream seed —
+    reusing one stream across protocols would correlate their MAC
+    backoff and slicing randomness.
+    """
+    protocol_name, slices = cell.key
+    node_count = cell.param("node_count")
+    seed = cell.param("seed")
+    topology = cached_deployment(
+        node_count, seed=derive_seed(seed, EXPERIMENT, node_count, "deploy")
+    )
+    readings = count_readings(topology)
+    streams = RngStreams(
+        derive_seed(seed, EXPERIMENT, node_count, cell.rep, protocol_name,
+                    slices)
+    )
+    if protocol_name == "tag":
+        outcome = TagProtocol().run_round(topology, readings, streams=streams)
+        analytic = tag_messages_per_node()
+    else:
+        outcome = IpdaProtocol(IpdaConfig(slices=slices)).run_round(
+            topology, readings, streams=streams
+        )
+        analytic = ipda_messages_per_node(slices)
+    senders = len(outcome.participants) + 1  # + base station
+    return analytic, outcome.frames_sent / senders
+
+
+def reduce(cells: Sequence[Cell], results: Sequence[object]) -> ExperimentTable:
+    """One row per protocol variant, in cell order."""
+    table = ExperimentTable(
+        name="Figure 4: messages per node per query",
+        columns=["protocol", "analytic_msgs", "measured_msgs_per_node"],
+    )
+    for cell, (analytic, measured) in zip(cells, results):
+        protocol_name, slices = cell.key
+        label = "tag" if protocol_name == "tag" else f"ipda l={slices}"
+        table.add_row(label, analytic, measured)
+    table.add_note(
+        "measured includes MAC retransmissions and the base station's "
+        "HELLOs, so it sits slightly above the analytic budget"
+    )
+    return table
+
+
+SPEC = CellExperiment(EXPERIMENT, cells, run_cell, reduce)
 
 
 def run(
@@ -28,37 +109,15 @@ def run(
     node_count: int = 500,
     slice_counts: Sequence[int] = (1, 2, 3),
     seed: int = 0,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Regenerate Figure 4 as measured per-node frame counts."""
-    table = ExperimentTable(
-        name="Figure 4: messages per node per query",
-        columns=["protocol", "analytic_msgs", "measured_msgs_per_node"],
-    )
-    topology = random_deployment(node_count, seed=seed)
-    readings = count_readings(topology)
+    from ..runner import execute
 
-    tag_outcome = TagProtocol().run_round(
-        topology, readings, streams=RngStreams(seed)
+    return execute(
+        SPEC,
+        jobs=jobs,
+        node_count=node_count,
+        slice_counts=tuple(slice_counts),
+        seed=seed,
     )
-    tag_senders = len(tag_outcome.participants) + 1  # + base station
-    table.add_row(
-        "tag",
-        tag_messages_per_node(),
-        tag_outcome.frames_sent / tag_senders,
-    )
-
-    for slices in slice_counts:
-        outcome = IpdaProtocol(IpdaConfig(slices=slices)).run_round(
-            topology, readings, streams=RngStreams(seed)
-        )
-        senders = len(outcome.participants) + 1
-        table.add_row(
-            f"ipda l={slices}",
-            ipda_messages_per_node(slices),
-            outcome.frames_sent / senders,
-        )
-    table.add_note(
-        "measured includes MAC retransmissions and the base station's "
-        "HELLOs, so it sits slightly above the analytic budget"
-    )
-    return table

@@ -9,7 +9,7 @@ actual eavesdropping attack on recorded slice flows.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.density import within_range_probability
 from ..analysis.privacy import (
@@ -20,10 +20,18 @@ from ..attacks.eavesdropper import LinkEavesdropper
 from ..core.config import IpdaConfig
 from ..core.pipeline import run_lossless_round
 from ..net.topology import PAPER_AREA_M, PAPER_RANGE_M, random_deployment
-from ..rng import RngStreams
-from .common import ExperimentTable
+from ..rng import RngStreams, derive_seed
+from .common import (
+    Cell,
+    CellExperiment,
+    ExperimentTable,
+    grouped,
+    make_cell,
+)
 
-__all__ = ["run", "nodes_for_degree", "PAPER_PX_SWEEP"]
+__all__ = ["run", "nodes_for_degree", "PAPER_PX_SWEEP", "SPEC"]
+
+EXPERIMENT = "fig5"
 
 #: Figure 5's x-axis: p_x from 0.01 to 0.1.
 PAPER_PX_SWEEP = tuple(round(0.01 * k, 2) for k in range(1, 11))
@@ -43,73 +51,112 @@ def nodes_for_degree(
     return int(round(target_degree / p)) + 1
 
 
-def run(
+def cells(
     px_values: Sequence[float] = PAPER_PX_SWEEP,
     *,
     degrees: Sequence[int] = PAPER_DEGREES,
     slice_counts: Sequence[int] = (2, 3),
     seed: int = 0,
     monte_carlo_trials: Optional[int] = 0,
-) -> ExperimentTable:
-    """Regenerate Figure 5.
+) -> List[Cell]:
+    """One cell per ``(degree, slices)`` series over the whole px sweep."""
+    return [
+        make_cell(
+            EXPERIMENT,
+            (int(degree), int(slices)),
+            0,
+            px_values=tuple(float(px) for px in px_values),
+            seed=int(seed),
+            monte_carlo_trials=int(monte_carlo_trials or 0),
+        )
+        for degree in degrees
+        for slices in slice_counts
+    ]
 
-    With ``monte_carlo_trials > 0``, each row also carries the
-    disclosure rate measured by running the concrete eavesdropping
-    attack that many times per point (slow; benchmarks use a few).
+
+def run_cell(cell: Cell) -> Dict[str, object]:
+    """Evaluate one (degree, slices) series at every px.
+
+    The deployment seed depends only on the degree, so the two slice
+    counts at the same density are evaluated on the same terrain (as in
+    the figure); attacker seeds are derived per (degree, slices, px) —
+    the old harness used ``seed + int(px*1000) + slices``, which
+    collided across densities.
     """
+    degree, slices = cell.key
+    seed = cell.param("seed")
+    trials = cell.param("monte_carlo_trials")
+    node_count = nodes_for_degree(degree)
+    topology = random_deployment(
+        node_count, seed=derive_seed(seed, EXPERIMENT, degree, "deploy")
+    )
+    round_record = None
+    if trials:
+        readings = {i: 1 for i in range(1, topology.node_count)}
+        round_record = run_lossless_round(
+            topology,
+            readings,
+            IpdaConfig(slices=slices),
+            rng=RngStreams(
+                derive_seed(seed, EXPERIMENT, degree, slices, "round")
+            ).get("fig5", slices),
+            record_flows=True,
+        )
+
+    analytic: List[float] = []
+    measured: List[float] = []
+    for px in cell.param("px_values"):
+        analytic.append(average_disclosure_probability(topology, px, slices))
+        if trials:
+            attacker = LinkEavesdropper(
+                px,
+                seed=derive_seed(
+                    seed, EXPERIMENT, degree, slices, "attack", str(px)
+                ),
+            )
+            measured.append(
+                attacker.monte_carlo_disclosure(
+                    topology, round_record, trials=trials
+                )
+            )
+    return {
+        "analytic": analytic,
+        "measured": measured,
+        "node_count": node_count,
+    }
+
+
+def reduce(cells: Sequence[Cell], results: Sequence[object]) -> ExperimentTable:
+    """Interleave the per-series sweeps into the Figure 5 table."""
+    if not cells:
+        return ExperimentTable(name="Figure 5", columns=["px"])
+    px_values = cells[0].param("px_values")
+    trials = cells[0].param("monte_carlo_trials")
+    slice_counts = []
+    for cell in cells:
+        if cell.key[1] not in slice_counts:
+            slice_counts.append(cell.key[1])
+
     columns = ["px"]
-    series = []
-    for degree in degrees:
-        for slices in slice_counts:
-            label = f"deg{degree}_l{slices}"
-            columns.append(f"analytic_{label}")
-            if monte_carlo_trials:
-                columns.append(f"measured_{label}")
-            series.append((degree, slices, label))
-    for slices in slice_counts:
-        columns.append(f"paperform_l{slices}")
+    for cell in cells:
+        degree, slices = cell.key
+        label = f"deg{degree}_l{slices}"
+        columns.append(f"analytic_{label}")
+        if trials:
+            columns.append(f"measured_{label}")
+    columns.extend(f"paperform_l{slices}" for slices in slice_counts)
 
     table = ExperimentTable(
         name="Figure 5: capacity of privacy-preservation", columns=columns
     )
-
-    topologies = {}
-    rounds = {}
-    for degree, slices, _label in series:
-        key = (degree, slices)
-        if key in topologies:
-            continue
-        node_count = nodes_for_degree(degree)
-        topology = random_deployment(node_count, seed=seed + degree)
-        topologies[key] = topology
-        if monte_carlo_trials:
-            readings = {i: 1 for i in range(1, topology.node_count)}
-            rounds[key] = run_lossless_round(
-                topology,
-                readings,
-                IpdaConfig(slices=slices),
-                rng=RngStreams(seed + degree).get("fig5", slices),
-                record_flows=True,
-            )
-
-    for px in px_values:
+    series = list(grouped(cells, results).values())
+    for index, px in enumerate(px_values):
         row: list = [px]
-        for degree, slices, _label in series:
-            topology = topologies[(degree, slices)]
-            row.append(
-                average_disclosure_probability(topology, px, slices)
-            )
-            if monte_carlo_trials:
-                attacker = LinkEavesdropper(
-                    px, seed=seed + int(px * 1000) + slices
-                )
-                row.append(
-                    attacker.monte_carlo_disclosure(
-                        topology,
-                        rounds[(degree, slices)],
-                        trials=monte_carlo_trials,
-                    )
-                )
+        for entries in series:
+            (_cell, result), = entries
+            row.append(result["analytic"][index])
+            if trials:
+                row.append(result["measured"][index])
         for slices in slice_counts:
             row.append(node_disclosure_probability(px, slices, 0.0))
         table.add_row(*row)
@@ -123,8 +170,46 @@ def run(
         "variant whose magnitudes match the printed Figure 5 y-axis; see "
         "EXPERIMENTS.md"
     )
+    degrees = []
+    for cell in cells:
+        if cell.key[0] not in degrees:
+            degrees.append(cell.key[0])
     table.add_note(
-        f"degree 7 -> N={nodes_for_degree(7)}, "
-        f"degree 17 -> N={nodes_for_degree(17)} on the paper's field"
+        ", ".join(
+            f"degree {degree} -> N={nodes_for_degree(degree)}"
+            for degree in degrees
+        )
+        + " on the paper's field"
     )
     return table
+
+
+SPEC = CellExperiment(EXPERIMENT, cells, run_cell, reduce)
+
+
+def run(
+    px_values: Sequence[float] = PAPER_PX_SWEEP,
+    *,
+    degrees: Sequence[int] = PAPER_DEGREES,
+    slice_counts: Sequence[int] = (2, 3),
+    seed: int = 0,
+    monte_carlo_trials: Optional[int] = 0,
+    jobs: int = 1,
+) -> ExperimentTable:
+    """Regenerate Figure 5.
+
+    With ``monte_carlo_trials > 0``, each row also carries the
+    disclosure rate measured by running the concrete eavesdropping
+    attack that many times per point (slow; benchmarks use a few).
+    """
+    from ..runner import execute
+
+    return execute(
+        SPEC,
+        jobs=jobs,
+        px_values=tuple(px_values),
+        degrees=tuple(degrees),
+        slice_counts=tuple(slice_counts),
+        seed=seed,
+        monte_carlo_trials=monte_carlo_trials,
+    )

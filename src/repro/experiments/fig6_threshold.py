@@ -9,26 +9,82 @@ delivered and the "perfect" (lossless) value.  The differences
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from ..core.config import IpdaConfig
-from ..net.topology import random_deployment
 from ..protocols.ipda import IpdaProtocol
-from ..rng import RngStreams
+from ..rng import RngStreams, derive_seed
 from ..workloads.readings import count_readings
-from .common import PAPER_SIZES, ExperimentTable, mean_std
+from .common import (
+    PAPER_SIZES,
+    Cell,
+    CellExperiment,
+    ExperimentTable,
+    cached_deployment,
+    grouped,
+    make_cell,
+    mean_std,
+)
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
+
+EXPERIMENT = "fig6"
 
 
-def run(
+def cells(
     sizes: Sequence[int] = PAPER_SIZES,
     *,
     slice_counts: Sequence[int] = (1, 2),
     repetitions: int = 5,
     seed: int = 0,
-) -> ExperimentTable:
-    """Regenerate Figure 6 (plus the implied Th recommendation)."""
+) -> List[Cell]:
+    """One cell per ``(size, repetition)``; slice counts share the cell."""
+    return [
+        make_cell(
+            EXPERIMENT,
+            (int(size),),
+            rep,
+            slice_counts=tuple(int(s) for s in slice_counts),
+            seed=int(seed),
+        )
+        for size in sizes
+        for rep in range(repetitions)
+    ]
+
+
+def run_cell(cell: Cell) -> Dict[int, Tuple[int, int, int]]:
+    """Run one round per slice count on a shared deployment.
+
+    Each slice count gets its own derived stream seed — the old harness
+    reused one seed across slice counts, correlating their rounds.
+    """
+    (size,) = cell.key
+    seed = cell.param("seed")
+    topology = cached_deployment(
+        size, seed=derive_seed(seed, EXPERIMENT, size, cell.rep, "deploy")
+    )
+    readings = count_readings(topology)
+    out: Dict[int, Tuple[int, int, int]] = {}
+    for slices in cell.param("slice_counts"):
+        outcome = IpdaProtocol(IpdaConfig(slices=slices)).run_round(
+            topology,
+            readings,
+            streams=RngStreams(
+                derive_seed(seed, EXPERIMENT, size, cell.rep, slices)
+            ),
+            round_id=cell.rep,
+        )
+        out[slices] = (
+            outcome.s_red,
+            outcome.s_blue,
+            abs(outcome.s_red - outcome.s_blue),
+        )
+    return out
+
+
+def reduce(cells: Sequence[Cell], results: Sequence[object]) -> ExperimentTable:
+    """One row per size; note carries the overall max disagreement."""
+    slice_counts = cells[0].param("slice_counts") if cells else ()
     columns = ["nodes", "perfect"]
     for slices in slice_counts:
         columns.extend(
@@ -40,27 +96,22 @@ def run(
     )
 
     overall_max_diff = 0
-    for size in sizes:
+    for key, entries in grouped(cells, results).items():
+        (size,) = key
         row: list = [size, size - 1]
         for slices in slice_counts:
-            reds, blues, diffs = [], [], []
-            for rep in range(repetitions):
-                topology = random_deployment(size, seed=seed + 31 * rep + size)
-                readings = count_readings(topology)
-                outcome = IpdaProtocol(IpdaConfig(slices=slices)).run_round(
-                    topology,
-                    readings,
-                    streams=RngStreams(seed + 1000 * rep + size),
-                    round_id=rep,
-                )
-                reds.append(outcome.s_red)
-                blues.append(outcome.s_blue)
-                diffs.append(abs(outcome.s_red - outcome.s_blue))
-            red_mean, _ = mean_std([float(v) for v in reds])
-            blue_mean, _ = mean_std([float(v) for v in blues])
+            reds = [result[slices][0] for _cell, result in entries]
+            blues = [result[slices][1] for _cell, result in entries]
+            diffs = [result[slices][2] for _cell, result in entries]
             max_diff = max(diffs)
             overall_max_diff = max(overall_max_diff, max_diff)
-            row.extend([red_mean, blue_mean, max_diff])
+            row.extend(
+                [
+                    mean_std([float(v) for v in reds])[0],
+                    mean_std([float(v) for v in blues])[0],
+                    max_diff,
+                ]
+            )
         table.add_row(*row)
 
     table.add_note(
@@ -69,3 +120,27 @@ def run(
         "(paper recommends Th = 5)"
     )
     return table
+
+
+SPEC = CellExperiment(EXPERIMENT, cells, run_cell, reduce)
+
+
+def run(
+    sizes: Sequence[int] = PAPER_SIZES,
+    *,
+    slice_counts: Sequence[int] = (1, 2),
+    repetitions: int = 5,
+    seed: int = 0,
+    jobs: int = 1,
+) -> ExperimentTable:
+    """Regenerate Figure 6 (plus the implied Th recommendation)."""
+    from ..runner import execute
+
+    return execute(
+        SPEC,
+        jobs=jobs,
+        sizes=sizes,
+        slice_counts=tuple(slice_counts),
+        repetitions=repetitions,
+        seed=seed,
+    )

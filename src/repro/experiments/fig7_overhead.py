@@ -7,28 +7,89 @@ reported next to the analytic ``(2l + 1)/2``.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence
 
 from ..analysis.overhead import overhead_ratio
 from ..core.config import IpdaConfig
-from ..net.topology import random_deployment
 from ..protocols.ipda import IpdaProtocol
 from ..protocols.tag import TagProtocol
-from ..rng import RngStreams
+from ..rng import RngStreams, derive_seed
 from ..workloads.readings import count_readings
-from .common import PAPER_SIZES, ExperimentTable, mean_std
+from .common import (
+    PAPER_SIZES,
+    Cell,
+    CellExperiment,
+    ExperimentTable,
+    cached_deployment,
+    grouped,
+    make_cell,
+    mean_std,
+)
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
+
+EXPERIMENT = "fig7"
 
 
-def run(
+def cells(
     sizes: Sequence[int] = PAPER_SIZES,
     *,
     slice_counts: Sequence[int] = (1, 2),
     repetitions: int = 3,
     seed: int = 0,
-) -> ExperimentTable:
-    """Regenerate Figure 7."""
+) -> List[Cell]:
+    """One cell per ``(size, repetition)``; protocols share the cell."""
+    return [
+        make_cell(
+            EXPERIMENT,
+            (int(size),),
+            rep,
+            slice_counts=tuple(int(s) for s in slice_counts),
+            seed=int(seed),
+        )
+        for size in sizes
+        for rep in range(repetitions)
+    ]
+
+
+def run_cell(cell: Cell) -> Dict[str, object]:
+    """TAG plus iPDA (each l) on one shared deployment.
+
+    The deployment is shared across protocols deliberately (paired
+    comparison on identical terrain); the per-protocol RNG streams are
+    derived independently so the rounds themselves are uncorrelated.
+    """
+    (size,) = cell.key
+    seed = cell.param("seed")
+    topology = cached_deployment(
+        size, seed=derive_seed(seed, EXPERIMENT, size, cell.rep, "deploy")
+    )
+    readings = count_readings(topology)
+    tag_outcome = TagProtocol().run_round(
+        topology,
+        readings,
+        streams=RngStreams(
+            derive_seed(seed, EXPERIMENT, size, cell.rep, "tag")
+        ),
+        round_id=cell.rep,
+    )
+    ipda_bytes = {}
+    for slices in cell.param("slice_counts"):
+        outcome = IpdaProtocol(IpdaConfig(slices=slices)).run_round(
+            topology,
+            readings,
+            streams=RngStreams(
+                derive_seed(seed, EXPERIMENT, size, cell.rep, "ipda", slices)
+            ),
+            round_id=cell.rep,
+        )
+        ipda_bytes[slices] = float(outcome.bytes_sent)
+    return {"tag": float(tag_outcome.bytes_sent), "ipda": ipda_bytes}
+
+
+def reduce(cells: Sequence[Cell], results: Sequence[object]) -> ExperimentTable:
+    """One row per size: mean bytes and measured/analytic ratios."""
+    slice_counts = cells[0].param("slice_counts") if cells else ()
     columns = ["nodes", "tag_bytes"]
     for slices in slice_counts:
         columns.extend([f"ipda_l{slices}_bytes", f"ratio_l{slices}"])
@@ -36,26 +97,14 @@ def run(
         name="Figure 7: bandwidth consumption iPDA vs TAG", columns=columns
     )
 
-    for size in sizes:
-        tag_bytes = []
-        ipda_bytes = {slices: [] for slices in slice_counts}
-        for rep in range(repetitions):
-            topology = random_deployment(size, seed=seed + 17 * rep + size)
-            readings = count_readings(topology)
-            streams = RngStreams(seed + 100 * rep + size)
-            tag_outcome = TagProtocol().run_round(
-                topology, readings, streams=streams, round_id=rep
-            )
-            tag_bytes.append(float(tag_outcome.bytes_sent))
-            for slices in slice_counts:
-                outcome = IpdaProtocol(IpdaConfig(slices=slices)).run_round(
-                    topology, readings, streams=streams, round_id=rep
-                )
-                ipda_bytes[slices].append(float(outcome.bytes_sent))
-        tag_mean, _ = mean_std(tag_bytes)
+    for key, entries in grouped(cells, results).items():
+        (size,) = key
+        tag_mean, _ = mean_std([result["tag"] for _cell, result in entries])
         row: list = [size, tag_mean]
         for slices in slice_counts:
-            ipda_mean, _ = mean_std(ipda_bytes[slices])
+            ipda_mean, _ = mean_std(
+                [result["ipda"][slices] for _cell, result in entries]
+            )
             row.extend([ipda_mean, ipda_mean / tag_mean])
         table.add_row(*row)
 
@@ -68,3 +117,27 @@ def run(
         "sparse networks (Section IV-B.2)"
     )
     return table
+
+
+SPEC = CellExperiment(EXPERIMENT, cells, run_cell, reduce)
+
+
+def run(
+    sizes: Sequence[int] = PAPER_SIZES,
+    *,
+    slice_counts: Sequence[int] = (1, 2),
+    repetitions: int = 3,
+    seed: int = 0,
+    jobs: int = 1,
+) -> ExperimentTable:
+    """Regenerate Figure 7."""
+    from ..runner import execute
+
+    return execute(
+        SPEC,
+        jobs=jobs,
+        sizes=sizes,
+        slice_counts=tuple(slice_counts),
+        repetitions=repetitions,
+        seed=seed,
+    )

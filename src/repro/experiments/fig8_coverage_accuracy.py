@@ -14,65 +14,186 @@ plays no role in them); (c) runs the full simulator.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.participation import participation_fraction_for_topology
 from ..core.config import IpdaConfig
 from ..core.trees import build_disjoint_trees
-from ..net.topology import random_deployment
 from ..protocols.ipda import IpdaProtocol
 from ..protocols.tag import TagProtocol
-from ..rng import RngStreams
+from ..rng import RngStreams, derive_seed
 from ..workloads.readings import count_readings
-from .common import PAPER_SIZES, ExperimentTable, mean_std
+from .common import (
+    PAPER_SIZES,
+    Cell,
+    CellExperiment,
+    ExperimentTable,
+    cached_deployment,
+    grouped,
+    make_cell,
+    mean_std,
+)
 
-__all__ = ["run", "run_coverage_only"]
+__all__ = ["run", "run_coverage_only", "SPEC", "COVERAGE_SPEC"]
+
+EXPERIMENT = "fig8"
+COVERAGE_EXPERIMENT = "fig8-coverage"
 
 
-def run_coverage_only(
+def _coverage_cells(
+    experiment: str,
+    sizes: Sequence[int],
+    slice_counts: Sequence[int],
+    repetitions: int,
+    seed: int,
+) -> List[Cell]:
+    return [
+        make_cell(
+            experiment,
+            ("coverage", int(size)),
+            rep,
+            slice_counts=tuple(int(s) for s in slice_counts),
+            seed=int(seed),
+        )
+        for size in sizes
+        for rep in range(repetitions)
+    ]
+
+
+def coverage_cells(
     sizes: Sequence[int] = PAPER_SIZES,
     *,
     slice_counts: Sequence[int] = (1, 2),
     repetitions: int = 20,
     seed: int = 0,
-) -> ExperimentTable:
-    """Figures 8(a) and 8(b): coverage and participation fractions."""
-    columns = ["nodes", "covered_fraction"]
-    columns.extend(f"participants_l{slices}" for slices in slice_counts)
-    columns.extend(f"analytic_l{slices}" for slices in slice_counts)
-    table = ExperimentTable(
-        name="Figure 8(a)/(b): coverage and participation", columns=columns
+) -> List[Cell]:
+    """One coverage/participation cell per ``(size, repetition)``."""
+    return _coverage_cells(
+        COVERAGE_EXPERIMENT, sizes, slice_counts, repetitions, seed
     )
-    config = IpdaConfig()
-    for size in sizes:
-        covered = []
-        participating = {slices: [] for slices in slice_counts}
-        analytic = {slices: [] for slices in slice_counts}
-        for rep in range(repetitions):
-            topology = random_deployment(size, seed=seed + 13 * rep + size)
-            rng = np.random.default_rng(seed + 977 * rep + size)
-            trees = build_disjoint_trees(topology, config, rng)
-            sensors = size - 1
-            covered.append(
-                len(trees.covered_nodes() - {trees.base_station}) / sensors
-            )
-            for slices in slice_counts:
-                participating[slices].append(
-                    len(trees.participants(slices)) / sensors
-                )
-                analytic[slices].append(
-                    participation_fraction_for_topology(topology, slices)
-                )
-        row: list = [size, mean_std(covered)[0]]
-        row.extend(
-            mean_std(participating[slices])[0] for slices in slice_counts
+
+
+def cells(
+    sizes: Sequence[int] = PAPER_SIZES,
+    *,
+    slice_counts: Sequence[int] = (1, 2),
+    repetitions: int = 3,
+    coverage_repetitions: int = 20,
+    seed: int = 0,
+) -> List[Cell]:
+    """Coverage cells first, then full-radio accuracy cells."""
+    out = _coverage_cells(
+        EXPERIMENT, sizes, slice_counts, coverage_repetitions, seed
+    )
+    out.extend(
+        make_cell(
+            EXPERIMENT,
+            ("accuracy", int(size)),
+            rep,
+            slice_counts=tuple(int(s) for s in slice_counts),
+            seed=int(seed),
         )
-        row.extend(
-            mean_std(analytic[slices])[0] for slices in slice_counts
+        for size in sizes
+        for rep in range(repetitions)
+    )
+    return out
+
+
+def _run_coverage_cell(cell: Cell) -> Dict[str, object]:
+    _kind, size = cell.key
+    seed = cell.param("seed")
+    topology = cached_deployment(
+        size,
+        seed=derive_seed(seed, EXPERIMENT, "coverage", size, cell.rep),
+    )
+    rng = np.random.default_rng(
+        derive_seed(seed, EXPERIMENT, "coverage", size, cell.rep, "trees")
+    )
+    trees = build_disjoint_trees(topology, IpdaConfig(), rng)
+    sensors = size - 1
+    participants = {}
+    analytic = {}
+    for slices in cell.param("slice_counts"):
+        participants[slices] = len(trees.participants(slices)) / sensors
+        analytic[slices] = participation_fraction_for_topology(
+            topology, slices
         )
-        table.add_row(*row)
+    return {
+        "covered": len(trees.covered_nodes() - {trees.base_station})
+        / sensors,
+        "participants": participants,
+        "analytic": analytic,
+    }
+
+
+def _run_accuracy_cell(cell: Cell) -> Dict[str, object]:
+    _kind, size = cell.key
+    seed = cell.param("seed")
+    topology = cached_deployment(
+        size,
+        seed=derive_seed(seed, EXPERIMENT, "accuracy", size, cell.rep),
+    )
+    readings = count_readings(topology)
+    # Protocol variants share the deployment (paired comparison) but
+    # draw from independently derived streams — the old harness fed one
+    # RngStreams to every variant, so l=1 and l=2 spawned identical
+    # per-round streams and their rounds were correlated.
+    accuracies = {}
+    for slices in cell.param("slice_counts"):
+        outcome = IpdaProtocol(IpdaConfig(slices=slices)).run_round(
+            topology,
+            readings,
+            streams=RngStreams(
+                derive_seed(
+                    seed, EXPERIMENT, "accuracy", size, cell.rep,
+                    "ipda", slices,
+                )
+            ),
+            round_id=cell.rep,
+        )
+        # Accuracy counts the collected sum even on the rare
+        # loss-driven rejection: Figure 8(c) has no attacker, so the
+        # collected value is what the curve plots.
+        collected = (outcome.s_red + outcome.s_blue) / 2
+        accuracies[slices] = collected / outcome.true_total
+    tag_outcome = TagProtocol().run_round(
+        topology,
+        readings,
+        streams=RngStreams(
+            derive_seed(seed, EXPERIMENT, "accuracy", size, cell.rep, "tag")
+        ),
+        round_id=cell.rep,
+    )
+    return {"ipda": accuracies, "tag": tag_outcome.accuracy}
+
+
+def run_cell(cell: Cell) -> Dict[str, object]:
+    """Dispatch on the cell kind (coverage vs full-radio accuracy)."""
+    kind, _size = cell.key
+    if kind == "coverage":
+        return _run_coverage_cell(cell)
+    return _run_accuracy_cell(cell)
+
+
+def _coverage_rows(
+    entries: Sequence[Tuple[Cell, Dict[str, object]]],
+    slice_counts: Sequence[int],
+) -> List[float]:
+    row = [mean_std([result["covered"] for _cell, result in entries])[0]]
+    row.extend(
+        mean_std([result["participants"][slices] for _cell, result in entries])[0]
+        for slices in slice_counts
+    )
+    row.extend(
+        mean_std([result["analytic"][slices] for _cell, result in entries])[0]
+        for slices in slice_counts
+    )
+    return row
+
+
+def _coverage_notes(table: ExperimentTable) -> None:
     table.add_note(
         "coverage: heard both colours (factor a); participation adds "
         "the l-targets-per-colour requirement (factor b)"
@@ -81,7 +202,91 @@ def run_coverage_only(
         "analytic_l*: binomial closed form (analysis.participation); "
         "matches the measured fraction once coverage saturates"
     )
+
+
+def reduce_coverage(
+    cells: Sequence[Cell], results: Sequence[object]
+) -> ExperimentTable:
+    """Figures 8(a)/(b) rows only."""
+    slice_counts = cells[0].param("slice_counts") if cells else ()
+    columns = ["nodes", "covered_fraction"]
+    columns.extend(f"participants_l{slices}" for slices in slice_counts)
+    columns.extend(f"analytic_l{slices}" for slices in slice_counts)
+    table = ExperimentTable(
+        name="Figure 8(a)/(b): coverage and participation", columns=columns
+    )
+    for key, entries in grouped(cells, results).items():
+        _kind, size = key
+        table.add_row(size, *_coverage_rows(entries, slice_counts))
+    _coverage_notes(table)
     return table
+
+
+def reduce(cells: Sequence[Cell], results: Sequence[object]) -> ExperimentTable:
+    """Combine coverage and accuracy groups into the full Figure 8."""
+    slice_counts = cells[0].param("slice_counts") if cells else ()
+    columns = ["nodes", "covered_fraction"]
+    columns.extend(f"participants_l{slices}" for slices in slice_counts)
+    columns.extend(f"analytic_l{slices}" for slices in slice_counts)
+    columns.extend(f"accuracy_ipda_l{slices}" for slices in slice_counts)
+    columns.append("accuracy_tag")
+    table = ExperimentTable(
+        name="Figure 8: coverage, participation, accuracy", columns=columns
+    )
+
+    groups = grouped(cells, results)
+    sizes = []
+    for kind, size in groups:
+        if kind == "coverage" and size not in sizes:
+            sizes.append(size)
+    for size in sizes:
+        row: list = [size]
+        row.extend(_coverage_rows(groups[("coverage", size)], slice_counts))
+        accuracy_entries = groups[("accuracy", size)]
+        row.extend(
+            mean_std(
+                [result["ipda"][slices] for _cell, result in accuracy_entries]
+            )[0]
+            for slices in slice_counts
+        )
+        row.append(
+            mean_std([result["tag"] for _cell, result in accuracy_entries])[0]
+        )
+        table.add_row(*row)
+
+    _coverage_notes(table)
+    table.add_note(
+        "accuracy = collected COUNT / true COUNT; factors (a)+(b)+(c)"
+    )
+    return table
+
+
+SPEC = CellExperiment(EXPERIMENT, cells, run_cell, reduce)
+COVERAGE_SPEC = CellExperiment(
+    COVERAGE_EXPERIMENT, coverage_cells, run_cell, reduce_coverage
+)
+SPECS = (SPEC, COVERAGE_SPEC)
+
+
+def run_coverage_only(
+    sizes: Sequence[int] = PAPER_SIZES,
+    *,
+    slice_counts: Sequence[int] = (1, 2),
+    repetitions: int = 20,
+    seed: int = 0,
+    jobs: int = 1,
+) -> ExperimentTable:
+    """Figures 8(a) and 8(b): coverage and participation fractions."""
+    from ..runner import execute
+
+    return execute(
+        COVERAGE_SPEC,
+        jobs=jobs,
+        sizes=sizes,
+        slice_counts=tuple(slice_counts),
+        repetitions=repetitions,
+        seed=seed,
+    )
 
 
 def run(
@@ -91,49 +296,17 @@ def run(
     repetitions: int = 3,
     coverage_repetitions: int = 20,
     seed: int = 0,
+    jobs: int = 1,
 ) -> ExperimentTable:
     """Regenerate the full Figure 8 (a, b, c) as one table."""
-    coverage = run_coverage_only(
-        sizes,
-        slice_counts=slice_counts,
-        repetitions=coverage_repetitions,
+    from ..runner import execute
+
+    return execute(
+        SPEC,
+        jobs=jobs,
+        sizes=sizes,
+        slice_counts=tuple(slice_counts),
+        repetitions=repetitions,
+        coverage_repetitions=coverage_repetitions,
         seed=seed,
     )
-    columns = list(coverage.columns)
-    columns.extend(f"accuracy_ipda_l{slices}" for slices in slice_counts)
-    columns.append("accuracy_tag")
-    table = ExperimentTable(
-        name="Figure 8: coverage, participation, accuracy", columns=columns
-    )
-
-    for row_index, size in enumerate(sizes):
-        accuracies = {slices: [] for slices in slice_counts}
-        tag_accuracies = []
-        for rep in range(repetitions):
-            topology = random_deployment(size, seed=seed + 29 * rep + size)
-            readings = count_readings(topology)
-            streams = RngStreams(seed + 3000 * rep + size)
-            for slices in slice_counts:
-                outcome = IpdaProtocol(IpdaConfig(slices=slices)).run_round(
-                    topology, readings, streams=streams, round_id=rep
-                )
-                # Accuracy counts the collected sum even on the rare
-                # loss-driven rejection: Figure 8(c) has no attacker, so
-                # the collected value is what the curve plots.
-                collected = (outcome.s_red + outcome.s_blue) / 2
-                accuracies[slices].append(collected / outcome.true_total)
-            tag_outcome = TagProtocol().run_round(
-                topology, readings, streams=streams, round_id=rep
-            )
-            tag_accuracies.append(tag_outcome.accuracy)
-        row = list(coverage.rows[row_index])
-        row.extend(mean_std(accuracies[slices])[0] for slices in slice_counts)
-        row.append(mean_std(tag_accuracies)[0])
-        table.add_row(*row)
-
-    for note in coverage.notes:
-        table.add_note(note)
-    table.add_note(
-        "accuracy = collected COUNT / true COUNT; factors (a)+(b)+(c)"
-    )
-    return table

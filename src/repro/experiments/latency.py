@@ -9,46 +9,79 @@ TAG's by roughly that constant; density affects both only mildly
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence, Tuple
 
 from ..core.config import IpdaConfig
-from ..net.topology import random_deployment
 from ..protocols.ipda import IpdaProtocol
 from ..protocols.tag import TagProtocol
-from ..rng import RngStreams
+from ..rng import RngStreams, derive_seed
 from ..workloads.readings import count_readings
-from .common import ExperimentTable, mean_std
+from .common import (
+    Cell,
+    CellExperiment,
+    ExperimentTable,
+    cached_deployment,
+    grouped,
+    make_cell,
+    mean_std,
+)
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
+
+EXPERIMENT = "latency"
 
 
-def run(
+def cells(
     *,
     sizes: Sequence[int] = (200, 400, 600),
     repetitions: int = 3,
     seed: int = 0,
-) -> ExperimentTable:
-    """Query latency (seconds of simulated time) over network size."""
+) -> List[Cell]:
+    """One cell per ``(size, repetition)``; both protocols share it."""
+    return [
+        make_cell(EXPERIMENT, (int(size),), rep, seed=int(seed))
+        for size in sizes
+        for rep in range(repetitions)
+    ]
+
+
+def run_cell(cell: Cell) -> Tuple[float, float]:
+    """One TAG round and one iPDA round on a shared deployment."""
+    (size,) = cell.key
+    seed = cell.param("seed")
+    topology = cached_deployment(
+        size, seed=derive_seed(seed, EXPERIMENT, size, cell.rep, "deploy")
+    )
+    readings = count_readings(topology)
+    tag = TagProtocol().run_round(
+        topology,
+        readings,
+        streams=RngStreams(
+            derive_seed(seed, EXPERIMENT, size, cell.rep, "tag")
+        ),
+        round_id=cell.rep,
+    )
+    ipda = IpdaProtocol(IpdaConfig()).run_round(
+        topology,
+        readings,
+        streams=RngStreams(
+            derive_seed(seed, EXPERIMENT, size, cell.rep, "ipda")
+        ),
+        round_id=cell.rep,
+    )
+    return float(tag.stats["latency"]), float(ipda.stats["latency"])
+
+
+def reduce(cells: Sequence[Cell], results: Sequence[object]) -> ExperimentTable:
+    """One row per size: mean latencies and their gap."""
     table = ExperimentTable(
         name="Latency: time to result at the base station",
         columns=["nodes", "tag_latency_s", "ipda_latency_s", "delta_s"],
     )
-    for size in sizes:
-        tag_latency, ipda_latency = [], []
-        for rep in range(repetitions):
-            topology = random_deployment(size, seed=seed + 7 * rep + size)
-            readings = count_readings(topology)
-            streams = RngStreams(seed + 100 * rep + size)
-            tag = TagProtocol().run_round(
-                topology, readings, streams=streams, round_id=rep
-            )
-            ipda = IpdaProtocol(IpdaConfig()).run_round(
-                topology, readings, streams=streams, round_id=rep
-            )
-            tag_latency.append(float(tag.stats["latency"]))
-            ipda_latency.append(float(ipda.stats["latency"]))
-        tag_mean = mean_std(tag_latency)[0]
-        ipda_mean = mean_std(ipda_latency)[0]
+    for key, entries in grouped(cells, results).items():
+        (size,) = key
+        tag_mean = mean_std([result[0] for _cell, result in entries])[0]
+        ipda_mean = mean_std([result[1] for _cell, result in entries])[0]
         table.add_row(size, tag_mean, ipda_mean, ipda_mean - tag_mean)
     table.add_note(
         "iPDA pays the slicing window plus assembly guard on top of the "
@@ -56,3 +89,22 @@ def run(
         "moves latency only mildly"
     )
     return table
+
+
+SPEC = CellExperiment(EXPERIMENT, cells, run_cell, reduce)
+
+
+def run(
+    *,
+    sizes: Sequence[int] = (200, 400, 600),
+    repetitions: int = 3,
+    seed: int = 0,
+    jobs: int = 1,
+) -> ExperimentTable:
+    """Query latency (seconds of simulated time) over network size."""
+    from ..runner import execute
+
+    return execute(
+        SPEC, jobs=jobs, sizes=tuple(sizes), repetitions=repetitions,
+        seed=seed,
+    )

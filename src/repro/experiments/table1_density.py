@@ -8,22 +8,53 @@ printed in the paper.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 from ..analysis.density import PAPER_TABLE_I, expected_average_degree
 from ..net.topology import random_deployment
-from .common import PAPER_SIZES, ExperimentTable, mean_std
+from ..rng import derive_seed
+from .common import (
+    PAPER_SIZES,
+    Cell,
+    CellExperiment,
+    ExperimentTable,
+    grouped,
+    make_cell,
+    mean_std,
+)
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
+
+EXPERIMENT = "table1"
 
 
-def run(
+def cells(
     sizes: Sequence[int] = PAPER_SIZES,
     *,
     repetitions: int = 10,
     seed: int = 0,
-) -> ExperimentTable:
-    """Regenerate Table I."""
+) -> List[Cell]:
+    """One cell per ``(size, repetition)``."""
+    return [
+        make_cell(EXPERIMENT, (int(size),), rep, seed=int(seed))
+        for size in sizes
+        for rep in range(repetitions)
+    ]
+
+
+def run_cell(cell: Cell) -> float:
+    """Measure the average degree of one seeded deployment."""
+    (size,) = cell.key
+    topology = random_deployment(
+        size,
+        seed=derive_seed(cell.param("seed"), EXPERIMENT, size, cell.rep),
+        base_station_center=False,
+    )
+    return topology.average_degree()
+
+
+def reduce(cells: Sequence[Cell], results: Sequence[object]) -> ExperimentTable:
+    """Fold per-cell degrees into the Table I rows."""
     table = ExperimentTable(
         name="Table I: network size vs network density",
         columns=[
@@ -34,14 +65,9 @@ def run(
             "paper_degree",
         ],
     )
-    for size in sizes:
-        measured = []
-        for rep in range(repetitions):
-            topology = random_deployment(
-                size, seed=seed + 1000 * rep + size, base_station_center=False
-            )
-            measured.append(topology.average_degree())
-        mean, std = mean_std(measured)
+    for key, entries in grouped(cells, results).items():
+        (size,) = key
+        mean, std = mean_std([float(degree) for _cell, degree in entries])
         table.add_row(
             size,
             expected_average_degree(size),
@@ -53,3 +79,21 @@ def run(
         "analytic = (N-1) * [pi t^2 - 8/3 t^3 + t^4/2], t = range/side"
     )
     return table
+
+
+SPEC = CellExperiment(EXPERIMENT, cells, run_cell, reduce)
+
+
+def run(
+    sizes: Sequence[int] = PAPER_SIZES,
+    *,
+    repetitions: int = 10,
+    seed: int = 0,
+    jobs: int = 1,
+) -> ExperimentTable:
+    """Regenerate Table I."""
+    from ..runner import execute
+
+    return execute(
+        SPEC, jobs=jobs, sizes=sizes, repetitions=repetitions, seed=seed
+    )

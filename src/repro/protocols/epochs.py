@@ -49,6 +49,9 @@ class EpochOutcome:
     verification: VerificationResult
     participants: Set[int] = field(default_factory=set)
     bytes_this_epoch: int = 0
+    #: per-epoch trace summary (drops, loss rate, bytes by kind) —
+    #: deltas since this epoch began, not network-lifetime totals.
+    trace: Dict[str, object] = field(default_factory=dict)
 
     @property
     def accepted(self) -> bool:
@@ -164,6 +167,9 @@ class EpochedIpdaSession:
             raise ProtocolError("the base station does not produce a reading")
         epoch = self._epoch
         self._epoch += 1
+        # Checkpoint the shared collector: the network (and its trace)
+        # outlives the epoch, so per-epoch figures must be deltas.
+        self.network.trace.begin_round()
         bytes_before = self.network.trace.total_bytes_sent
         magnitude = self.config.effective_magnitude(readings.values())
         pollution = dict(polluters) if polluters else {}
@@ -224,6 +230,7 @@ class EpochedIpdaSession:
             bytes_this_epoch=(
                 self.network.trace.total_bytes_sent - bytes_before
             ),
+            trace=self.network.trace.round_summary(),
         )
         self.history.append(outcome)
         return outcome

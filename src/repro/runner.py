@@ -1,0 +1,156 @@
+"""Process-pool sweep executor with deterministic sharding.
+
+Every paper experiment enumerates its sweep as independent cells — one
+per ``(experiment, sweep key, repetition)`` — via the
+:class:`~repro.experiments.common.CellExperiment` interface.  This
+module shards those cells across worker processes and merges the
+partial results back **in cell-enumeration order**, so the reduced
+table is byte-identical no matter how many workers ran or how they
+interleaved.
+
+The determinism contract (enforced by
+``tests/experiments/test_runner.py``):
+
+* ``cells()`` enumerates the sweep in a deterministic order;
+* ``run_cell(cell)`` is a pure function of the cell — every RNG seed it
+  uses is derived inside the cell via
+  :func:`repro.rng.derive_seed`, never from shared mutable state;
+* ``reduce(cells, results)`` consumes results index-aligned with the
+  cells.
+
+Usage::
+
+    from repro.runner import execute, get_spec
+
+    table = execute(get_spec("fig7"), jobs=4, sizes=(200, 400))
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Union
+
+from .errors import ConfigurationError
+from .experiments.common import Cell, CellExperiment, ExperimentTable
+
+__all__ = [
+    "available_experiments",
+    "execute",
+    "execute_cells",
+    "get_spec",
+    "register_spec",
+    "resolve_jobs",
+]
+
+#: Ad-hoc specs registered at runtime (tests, notebooks).  Looked up
+#: before the package registry so a re-registration shadows it.
+_EXTRA_SPECS: Dict[str, CellExperiment] = {}
+
+
+def register_spec(spec: CellExperiment) -> CellExperiment:
+    """Register an ad-hoc spec so worker processes can resolve it.
+
+    The built-in experiments register themselves through
+    :mod:`repro.experiments`; this hook exists for tests and one-off
+    sweeps.  With the default ``fork`` start method the registration is
+    inherited by workers created afterwards.
+    """
+    _EXTRA_SPECS[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> CellExperiment:
+    """Resolve an experiment name to its :class:`CellExperiment`."""
+    spec = _EXTRA_SPECS.get(name)
+    if spec is not None:
+        return spec
+    from .experiments import SPECS
+
+    try:
+        return SPECS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; registered: "
+            f"{sorted(set(SPECS) | set(_EXTRA_SPECS))}"
+        ) from None
+
+
+def available_experiments() -> List[str]:
+    """Names of every registered cell experiment."""
+    from .experiments import SPECS
+
+    return sorted(set(SPECS) | set(_EXTRA_SPECS))
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: None means all cores, floor 1."""
+    if jobs is None:
+        return max(os.cpu_count() or 1, 1)
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _execute_cell(cell: Cell) -> object:
+    """Worker entry point: resolve the spec by name and run one cell."""
+    return get_spec(cell.experiment).run_cell(cell)
+
+
+def execute_cells(
+    cells: Sequence[Cell], *, jobs: Optional[int] = 1
+) -> List[object]:
+    """Run every cell, returning results aligned with ``cells``.
+
+    ``jobs == 1`` runs inline; otherwise a process pool computes cells
+    concurrently.  ``ProcessPoolExecutor.map`` hands tasks out in
+    submission order and yields results in that same order regardless
+    of completion order, which is the whole merge step: position ``i``
+    of the result list is cell ``i``, always.
+    """
+    cells = list(cells)
+    workers = min(resolve_jobs(jobs), len(cells))
+    if workers <= 1:
+        return [_execute_cell(cell) for cell in cells]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        # chunksize=1: cells are coarse (whole simulation rounds), so
+        # per-task dispatch overhead is noise and fine-grained dispatch
+        # keeps stragglers from serialising behind a big chunk.
+        return list(pool.map(_execute_cell, cells, chunksize=1))
+
+
+def execute(
+    spec: Union[CellExperiment, str],
+    *,
+    jobs: Optional[int] = 1,
+    **kwargs: object,
+) -> ExperimentTable:
+    """Enumerate, shard, and reduce one experiment sweep.
+
+    ``kwargs`` are passed to the spec's ``cells()``.  The returned
+    table's ``meta`` carries the sweep shape and throughput
+    (``cells``, ``cell_seconds``, ``cells_per_second``, ``jobs``) for
+    the CLI's wall-clock report.
+    """
+    if isinstance(spec, str):
+        spec = get_spec(spec)
+    cell_list = spec.cells(**kwargs)
+    effective_jobs = min(resolve_jobs(jobs), max(len(cell_list), 1))
+    started = time.perf_counter()
+    results = execute_cells(cell_list, jobs=effective_jobs)
+    elapsed = time.perf_counter() - started
+    table = spec.reduce(cell_list, results)
+    table.meta.update(
+        {
+            "experiment": spec.name,
+            "cells": len(cell_list),
+            "jobs": effective_jobs,
+            "cell_seconds": elapsed,
+            "cells_per_second": (
+                len(cell_list) / elapsed if elapsed > 0 else float("inf")
+            ),
+        }
+    )
+    return table

@@ -89,6 +89,7 @@ class TraceCollector:
         )
         #: injected faults (crashes, recoveries), in time order.
         self.fault_events: List[FaultEvent] = []
+        self._round_checkpoint: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # Recording (called by the radio layer)
@@ -184,25 +185,93 @@ class TraceCollector:
 
     def summary(self) -> Dict[str, object]:
         """Return a plain-dict snapshot, convenient for tables/CSV."""
-        return {
-            "frames_sent": self.total_frames_sent,
-            "bytes_sent": self.total_bytes_sent,
-            "delivered": sum(self.delivered_count.values()),
-            "dropped": self.total_drops,
-            "loss_rate": round(self.loss_rate(), 6),
-            "bytes_by_kind": dict(self.sent_bytes),
-            "frames_by_kind": dict(self.sent_count),
-            "drops_by_reason": dict(self.dropped_count),
-            "drops_by_link": {
-                f"{src}->{dst}": sum(reasons.values())
-                for (src, dst), reasons in sorted(self.dropped_by_link.items())
+        return _summarize(
+            self.sent_count,
+            self.sent_bytes,
+            self.delivered_count,
+            self.dropped_count,
+            dict(self.dropped_by_link),
+            len(self.fault_events),
+        )
+
+    # ------------------------------------------------------------------
+    # Per-round deltas
+    # ------------------------------------------------------------------
+    def begin_round(self) -> None:
+        """Checkpoint the counters so :meth:`round_summary` is per-round.
+
+        The collector lives as long as its :class:`Network`; multi-round
+        sessions that reuse one network would otherwise read cumulative
+        totals where a per-round figure is expected.
+        """
+        self._round_checkpoint = {
+            "sent_count": Counter(self.sent_count),
+            "sent_bytes": Counter(self.sent_bytes),
+            "delivered_count": Counter(self.delivered_count),
+            "dropped_count": Counter(self.dropped_count),
+            "dropped_by_link": {
+                link: Counter(reasons)
+                for link, reasons in self.dropped_by_link.items()
             },
-            "lossiest_links": [
-                (f"{src}->{dst}", sum(reasons.values()))
-                for (src, dst), reasons in sorted(
-                    self.dropped_by_link.items(),
-                    key=lambda item: (-sum(item[1].values()), item[0]),
-                )[:10]
-            ],
             "fault_events": len(self.fault_events),
         }
+
+    def round_summary(self) -> Dict[str, object]:
+        """:meth:`summary` restricted to activity since ``begin_round``.
+
+        Before the first :meth:`begin_round` call this equals
+        :meth:`summary` (the round is the whole history).
+        """
+        checkpoint = self._round_checkpoint
+        if checkpoint is None:
+            return self.summary()
+        links = {}
+        for link, reasons in self.dropped_by_link.items():
+            delta = reasons - checkpoint["dropped_by_link"].get(
+                link, Counter()
+            )
+            if delta:
+                links[link] = delta
+        return _summarize(
+            self.sent_count - checkpoint["sent_count"],
+            self.sent_bytes - checkpoint["sent_bytes"],
+            self.delivered_count - checkpoint["delivered_count"],
+            self.dropped_count - checkpoint["dropped_count"],
+            links,
+            len(self.fault_events) - checkpoint["fault_events"],
+        )
+
+
+def _summarize(
+    sent_count: Counter,
+    sent_bytes: Counter,
+    delivered_count: Counter,
+    dropped_count: Counter,
+    dropped_by_link: Dict[Tuple[int, int], Counter],
+    fault_events: int,
+) -> Dict[str, object]:
+    delivered = sum(delivered_count.values())
+    dropped = sum(dropped_count.values())
+    attempts = delivered + dropped
+    return {
+        "frames_sent": sum(sent_count.values()),
+        "bytes_sent": sum(sent_bytes.values()),
+        "delivered": delivered,
+        "dropped": dropped,
+        "loss_rate": round(dropped / attempts, 6) if attempts else 0.0,
+        "bytes_by_kind": dict(sent_bytes),
+        "frames_by_kind": dict(sent_count),
+        "drops_by_reason": dict(dropped_count),
+        "drops_by_link": {
+            f"{src}->{dst}": sum(reasons.values())
+            for (src, dst), reasons in sorted(dropped_by_link.items())
+        },
+        "lossiest_links": [
+            (f"{src}->{dst}", sum(reasons.values()))
+            for (src, dst), reasons in sorted(
+                dropped_by_link.items(),
+                key=lambda item: (-sum(item[1].values()), item[0]),
+            )[:10]
+        ],
+        "fault_events": fault_events,
+    }

@@ -53,3 +53,44 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_csv_dir_created_when_missing(self, tmp_path, capsys):
+        csv_dir = tmp_path / "not" / "yet" / "there"
+        args = ["table1", "--fast", "--repetitions", "1", "--csv", str(csv_dir)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert (csv_dir / "table1.csv").exists()
+
+    def test_csv_path_that_is_a_file_fails_cleanly(self, tmp_path, capsys):
+        collision = tmp_path / "results"
+        collision.write_text("not a directory")
+        args = ["table1", "--fast", "--repetitions", "1", "--csv", str(collision)]
+        assert main(args) == 2
+        captured = capsys.readouterr()
+        assert "not a directory" in captured.err
+        assert "Traceback" not in captured.err
+        # Fails before any experiment runs: no partial table output.
+        assert "Table I" not in captured.out
+
+    def test_jobs_flag_matches_sequential_output(self, capsys):
+        args = ["fig6", "--fast", "--repetitions", "1", "--seed", "3"]
+        assert main(args + ["--jobs", "1"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        def tables_only(text):
+            # Strip the throughput lines (wall-clock varies per run).
+            return [
+                line
+                for line in text.splitlines()
+                if not line.startswith("(")
+            ]
+
+        assert tables_only(parallel) == tables_only(sequential)
+        assert "worker(s)" in parallel
+
+    def test_bad_jobs_value_fails_cleanly(self, capsys):
+        args = ["table1", "--fast", "--repetitions", "1", "--jobs", "0"]
+        assert main(args) == 2
+        assert "jobs" in capsys.readouterr().err

@@ -1,0 +1,207 @@
+"""Tests for the parallel sweep executor (repro.runner).
+
+The headline property: for every registered experiment, a process-pool
+run is byte-identical to the sequential run — same table text, same
+CSV.  Plus unit tests for the cell/sharding plumbing itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import SPECS
+from repro.experiments.common import (
+    CellExperiment,
+    ExperimentTable,
+    grouped,
+    make_cell,
+)
+from repro.runner import (
+    available_experiments,
+    execute,
+    execute_cells,
+    get_spec,
+    register_spec,
+    resolve_jobs,
+)
+
+#: Fast parameterisation per registered experiment: small enough that
+#: the whole matrix runs twice (sequential + pooled) in CI time, wide
+#: enough that every experiment still produces >1 cell where it can.
+TINY_KWARGS = {
+    "table1": {"sizes": (200,), "repetitions": 2},
+    "fig1": {"node_count": 50},
+    "fig4": {"node_count": 150, "slice_counts": (1,)},
+    "fig5": {
+        "px_values": (0.05,),
+        "degrees": (7,),
+        "slice_counts": (2,),
+        "monte_carlo_trials": 1,
+    },
+    "fig6": {"sizes": (150,), "repetitions": 1},
+    "fig7": {"sizes": (150,), "repetitions": 1},
+    "fig8": {
+        "sizes": (150,),
+        "repetitions": 1,
+        "coverage_repetitions": 2,
+    },
+    "fig8-coverage": {"sizes": (150,), "repetitions": 2},
+    "energy": {
+        "node_count": 150,
+        "slice_counts": (1,),
+        "repetitions": 1,
+    },
+    "latency": {"sizes": (150,), "repetitions": 1},
+    "ablation-slices": {
+        "node_count": 150,
+        "slice_counts": (1, 2),
+        "repetitions": 1,
+    },
+    "ablation-budget": {
+        "node_count": 150,
+        "budgets": (2, 4),
+        "repetitions": 1,
+    },
+    "ablation-role-mode": {"node_count": 150, "repetitions": 1},
+    "ablation-key-schemes": {
+        "node_count": 120,
+        "repetitions": 1,
+        "coalition_size": 10,
+    },
+    "ablation-threshold": {
+        "node_count": 150,
+        "thresholds": (0, 5),
+        "repetitions": 1,
+    },
+    "ablation-trees": {
+        "node_count": 200,
+        "tree_counts": (2,),
+        "repetitions": 1,
+    },
+    "ablation-collusion": {
+        "node_count": 150,
+        "coalition_sizes": (10, 40),
+        "slice_counts": (2,),
+        "repetitions": 1,
+    },
+    "fault-sweep": {
+        "crash_fractions": (0.0,),
+        "loss_levels": ("light",),
+        "repetitions": 1,
+    },
+}
+
+
+class TestParallelDeterminism:
+    def test_every_registered_experiment_has_tiny_params(self):
+        assert set(TINY_KWARGS) == set(SPECS)
+
+    @pytest.mark.parametrize("name", sorted(TINY_KWARGS))
+    def test_pooled_run_is_byte_identical(self, name):
+        sequential = execute(name, jobs=1, **TINY_KWARGS[name])
+        pooled = execute(name, jobs=2, **TINY_KWARGS[name])
+        assert pooled.to_text() == sequential.to_text()
+        assert pooled.to_csv() == sequential.to_csv()
+
+    def test_meta_reports_sweep_shape(self):
+        table = execute("table1", jobs=1, **TINY_KWARGS["table1"])
+        assert table.meta["experiment"] == "table1"
+        assert table.meta["cells"] == 2
+        assert table.meta["jobs"] == 1
+        assert table.meta["cell_seconds"] > 0
+        assert table.meta["cells_per_second"] > 0
+
+    def test_meta_never_reaches_renderings(self):
+        table = execute("table1", jobs=1, **TINY_KWARGS["table1"])
+        for key in table.meta:
+            assert key not in table.to_text()
+            assert key not in table.to_csv()
+
+
+def _toy_reduce(cells, results):
+    table = ExperimentTable(name="toy", columns=["key", "value"])
+    for cell, result in zip(cells, results):
+        table.add_row(cell.key[0], result)
+    return table
+
+
+def _toy_cells(count=6, seed=0):
+    return [
+        make_cell("toy-runner-test", (i,), 0, seed=seed) for i in range(count)
+    ]
+
+
+def _toy_run_cell(cell):
+    return cell.key[0] * 10 + cell.param("seed")
+
+
+TOY_SPEC = register_spec(
+    CellExperiment("toy-runner-test", _toy_cells, _toy_run_cell, _toy_reduce)
+)
+
+
+class TestShardingPlumbing:
+    def test_results_align_with_cells_inline(self):
+        cells = _toy_cells(count=5, seed=3)
+        assert execute_cells(cells, jobs=1) == [3, 13, 23, 33, 43]
+
+    def test_results_align_with_cells_pooled(self):
+        cells = _toy_cells(count=5, seed=3)
+        assert execute_cells(cells, jobs=2) == [3, 13, 23, 33, 43]
+
+    def test_execute_accepts_spec_name(self):
+        table = execute("toy-runner-test", jobs=1, count=3)
+        assert [row[1] for row in table.rows] == [0, 10, 20]
+
+    def test_registered_spec_is_listed(self):
+        assert "toy-runner-test" in available_experiments()
+        assert get_spec("toy-runner-test") is TOY_SPEC
+
+    def test_unknown_experiment_is_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            get_spec("no-such-experiment")
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="jobs"):
+            resolve_jobs(0)
+
+    def test_jobs_none_means_all_cores(self):
+        assert resolve_jobs(None) >= 1
+
+    def test_more_workers_than_cells_is_fine(self):
+        cells = _toy_cells(count=2)
+        assert execute_cells(cells, jobs=16) == [0, 10]
+
+
+class TestCellInterface:
+    def test_cells_are_picklable_and_hashable(self):
+        import pickle
+
+        cell = make_cell("toy-runner-test", (1, "a"), 2, alpha=1, beta=(2, 3))
+        clone = pickle.loads(pickle.dumps(cell))
+        assert clone == cell
+        assert hash(clone) == hash(cell)
+        assert clone.param("beta") == (2, 3)
+
+    def test_param_default_and_missing(self):
+        cell = make_cell("toy-runner-test", (1,), 0, alpha=7)
+        assert cell.param("alpha") == 7
+        assert cell.param("missing", 42) == 42
+        with pytest.raises(ConfigurationError):
+            cell.param("missing")
+
+    def test_grouped_preserves_cell_order(self):
+        cells = [
+            make_cell("toy-runner-test", (key,), rep)
+            for key in ("b", "a")
+            for rep in range(2)
+        ]
+        groups = grouped(cells, [1, 2, 3, 4])
+        assert list(groups) == [("b",), ("a",)]
+        assert [result for _cell, result in groups[("b",)]] == [1, 2]
+
+    def test_grouped_rejects_misaligned_results(self):
+        cells = _toy_cells(count=3)
+        with pytest.raises(ConfigurationError):
+            grouped(cells, [1, 2])

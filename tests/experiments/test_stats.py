@@ -1,0 +1,69 @@
+"""Edge-case tests for the statistics helpers in experiments.common."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import mean_ci, mean_std
+
+
+class TestMeanStd:
+    def test_basic(self):
+        mean, std = mean_std([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(1.0)
+
+    def test_single_value_has_zero_std(self):
+        assert mean_std([5.0]) == (5.0, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="no values"):
+            mean_std([])
+
+    @pytest.mark.parametrize(
+        "poison", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_rejected_with_index(self, poison):
+        with pytest.raises(ConfigurationError, match="index 1"):
+            mean_std([1.0, poison, 3.0])
+
+
+class TestMeanCi:
+    def test_zero_spread_has_zero_halfwidth(self):
+        assert mean_ci([2.0, 2.0, 2.0]) == (2.0, 0.0)
+
+    def test_single_value_has_zero_halfwidth(self):
+        assert mean_ci([7.0]) == (7.0, 0.0)
+
+    def test_confidence_must_be_a_probability(self):
+        with pytest.raises(ConfigurationError, match="confidence"):
+            mean_ci([1.0, 2.0], confidence=1.5)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            mean_ci([1.0, float("nan")])
+
+    def test_halfwidth_when_scipy_available(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        mean, half = mean_ci([1.0, 2.0, 3.0, 4.0], confidence=0.95)
+        assert mean == pytest.approx(2.5)
+        std = math.sqrt(5.0 / 3.0)
+        t_value = scipy_stats.t.ppf(0.975, df=3)
+        assert half == pytest.approx(t_value * std / 2.0)
+
+    def test_missing_scipy_is_actionable(self, monkeypatch):
+        import builtins
+
+        real_import = builtins.__import__
+
+        def no_scipy(name, *args, **kwargs):
+            if name.startswith("scipy"):
+                raise ImportError("scipy disabled for this test")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", no_scipy)
+        with pytest.raises(ConfigurationError, match="mean_std instead"):
+            mean_ci([1.0, 2.0, 3.0])

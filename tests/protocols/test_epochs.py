@@ -62,6 +62,22 @@ class TestEpochs:
         # No leakage of the first epoch's sums into the second.
         assert second.s_red == 5 * len(second.participants)
 
+    def test_epoch_trace_is_per_epoch_not_cumulative(self, session):
+        topology, s = session
+        readings = {i: 1 for i in range(1, topology.node_count)}
+        first = s.run_epoch(readings)
+        second = s.run_epoch(readings)
+        # Each outcome's trace covers only its own epoch: the second
+        # epoch's frame count must not include the first's (cumulative
+        # totals grow monotonically and would roughly double).
+        assert first.trace["frames_sent"] > 0
+        total = s.network.trace.summary()["frames_sent"]
+        assert second.trace["frames_sent"] < total
+        assert (
+            first.trace["frames_sent"] + second.trace["frames_sent"] <= total
+        )
+        assert second.trace["bytes_sent"] == second.bytes_this_epoch
+
     def test_per_epoch_bytes_cheaper_than_standalone_round(self, session):
         topology, s = session
         readings = {i: 1 for i in range(1, topology.node_count)}

@@ -56,6 +56,58 @@ class TestCounters:
         assert "drops_by_reason" in summary
 
 
+class TestRoundDeltas:
+    def test_round_summary_without_checkpoint_is_full_summary(self):
+        trace = TraceCollector()
+        trace.record_send(0.0, hello())
+        assert trace.round_summary() == trace.summary()
+
+    def test_counters_reset_between_rounds(self):
+        trace = TraceCollector()
+        msg = hello(src=2)
+        # Round 1: one send, one drop on link 2->5.
+        trace.begin_round()
+        trace.record_send(0.0, msg)
+        trace.record_drop(None, msg, receiver=5, reason=DropReason.COLLISION)
+        first = trace.round_summary()
+        assert first["frames_sent"] == 1
+        assert first["dropped"] == 1
+        assert first["drops_by_link"] == {"2->5": 1}
+        # Round 2: a clean round must not inherit round 1's drops.
+        trace.begin_round()
+        trace.record_send(1.0, msg)
+        trace.record_delivery(None, msg, receiver=5)
+        second = trace.round_summary()
+        assert second["frames_sent"] == 1
+        assert second["dropped"] == 0
+        assert second["drops_by_link"] == {}
+        assert second["loss_rate"] == 0.0
+
+    def test_per_round_drops_are_deltas_not_totals(self):
+        trace = TraceCollector()
+        msg = hello(src=1)
+        for round_index in range(3):
+            trace.begin_round()
+            trace.record_send(float(round_index), msg)
+            trace.record_drop(
+                None, msg, receiver=4, reason=DropReason.BURST_LOSS
+            )
+            summary = trace.round_summary()
+            assert summary["drops_by_link"] == {"1->4": 1}
+            assert summary["drops_by_reason"] == {DropReason.BURST_LOSS: 1}
+        # The lifetime view still accumulates.
+        assert trace.summary()["drops_by_link"] == {"1->4": 3}
+
+    def test_fault_events_are_per_round(self):
+        trace = TraceCollector()
+        trace.record_fault(0.0, "crash", node=3)
+        trace.begin_round()
+        assert trace.round_summary()["fault_events"] == 0
+        trace.record_fault(1.0, "recovery", node=3)
+        assert trace.round_summary()["fault_events"] == 1
+        assert trace.summary()["fault_events"] == 2
+
+
 class TestFrameLog:
     def test_disabled_by_default(self):
         trace = TraceCollector()
