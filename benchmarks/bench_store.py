@@ -1,0 +1,55 @@
+"""Benchmarks for the content-addressed experiment store.
+
+Measures the three costs the store trades against `run_cell` work:
+digesting a sweep, storing fresh results, and serving a warm re-run —
+and asserts the headline win (warm executes zero cells and reproduces
+the cold table byte for byte).
+"""
+
+from __future__ import annotations
+
+from repro.runner import execute, get_spec
+from repro.store import CellStore, cell_digest, spec_fingerprint
+
+FIG7_KWARGS = dict(sizes=(150, 250), repetitions=2)
+
+
+def bench_digest_sweep(benchmark):
+    spec = get_spec("fig7")
+    cells = spec.cells(**FIG7_KWARGS)
+    fingerprint = spec_fingerprint(spec)
+
+    digests = benchmark.pedantic(
+        lambda: [cell_digest(cell, fingerprint) for cell in cells],
+        rounds=5,
+        iterations=1,
+    )
+    assert len(digests) == len(cells)
+    assert len(set(digests)) == len(cells)
+
+
+def bench_cold_run_with_store(benchmark, tmp_path, emit):
+    store = CellStore(tmp_path / "cache")
+    table = benchmark.pedantic(
+        lambda: execute("fig7", jobs=1, cache=store, **FIG7_KWARGS),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table)
+    assert table.meta["cache_misses"] == table.meta["cells"]
+    assert table.meta["cache_bytes_written"] > 0
+
+
+def bench_warm_rerun_is_pure_hits(benchmark, tmp_path, emit):
+    store = CellStore(tmp_path / "cache")
+    cold = execute("fig7", jobs=1, cache=store, **FIG7_KWARGS)
+
+    warm = benchmark.pedantic(
+        lambda: execute("fig7", jobs=1, cache=store, **FIG7_KWARGS),
+        rounds=3,
+        iterations=1,
+    )
+    emit(warm)
+    assert warm.meta["cache_hits"] == warm.meta["cells"]
+    assert warm.meta["cache_misses"] == 0
+    assert warm.to_csv() == cold.to_csv()

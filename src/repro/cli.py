@@ -1,15 +1,24 @@
 """Command-line entry point: ``python -m repro`` / ``ipda``.
 
 Runs any paper experiment (or all of them) and prints the resulting
-table; ``--csv DIR`` additionally writes one CSV per experiment.
+table; ``--csv DIR`` additionally writes one CSV per experiment (plus a
+provenance manifest sidecar), ``--svg DIR`` renders figures.
 ``--jobs N`` shards the sweep's cells over N worker processes — the
 output is byte-identical to a sequential run (see docs/simulator.md).
+``--cache``/``--cache-dir`` memoise cells in the content-addressed
+experiment store, so a warm re-run does zero simulation work.
+
+Management commands ride alongside the experiment names::
+
+    ipda list                       # registered specs + cell counts
+    ipda cache stats|gc|clear       # inspect / trim the cell store
+    ipda store verify results/fig7.csv   # prove provenance
 
 Examples::
 
     ipda table1
     ipda fig7 --repetitions 5 --seed 3 --jobs 4
-    ipda all --fast --csv results/
+    ipda all --fast --csv results/ --cache
 """
 
 from __future__ import annotations
@@ -37,10 +46,14 @@ from .experiments import (
 )
 from .experiments.common import ExperimentTable
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "TOOL_COMMANDS"]
 
 #: Small parameterisations used by ``--fast`` (seconds, not minutes).
 _FAST_SIZES = (200, 300, 400)
+
+#: First-positional words routed to the management parser instead of
+#: the experiment runner.
+TOOL_COMMANDS = ("cache", "list", "store")
 
 Runner = Callable[..., ExperimentTable]
 
@@ -179,13 +192,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--csv",
         metavar="DIR",
         default=None,
-        help="also write each table as CSV into this directory",
+        help=(
+            "also write each table as CSV into this directory "
+            "(plus a .manifest.json provenance sidecar)"
+        ),
     )
     parser.add_argument(
         "--svg",
         metavar="DIR",
         default=None,
         help="also render figures as SVG into this directory",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help=(
+            "memoise cells in the experiment store "
+            "($REPRO_CACHE_DIR or ~/.cache/repro-store); warm re-runs "
+            "skip all simulation work with byte-identical output"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the cell cache even when --cache/--cache-dir is given",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="cell-store location (implies --cache)",
     )
     return parser
 
@@ -203,26 +239,85 @@ def _prepare_output_dir(path: str, flag: str) -> None:
 
 def _throughput_line(name: str, table: ExperimentTable,
                      elapsed: float) -> str:
-    """Wall-clock report, with sweep shape when the runner provided it."""
+    """Wall-clock report, with sweep shape when the runner provided it.
+
+    Cache behaviour at both layers rides along: the per-worker
+    deployment LRU (``deploy-cache h/m``) and, when a cell store was
+    attached, the content-addressed store (``store h/m``).
+    """
     meta = table.meta
-    if "cells" in meta:
-        return (
-            f"({name} finished in {elapsed:.1f}s: {meta['cells']} cells "
-            f"on {meta['jobs']} worker(s), "
-            f"{meta['cells_per_second']:.1f} cells/s)"
+    if "cells" not in meta:
+        return f"({name} finished in {elapsed:.1f}s)"
+    parts = [
+        f"{name} finished in {elapsed:.1f}s: {meta['cells']} cells "
+        f"on {meta['jobs']} worker(s), "
+        f"{meta['cells_per_second']:.1f} cells/s"
+    ]
+    if "deploy_cache_hits" in meta:
+        parts.append(
+            f"deploy-cache {meta['deploy_cache_hits']}/"
+            f"{meta['deploy_cache_misses']} hit/miss"
         )
-    return f"({name} finished in {elapsed:.1f}s)"
+    if "cache_hits" in meta:
+        parts.append(
+            f"store {meta['cache_hits']}/{meta['cache_misses']} hit/miss"
+        )
+    return "(" + ", ".join(parts) + ")"
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    try:
+def _resolve_cli_cache(args):
+    """Build the CellStore the run loop installs as the default, or None."""
+    if args.no_cache:
+        return None
+    if not (args.cache or args.cache_dir):
+        return None
+    from .store import CellStore
+
+    root = os.path.expanduser(args.cache_dir) if args.cache_dir else None
+    return CellStore(root)
+
+
+def _write_artifacts(name: str, table: ExperimentTable, args) -> List[str]:
+    """Write CSV/SVG (+ manifests) for one finished experiment."""
+    from .store.manifest import write_manifest
+
+    lines: List[str] = []
+    if args.csv:
+        csv_path = os.path.join(args.csv, f"{name}.csv")
+        table.write_csv(csv_path)
+        write_manifest(csv_path, table)
+    if args.svg:
+        from .viz import render_known_figure
+
+        written = render_known_figure(name, table, args.svg)
+        if written:
+            write_manifest(written, table)
+            lines.append(f"(figure written to {written})")
+    return lines
+
+
+def _experiment_main(args) -> int:
+    names = (
+        sorted(EXPERIMENTS) if args.experiment == "all"
+        else [args.experiment]
+    )
+    from . import runner as runner_module
+    from .store.manifest import refuse_clobber
+
+    if args.csv:
+        _prepare_output_dir(args.csv, "--csv")
+    if args.svg:
+        _prepare_output_dir(args.svg, "--svg")
+    # Fail before any experiment runs if a sidecar slot is occupied by
+    # an unrelated user file (mirrors the directory-collision check).
+    for name in names:
         if args.csv:
-            _prepare_output_dir(args.csv, "--csv")
+            refuse_clobber(os.path.join(args.csv, f"{name}.csv"))
         if args.svg:
-            _prepare_output_dir(args.svg, "--svg")
+            refuse_clobber(os.path.join(args.svg, f"{name}.svg"))
+    store = _resolve_cli_cache(args)
+    previous = runner_module.set_default_cache(store)
+    try:
         for name in names:
             started = time.time()
             table = EXPERIMENTS[name](
@@ -232,18 +327,149 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(table.to_text())
             print(_throughput_line(name, table, elapsed))
             print()
-            if args.csv:
-                table.write_csv(os.path.join(args.csv, f"{name}.csv"))
-            if args.svg:
-                from .viz import render_known_figure
+            for line in _write_artifacts(name, table, args):
+                print(line)
+    finally:
+        runner_module.set_default_cache(previous)
+    return 0
 
-                written = render_known_figure(name, table, args.svg)
-                if written:
-                    print(f"(figure written to {written})")
+
+# ----------------------------------------------------------------------
+# Management commands: list / cache / store
+# ----------------------------------------------------------------------
+def _build_tools_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ipda", description="Experiment-store management commands."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "list", help="print every registered spec with its cell count"
+    )
+
+    cache = sub.add_parser("cache", help="inspect or trim the cell store")
+    cache_sub = cache.add_subparsers(dest="action", required=True)
+    for action, help_text in (
+        ("stats", "object count and bytes, total and per experiment"),
+        ("gc", "evict least-recently-used objects down to the size cap"),
+        ("clear", "delete every cached object"),
+    ):
+        action_parser = cache_sub.add_parser(action, help=help_text)
+        action_parser.add_argument(
+            "--cache-dir", metavar="DIR", default=None,
+            help="cell-store location (default: $REPRO_CACHE_DIR "
+                 "or ~/.cache/repro-store)",
+        )
+        if action == "gc":
+            action_parser.add_argument(
+                "--max-bytes", type=int, default=None,
+                help="override the size cap for this collection",
+            )
+
+    store = sub.add_parser(
+        "store", help="provenance operations on results/ artifacts"
+    )
+    store_sub = store.add_subparsers(dest="action", required=True)
+    verify = store_sub.add_parser(
+        "verify",
+        help="prove an artifact is reproducible from the current tree",
+    )
+    verify.add_argument(
+        "artifacts", nargs="+", metavar="ARTIFACT",
+        help="artifact path(s) with .manifest.json sidecars",
+    )
+    return parser
+
+
+def _open_store(cache_dir: Optional[str]):
+    from .store import CellStore
+
+    root = os.path.expanduser(cache_dir) if cache_dir else None
+    return CellStore(root)
+
+
+def _format_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{int(count)} B"  # pragma: no cover - unreachable
+
+
+def _tools_list() -> int:
+    from .runner import get_spec
+    from .experiments import SPECS
+
+    names = sorted(SPECS)
+    width = max(len(name) for name in names)
+    for name in names:
+        spec = get_spec(name)
+        count = len(spec.cells())
+        description = spec.description or "(no description)"
+        print(f"{name.ljust(width)}  {count:>5} cells  {description}")
+    return 0
+
+
+def _tools_cache(args) -> int:
+    store = _open_store(args.cache_dir)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"cache dir: {stats.root}")
+        print(
+            f"objects: {stats.objects} "
+            f"({_format_bytes(stats.total_bytes)} of "
+            f"{_format_bytes(stats.max_bytes)} cap)"
+        )
+        for name, (count, nbytes) in stats.per_experiment.items():
+            print(f"  {name}: {count} objects, {_format_bytes(nbytes)}")
+    elif args.action == "gc":
+        evicted, freed = store.gc(args.max_bytes)
+        print(
+            f"evicted {evicted} object(s), freed {_format_bytes(freed)} "
+            f"({store.root})"
+        )
+    elif args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} object(s) ({store.root})")
+    return 0
+
+
+def _tools_store(args) -> int:
+    from .store.manifest import verify_artifact
+
+    failures = 0
+    for artifact in args.artifacts:
+        problems = verify_artifact(artifact)
+        if problems:
+            failures += 1
+            print(f"{artifact}: NOT reproducible from the current tree:")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"{artifact}: verified (digests match the current tree)")
+    return 1 if failures else 0
+
+
+def _tools_main(argv: List[str]) -> int:
+    args = _build_tools_parser().parse_args(argv)
+    if args.command == "list":
+        return _tools_list()
+    if args.command == "cache":
+        return _tools_cache(args)
+    return _tools_store(args)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    try:
+        if argv and argv[0] in TOOL_COMMANDS:
+            return _tools_main(argv)
+        return _experiment_main(_build_parser().parse_args(argv))
     except ReproError as error:
         print(f"ipda: error: {error}", file=sys.stderr)
         return 2
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

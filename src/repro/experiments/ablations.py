@@ -146,7 +146,9 @@ def slices_reduce(
 
 
 SLICES_SPEC = CellExperiment(
-    SLICES_EXPERIMENT, slices_cells, slices_run_cell, slices_reduce
+    SLICES_EXPERIMENT, slices_cells, slices_run_cell, slices_reduce,
+    description="Ablation: slice count l vs privacy/overhead/accuracy "
+                "trade-off",
 )
 
 
@@ -255,7 +257,8 @@ def budget_reduce(
 
 
 BUDGET_SPEC = CellExperiment(
-    BUDGET_EXPERIMENT, budget_cells, budget_run_cell, budget_reduce
+    BUDGET_EXPERIMENT, budget_cells, budget_run_cell, budget_reduce,
+    description="Ablation: per-node message budget k (Equation 1)",
 )
 
 
@@ -365,6 +368,7 @@ def role_mode_reduce(
 ROLE_MODE_SPEC = CellExperiment(
     ROLE_MODE_EXPERIMENT, role_mode_cells, role_mode_run_cell,
     role_mode_reduce,
+    description="Ablation: aggregator-election role modes",
 )
 
 
@@ -503,6 +507,7 @@ def key_schemes_reduce(
 KEY_SCHEMES_SPEC = CellExperiment(
     KEY_SCHEMES_EXPERIMENT, key_schemes_cells, key_schemes_run_cell,
     key_schemes_reduce,
+    description="Ablation: pairwise key distribution schemes",
 )
 
 
@@ -628,6 +633,7 @@ def threshold_reduce(
 THRESHOLD_SPEC = CellExperiment(
     THRESHOLD_EXPERIMENT, threshold_cells, threshold_run_cell,
     threshold_reduce,
+    description="Ablation: integrity threshold Th sweep",
 )
 
 
@@ -774,6 +780,7 @@ def tree_count_reduce(
 TREES_SPEC = CellExperiment(
     TREES_EXPERIMENT, tree_count_cells, tree_count_run_cell,
     tree_count_reduce,
+    description="Ablation: number of disjoint aggregation trees",
 )
 
 

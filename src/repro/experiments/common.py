@@ -38,6 +38,7 @@ __all__ = [
     "CellExperiment",
     "ExperimentTable",
     "cached_deployment",
+    "deployment_cache_counters",
     "grouped",
     "make_cell",
     "mean_std",
@@ -110,12 +111,14 @@ class CellExperiment:
     (it must derive every seed it uses from the cell's parameters);
     ``reduce(cells, results)`` folds the results — aligned index-for-
     index with the cells — into the final :class:`ExperimentTable`.
+    ``description`` is the one-liner ``repro list`` prints.
     """
 
     name: str
     cells: Callable[..., List[Cell]]
     run_cell: Callable[[Cell], object]
     reduce: Callable[[Sequence[Cell], Sequence[object]], "ExperimentTable"]
+    description: str = ""
 
 
 def grouped(
@@ -149,6 +152,19 @@ def grouped(
 #: determines the deployment, so a rebuild is byte-identical.
 _DEPLOYMENT_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
 _DEPLOYMENT_CACHE_LIMIT = 32
+#: Lifetime hit/miss counters for this process's deployment cache.  The
+#: runner samples them around each cell (workers are single-threaded,
+#: so per-cell deltas are exact) and folds the totals into the
+#: throughput report.
+_DEPLOYMENT_CACHE_COUNTERS = {"hits": 0, "misses": 0}
+
+
+def deployment_cache_counters() -> Tuple[int, int]:
+    """Cumulative ``(hits, misses)`` of this process's deployment LRU."""
+    return (
+        _DEPLOYMENT_CACHE_COUNTERS["hits"],
+        _DEPLOYMENT_CACHE_COUNTERS["misses"],
+    )
 
 
 def cached_deployment(node_count: int, *, seed: int, **kwargs):
@@ -160,6 +176,7 @@ def cached_deployment(node_count: int, *, seed: int, **kwargs):
     key = (int(node_count), int(seed), tuple(sorted(kwargs.items())))
     topology = _DEPLOYMENT_CACHE.get(key)
     if topology is None:
+        _DEPLOYMENT_CACHE_COUNTERS["misses"] += 1
         from ..net.topology import random_deployment
 
         topology = random_deployment(node_count, seed=seed, **kwargs)
@@ -167,6 +184,7 @@ def cached_deployment(node_count: int, *, seed: int, **kwargs):
         if len(_DEPLOYMENT_CACHE) > _DEPLOYMENT_CACHE_LIMIT:
             _DEPLOYMENT_CACHE.popitem(last=False)
     else:
+        _DEPLOYMENT_CACHE_COUNTERS["hits"] += 1
         _DEPLOYMENT_CACHE.move_to_end(key)
     return topology
 

@@ -241,7 +241,11 @@ def reduce(cells: Sequence[Cell], results: Sequence[object]) -> ExperimentTable:
     return table
 
 
-SPEC = CellExperiment(EXPERIMENT, cells, run_cell, reduce)
+SPEC = CellExperiment(
+    EXPERIMENT, cells, run_cell, reduce,
+    description="Fault sweep: crash fractions x burst loss vs "
+                "robust-iPDA verdicts",
+)
 
 
 def run(

@@ -184,7 +184,11 @@ def reduce(cells: Sequence[Cell], results: Sequence[object]) -> ExperimentTable:
     return table
 
 
-SPEC = CellExperiment(EXPERIMENT, cells, run_cell, reduce)
+SPEC = CellExperiment(
+    EXPERIMENT, cells, run_cell, reduce,
+    description="Figure 5: disclosure probability vs link compromise "
+                "(privacy capacity)",
+)
 
 
 def run(

@@ -122,7 +122,11 @@ def reduce(cells: Sequence[Cell], results: Sequence[object]) -> ExperimentTable:
     return table
 
 
-SPEC = CellExperiment(EXPERIMENT, cells, run_cell, reduce)
+SPEC = CellExperiment(
+    EXPERIMENT, cells, run_cell, reduce,
+    description="Figure 6: red-vs-blue COUNT agreement and the "
+                "integrity threshold",
+)
 
 
 def run(

@@ -119,7 +119,10 @@ def reduce(cells: Sequence[Cell], results: Sequence[object]) -> ExperimentTable:
     return table
 
 
-SPEC = CellExperiment(EXPERIMENT, cells, run_cell, reduce)
+SPEC = CellExperiment(
+    EXPERIMENT, cells, run_cell, reduce,
+    description="Figure 7: bandwidth on the air, iPDA (l=1,2) vs TAG",
+)
 
 
 def run(

@@ -261,9 +261,14 @@ def reduce(cells: Sequence[Cell], results: Sequence[object]) -> ExperimentTable:
     return table
 
 
-SPEC = CellExperiment(EXPERIMENT, cells, run_cell, reduce)
+SPEC = CellExperiment(
+    EXPERIMENT, cells, run_cell, reduce,
+    description="Figure 8: coverage, participation, and accuracy over "
+                "density",
+)
 COVERAGE_SPEC = CellExperiment(
-    COVERAGE_EXPERIMENT, coverage_cells, run_cell, reduce_coverage
+    COVERAGE_EXPERIMENT, coverage_cells, run_cell, reduce_coverage,
+    description="Figure 8 (coverage-only sweep at higher repetitions)",
 )
 SPECS = (SPEC, COVERAGE_SPEC)
 

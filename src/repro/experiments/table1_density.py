@@ -81,7 +81,11 @@ def reduce(cells: Sequence[Cell], results: Sequence[object]) -> ExperimentTable:
     return table
 
 
-SPEC = CellExperiment(EXPERIMENT, cells, run_cell, reduce)
+SPEC = CellExperiment(
+    EXPERIMENT, cells, run_cell, reduce,
+    description="Table I: network size vs. average degree (analytic "
+                "and measured)",
+)
 
 
 def run(

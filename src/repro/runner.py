@@ -1,4 +1,4 @@
-"""Process-pool sweep executor with deterministic sharding.
+"""Process-pool sweep executor with deterministic sharding and caching.
 
 Every paper experiment enumerates its sweep as independent cells — one
 per ``(experiment, sweep key, repetition)`` — via the
@@ -18,11 +18,19 @@ The determinism contract (enforced by
 * ``reduce(cells, results)`` consumes results index-aligned with the
   cells.
 
+That same contract makes cells memoisable: with ``cache=`` (or a
+default store installed via :func:`set_default_cache`), ``execute``
+consults the content-addressed store (:mod:`repro.store`) per cell
+before submitting anything to the pool, runs only the misses, and
+merges hits and fresh results back in enumeration order — a warm store
+reruns a sweep with zero ``run_cell`` work and byte-identical output.
+
 Usage::
 
     from repro.runner import execute, get_spec
 
     table = execute(get_spec("fig7"), jobs=4, sizes=(200, 400))
+    table = execute("fig7", cache="~/.cache/repro-store")  # memoised
 """
 
 from __future__ import annotations
@@ -30,10 +38,15 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .errors import ConfigurationError
-from .experiments.common import Cell, CellExperiment, ExperimentTable
+from .experiments.common import (
+    Cell,
+    CellExperiment,
+    ExperimentTable,
+    deployment_cache_counters,
+)
 
 __all__ = [
     "available_experiments",
@@ -42,11 +55,17 @@ __all__ = [
     "get_spec",
     "register_spec",
     "resolve_jobs",
+    "set_default_cache",
 ]
 
 #: Ad-hoc specs registered at runtime (tests, notebooks).  Looked up
 #: before the package registry so a re-registration shadows it.
 _EXTRA_SPECS: Dict[str, CellExperiment] = {}
+
+#: Store used when ``execute`` is called with ``cache=None``; installed
+#: by the CLI's ``--cache``/``--cache-dir`` flags (see
+#: :func:`set_default_cache`).  ``None`` means caching off.
+_DEFAULT_CACHE = None
 
 
 def register_spec(spec: CellExperiment) -> CellExperiment:
@@ -94,9 +113,59 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def set_default_cache(store) -> object:
+    """Install the store ``execute(cache=None)`` uses; returns the old one.
+
+    Pass ``None`` to turn default caching off.  The CLI wraps its run
+    loop in ``set_default_cache(...)`` / restore so library callers are
+    unaffected.
+    """
+    global _DEFAULT_CACHE
+    previous = _DEFAULT_CACHE
+    _DEFAULT_CACHE = store
+    return previous
+
+
+def _resolve_cache(cache):
+    """Normalise the ``cache=`` argument into a CellStore or None.
+
+    ``None`` defers to the installed default, ``False`` forces caching
+    off, ``True`` opens the default store location, a string/path opens
+    that directory, and a :class:`~repro.store.CellStore` is used as-is.
+    """
+    if cache is None:
+        return _DEFAULT_CACHE
+    if cache is False:
+        return None
+    from .store import CellStore
+
+    if cache is True:
+        return CellStore()
+    if isinstance(cache, CellStore):
+        return cache
+    if isinstance(cache, (str, os.PathLike)):
+        return CellStore(os.path.expanduser(os.fspath(cache)))
+    raise ConfigurationError(
+        f"cache must be None, a bool, a path, or a CellStore; "
+        f"got {cache!r}"
+    )
+
+
 def _execute_cell(cell: Cell) -> object:
     """Worker entry point: resolve the spec by name and run one cell."""
     return get_spec(cell.experiment).run_cell(cell)
+
+
+def _execute_cell_with_stats(cell: Cell) -> Tuple[object, int, int]:
+    """Run one cell, reporting the deployment-LRU delta it caused.
+
+    Workers execute one map task at a time, so sampling the process-
+    local counters around the call attributes hits/misses exactly.
+    """
+    before_hits, before_misses = deployment_cache_counters()
+    result = get_spec(cell.experiment).run_cell(cell)
+    after_hits, after_misses = deployment_cache_counters()
+    return result, after_hits - before_hits, after_misses - before_misses
 
 
 def execute_cells(
@@ -110,38 +179,112 @@ def execute_cells(
     of completion order, which is the whole merge step: position ``i``
     of the result list is cell ``i``, always.
     """
+    results, _hits, _misses = _run_cells_with_stats(list(cells), jobs)
+    return results
+
+
+def _run_cells_with_stats(
+    cells: Sequence[Cell], jobs: Optional[int]
+) -> Tuple[List[object], int, int]:
+    """``execute_cells`` plus aggregated deployment-LRU hit/miss counts."""
     cells = list(cells)
+    if not cells:
+        return [], 0, 0
     workers = min(resolve_jobs(jobs), len(cells))
     if workers <= 1:
-        return [_execute_cell(cell) for cell in cells]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        # chunksize=1: cells are coarse (whole simulation rounds), so
-        # per-task dispatch overhead is noise and fine-grained dispatch
-        # keeps stragglers from serialising behind a big chunk.
-        return list(pool.map(_execute_cell, cells, chunksize=1))
+        outcomes = [_execute_cell_with_stats(cell) for cell in cells]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # chunksize=1: cells are coarse (whole simulation rounds), so
+            # per-task dispatch overhead is noise and fine-grained dispatch
+            # keeps stragglers from serialising behind a big chunk.
+            outcomes = list(
+                pool.map(_execute_cell_with_stats, cells, chunksize=1)
+            )
+    results = [outcome[0] for outcome in outcomes]
+    hits = sum(outcome[1] for outcome in outcomes)
+    misses = sum(outcome[2] for outcome in outcomes)
+    return results, hits, misses
 
 
 def execute(
     spec: Union[CellExperiment, str],
     *,
     jobs: Optional[int] = 1,
+    cache: object = None,
     **kwargs: object,
 ) -> ExperimentTable:
-    """Enumerate, shard, and reduce one experiment sweep.
+    """Enumerate, (cache-)shard, and reduce one experiment sweep.
 
-    ``kwargs`` are passed to the spec's ``cells()``.  The returned
-    table's ``meta`` carries the sweep shape and throughput
-    (``cells``, ``cell_seconds``, ``cells_per_second``, ``jobs``) for
-    the CLI's wall-clock report.
+    ``kwargs`` are passed to the spec's ``cells()``.  ``cache`` selects
+    the content-addressed store (see :func:`_resolve_cache`); with a
+    store attached, cached cells are served without touching the pool
+    and fresh results are written back.  The returned table's ``meta``
+    carries the sweep shape, throughput, provenance (code fingerprint,
+    cell-digest root, sweep kwargs), the deployment-LRU counters, and —
+    when a store was used — ``cache_hits``/``cache_misses`` plus bytes
+    moved.
     """
     if isinstance(spec, str):
         spec = get_spec(spec)
     cell_list = spec.cells(**kwargs)
+    store = _resolve_cache(cache)
+
+    from .store.digest import (
+        cell_digest,
+        digest_root,
+        fingerprint_modules,
+        spec_fingerprint,
+    )
+
+    fingerprint = spec_fingerprint(spec)
+    digests = [cell_digest(cell, fingerprint) for cell in cell_list]
     effective_jobs = min(resolve_jobs(jobs), max(len(cell_list), 1))
     started = time.perf_counter()
-    results = execute_cells(cell_list, jobs=effective_jobs)
+
+    cache_meta: Dict[str, object] = {}
+    if store is None:
+        results, deploy_hits, deploy_misses = _run_cells_with_stats(
+            cell_list, effective_jobs
+        )
+    else:
+        results = [None] * len(cell_list)
+        missing: List[int] = []
+        hits = 0
+        bytes_read = 0
+        for index, digest in enumerate(digests):
+            found, value, nbytes = store.get(digest)
+            if found:
+                results[index] = value
+                hits += 1
+                bytes_read += nbytes
+            else:
+                missing.append(index)
+        fresh, deploy_hits, deploy_misses = _run_cells_with_stats(
+            [cell_list[index] for index in missing], effective_jobs
+        )
+        bytes_written = 0
+        for index, value in zip(missing, fresh):
+            results[index] = value
+            bytes_written += store.put(
+                digests[index],
+                value,
+                experiment=spec.name,
+                label=cell_list[index].label,
+            )
+        if bytes_written:
+            store.maybe_gc()
+        cache_meta = {
+            "cache_hits": hits,
+            "cache_misses": len(missing),
+            "cache_bytes_read": bytes_read,
+            "cache_bytes_written": bytes_written,
+            "cache_dir": store.root,
+        }
+
     elapsed = time.perf_counter() - started
     table = spec.reduce(cell_list, results)
+    fn = spec.run_cell
     table.meta.update(
         {
             "experiment": spec.name,
@@ -151,6 +294,25 @@ def execute(
             "cells_per_second": (
                 len(cell_list) / elapsed if elapsed > 0 else float("inf")
             ),
+            "deploy_cache_hits": deploy_hits,
+            "deploy_cache_misses": deploy_misses,
+            "fingerprint": fingerprint,
+            "fingerprint_modules": dict(
+                fingerprint_modules(
+                    getattr(fn, "__module__", None) or "<anonymous>",
+                    fallback=fn,
+                )
+            ),
+            "cell_digest_root": digest_root(digests),
+            "cell_kwargs": _jsonable_kwargs(kwargs),
         }
     )
+    table.meta.update(cache_meta)
     return table
+
+
+def _jsonable_kwargs(kwargs: Dict[str, object]) -> Dict[str, object]:
+    """Canonical, JSON-round-trippable copy of the sweep kwargs."""
+    from .store.digest import _canonical_value
+
+    return {name: _canonical_value(value) for name, value in kwargs.items()}

@@ -1,0 +1,57 @@
+"""Content-addressed experiment store: cell cache + provenance.
+
+The layer between the parallel runner and the experiment suite:
+
+* :mod:`repro.store.digest` — stable cell digests and transitive code
+  fingerprints, so a cache entry is keyed by *exactly* the inputs that
+  determine a cell's result;
+* :mod:`repro.store.cas` — the sharded on-disk CAS holding compressed
+  cell results, cross-process safe, LRU-garbage-collected;
+* :mod:`repro.store.manifest` — provenance sidecars for ``results/``
+  artifacts and the ``repro store verify`` proof.
+
+Because every ``run_cell`` is a pure function of its cell and every
+sweep enumerates deterministically (the PR-2 contract), a warm store
+turns a full re-run into pure cache hits with byte-identical output.
+"""
+
+from .cas import CellStore, StoreStats, default_max_bytes, default_store_dir
+from .digest import (
+    DIGEST_VERSION,
+    canonical_json,
+    cell_digest,
+    clear_fingerprint_caches,
+    code_fingerprint,
+    digest_root,
+    fingerprint_modules,
+    spec_fingerprint,
+)
+from .manifest import (
+    MANIFEST_SUFFIX,
+    manifest_path,
+    read_manifest,
+    refuse_clobber,
+    verify_artifact,
+    write_manifest,
+)
+
+__all__ = [
+    "CellStore",
+    "StoreStats",
+    "DIGEST_VERSION",
+    "MANIFEST_SUFFIX",
+    "canonical_json",
+    "cell_digest",
+    "clear_fingerprint_caches",
+    "code_fingerprint",
+    "default_max_bytes",
+    "default_store_dir",
+    "digest_root",
+    "fingerprint_modules",
+    "manifest_path",
+    "read_manifest",
+    "refuse_clobber",
+    "spec_fingerprint",
+    "verify_artifact",
+    "write_manifest",
+]

@@ -1,0 +1,367 @@
+"""Content-addressed on-disk store for experiment cell results.
+
+Layout under the store root::
+
+    objects/<aa>/<digest>.pkl.gz   # sharded by the first two hex chars
+    index.jsonl                    # append-only {digest, experiment, label}
+
+Each object is a gzip-compressed pickle of an envelope carrying the
+digest it was stored under plus the cell result.  Writes land in a
+temporary file in the destination shard and are published with
+``os.replace``, so readers in other processes only ever see complete
+objects — pool workers and concurrent CLI invocations can share one
+store without locking.  Reads bump the object's mtime, which is the
+recency signal the LRU garbage collector (``gc``) evicts by when the
+store exceeds its size cap.
+
+A corrupt or truncated object (killed writer, disk hiccup) is treated
+as a miss and unlinked; correctness never depends on a hit because the
+executor simply recomputes the cell.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "CellStore",
+    "StoreStats",
+    "default_max_bytes",
+    "default_store_dir",
+]
+
+_OBJECT_SUFFIX = ".pkl.gz"
+_TMP_PREFIX = ".tmp-"
+#: Orphaned temp files older than this are swept during gc (seconds).
+_TMP_MAX_AGE = 3600.0
+_DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+
+def default_store_dir() -> str:
+    """Default cache location: ``$REPRO_CACHE_DIR`` or XDG cache dir."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro-store")
+
+
+def default_max_bytes() -> int:
+    """Size cap: ``$REPRO_CACHE_MAX_BYTES`` or 512 MiB."""
+    env = os.environ.get("REPRO_CACHE_MAX_BYTES")
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_CACHE_MAX_BYTES must be an integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ConfigurationError(
+                f"REPRO_CACHE_MAX_BYTES must be >= 1, got {value}"
+            )
+        return value
+    return _DEFAULT_MAX_BYTES
+
+
+@dataclass
+class StoreStats:
+    """Static snapshot of a store's contents."""
+
+    root: str
+    objects: int = 0
+    total_bytes: int = 0
+    max_bytes: int = 0
+    #: experiment name -> (object count, bytes); "unknown" collects
+    #: objects whose index record was lost.
+    per_experiment: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+
+class CellStore:
+    """Sharded CAS of pickled cell results with LRU-by-mtime eviction."""
+
+    def __init__(
+        self, root: Optional[str] = None, *, max_bytes: Optional[int] = None
+    ):
+        self.root = os.path.abspath(root or default_store_dir())
+        self.max_bytes = (
+            int(max_bytes) if max_bytes is not None else default_max_bytes()
+        )
+        if self.max_bytes < 1:
+            raise ConfigurationError(
+                f"cache size cap must be >= 1 byte, got {self.max_bytes}"
+            )
+        self._objects_dir = os.path.join(self.root, "objects")
+        self._index_path = os.path.join(self.root, "index.jsonl")
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def _object_path(self, digest: str) -> str:
+        if len(digest) < 3 or not all(
+            c in "0123456789abcdef" for c in digest
+        ):
+            raise ConfigurationError(f"malformed digest {digest!r}")
+        return os.path.join(
+            self._objects_dir, digest[:2], digest + _OBJECT_SUFFIX
+        )
+
+    # ------------------------------------------------------------------
+    # Get / put
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> Tuple[bool, object, int]:
+        """Look up one digest: ``(hit, result, compressed bytes read)``.
+
+        A hit refreshes the object's mtime so the LRU eviction order
+        tracks use, not just creation.
+        """
+        path = self._object_path(digest)
+        try:
+            with open(path, "rb") as handle:
+                payload = handle.read()
+            envelope = pickle.loads(gzip.decompress(payload))
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("digest") != digest
+                or "result" not in envelope
+            ):
+                raise ValueError("envelope mismatch")
+        except FileNotFoundError:
+            return False, None, 0
+        except Exception:
+            # Corrupt object: drop it and recompute.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return False, None, 0
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return True, envelope["result"], len(payload)
+
+    def put(
+        self,
+        digest: str,
+        result: object,
+        *,
+        experiment: str = "",
+        label: str = "",
+    ) -> int:
+        """Store one result under ``digest``; returns compressed bytes."""
+        path = self._object_path(digest)
+        shard = os.path.dirname(path)
+        os.makedirs(shard, exist_ok=True)
+        envelope = {
+            "digest": digest,
+            "experiment": experiment,
+            "label": label,
+            "result": result,
+        }
+        # mtime=0 keeps object bytes deterministic for identical results.
+        payload = gzip.compress(
+            pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL),
+            compresslevel=5,
+            mtime=0,
+        )
+        fd, tmp = tempfile.mkstemp(prefix=_TMP_PREFIX, dir=shard)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._append_index(digest, experiment, label, len(payload))
+        return len(payload)
+
+    def _append_index(
+        self, digest: str, experiment: str, label: str, nbytes: int
+    ) -> None:
+        """Best-effort provenance log; the object files stay authoritative."""
+        record = {
+            "digest": digest,
+            "experiment": experiment,
+            "label": label,
+            "bytes": nbytes,
+        }
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            with open(self._index_path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:
+            pass
+
+    def _read_index(self) -> Dict[str, str]:
+        """digest -> experiment, last record winning."""
+        mapping: Dict[str, str] = {}
+        try:
+            with open(self._index_path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(record, dict) and "digest" in record:
+                        mapping[str(record["digest"])] = str(
+                            record.get("experiment", "")
+                        )
+        except OSError:
+            pass
+        return mapping
+
+    # ------------------------------------------------------------------
+    # Inventory / maintenance
+    # ------------------------------------------------------------------
+    def scan(self) -> Iterator[Tuple[str, str, int, float]]:
+        """Yield ``(digest, path, size, mtime)`` for every live object."""
+        try:
+            shards = sorted(os.listdir(self._objects_dir))
+        except OSError:
+            return
+        for shard in shards:
+            shard_dir = os.path.join(self._objects_dir, shard)
+            try:
+                names = sorted(os.listdir(shard_dir))
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(_OBJECT_SUFFIX):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    info = os.stat(path)
+                except OSError:
+                    continue
+                digest = name[: -len(_OBJECT_SUFFIX)]
+                yield digest, path, info.st_size, info.st_mtime
+
+    def stats(self) -> StoreStats:
+        """Object count and bytes, total and per experiment."""
+        stats = StoreStats(root=self.root, max_bytes=self.max_bytes)
+        index = self._read_index()
+        per: Dict[str, List[int]] = {}
+        for digest, _path, size, _mtime in self.scan():
+            stats.objects += 1
+            stats.total_bytes += size
+            experiment = index.get(digest) or "unknown"
+            bucket = per.setdefault(experiment, [0, 0])
+            bucket[0] += 1
+            bucket[1] += size
+        stats.per_experiment = {
+            name: (count, nbytes)
+            for name, (count, nbytes) in sorted(per.items())
+        }
+        return stats
+
+    def gc(self, max_bytes: Optional[int] = None) -> Tuple[int, int]:
+        """Evict least-recently-used objects down to the size cap.
+
+        Returns ``(objects evicted, bytes evicted)``.  Also sweeps
+        orphaned temp files left by crashed writers and rewrites the
+        index to the surviving objects.
+        """
+        target = int(max_bytes) if max_bytes is not None else self.max_bytes
+        if target < 0:
+            raise ConfigurationError(f"gc target must be >= 0, got {target}")
+        self._sweep_tmp_files()
+        entries = sorted(self.scan(), key=lambda e: (e[3], e[0]))
+        total = sum(size for _d, _p, size, _m in entries)
+        evicted_count = 0
+        evicted_bytes = 0
+        survivors = {digest for digest, _p, _s, _m in entries}
+        for digest, path, size, _mtime in entries:
+            if total <= target:
+                break
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+            except OSError:
+                continue
+            total -= size
+            evicted_count += 1
+            evicted_bytes += size
+            survivors.discard(digest)
+        if evicted_count:
+            self._rewrite_index(survivors)
+        return evicted_count, evicted_bytes
+
+    def maybe_gc(self) -> Tuple[int, int]:
+        """Run ``gc`` only when the store exceeds its cap."""
+        total = sum(size for _d, _p, size, _m in self.scan())
+        if total <= self.max_bytes:
+            return 0, 0
+        return self.gc()
+
+    def _sweep_tmp_files(self) -> None:
+        now = time.time()
+        try:
+            shards = os.listdir(self._objects_dir)
+        except OSError:
+            return
+        for shard in shards:
+            shard_dir = os.path.join(self._objects_dir, shard)
+            try:
+                names = os.listdir(shard_dir)
+            except OSError:
+                continue
+            for name in names:
+                if not name.startswith(_TMP_PREFIX):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    if now - os.stat(path).st_mtime > _TMP_MAX_AGE:
+                        os.unlink(path)
+                except OSError:
+                    pass
+
+    def _rewrite_index(self, survivors) -> None:
+        index = self._read_index()
+        try:
+            fd, tmp = tempfile.mkstemp(prefix=_TMP_PREFIX, dir=self.root)
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for digest in sorted(survivors):
+                    record = {
+                        "digest": digest,
+                        "experiment": index.get(digest, ""),
+                    }
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+            os.replace(tmp, self._index_path)
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every object (and the index); returns objects removed."""
+        removed = 0
+        for _digest, path, _size, _mtime in list(self.scan()):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        try:
+            os.unlink(self._index_path)
+        except OSError:
+            pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CellStore(root={self.root!r}, max_bytes={self.max_bytes})"

@@ -1,0 +1,239 @@
+"""Provenance manifests: sidecar JSON proving an artifact's lineage.
+
+Every ``--csv``/``--svg`` artifact the CLI writes gains a sidecar
+``<artifact>.manifest.json`` recording which spec produced it, under
+which sweep kwargs, with which code fingerprint and cell-digest root,
+how many workers ran and how long the sweep took.  ``repro store
+verify <artifact>`` re-derives the fingerprint and digests from the
+*current* tree and reports exactly what drifted — artifact bytes,
+changed source modules, or a changed sweep enumeration — so a
+``results/`` file can be proven reproducible (or not) at any time.
+
+A manifest is recognised by its ``repro_manifest`` version key; writing
+one never clobbers an unrelated file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+from ..experiments.common import ExperimentTable
+from .digest import (
+    DIGEST_VERSION,
+    cell_digest,
+    digest_root,
+    fingerprint_modules,
+    spec_fingerprint,
+)
+
+__all__ = [
+    "MANIFEST_SUFFIX",
+    "manifest_path",
+    "read_manifest",
+    "verify_artifact",
+    "write_manifest",
+]
+
+MANIFEST_SUFFIX = ".manifest.json"
+_MAGIC_KEY = "repro_manifest"
+
+
+def manifest_path(artifact: str) -> str:
+    """Sidecar path for an artifact: ``<artifact>.manifest.json``."""
+    return artifact + MANIFEST_SUFFIX
+
+
+def _sha256_file(path: str) -> str:
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+def _is_manifest_file(path: str) -> bool:
+    """True when ``path`` holds a JSON object with our magic key."""
+    try:
+        if os.path.getsize(path) > (1 << 20):
+            return False
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError, UnicodeDecodeError):
+        return False
+    return isinstance(data, dict) and _MAGIC_KEY in data
+
+
+def refuse_clobber(artifact: str) -> None:
+    """Raise unless the sidecar slot is free or holds one of our manifests.
+
+    Mirrors the CLI's directory-collision behaviour: a user file sitting
+    where the sidecar would go is a configuration error (exit 2), never
+    silently overwritten.
+    """
+    sidecar = manifest_path(artifact)
+    if os.path.exists(sidecar) and not _is_manifest_file(sidecar):
+        raise ConfigurationError(
+            f"refusing to overwrite {sidecar!r}: it exists and is not a "
+            "repro provenance manifest — move it aside or choose another "
+            "output directory"
+        )
+
+
+def write_manifest(artifact: str, table: ExperimentTable) -> str:
+    """Write the provenance sidecar for ``artifact``; returns its path.
+
+    ``table`` must have been produced by :func:`repro.runner.execute`,
+    which stashes the provenance facts (fingerprint, digest root, sweep
+    kwargs) in ``table.meta``.
+    """
+    meta = table.meta
+    required = ("experiment", "fingerprint", "cell_digest_root",
+                "cell_kwargs", "cells")
+    missing = [key for key in required if key not in meta]
+    if missing:
+        raise ConfigurationError(
+            f"table {table.name!r} lacks provenance meta {missing}; "
+            "run it through repro.runner.execute before writing a manifest"
+        )
+    refuse_clobber(artifact)
+    manifest = {
+        _MAGIC_KEY: 1,
+        "digest_version": DIGEST_VERSION,
+        "artifact": os.path.basename(artifact),
+        "artifact_sha256": _sha256_file(artifact),
+        "experiment": meta["experiment"],
+        "cells": meta["cells"],
+        "jobs": meta.get("jobs"),
+        "cell_seconds": meta.get("cell_seconds"),
+        "fingerprint": meta["fingerprint"],
+        "modules": meta.get("fingerprint_modules", {}),
+        "cell_kwargs": meta["cell_kwargs"],
+        "cell_digest_root": meta["cell_digest_root"],
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    path = manifest_path(artifact)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def read_manifest(artifact: str) -> Dict[str, object]:
+    """Load and minimally validate the sidecar of ``artifact``."""
+    path = manifest_path(artifact)
+    if not os.path.exists(path):
+        raise ConfigurationError(
+            f"no provenance manifest at {path!r}; regenerate the artifact "
+            "with the repro CLI (--csv/--svg write sidecars automatically)"
+        )
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(
+            f"unreadable manifest {path!r}: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict) or _MAGIC_KEY not in manifest:
+        raise ConfigurationError(
+            f"{path!r} is not a repro provenance manifest"
+        )
+    return manifest
+
+
+def verify_artifact(artifact: str) -> List[str]:
+    """Prove (or refute) that ``artifact`` is reproducible from this tree.
+
+    Returns a list of human-readable problems; an empty list means the
+    artifact bytes match the manifest and the manifest's digests match
+    what the current source tree derives for the recorded sweep.
+    """
+    if not os.path.exists(artifact):
+        raise ConfigurationError(f"artifact {artifact!r} does not exist")
+    manifest = read_manifest(artifact)
+    problems: List[str] = []
+
+    recorded_sha = manifest.get("artifact_sha256")
+    actual_sha = _sha256_file(artifact)
+    if recorded_sha != actual_sha:
+        problems.append(
+            f"artifact bytes changed since the manifest was written "
+            f"(sha256 {actual_sha[:12]}… != recorded {str(recorded_sha)[:12]}…)"
+        )
+
+    if manifest.get("digest_version") != DIGEST_VERSION:
+        problems.append(
+            f"digest scheme changed (manifest v{manifest.get('digest_version')}, "
+            f"current v{DIGEST_VERSION}); regenerate the artifact"
+        )
+        return problems
+
+    from ..runner import get_spec  # deferred: runner imports this package
+
+    name = str(manifest.get("experiment"))
+    try:
+        spec = get_spec(name)
+    except ConfigurationError as exc:
+        problems.append(f"spec no longer resolvable: {exc}")
+        return problems
+
+    fingerprint = spec_fingerprint(spec)
+    if fingerprint != manifest.get("fingerprint"):
+        problems.append(
+            "code fingerprint changed: "
+            + _describe_module_drift(spec, manifest)
+        )
+
+    kwargs = manifest.get("cell_kwargs")
+    if not isinstance(kwargs, dict):
+        problems.append("manifest carries no sweep kwargs")
+        return problems
+    try:
+        cells = spec.cells(**kwargs)
+    except Exception as exc:  # spec signature drifted
+        problems.append(
+            f"sweep enumeration failed under recorded kwargs: {exc!r}"
+        )
+        return problems
+    if len(cells) != manifest.get("cells"):
+        problems.append(
+            f"sweep shape changed: {len(cells)} cells now, "
+            f"{manifest.get('cells')} recorded"
+        )
+    root = digest_root([cell_digest(cell, fingerprint) for cell in cells])
+    if root != manifest.get("cell_digest_root"):
+        problems.append(
+            "cell digests diverge from the manifest (code or sweep "
+            "parameters changed since the artifact was produced)"
+        )
+    return problems
+
+
+def _describe_module_drift(spec, manifest: Dict[str, object]) -> str:
+    """Name exactly which source modules changed since the manifest."""
+    recorded = manifest.get("modules")
+    if not isinstance(recorded, dict) or not recorded:
+        return "source tree differs (no per-module record in manifest)"
+    fn = spec.run_cell
+    current = fingerprint_modules(
+        getattr(fn, "__module__", None) or "<anonymous>", fallback=fn
+    )
+    changed = sorted(
+        name
+        for name in set(recorded) & set(current)
+        if recorded[name] != current[name]
+    )
+    added = sorted(set(current) - set(recorded))
+    removed = sorted(set(recorded) - set(current))
+    parts = []
+    if changed:
+        parts.append("edited: " + ", ".join(changed))
+    if added:
+        parts.append("now imported: " + ", ".join(added))
+    if removed:
+        parts.append("no longer imported: " + ", ".join(removed))
+    return "; ".join(parts) if parts else "source tree differs"

@@ -1,0 +1,156 @@
+"""Tests for the on-disk content-addressed store (repro.store.cas)."""
+
+from __future__ import annotations
+
+import gzip
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.store import CellStore
+
+
+DIGESTS = [f"{i:02x}" + "0" * 38 for i in range(8)]
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CellStore(tmp_path / "cache", max_bytes=1 << 30)
+
+
+class TestGetPut:
+    def test_roundtrip(self, store):
+        payload = {"tag": 1.5, "ipda": {1: 2.0}}
+        written = store.put(DIGESTS[0], payload, experiment="fig7",
+                            label="fig7[200#0]")
+        assert written > 0
+        hit, value, nbytes = store.get(DIGESTS[0])
+        assert hit
+        assert value == payload
+        assert nbytes == written
+
+    def test_missing_digest_is_a_miss(self, store):
+        hit, value, nbytes = store.get(DIGESTS[1])
+        assert (hit, value, nbytes) == (False, None, 0)
+
+    def test_objects_are_sharded_by_prefix(self, store, tmp_path):
+        store.put(DIGESTS[3], 1)
+        shard = tmp_path / "cache" / "objects" / DIGESTS[3][:2]
+        assert shard.is_dir()
+        assert list(shard.iterdir())
+
+    def test_corrupt_object_is_a_miss_and_removed(self, store):
+        store.put(DIGESTS[0], "fine")
+        path = store._object_path(DIGESTS[0])
+        with open(path, "wb") as handle:
+            handle.write(b"not gzip at all")
+        hit, _value, _nbytes = store.get(DIGESTS[0])
+        assert not hit
+        assert not os.path.exists(path)
+
+    def test_truncated_object_is_a_miss(self, store):
+        store.put(DIGESTS[0], list(range(1000)))
+        path = store._object_path(DIGESTS[0])
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        hit, _value, _nbytes = store.get(DIGESTS[0])
+        assert not hit
+
+    def test_envelope_digest_mismatch_is_a_miss(self, store):
+        store.put(DIGESTS[0], "value")
+        # An object renamed under the wrong digest must not be served.
+        os.makedirs(os.path.dirname(store._object_path(DIGESTS[2])),
+                    exist_ok=True)
+        os.replace(
+            store._object_path(DIGESTS[0]), store._object_path(DIGESTS[2])
+        )
+        hit, _value, _nbytes = store.get(DIGESTS[2])
+        assert not hit
+
+    def test_malformed_digest_rejected(self, store):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            store.get("../../etc/passwd")
+
+    def test_identical_results_store_identical_bytes(self, store):
+        store.put(DIGESTS[0], {"a": 1.0})
+        store.put(DIGESTS[1], {"a": 1.0})
+        read = lambda d: open(store._object_path(d), "rb").read()
+        first = gzip.decompress(read(DIGESTS[0]))
+        second = gzip.decompress(read(DIGESTS[1]))
+        # Envelopes differ only in the digest they carry.
+        assert len(first) == len(second)
+
+
+class TestMaintenance:
+    def test_stats_counts_objects_and_bytes(self, store):
+        sizes = [store.put(d, "x" * 100, experiment="fig7")
+                 for d in DIGESTS[:3]]
+        stats = store.stats()
+        assert stats.objects == 3
+        assert stats.total_bytes == sum(sizes)
+        assert stats.per_experiment["fig7"][0] == 3
+
+    def test_gc_evicts_oldest_first(self, store):
+        for index, digest in enumerate(DIGESTS[:4]):
+            store.put(digest, "x" * 200)
+            os.utime(store._object_path(digest), (index, index))
+        sizes = {d: size for d, _p, size, _m in store.scan()}
+        target = sizes[DIGESTS[2]] + sizes[DIGESTS[3]]
+        evicted, freed = store.gc(target)
+        assert evicted == 2
+        assert freed == sizes[DIGESTS[0]] + sizes[DIGESTS[1]]
+        # The two *newest* objects survive.
+        assert not store.get(DIGESTS[0])[0]
+        assert not store.get(DIGESTS[1])[0]
+        assert store.get(DIGESTS[2])[0]
+        assert store.get(DIGESTS[3])[0]
+
+    def test_get_refreshes_recency(self, store):
+        for index, digest in enumerate(DIGESTS[:3]):
+            store.put(digest, "x" * 200)
+            os.utime(store._object_path(digest), (index, index))
+        # Touch the oldest: it becomes the most recent and survives gc.
+        assert store.get(DIGESTS[0])[0]
+        sizes = {d: size for d, _p, size, _m in store.scan()}
+        store.gc(sizes[DIGESTS[0]])
+        assert store.get(DIGESTS[0])[0]
+        assert not store.get(DIGESTS[1])[0]
+
+    def test_maybe_gc_is_a_noop_under_cap(self, store):
+        store.put(DIGESTS[0], "x")
+        assert store.maybe_gc() == (0, 0)
+        assert store.get(DIGESTS[0])[0]
+
+    def test_clear_removes_everything(self, store):
+        for digest in DIGESTS[:3]:
+            store.put(digest, "x")
+        assert store.clear() == 3
+        assert store.stats().objects == 0
+
+    def test_gc_rewrites_index(self, store):
+        for index, digest in enumerate(DIGESTS[:2]):
+            store.put(digest, "x" * 200, experiment="fig7")
+            os.utime(store._object_path(digest), (index, index))
+        store.gc(0)
+        assert store.stats().per_experiment == {}
+
+
+def _concurrent_put(args):
+    root, digest = args
+    return CellStore(root, max_bytes=1 << 30).put(digest, digest)
+
+
+class TestConcurrency:
+    def test_concurrent_processes_share_one_store(self, tmp_path):
+        root = str(tmp_path / "cache")
+        jobs = [(root, digest) for digest in DIGESTS] * 2
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            list(pool.map(_concurrent_put, jobs))
+        store = CellStore(root, max_bytes=1 << 30)
+        assert store.stats().objects == len(DIGESTS)
+        for digest in DIGESTS:
+            hit, value, _nbytes = store.get(digest)
+            assert hit and value == digest
