@@ -13,6 +13,7 @@ Management commands ride alongside the experiment names::
     ipda list                       # registered specs + cell counts
     ipda cache stats|gc|clear       # inspect / trim the cell store
     ipda store verify results/fig7.csv   # prove provenance
+    ipda bench --quick --compare BENCH_baseline.json   # perf gate
 
 Examples::
 
@@ -53,7 +54,7 @@ _FAST_SIZES = (200, 300, 400)
 
 #: First-positional words routed to the management parser instead of
 #: the experiment runner.
-TOOL_COMMANDS = ("cache", "list", "store")
+TOOL_COMMANDS = ("bench", "cache", "list", "store")
 
 Runner = Callable[..., ExperimentTable]
 
@@ -378,6 +379,49 @@ def _build_tools_parser() -> argparse.ArgumentParser:
         "artifacts", nargs="+", metavar="ARTIFACT",
         help="artifact path(s) with .manifest.json sidecars",
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run hot-path benchmarks, emit BENCH_*.json, gate regressions",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="shorter measurements (CI smoke); workload shape is unchanged",
+    )
+    bench.add_argument(
+        "--only", action="append", metavar="NAME", default=None,
+        help="run only this benchmark (repeatable; see --list)",
+    )
+    bench.add_argument(
+        "--list", action="store_true", dest="list_benchmarks",
+        help="list available benchmarks and exit",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=None,
+        help="best-of repeats per benchmark (default: 3, or 1 with --quick)",
+    )
+    bench.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="report destination: a directory (default BENCH_<ts>.json name) "
+             "or an explicit file path (default: current directory)",
+    )
+    bench.add_argument(
+        "--no-write", action="store_true",
+        help="do not write a report file (print + compare only)",
+    )
+    bench.add_argument(
+        "--input", metavar="REPORT", default=None,
+        help="compare an existing BENCH_*.json instead of running benchmarks",
+    )
+    bench.add_argument(
+        "--compare", metavar="BASELINE", default=None,
+        help="compare against this baseline report and gate on regressions",
+    )
+    bench.add_argument(
+        "--fail-above", type=float, default=25.0, metavar="PCT",
+        help="tolerated throughput drop in percent before the gate fails "
+             "(default: 25)",
+    )
     return parser
 
 
@@ -451,12 +495,48 @@ def _tools_store(args) -> int:
     return 1 if failures else 0
 
 
+def _tools_bench(args) -> int:
+    from . import perf
+
+    if args.list_benchmarks:
+        descriptions = perf.benchmark_descriptions()
+        width = max(len(name) for name in descriptions)
+        for name, text in descriptions.items():
+            print(f"{name.ljust(width)}  {text}")
+        return 0
+    repeats = args.repeats
+    if repeats is None:
+        repeats = 1 if args.quick else 3
+    if args.input is not None:
+        report = perf.load_report(args.input)
+    else:
+        results = perf.run_benchmarks(
+            args.only, quick=args.quick, repeats=repeats,
+            progress=lambda line: print(line, flush=True),
+        )
+        report = perf.build_report(results, quick=args.quick, repeats=repeats)
+        if not args.no_write:
+            path = perf.write_report(report, args.output)
+            print(f"(report written to {path})")
+    print(perf.render_report_text(report))
+    if args.compare is None:
+        return 0
+    baseline = perf.load_report(args.compare)
+    rows, unmatched = perf.compare_reports(
+        report, baseline, fail_above=args.fail_above
+    )
+    print(perf.render_comparison(rows, unmatched, fail_above=args.fail_above))
+    return 1 if any(row.regressed for row in rows) else 0
+
+
 def _tools_main(argv: List[str]) -> int:
     args = _build_tools_parser().parse_args(argv)
     if args.command == "list":
         return _tools_list()
     if args.command == "cache":
         return _tools_cache(args)
+    if args.command == "bench":
+        return _tools_bench(args)
     return _tools_store(args)
 
 

@@ -9,11 +9,25 @@ function expanded into a keystream and XORed with the plaintext.  It is
 experiments exercise a real encrypt/decrypt code path, with real keys,
 so that "who can read this frame" is decided by key possession and
 nothing else.
+
+Hot-path notes: the XOR is done in one shot over big integers instead
+of per byte, and two LRU layers serve the simulator's retransmission
+pattern (the MAC re-encrypts the *same* frame on every ARQ attempt):
+``_expand`` caches expanded keystreams per ``(key, nonce, length)``
+and :func:`xor_encrypt` caches whole ciphertexts per
+``(plaintext, key, nonce)``.  Both caches are pure — nonces are derived
+from ``(src, dst, round, seq)`` and never reused with different
+plaintexts by the protocols, and even if they were, XOR is a pure
+function of its inputs, so cached results are always correct.  The
+``_keystream_reference``/``_xor_encrypt_reference`` implementations
+preserve the original byte-at-a-time semantics for equivalence tests.
 """
 
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
+from typing import Tuple
 
 from ..errors import CryptoError
 
@@ -24,8 +38,57 @@ NONCE_BYTES = 8
 _BLOCK_BYTES = 32
 
 
+@lru_cache(maxsize=1024)
+def _expand(key: bytes, nonce: bytes, length: int) -> Tuple[bytes, int]:
+    """Expanded keystream as ``(bytes, big-endian int)`` (cached)."""
+    if len(key) != KEY_BYTES:
+        raise CryptoError(f"key must be {KEY_BYTES} bytes, got {len(key)}")
+    if len(nonce) != NONCE_BYTES:
+        raise CryptoError(f"nonce must be {NONCE_BYTES} bytes, got {len(nonce)}")
+    if length < 0:
+        raise CryptoError("length must be >= 0")
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.blake2b(
+            nonce + counter.to_bytes(8, "big"),
+            key=key,
+            digest_size=_BLOCK_BYTES,
+        ).digest()
+        out.extend(block)
+        counter += 1
+    stream = bytes(out[:length])
+    return stream, int.from_bytes(stream, "big")
+
+
 def keystream(key: bytes, nonce: bytes, length: int) -> bytes:
     """Expand ``(key, nonce)`` into ``length`` pseudo-random bytes."""
+    return _expand(key, nonce, length)[0]
+
+
+@lru_cache(maxsize=4096)
+def xor_encrypt(plaintext: bytes, key: bytes, nonce: bytes) -> bytes:
+    """Encrypt by XOR with the keystream (involution)."""
+    length = len(plaintext)
+    stream_int = _expand(key, nonce, length)[1]
+    if length == 0:
+        return b""
+    return (int.from_bytes(plaintext, "big") ^ stream_int).to_bytes(
+        length, "big"
+    )
+
+
+def xor_decrypt(ciphertext: bytes, key: bytes, nonce: bytes) -> bytes:
+    """Decrypt; identical to :func:`xor_encrypt` because XOR is an involution."""
+    return xor_encrypt(ciphertext, key, nonce)
+
+
+# ----------------------------------------------------------------------
+# Reference implementations (pre-optimization semantics, kept for the
+# bitwise-equivalence tests in tests/crypto/test_cipher.py)
+# ----------------------------------------------------------------------
+def _keystream_reference(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Original uncached block loop; byte-identical to :func:`keystream`."""
     if len(key) != KEY_BYTES:
         raise CryptoError(f"key must be {KEY_BYTES} bytes, got {len(key)}")
     if len(nonce) != NONCE_BYTES:
@@ -45,12 +108,7 @@ def keystream(key: bytes, nonce: bytes, length: int) -> bytes:
     return bytes(out[:length])
 
 
-def xor_encrypt(plaintext: bytes, key: bytes, nonce: bytes) -> bytes:
-    """Encrypt by XOR with the keystream (involution)."""
-    stream = keystream(key, nonce, len(plaintext))
+def _xor_encrypt_reference(plaintext: bytes, key: bytes, nonce: bytes) -> bytes:
+    """Original per-byte XOR; byte-identical to :func:`xor_encrypt`."""
+    stream = _keystream_reference(key, nonce, len(plaintext))
     return bytes(p ^ s for p, s in zip(plaintext, stream))
-
-
-def xor_decrypt(ciphertext: bytes, key: bytes, nonce: bytes) -> bytes:
-    """Decrypt; identical to :func:`xor_encrypt` because XOR is an involution."""
-    return xor_encrypt(ciphertext, key, nonce)

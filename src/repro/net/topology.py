@@ -47,11 +47,17 @@ class Topology:
         distance is at most this.
     adjacency:
         Neighbour sets indexed by node id (excluding the node itself).
+    version:
+        Cache-invalidation counter.  Consumers that cache derived views
+        of the adjacency (e.g. the radio's sorted neighbour lists) key
+        them on this value; any code that mutates ``adjacency`` in
+        place must call :meth:`invalidate_caches`.
     """
 
     positions: List[Point]
     radio_range: float
     adjacency: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+    version: int = 0
 
     def __post_init__(self) -> None:
         if self.radio_range <= 0:
@@ -63,6 +69,10 @@ class Topology:
     def node_count(self) -> int:
         """Number of deployed nodes (including the base station)."""
         return len(self.positions)
+
+    def invalidate_caches(self) -> None:
+        """Bump :attr:`version` after an in-place adjacency edit."""
+        self.version += 1
 
     def neighbors(self, node_id: int) -> FrozenSet[int]:
         """Return the one-hop neighbour set of ``node_id``."""

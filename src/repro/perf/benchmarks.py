@@ -1,0 +1,281 @@
+"""Benchmark definitions: simulator hot paths and protocol macros.
+
+Micro benchmarks isolate the per-event cost centres (engine heap
+churn, radio frame fan-out, cipher throughput); macro benchmarks time
+one tiny but representative spec per protocol family end to end via
+the parallel runner (``jobs=1``, cache off, so the number is the cold
+per-cell cost).  Workload sizes are fixed so reports are comparable
+across commits; ``quick`` only shortens the measurement, never the
+per-operation shape.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Dict
+
+import numpy as np
+
+from ..crypto.cipher import KEY_BYTES, xor_encrypt
+from ..net.topology import grid_deployment
+from ..sim.engine import EventEngine
+from ..sim.messages import BROADCAST, HelloMessage
+from ..sim.radio import RadioConfig, RadioMedium
+from ..sim.trace import TraceCollector
+from .harness import BenchResult, register_benchmark
+
+__all__ = ["MACRO_SPECS"]
+
+#: Concurrent timers in the engine-churn benchmark.  Sized like the
+#: pending-event population of a dense 500-node round (every node holds
+#: a MAC backoff or protocol timer), where heap depth makes comparison
+#: cost dominate.
+_CHURN_TIMERS = 512
+
+#: One representative spec per protocol family, with tiny-but-faithful
+#: sweep parameters (mirrors the determinism suite's shapes).
+MACRO_SPECS: Dict[str, Dict[str, object]] = {
+    # iPDA (l=1,2) vs TAG on the paper's headline overhead sweep.
+    "fig7": {"sizes": (150,), "repetitions": 1},
+    # kiPDA: pairwise key-scheme ablation.
+    "ablation-key-schemes": {
+        "node_count": 120,
+        "repetitions": 1,
+        "coalition_size": 10,
+    },
+    # miPDA: m > 2 disjoint aggregation trees.
+    "ablation-trees": {
+        "node_count": 200,
+        "tree_counts": (2,),
+        "repetitions": 1,
+    },
+    # Loss-tolerant iPDA under crash + burst-loss faults.
+    "fault-sweep": {
+        "crash_fractions": (0.0,),
+        "loss_levels": ("light",),
+        "repetitions": 1,
+    },
+}
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+@register_benchmark(
+    "engine-churn",
+    "micro",
+    f"event schedule+dispatch throughput, {_CHURN_TIMERS} concurrent timers",
+)
+def bench_engine_churn(quick: bool) -> BenchResult:
+    total = 60_000 if quick else 200_000
+    timers = _CHURN_TIMERS
+    engine = EventEngine()
+    count = [0]
+
+    def tick() -> None:
+        count[0] += 1
+        if count[0] + timers <= total:
+            engine.schedule(0.001, tick)
+
+    for i in range(timers):
+        engine.schedule(0.001 * (i + 1) / timers, tick)
+    started = time.perf_counter()
+    engine.run()
+    wall = time.perf_counter() - started
+    return BenchResult(
+        name="engine-churn",
+        kind="micro",
+        metric="events_per_second",
+        value=engine.processed_events / wall,
+        unit="events/s",
+        wall_seconds=wall,
+        iterations=engine.processed_events,
+        detail={"timers": timers, "events": total},
+    )
+
+
+# ----------------------------------------------------------------------
+# Radio
+# ----------------------------------------------------------------------
+def _radio_round(
+    quick: bool, *, collisions: bool, loss: float, name: str
+) -> BenchResult:
+    """Broadcast storm on a 12x12 grid; every node sends back-to-back.
+
+    The per-frame fan-out (degree ~8-11 at this spacing/range) is the
+    radio's hot loop; with ``collisions=False`` and ``loss=0`` it rides
+    the perfect-channel path, otherwise the full interference path.
+    """
+    frames_per_node = 8 if quick else 30
+    topology = grid_deployment(12, 12, spacing=30.0, radio_range=65.0)
+    engine = EventEngine()
+    trace = TraceCollector()
+    delivered = [0]
+
+    def deliver(receiver: int, message, addressed: bool) -> None:
+        delivered[0] += 1
+
+    remaining = {nid: frames_per_node for nid in range(topology.node_count)}
+
+    def send(nid: int) -> None:
+        remaining[nid] -= 1
+        radio.transmit(HelloMessage(src=nid, dst=BROADCAST))
+
+    def notify(message, ok: bool) -> None:
+        if remaining[message.src]:
+            send(message.src)
+
+    radio = RadioMedium(
+        engine=engine,
+        topology=topology,
+        trace=trace,
+        deliver=deliver,
+        rng=np.random.default_rng(12345),
+        config=RadioConfig(collisions_enabled=collisions, loss_probability=loss),
+        notify_sender=notify,
+    )
+    for nid in range(topology.node_count):
+        engine.schedule(1e-5 * (nid + 1), lambda nid=nid: send(nid))
+    started = time.perf_counter()
+    engine.run()
+    wall = time.perf_counter() - started
+    attempts = delivered[0] + trace.total_drops
+    return BenchResult(
+        name=name,
+        kind="micro",
+        metric="reception_attempts_per_second",
+        value=attempts / wall,
+        unit="receptions/s",
+        wall_seconds=wall,
+        iterations=attempts,
+        detail={
+            "nodes": topology.node_count,
+            "frames_per_node": frames_per_node,
+            "collisions": collisions,
+            "loss_probability": loss,
+            "delivered": delivered[0],
+            "engine_events": engine.processed_events,
+        },
+    )
+
+
+@register_benchmark(
+    "radio-broadcast-clean",
+    "micro",
+    "grid broadcast storm, perfect channel (engine+radio fast path)",
+)
+def bench_radio_clean(quick: bool) -> BenchResult:
+    return _radio_round(
+        quick, collisions=False, loss=0.0, name="radio-broadcast-clean"
+    )
+
+
+@register_benchmark(
+    "radio-broadcast-contended",
+    "micro",
+    "grid broadcast storm with collisions and 5% Bernoulli loss",
+)
+def bench_radio_contended(quick: bool) -> BenchResult:
+    return _radio_round(
+        quick, collisions=True, loss=0.05, name="radio-broadcast-contended"
+    )
+
+
+# ----------------------------------------------------------------------
+# Cipher
+# ----------------------------------------------------------------------
+_KEY = bytes(range(KEY_BYTES))
+
+#: Monotonic source of never-before-seen nonces, so the bulk benchmark
+#: measures genuine keystream expansion even when a cache is present.
+_FRESH_NONCES = itertools.count(1 << 40)
+
+
+@register_benchmark(
+    "cipher-xor-slice",
+    "micro",
+    "xor_encrypt on 8-byte slice frames, 64-frame retransmission working set",
+)
+def bench_cipher_slice(quick: bool) -> BenchResult:
+    operations = 50_000 if quick else 200_000
+    working_set = [
+        (value.to_bytes(8, "big"), (7_000 + value).to_bytes(8, "big"))
+        for value in range(64)
+    ]
+    sequence = working_set * (operations // len(working_set))
+    key = _KEY
+    started = time.perf_counter()
+    for plaintext, nonce in sequence:
+        xor_encrypt(plaintext, key, nonce)
+    wall = time.perf_counter() - started
+    return BenchResult(
+        name="cipher-xor-slice",
+        kind="micro",
+        metric="operations_per_second",
+        value=len(sequence) / wall,
+        unit="ops/s",
+        wall_seconds=wall,
+        iterations=len(sequence),
+        detail={"frame_bytes": 8, "working_set": len(working_set)},
+    )
+
+
+@register_benchmark(
+    "cipher-xor-bulk",
+    "micro",
+    "xor_encrypt on 1 KiB frames, fresh nonce per frame (no cache reuse)",
+)
+def bench_cipher_bulk(quick: bool) -> BenchResult:
+    frames = 500 if quick else 2_000
+    frame_bytes = 1024
+    plaintext = bytes(frame_bytes)
+    nonces = [next(_FRESH_NONCES).to_bytes(8, "big") for _ in range(frames)]
+    key = _KEY
+    started = time.perf_counter()
+    for nonce in nonces:
+        xor_encrypt(plaintext, key, nonce)
+    wall = time.perf_counter() - started
+    return BenchResult(
+        name="cipher-xor-bulk",
+        kind="micro",
+        metric="bytes_per_second",
+        value=frames * frame_bytes / wall,
+        unit="B/s",
+        wall_seconds=wall,
+        iterations=frames,
+        detail={"frame_bytes": frame_bytes, "fresh_nonces": True},
+    )
+
+
+# ----------------------------------------------------------------------
+# Protocol macros (one representative spec per protocol family)
+# ----------------------------------------------------------------------
+def _make_spec_benchmark(spec_name: str, kwargs: Dict[str, object]):
+    def bench(quick: bool) -> BenchResult:
+        from ..runner import execute
+
+        started = time.perf_counter()
+        table = execute(spec_name, jobs=1, cache=False, **kwargs)
+        wall = time.perf_counter() - started
+        cells = int(table.meta["cells"])
+        return BenchResult(
+            name=f"spec-{spec_name}",
+            kind="macro",
+            metric="cells_per_second",
+            value=cells / wall,
+            unit="cells/s",
+            wall_seconds=wall,
+            iterations=cells,
+            detail=dict(kwargs),
+        )
+
+    return bench
+
+
+for _spec_name, _kwargs in MACRO_SPECS.items():
+    register_benchmark(
+        f"spec-{_spec_name}",
+        "macro",
+        f"end-to-end cold run of the tiny {_spec_name} sweep",
+    )(_make_spec_benchmark(_spec_name, _kwargs))

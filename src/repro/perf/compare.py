@@ -1,0 +1,132 @@
+"""Regression gate: compare a bench report against a committed baseline.
+
+The contract is deliberately simple so CI can rely on it: benchmarks
+are matched by name, the metric is a throughput (higher is better),
+and a benchmark *regresses* when its throughput falls more than
+``fail_above`` percent below the baseline.  Improvements and
+benchmarks missing from either side never fail the gate (missing ones
+are reported so a silent rename can't disable the gate unnoticed).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .harness import BENCH_SCHEMA
+
+__all__ = [
+    "ComparisonRow",
+    "compare_reports",
+    "load_report",
+    "render_comparison",
+]
+
+
+@dataclass
+class ComparisonRow:
+    """One benchmark's baseline-vs-current verdict."""
+
+    name: str
+    metric: str
+    baseline: float
+    current: float
+    #: Positive = faster than baseline, negative = slower, in percent.
+    change_pct: float
+    regressed: bool
+
+
+def load_report(path: str) -> Dict[str, object]:
+    """Read and schema-check one ``BENCH_*.json`` report."""
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read bench report {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(report, dict) or report.get("schema") != BENCH_SCHEMA:
+        raise ConfigurationError(
+            f"{path!r} is not a {BENCH_SCHEMA} report "
+            f"(schema={report.get('schema') if isinstance(report, dict) else None!r})"
+        )
+    return report
+
+
+def _result_index(report: Dict[str, object]) -> Dict[str, Dict[str, object]]:
+    index: Dict[str, Dict[str, object]] = {}
+    for row in report.get("results", []):
+        index[str(row["name"])] = row
+    return index
+
+
+def compare_reports(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    *,
+    fail_above: float,
+) -> Tuple[List[ComparisonRow], List[str]]:
+    """Return ``(rows, unmatched)`` for ``current`` vs ``baseline``.
+
+    ``fail_above`` is the tolerated throughput drop in percent; a row
+    regresses when ``current < baseline * (1 - fail_above/100)``.
+    ``unmatched`` lists benchmark names present in exactly one report.
+    """
+    if fail_above < 0:
+        raise ConfigurationError(f"--fail-above must be >= 0, got {fail_above}")
+    current_index = _result_index(current)
+    baseline_index = _result_index(baseline)
+    rows: List[ComparisonRow] = []
+    for name, row in current_index.items():
+        base = baseline_index.get(name)
+        if base is None:
+            continue
+        base_value = float(base["value"])
+        cur_value = float(row["value"])
+        change_pct = (
+            (cur_value - base_value) / base_value * 100.0 if base_value else 0.0
+        )
+        rows.append(
+            ComparisonRow(
+                name=name,
+                metric=str(row.get("metric", "")),
+                baseline=base_value,
+                current=cur_value,
+                change_pct=change_pct,
+                regressed=change_pct < -fail_above,
+            )
+        )
+    unmatched = sorted(
+        set(current_index).symmetric_difference(baseline_index)
+    )
+    return rows, unmatched
+
+
+def render_comparison(
+    rows: Sequence[ComparisonRow],
+    unmatched: Sequence[str],
+    *,
+    fail_above: float,
+) -> str:
+    """Terminal-friendly comparison table plus verdict line."""
+    lines = [f"regression gate: fail when throughput drops > {fail_above:g}%"]
+    if not rows:
+        lines.append("  (no benchmarks in common with the baseline)")
+    else:
+        width = max(len(row.name) for row in rows)
+        for row in rows:
+            verdict = "REGRESSED" if row.regressed else "ok"
+            lines.append(
+                f"  {row.name.ljust(width)}  {row.baseline:>14,.0f} -> "
+                f"{row.current:>14,.0f}  {row.change_pct:+7.1f}%  {verdict}"
+            )
+    for name in unmatched:
+        lines.append(f"  {name}: present in only one report (not gated)")
+    failures = [row.name for row in rows if row.regressed]
+    if failures:
+        lines.append(f"FAIL: {len(failures)} regression(s): {', '.join(failures)}")
+    else:
+        lines.append("PASS: no benchmark regressed beyond the threshold")
+    return "\n".join(lines)

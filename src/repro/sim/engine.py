@@ -4,43 +4,116 @@ A minimal, deterministic event loop: events are ``(time, priority,
 sequence)``-ordered callbacks on a binary heap.  The sequence number
 breaks ties so that two events scheduled for the same instant always
 fire in scheduling order, which keeps runs byte-for-byte reproducible.
+
+The heap stores ``[time, priority, sequence, callback]`` list entries,
+so every sift compare is a C-level sequence comparison that never
+reaches the callback (the sequence number is unique).  Cancellation
+replaces the callback with ``None`` in place — no handle object lives
+on the heap at all.  :class:`ScheduledEvent` is a thin view over the
+entry, and :meth:`EventEngine.post` skips even that for fire-and-forget
+events on the simulator's hottest scheduling paths (radio end-of-frame,
+MAC backoff timers).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import SimulationError
 
 __all__ = ["EventEngine", "ScheduledEvent"]
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
-@dataclass(order=True)
+
 class ScheduledEvent:
-    """An event on the simulation heap.
+    """A cancellable handle for one event on the simulation heap.
 
-    Ordered by ``(time, priority, sequence)``; the callback itself is
-    excluded from comparisons.
+    A view over the underlying heap entry: ``time``, ``priority``,
+    ``sequence`` and ``callback`` read through to it, and events order
+    by ``(time, priority, sequence)`` exactly like the engine pops
+    them.  The callback is excluded from comparisons.
     """
 
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[[], Any] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    _engine: Optional["EventEngine"] = field(
-        default=None, compare=False, repr=False
-    )
+    __slots__ = ("_entry", "_engine")
+
+    def __init__(
+        self,
+        entry: List[Any],
+        engine: Optional["EventEngine"] = None,
+    ):
+        self._entry = entry
+        self._engine = engine
+
+    @property
+    def time(self) -> float:
+        """Absolute firing time in seconds."""
+        return self._entry[0]
+
+    @property
+    def priority(self) -> int:
+        """Tie-break priority (lower fires first at equal times)."""
+        return self._entry[1]
+
+    @property
+    def sequence(self) -> int:
+        """Scheduling order; unique per engine."""
+        return self._entry[2]
+
+    @property
+    def callback(self) -> Optional[Callable[[], Any]]:
+        """The scheduled callable, or ``None`` once cancelled."""
+        return self._entry[3]
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._entry[3] is None
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when it comes due."""
-        if not self.cancelled:
-            self.cancelled = True
+        entry = self._entry
+        if entry[3] is not None:
+            entry[3] = None
             if self._engine is not None:
                 self._engine._note_cancellation()
+
+    def _sort_key(self) -> Tuple[float, int, int]:
+        entry = self._entry
+        return (entry[0], entry[1], entry[2])
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return self._sort_key() < other._sort_key()
+
+    def __le__(self, other: "ScheduledEvent") -> bool:
+        return self._sort_key() <= other._sort_key()
+
+    def __gt__(self, other: "ScheduledEvent") -> bool:
+        return self._sort_key() > other._sort_key()
+
+    def __ge__(self, other: "ScheduledEvent") -> bool:
+        return self._sort_key() >= other._sort_key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScheduledEvent):
+            return NotImplemented
+        return self._sort_key() == other._sort_key()
+
+    # Events compare by sort key, so (like the previous ordered
+    # dataclass) they are deliberately unhashable.
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        flag = ", cancelled" if self.cancelled else ""
+        return (
+            f"ScheduledEvent(time={self.time:.6f}, priority={self.priority}, "
+            f"sequence={self.sequence}{flag})"
+        )
+
+
+_new_event = ScheduledEvent.__new__
 
 
 class EventEngine:
@@ -60,8 +133,8 @@ class EventEngine:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[ScheduledEvent] = []
-        self._sequence = itertools.count()
+        self._heap: List[List[Any]] = []
+        self._sequence = 0
         self._processed = 0
         self._running = False
         self._cancelled_pending = 0
@@ -74,7 +147,12 @@ class EventEngine:
 
     @property
     def processed_events(self) -> int:
-        """Number of events executed so far."""
+        """Number of events executed so far.
+
+        Updated in batch while :meth:`run` drains the heap without
+        limits; read it between runs (or from a limited run), not from
+        inside a callback of an unlimited one.
+        """
         return self._processed
 
     @property
@@ -99,7 +177,7 @@ class EventEngine:
             len(self._heap) >= self.COMPACT_MIN_SIZE
             and self._cancelled_pending * 2 > len(self._heap)
         ):
-            self._heap = [e for e in self._heap if not e.cancelled]
+            self._heap = [entry for entry in self._heap if entry[3] is not None]
             heapq.heapify(self._heap)
             self._cancelled_pending = 0
 
@@ -117,15 +195,39 @@ class EventEngine:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        event = ScheduledEvent(
-            time=self._now + delay,
-            priority=priority,
-            sequence=next(self._sequence),
-            callback=callback,
-            _engine=self,
-        )
-        heapq.heappush(self._heap, event)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        entry = [self._now + delay, priority, sequence, callback]
+        # Inlined handle construction: this is the hottest allocation
+        # in the simulator and skipping the __init__ frame measurably
+        # cuts schedule() cost.
+        event = _new_event(ScheduledEvent)
+        event._entry = entry
+        event._engine = self
+        _heappush(self._heap, entry)
         return event
+
+    def post(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = 0,
+    ) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, not cancellable.
+
+        Skips the :class:`ScheduledEvent` allocation entirely —
+        ordering (and therefore reproducibility) is identical to
+        :meth:`schedule` because both draw from the same sequence
+        counter.  Use it for events that are never cancelled
+        (end-of-frame deliveries, MAC backoff timers); keep
+        :meth:`schedule` where the caller needs the handle.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        _heappush(self._heap, [self._now + delay, priority, sequence, callback])
 
     def schedule_at(
         self,
@@ -137,6 +239,16 @@ class EventEngine:
         """Schedule ``callback`` at absolute time ``when``."""
         return self.schedule(when - self._now, callback, priority=priority)
 
+    def post_at(
+        self,
+        when: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = 0,
+    ) -> None:
+        """Fire-and-forget :meth:`schedule_at` (see :meth:`post`)."""
+        self.post(when - self._now, callback, priority=priority)
+
     def run(
         self,
         until: Optional[float] = None,
@@ -145,31 +257,57 @@ class EventEngine:
     ) -> float:
         """Run until the heap drains, ``until`` passes, or ``max_events``.
 
-        Returns the simulated time at which the loop stopped.
+        Returns the simulated time at which the loop stopped.  ``now``
+        never moves backwards: a ``run(until=...)`` with ``until`` in
+        the past executes nothing new and leaves the clock where the
+        furthest previous run left it.
         """
         if self._running:
             raise SimulationError("engine is already running (re-entrant run)")
         self._running = True
-        executed = 0
+        heap = self._heap
         try:
-            while self._heap:
+            if until is None and max_events is None:
+                # Hot path: drain the heap with no per-event limit
+                # checks (the common case for whole-round runs), with
+                # the processed counter batched into a local.
+                processed = 0
+                try:
+                    while heap:
+                        entry = _heappop(heap)
+                        payload = entry[3]
+                        if payload is None:
+                            self._cancelled_pending -= 1
+                            continue
+                        self._now = entry[0]
+                        processed += 1
+                        payload()
+                finally:
+                    self._processed += processed
+                return self._now
+            executed = 0
+            clamp = until is not None
+            while heap:
                 if max_events is not None and executed >= max_events:
+                    clamp = False
                     break
-                event = self._heap[0]
-                if until is not None and event.time > until:
-                    self._now = until
+                entry = heap[0]
+                if until is not None and entry[0] > until:
                     break
-                heapq.heappop(self._heap)
-                if event.cancelled:
+                _heappop(heap)
+                payload = entry[3]
+                if payload is None:
                     self._cancelled_pending -= 1
                     continue
-                self._now = event.time
-                event.callback()
+                self._now = entry[0]
                 self._processed += 1
                 executed += 1
-            else:
-                if until is not None:
-                    self._now = max(self._now, until)
+                payload()
+            if clamp and until > self._now:
+                # Single clamp for both the early-break and drained
+                # cases; the guard keeps `now` monotonic when `until`
+                # lies in the past.
+                self._now = until
         finally:
             self._running = False
         return self._now

@@ -141,7 +141,10 @@ class CsmaMac:
         self._current = self._queue.popleft()
         self._attempts = 0
         jitter = float(self._rng.uniform(0.0, self.config.send_jitter))
-        self.engine.schedule(jitter, lambda: self._attempt(0))
+        # Fire-and-forget: MAC timers are never cancelled (halt() is
+        # handled by the _halted guard inside _attempt), so the
+        # handle-free post() avoids a ScheduledEvent per frame.
+        self.engine.post(jitter, lambda: self._attempt(0))
 
     def _attempt(self, deferrals: int) -> None:
         if self._current is None or self._halted:
@@ -150,7 +153,7 @@ class CsmaMac:
             self.radio.senses_busy(self.node_id)
             and deferrals < self.config.max_deferrals
         ):
-            self.engine.schedule(
+            self.engine.post(
                 self._backoff(deferrals), lambda: self._attempt(deferrals + 1)
             )
             return
@@ -176,7 +179,7 @@ class CsmaMac:
             and self._attempts < self.config.retry_limit
         )
         if retry:
-            self.engine.schedule(
+            self.engine.post(
                 self._backoff(self._attempts), lambda: self._attempt(0)
             )
             return

@@ -66,7 +66,7 @@ class TreeColor(str, Enum):
         return members[:count]
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """Base class for all frames.
 
@@ -80,6 +80,17 @@ class Message:
 
     #: per-kind payload size; subclasses override.
     PAYLOAD_BYTES: ClassVar[int] = 0
+
+    #: Short lowercase name used by the trace collector.  Precomputed
+    #: per class (the trace reads it several times per frame, so a
+    #: per-call property shows up in profiles).
+    kind: ClassVar[str] = ""
+
+    def __init_subclass__(cls) -> None:
+        # No super() call: dataclass(slots=True) recreates the class, so
+        # the zero-arg super() closure would point at the pre-slots
+        # Message and raise TypeError for every subclass.
+        cls.kind = cls.__name__.replace("Message", "").lower()
 
     @property
     def size_bytes(self) -> int:
@@ -95,13 +106,8 @@ class Message:
         """True when the frame addresses every neighbour."""
         return self.dst == BROADCAST
 
-    @property
-    def kind(self) -> str:
-        """Short lowercase name used by the trace collector."""
-        return type(self).__name__.replace("Message", "").lower()
 
-
-@dataclass
+@dataclass(slots=True)
 class HelloMessage(Message):
     """Tree-construction HELLO (Phase I).
 
@@ -117,7 +123,7 @@ class HelloMessage(Message):
     PAYLOAD_BYTES = 6  # colour(1) + hops(2) + round(2) + flags(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryMessage(Message):
     """Aggregation query flooded from the base station."""
 
@@ -127,7 +133,7 @@ class QueryMessage(Message):
     PAYLOAD_BYTES = 8  # round(2) + op(1) + epoch/deadline(5)
 
 
-@dataclass
+@dataclass(slots=True)
 class SliceMessage(Message):
     """An encrypted data slice (Phase II).
 
@@ -150,7 +156,7 @@ class SliceMessage(Message):
         return 5 + len(self.ciphertext)
 
 
-@dataclass
+@dataclass(slots=True)
 class AggregateMessage(Message):
     """An intermediate aggregation result travelling up a tree (Phase III).
 
@@ -175,7 +181,7 @@ class AggregateMessage(Message):
         return 13 + 2 * len(self.origins)
 
 
-@dataclass
+@dataclass(slots=True)
 class AckMessage(Message):
     """Protocol-level acknowledgement (loss-tolerant mode only).
 

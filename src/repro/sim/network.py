@@ -43,6 +43,10 @@ class Network:
         Physical and MAC layer parameters.
     keep_frames:
         Retain a full frame log in the trace (needed by attacks).
+    trace_detail:
+        Trace granularity, passed through to :class:`TraceCollector`:
+        ``"full"`` (default) or ``"counters"`` for throughput runs that
+        only need aggregate totals.
     fault_plan:
         A declarative :class:`~repro.faults.FaultPlan`; when given, a
         :class:`~repro.faults.FaultInjector` is armed on this network
@@ -60,12 +64,13 @@ class Network:
         radio_config: Optional[RadioConfig] = None,
         mac_config: Optional[MacConfig] = None,
         keep_frames: bool = False,
+        trace_detail: str = "full",
         fault_plan=None,
     ):
         self.topology = topology
         self.streams = streams if streams is not None else RngStreams(seed)
         self.engine = EventEngine()
-        self.trace = TraceCollector(keep_frames=keep_frames)
+        self.trace = TraceCollector(keep_frames=keep_frames, detail=trace_detail)
         self.radio = RadioMedium(
             engine=self.engine,
             topology=topology,

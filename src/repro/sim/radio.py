@@ -13,12 +13,21 @@ Because the medium is shared, every neighbour of a sender *hears* every
 frame — unicast frames are delivered only to their addressee but are
 recorded as overheard, which is exactly the surface the eavesdropping
 attack (Section II-C) exploits.
+
+Hot-path notes: neighbour iteration order must be sorted (it fixes the
+RNG draw order and therefore byte-for-byte reproducibility), so the
+sorted tuples are cached per node and invalidated via
+``Topology.version``.  When collisions are disabled the medium takes a
+perfect-channel fast path that skips the per-receiver
+:class:`Reception` bookkeeping entirely; it is observably identical to
+the general path (same trace records, same RNG draws, same delivery
+order), which ``tests/sim/test_radio_fastpath.py`` asserts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -65,7 +74,7 @@ class RadioConfig:
             raise SimulationError("propagation_delay must be >= 0")
 
 
-@dataclass
+@dataclass(slots=True)
 class Reception:
     """An in-flight frame as experienced by one receiver."""
 
@@ -75,9 +84,12 @@ class Reception:
     end: float
     collided: bool = False
     record: Optional[FrameRecord] = None
+    #: position inside ``RadioMedium._active_receptions[receiver]`` so
+    #: conclusion can swap-pop instead of an O(n) list.remove.
+    _active_index: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class _Transmission:
     """An in-flight frame as produced by its sender."""
 
@@ -147,6 +159,26 @@ class RadioMedium:
         #: optional per-link loss process installed by the fault layer.
         self.loss_model: Optional[LossModelFn] = None
         self._node_alive = node_alive
+        #: sorted neighbour tuples, keyed on Topology.version (sorted
+        #: order fixes the per-frame RNG draw order).
+        self._neighbor_cache: Dict[int, Tuple[int, ...]] = {}
+        self._neighbor_cache_version = topology.version
+        #: test hook — when True the perfect-channel fast path is
+        #: disabled so equivalence tests can diff both paths.  Set it
+        #: before the first transmit; the two paths do not share
+        #: in-flight bookkeeping.
+        self._force_generic_finish = False
+
+    def _sorted_neighbors(self, node_id: int) -> Tuple[int, ...]:
+        """Sorted one-hop neighbours of ``node_id`` (cached)."""
+        if self._neighbor_cache_version != self.topology.version:
+            self._neighbor_cache.clear()
+            self._neighbor_cache_version = self.topology.version
+        neighbors = self._neighbor_cache.get(node_id)
+        if neighbors is None:
+            neighbors = tuple(sorted(self.topology.neighbors(node_id)))
+            self._neighbor_cache[node_id] = neighbors
+        return neighbors
 
     # ------------------------------------------------------------------
     # Channel state queries (used by the MAC for carrier sensing)
@@ -156,19 +188,37 @@ class RadioMedium:
         return message.size_bytes * 8.0 / self.config.data_rate_bps
 
     def is_transmitting(self, node_id: int) -> bool:
-        """True while ``node_id`` has a frame on the air."""
+        """True while ``node_id`` has a frame on the air.
+
+        Prunes the node's entry once its frame has ended, so the map
+        only ever holds frames genuinely on the air.
+        """
         until = self._transmitting_until.get(node_id)
-        return until is not None and until > self.engine.now
+        if until is None:
+            return False
+        if until > self.engine.now:
+            return True
+        del self._transmitting_until[node_id]
+        return False
 
     def senses_busy(self, node_id: int) -> bool:
-        """Carrier sense: the node or any neighbour is transmitting."""
+        """Carrier sense: the node or any neighbour is transmitting.
+
+        Stale entries encountered along the way are pruned (safe: the
+        iteration is over the cached neighbour tuple, not the map).
+        """
         if self.is_transmitting(node_id):
             return True
+        transmitting = self._transmitting_until
+        if not transmitting:
+            return False
         now = self.engine.now
-        for nbr in self.topology.neighbors(node_id):
-            until = self._transmitting_until.get(nbr)
-            if until is not None and until > now:
-                return True
+        for nbr in self._sorted_neighbors(node_id):
+            until = transmitting.get(nbr)
+            if until is not None:
+                if until > now:
+                    return True
+                del transmitting[nbr]
         return False
 
     # ------------------------------------------------------------------
@@ -186,22 +236,37 @@ class RadioMedium:
             raise SimulationError(
                 f"node {sender} started a frame while already transmitting"
             )
-        start = now + self.config.propagation_delay
-        end = start + self.airtime(message)
+        config = self.config
+        start = now + config.propagation_delay
+        end = start + message.size_bytes * 8.0 / config.data_rate_bps
         self._transmitting_until[sender] = end
 
         record = self.trace.record_send(now, message)
+        receivers = self._sorted_neighbors(sender)
+
+        if not config.collisions_enabled and not self._force_generic_finish:
+            # Perfect channel: no frame can collide, so skip the
+            # per-receiver Reception bookkeeping and conclude straight
+            # from the cached neighbour tuple at end-of-frame.
+            self.engine.post_at(
+                end,
+                lambda: self._finish_fast(message, receivers, record),
+                priority=-1,
+            )
+            return end
+
         transmission = _Transmission(
             message=message, sender=sender, start=start, end=end
         )
 
-        if self.config.collisions_enabled:
+        if config.collisions_enabled:
             # Half-duplex: anything the sender was receiving is ruined.
             for reception in self._active_receptions.get(sender, []):
                 if reception.end > start and not reception.collided:
                     reception.collided = True
 
-        for receiver in sorted(self.topology.neighbors(sender)):
+        active_map = self._active_receptions
+        for receiver in receivers:
             reception = Reception(
                 message=message,
                 receiver=receiver,
@@ -209,12 +274,16 @@ class RadioMedium:
                 end=end,
                 record=record,
             )
-            if self.config.collisions_enabled:
+            if config.collisions_enabled:
                 self._apply_collisions(reception)
             transmission.receptions.append(reception)
-            self._active_receptions.setdefault(receiver, []).append(reception)
+            active = active_map.get(receiver)
+            if active is None:
+                active = active_map[receiver] = []
+            reception._active_index = len(active)
+            active.append(reception)
 
-        self.engine.schedule_at(
+        self.engine.post_at(
             end, lambda: self._finish_transmission(transmission), priority=-1
         )
         return end
@@ -236,12 +305,21 @@ class RadioMedium:
         self._transmitting_until.pop(transmission.sender, None)
         addressee_got_it = message.is_broadcast
         addressee_seen = message.is_broadcast
+        active_map = self._active_receptions
         for reception in transmission.receptions:
-            active = self._active_receptions.get(reception.receiver)
+            active = active_map.get(reception.receiver)
             if active is not None:
-                active.remove(reception)
+                # Swap-pop using the reception's recorded slot; order
+                # inside the active list is immaterial (collision
+                # checks only set flags).
+                index = reception._active_index
+                last = active[-1]
+                if last is not reception:
+                    active[index] = last
+                    last._active_index = index
+                active.pop()
                 if not active:
-                    del self._active_receptions[reception.receiver]
+                    del active_map[reception.receiver]
             decoded = self._conclude_reception(reception, message)
             if not message.is_broadcast and reception.receiver == message.dst:
                 addressee_seen = True
@@ -251,6 +329,62 @@ class RadioMedium:
             self.trace.record_drop(
                 None, message, message.dst, DropReason.NO_RECEIVER
             )
+        if self._notify_sender is not None:
+            self._notify_sender(message, addressee_got_it)
+
+    def _finish_fast(
+        self,
+        message: Message,
+        receivers: Tuple[int, ...],
+        record: Optional[FrameRecord],
+    ) -> None:
+        """Perfect-channel end-of-frame.
+
+        Must stay observably identical to ``_finish_transmission`` +
+        ``_conclude_reception`` with ``collided`` always False: same
+        receiver order, same drop-check order (alive -> Bernoulli ->
+        loss model), same trace records, same RNG draws.
+        """
+        self._transmitting_until.pop(message.src, None)
+        src = message.src
+        dst = message.dst
+        is_broadcast = message.is_broadcast
+        addressee_got_it = is_broadcast
+        addressee_seen = is_broadcast
+        trace = self.trace
+        deliver = self._deliver
+        node_alive = self._node_alive
+        loss_model = self.loss_model
+        loss_p = self.config.loss_probability
+        rng_random = self._rng.random if loss_p > 0.0 else None
+        now = self.engine.now
+        for receiver in receivers:
+            if node_alive is not None and not node_alive(receiver):
+                trace.record_drop(
+                    record, message, receiver, DropReason.RECEIVER_DEAD
+                )
+                decoded = False
+            elif rng_random is not None and rng_random() < loss_p:
+                trace.record_drop(
+                    record, message, receiver, DropReason.RANDOM_LOSS
+                )
+                decoded = False
+            elif loss_model is not None and loss_model(src, receiver, now):
+                trace.record_drop(
+                    record, message, receiver, DropReason.BURST_LOSS
+                )
+                decoded = False
+            else:
+                addressed = is_broadcast or dst == receiver
+                if addressed:
+                    trace.record_delivery(record, message, receiver)
+                deliver(receiver, message, addressed)
+                decoded = True
+            if not is_broadcast and receiver == dst:
+                addressee_seen = True
+                addressee_got_it = decoded
+        if not addressee_seen:
+            trace.record_drop(None, message, dst, DropReason.NO_RECEIVER)
         if self._notify_sender is not None:
             self._notify_sender(message, addressee_got_it)
 

@@ -28,7 +28,7 @@ class DropReason:
     NO_RECEIVER = "no-receiver"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FaultEvent:
     """One injected fault, as recorded by the fault layer.
 
@@ -41,7 +41,7 @@ class FaultEvent:
     node: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class FrameRecord:
     """One transmission attempt, as seen on the air.
 
@@ -69,10 +69,23 @@ class TraceCollector:
         When true, every transmission is kept as a :class:`FrameRecord`
         (needed by the eavesdropper attack and debugging); counters are
         always kept.
+    detail:
+        ``"full"`` (default) keeps every counter, including the
+        per-node and per-link breakdowns behind Figure 4 and the fault
+        experiments.  ``"counters"`` keeps only the cheap aggregate
+        counters (frames/bytes/deliveries/drops by kind), skipping the
+        per-node dict updates on every frame — use it for throughput
+        runs where only the totals matter.
     """
 
-    def __init__(self, *, keep_frames: bool = False):
+    def __init__(self, *, keep_frames: bool = False, detail: str = "full"):
+        if detail not in ("full", "counters"):
+            raise ValueError(
+                f"detail must be 'full' or 'counters', got {detail!r}"
+            )
         self.keep_frames = keep_frames
+        self.detail = detail
+        self._counters_only = detail == "counters"
         self.frames: List[FrameRecord] = []
         self.sent_count: Counter = Counter()  # kind -> frames sent
         self.sent_bytes: Counter = Counter()  # kind -> bytes sent
@@ -96,19 +109,23 @@ class TraceCollector:
     # ------------------------------------------------------------------
     def record_send(self, time: float, message: Message) -> Optional[FrameRecord]:
         """Record a transmission attempt; returns the record if kept."""
-        self.sent_count[message.kind] += 1
-        self.sent_bytes[message.kind] += message.size_bytes
-        self.sent_by_node[message.src] += 1
-        self.sent_bytes_by_node[message.src] += message.size_bytes
-        self.sent_kind_by_node[message.src][message.kind] += 1
+        kind = message.kind
+        size = message.size_bytes
+        self.sent_count[kind] += 1
+        self.sent_bytes[kind] += size
+        if not self._counters_only:
+            src = message.src
+            self.sent_by_node[src] += 1
+            self.sent_bytes_by_node[src] += size
+            self.sent_kind_by_node[src][kind] += 1
         if not self.keep_frames:
             return None
         record = FrameRecord(
             time=time,
-            kind=message.kind,
+            kind=kind,
             src=message.src,
             dst=message.dst,
-            size_bytes=message.size_bytes,
+            size_bytes=size,
             message=message,
         )
         self.frames.append(record)
@@ -119,7 +136,8 @@ class TraceCollector:
     ) -> None:
         """Record a successful delivery of ``message`` at ``receiver``."""
         self.delivered_count[message.kind] += 1
-        self.received_kind_by_node[receiver][message.kind] += 1
+        if not self._counters_only:
+            self.received_kind_by_node[receiver][message.kind] += 1
         if record is not None:
             record.delivered_to.append(receiver)
 
@@ -132,7 +150,8 @@ class TraceCollector:
     ) -> None:
         """Record a failed delivery and its reason."""
         self.dropped_count[reason] += 1
-        self.dropped_by_link[(message.src, receiver)][reason] += 1
+        if not self._counters_only:
+            self.dropped_by_link[(message.src, receiver)][reason] += 1
         if record is not None:
             record.dropped_at.append((receiver, reason))
 

@@ -73,3 +73,68 @@ class TestXor:
 
     def test_empty_plaintext(self):
         assert xor_encrypt(b"", KEY, NONCE) == b""
+
+
+class TestReferenceEquivalence:
+    """The optimized (cached, big-int XOR) implementations must stay
+    bitwise-identical to the original per-byte reference code, which is
+    kept in-tree precisely for this comparison."""
+
+    # 0, 1, block boundary +/- 1, exact blocks, multi-block, odd tail.
+    LENGTHS = (0, 1, 31, 32, 33, 63, 64, 65, 100, 256, 1000)
+
+    def test_keystream_matches_reference(self):
+        from repro.crypto.cipher import _keystream_reference
+
+        for length in self.LENGTHS:
+            assert keystream(KEY, NONCE, length) == _keystream_reference(
+                KEY, NONCE, length
+            )
+
+    def test_xor_encrypt_matches_reference(self):
+        from repro.crypto.cipher import _xor_encrypt_reference
+
+        rng = __import__("random").Random(42)
+        for length in self.LENGTHS:
+            plaintext = bytes(rng.randrange(256) for _ in range(length))
+            assert xor_encrypt(plaintext, KEY, NONCE) == _xor_encrypt_reference(
+                plaintext, KEY, NONCE
+            )
+
+    def test_xor_encrypt_matches_reference_across_keys_and_nonces(self):
+        from repro.crypto.cipher import _xor_encrypt_reference
+
+        for salt in range(8):
+            key = bytes((salt + i) % 256 for i in range(KEY_BYTES))
+            nonce = (1000 + salt).to_bytes(NONCE_BYTES, "big")
+            plaintext = bytes((salt * 7 + i) % 256 for i in range(40))
+            assert xor_encrypt(plaintext, key, nonce) == _xor_encrypt_reference(
+                plaintext, key, nonce
+            )
+
+    def test_involution_at_every_length(self):
+        for length in self.LENGTHS:
+            data = bytes((i * 13) % 256 for i in range(length))
+            assert xor_encrypt(xor_encrypt(data, KEY, NONCE), KEY, NONCE) == data
+
+    def test_leading_zero_bytes_preserved(self):
+        # The big-int XOR must not drop leading zeros of either side.
+        plaintext = b"\x00\x00\x00\x07"
+        ciphertext = xor_encrypt(plaintext, KEY, NONCE)
+        assert len(ciphertext) == len(plaintext)
+        assert xor_decrypt(ciphertext, KEY, NONCE) == plaintext
+
+    def test_cached_calls_stay_correct(self):
+        # Same (plaintext, key, nonce) twice: the LRU path must return
+        # the same ciphertext as the cold path did.
+        plaintext = b"retransmitted-slice-frame"
+        first = xor_encrypt(plaintext, KEY, NONCE)
+        second = xor_encrypt(plaintext, KEY, NONCE)
+        assert first == second
+        assert xor_decrypt(first, KEY, NONCE) == plaintext
+
+    def test_cached_errors_still_raised(self):
+        with pytest.raises(CryptoError):
+            xor_encrypt(b"x", b"short", NONCE)
+        with pytest.raises(CryptoError):
+            xor_encrypt(b"x", b"short", NONCE)

@@ -136,3 +136,56 @@ class TestFrameLog:
         msg = hello(src=2)
         trace.record_delivery(None, msg, receiver=7)
         assert trace.received_kind_by_node[7]["hello"] == 1
+
+
+class TestCountersDetailLevel:
+    """detail="counters" keeps aggregate totals but skips the per-node
+    and per-link breakdowns (the cheap trace level for throughput runs)."""
+
+    def _exercise(self, trace):
+        trace.record_send(0.0, hello(src=3))
+        msg = hello(src=3)
+        trace.record_send(0.1, msg)
+        trace.record_delivery(None, msg, receiver=4)
+        trace.record_drop(None, msg, receiver=5, reason=DropReason.RANDOM_LOSS)
+
+    def test_aggregate_totals_kept(self):
+        trace = TraceCollector(detail="counters")
+        self._exercise(trace)
+        assert trace.sent_count["hello"] == 2
+        assert trace.total_frames_sent == 2
+        assert trace.total_bytes_sent > 0
+        assert trace.delivered_count["hello"] == 1
+        assert trace.dropped_count[DropReason.RANDOM_LOSS] == 1
+        assert trace.total_drops == 1
+        assert trace.loss_rate() == 0.5
+
+    def test_per_node_and_per_link_breakdowns_skipped(self):
+        trace = TraceCollector(detail="counters")
+        self._exercise(trace)
+        assert len(trace.sent_by_node) == 0
+        assert len(trace.sent_bytes_by_node) == 0
+        assert len(trace.sent_kind_by_node) == 0
+        assert len(trace.received_kind_by_node) == 0
+        assert len(trace.dropped_by_link) == 0
+
+    def test_full_detail_keeps_breakdowns(self):
+        trace = TraceCollector(detail="full")
+        self._exercise(trace)
+        assert trace.sent_by_node[3] == 2
+        assert trace.dropped_by_link[(3, 5)][DropReason.RANDOM_LOSS] == 1
+
+    def test_invalid_detail_rejected(self):
+        with pytest.raises(ValueError):
+            TraceCollector(detail="verbose")
+
+    def test_network_passes_detail_through(self):
+        from repro.net.topology import grid_deployment
+        from repro.sim.network import Network
+
+        network = Network(
+            grid_deployment(1, 2, spacing=10.0, radio_range=20.0),
+            trace_detail="counters",
+        )
+        assert network.trace.detail == "counters"
+        assert network.trace._counters_only
