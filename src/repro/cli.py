@@ -522,10 +522,14 @@ def _tools_bench(args) -> int:
     if args.compare is None:
         return 0
     baseline = perf.load_report(args.compare)
-    rows, unmatched = perf.compare_reports(
+    rows, unmatched, warnings = perf.compare_reports(
         report, baseline, fail_above=args.fail_above
     )
-    print(perf.render_comparison(rows, unmatched, fail_above=args.fail_above))
+    print(
+        perf.render_comparison(
+            rows, unmatched, fail_above=args.fail_above, warnings=warnings
+        )
+    )
     return 1 if any(row.regressed for row in rows) else 0
 
 

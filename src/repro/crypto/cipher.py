@@ -14,13 +14,22 @@ Hot-path notes: the XOR is done in one shot over big integers instead
 of per byte, and two LRU layers serve the simulator's retransmission
 pattern (the MAC re-encrypts the *same* frame on every ARQ attempt):
 ``_expand`` caches expanded keystreams per ``(key, nonce, length)``
-and :func:`xor_encrypt` caches whole ciphertexts per
+and ``_xor_encrypt_cached`` caches whole ciphertexts per
 ``(plaintext, key, nonce)``.  Both caches are pure — nonces are derived
 from ``(src, dst, round, seq)`` and never reused with different
 plaintexts by the protocols, and even if they were, XOR is a pure
 function of its inputs, so cached results are always correct.  The
-``_keystream_reference``/``_xor_encrypt_reference`` implementations
-preserve the original byte-at-a-time semantics for equivalence tests.
+public :func:`xor_encrypt` normalizes any bytes-like plaintext
+(``bytes``, ``bytearray``, ``memoryview``) before the cached call, so
+unhashable inputs keep working.  Tradeoff, stated plainly: the caches
+pin up to ``maxsize`` recent ``(plaintext, key, nonce, ciphertext)``
+tuples in process memory for the process lifetime.  That is acceptable
+here because this cipher exists to *model* link encryption in a
+simulator (see above — it is explicitly not production security);
+do not reuse this caching pattern where key/plaintext residency
+matters.  The ``_keystream_reference``/``_xor_encrypt_reference``
+implementations preserve the original byte-at-a-time semantics for
+equivalence tests.
 """
 
 from __future__ import annotations
@@ -67,8 +76,7 @@ def keystream(key: bytes, nonce: bytes, length: int) -> bytes:
 
 
 @lru_cache(maxsize=4096)
-def xor_encrypt(plaintext: bytes, key: bytes, nonce: bytes) -> bytes:
-    """Encrypt by XOR with the keystream (involution)."""
+def _xor_encrypt_cached(plaintext: bytes, key: bytes, nonce: bytes) -> bytes:
     length = len(plaintext)
     stream_int = _expand(key, nonce, length)[1]
     if length == 0:
@@ -76,6 +84,19 @@ def xor_encrypt(plaintext: bytes, key: bytes, nonce: bytes) -> bytes:
     return (int.from_bytes(plaintext, "big") ^ stream_int).to_bytes(
         length, "big"
     )
+
+
+def xor_encrypt(plaintext: bytes, key: bytes, nonce: bytes) -> bytes:
+    """Encrypt by XOR with the keystream (involution).
+
+    ``plaintext`` may be any bytes-like object (``bytes``,
+    ``bytearray``, ``memoryview``); it is normalized to ``bytes``
+    before the cached call, so unhashable inputs work.  See the module
+    docstring for the cache-residency tradeoff.
+    """
+    if type(plaintext) is not bytes:
+        plaintext = bytes(plaintext)
+    return _xor_encrypt_cached(plaintext, key, nonce)
 
 
 def xor_decrypt(ciphertext: bytes, key: bytes, nonce: bytes) -> bytes:

@@ -67,15 +67,28 @@ def compare_reports(
     baseline: Dict[str, object],
     *,
     fail_above: float,
-) -> Tuple[List[ComparisonRow], List[str]]:
-    """Return ``(rows, unmatched)`` for ``current`` vs ``baseline``.
+) -> Tuple[List[ComparisonRow], List[str], List[str]]:
+    """Return ``(rows, unmatched, warnings)`` for ``current`` vs ``baseline``.
 
     ``fail_above`` is the tolerated throughput drop in percent; a row
     regresses when ``current < baseline * (1 - fail_above/100)``.
     ``unmatched`` lists benchmark names present in exactly one report.
+    ``warnings`` flags comparisons whose numbers are not directly
+    commensurable (quick-mode report vs full-mode baseline); warnings
+    never fail the gate by themselves.
     """
     if fail_above < 0:
         raise ConfigurationError(f"--fail-above must be >= 0, got {fail_above}")
+    warnings: List[str] = []
+    cur_quick = bool(current.get("quick"))
+    base_quick = bool(baseline.get("quick"))
+    if cur_quick != base_quick:
+        warnings.append(
+            f"mode mismatch: current report is "
+            f"{'quick' if cur_quick else 'full'} but baseline is "
+            f"{'quick' if base_quick else 'full'}; absolute throughput "
+            f"is not directly comparable across modes"
+        )
     current_index = _result_index(current)
     baseline_index = _result_index(baseline)
     rows: List[ComparisonRow] = []
@@ -101,7 +114,7 @@ def compare_reports(
     unmatched = sorted(
         set(current_index).symmetric_difference(baseline_index)
     )
-    return rows, unmatched
+    return rows, unmatched, warnings
 
 
 def render_comparison(
@@ -109,9 +122,12 @@ def render_comparison(
     unmatched: Sequence[str],
     *,
     fail_above: float,
+    warnings: Sequence[str] = (),
 ) -> str:
     """Terminal-friendly comparison table plus verdict line."""
     lines = [f"regression gate: fail when throughput drops > {fail_above:g}%"]
+    for warning in warnings:
+        lines.append(f"  WARNING: {warning}")
     if not rows:
         lines.append("  (no benchmarks in common with the baseline)")
     else:

@@ -156,13 +156,20 @@ def collect_environment() -> Dict[str, object]:
 
 
 def _git_sha() -> str:
+    """Sha of the repository the bench was *invoked* from.
+
+    Resolved from the current working directory, not the module path:
+    when ``repro`` is installed into site-packages the module lives
+    outside the benchmarked repo, and the sha of whatever repository
+    happens to contain site-packages would corrupt provenance.
+    """
     try:
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],
             capture_output=True,
             text=True,
             timeout=10,
-            cwd=os.path.dirname(os.path.abspath(__file__)),
+            cwd=os.getcwd(),
         )
     except (OSError, subprocess.TimeoutExpired):
         return "unknown"

@@ -172,13 +172,19 @@ class EventEngine:
         self._maybe_compact()
 
     def _maybe_compact(self) -> None:
-        """Drop cancelled events when they dominate the heap."""
+        """Drop cancelled events when they dominate the heap.
+
+        Compacts *in place*: callbacks can cancel timers while
+        :meth:`run` is draining, and ``run`` holds a local alias to the
+        heap list, so the list's identity must never change.
+        """
+        heap = self._heap
         if (
-            len(self._heap) >= self.COMPACT_MIN_SIZE
-            and self._cancelled_pending * 2 > len(self._heap)
+            len(heap) >= self.COMPACT_MIN_SIZE
+            and self._cancelled_pending * 2 > len(heap)
         ):
-            self._heap = [entry for entry in self._heap if entry[3] is not None]
-            heapq.heapify(self._heap)
+            heap[:] = [entry for entry in heap if entry[3] is not None]
+            heapq.heapify(heap)
             self._cancelled_pending = 0
 
     def schedule(

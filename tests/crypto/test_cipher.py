@@ -74,6 +74,26 @@ class TestXor:
     def test_empty_plaintext(self):
         assert xor_encrypt(b"", KEY, NONCE) == b""
 
+    def test_bytes_like_plaintexts_accepted(self):
+        # Regression: an lru_cache on xor_encrypt made bytearray /
+        # memoryview plaintexts raise TypeError (unhashable) and pinned
+        # plaintext/ciphertext pairs in a process-global cache.
+        plaintext = b"slice payload 42"
+        expected = xor_encrypt(plaintext, KEY, NONCE)
+        assert xor_encrypt(bytearray(plaintext), KEY, NONCE) == expected
+        assert xor_encrypt(memoryview(plaintext), KEY, NONCE) == expected
+        assert xor_decrypt(bytearray(expected), KEY, NONCE) == plaintext
+
+    def test_public_entrypoint_is_not_the_cached_function(self):
+        # The LRU layer must sit behind a normalizing wrapper: applying
+        # it to the public function directly is what broke bytes-like
+        # inputs in the first place.
+        import repro.crypto.cipher as cipher_mod
+
+        assert not hasattr(xor_encrypt, "cache_info")
+        assert hasattr(cipher_mod._xor_encrypt_cached, "cache_info")
+        assert hasattr(cipher_mod._expand, "cache_info")
+
 
 class TestReferenceEquivalence:
     """The optimized (cached, big-int XOR) implementations must stay

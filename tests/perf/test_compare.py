@@ -40,31 +40,31 @@ def report_with(values, **extra):
 class TestCompareReports:
     def test_no_regression_when_identical(self):
         base = report_with({"a": 100.0, "b": 200.0})
-        rows, unmatched = compare_reports(base, base, fail_above=25.0)
+        rows, unmatched, _ = compare_reports(base, base, fail_above=25.0)
         assert not unmatched
         assert all(not row.regressed for row in rows)
 
     def test_improvement_never_regresses(self):
-        rows, _ = compare_reports(
+        rows, _, _ = compare_reports(
             report_with({"a": 400.0}), report_with({"a": 100.0}), fail_above=25.0
         )
         assert rows[0].change_pct == pytest.approx(300.0)
         assert not rows[0].regressed
 
     def test_drop_beyond_threshold_regresses(self):
-        rows, _ = compare_reports(
+        rows, _, _ = compare_reports(
             report_with({"a": 70.0}), report_with({"a": 100.0}), fail_above=25.0
         )
         assert rows[0].regressed
 
     def test_drop_within_threshold_passes(self):
-        rows, _ = compare_reports(
+        rows, _, _ = compare_reports(
             report_with({"a": 80.0}), report_with({"a": 100.0}), fail_above=25.0
         )
         assert not rows[0].regressed
 
     def test_unmatched_names_reported_both_ways(self):
-        rows, unmatched = compare_reports(
+        rows, unmatched, _ = compare_reports(
             report_with({"a": 1.0, "only-current": 1.0}),
             report_with({"a": 1.0, "only-baseline": 1.0}),
             fail_above=25.0,
@@ -79,12 +79,35 @@ class TestCompareReports:
             )
 
     def test_render_mentions_verdict(self):
-        rows, unmatched = compare_reports(
+        rows, unmatched, _ = compare_reports(
             report_with({"a": 50.0}), report_with({"a": 100.0}), fail_above=25.0
         )
         text = render_comparison(rows, unmatched, fail_above=25.0)
         assert "REGRESSED" in text
         assert "FAIL" in text
+
+    def test_same_mode_produces_no_warnings(self):
+        base = report_with({"a": 100.0})
+        _, _, warnings = compare_reports(base, base, fail_above=25.0)
+        assert warnings == []
+
+    def test_quick_vs_full_mode_mismatch_warns(self):
+        current = report_with({"a": 100.0})  # quick=True
+        baseline = report_with({"a": 100.0})
+        baseline["quick"] = False
+        rows, unmatched, warnings = compare_reports(
+            current, baseline, fail_above=25.0
+        )
+        assert len(warnings) == 1
+        assert "mode mismatch" in warnings[0]
+        # Warnings are surfaced but never fail the gate by themselves.
+        assert all(not row.regressed for row in rows)
+        text = render_comparison(
+            rows, unmatched, fail_above=25.0, warnings=warnings
+        )
+        assert "WARNING" in text
+        assert "mode mismatch" in text
+        assert "PASS" in text
 
 
 class TestLoadReport:

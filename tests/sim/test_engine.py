@@ -243,6 +243,40 @@ class TestCompaction:
         assert engine.cancelled_events == 1
         assert engine.pending_events == 0
 
+    def test_compaction_during_run_keeps_heap_alive(self):
+        # Regression: _maybe_compact used to rebind self._heap to a new
+        # list while run() held a local alias to the old one.  A
+        # callback that cancels enough timers to trigger compaction
+        # mid-run then made the engine (a) drop events scheduled after
+        # the compaction, (b) drive _cancelled_pending negative, and
+        # (c) re-fire already-executed events on the next run().
+        engine = EventEngine()
+        fired = []
+        handles = []
+
+        def cancel_and_reschedule():
+            # Cancel >half of a >=64-entry heap from inside a callback
+            # (protocols cancel ACK timers exactly like this), forcing
+            # compaction while run() is draining, then schedule more
+            # work that must not be lost.
+            for handle in handles:
+                handle.cancel()
+            engine.schedule(1.0, lambda: fired.append("after-compaction"))
+
+        engine.schedule(0.5, cancel_and_reschedule)
+        handles.extend(
+            engine.schedule(2.0, lambda: None) for _ in range(100)
+        )
+        engine.run()
+        assert fired == ["after-compaction"]
+        assert engine._cancelled_pending >= 0
+        assert engine.pending_events == 0
+        # Nothing already executed may re-fire on a subsequent run.
+        before = engine.processed_events
+        engine.run()
+        assert fired == ["after-compaction"]
+        assert engine.processed_events == before
+
     def test_post_entries_survive_compaction(self):
         engine = EventEngine()
         fired = []
