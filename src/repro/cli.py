@@ -54,7 +54,7 @@ _FAST_SIZES = (200, 300, 400)
 
 #: First-positional words routed to the management parser instead of
 #: the experiment runner.
-TOOL_COMMANDS = ("bench", "cache", "list", "store")
+TOOL_COMMANDS = ("bench", "cache", "list", "report", "store")
 
 Runner = Callable[..., ExperimentTable]
 
@@ -224,6 +224,22 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cell-store location (implies --cache)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a structured repro-run/1 JSON run report (per-phase "
+            "wall time plus engine/radio/MAC/store counters; pretty-print "
+            "it with 'ipda report PATH')"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-events",
+        metavar="PATH",
+        default=None,
+        help="also write the phase event stream as JSONL",
+    )
     return parser
 
 
@@ -316,23 +332,90 @@ def _experiment_main(args) -> int:
             refuse_clobber(os.path.join(args.csv, f"{name}.csv"))
         if args.svg:
             refuse_clobber(os.path.join(args.svg, f"{name}.svg"))
+    from .obs import MetricsRegistry, using_registry
+
     store = _resolve_cli_cache(args)
     previous = runner_module.set_default_cache(store)
+    capture_events = bool(args.metrics_events)
+    report_entries: List[dict] = []
+    events: List[dict] = []
     try:
         for name in names:
+            registry = MetricsRegistry(capture_events=capture_events)
             started = time.time()
-            table = EXPERIMENTS[name](
-                args.fast, args.repetitions, args.seed, args.jobs
-            )
+            with using_registry(registry):
+                table = EXPERIMENTS[name](
+                    args.fast, args.repetitions, args.seed, args.jobs
+                )
             elapsed = time.time() - started
             print(table.to_text())
             print(_throughput_line(name, table, elapsed))
             print()
             for line in _write_artifacts(name, table, args):
                 print(line)
+            report_entries.append(
+                _report_entry(name, table, elapsed, registry)
+            )
+            if capture_events:
+                for event in registry.events:
+                    events.append(dict(event, experiment=name))
     finally:
         runner_module.set_default_cache(previous)
+    _write_run_report(args, report_entries, events)
     return 0
+
+
+def _report_entry(name, table, elapsed, registry) -> dict:
+    """One ``experiments[]`` entry of the repro-run/1 report."""
+    meta = table.meta
+    entry = {
+        "name": name,
+        "elapsed_seconds": round(elapsed, 6),
+        "metrics": registry.snapshot(),
+    }
+    for key in (
+        "cells",
+        "jobs",
+        "cells_per_second",
+        "shard_cells",
+        "deploy_cache_hits",
+        "deploy_cache_misses",
+        "cache_hits",
+        "cache_misses",
+    ):
+        if key in meta:
+            entry[key] = meta[key]
+    return entry
+
+
+def _write_run_report(args, report_entries, events) -> None:
+    if not (args.metrics_out or args.metrics_events):
+        return
+    from .obs import build_run_report, write_events_jsonl, write_run_report
+
+    report = build_run_report(
+        report_entries, argv=[args.experiment] + _report_argv(args)
+    )
+    if args.metrics_out:
+        path = write_run_report(report, args.metrics_out)
+        print(f"(run report written to {path})")
+    if args.metrics_events:
+        path = write_events_jsonl(events, args.metrics_events)
+        print(f"(phase events written to {path})")
+
+
+def _report_argv(args) -> List[str]:
+    """Reconstruct the option part of argv for report provenance."""
+    argv: List[str] = []
+    if args.fast:
+        argv.append("--fast")
+    if args.repetitions is not None:
+        argv += ["--repetitions", str(args.repetitions)]
+    if args.seed:
+        argv += ["--seed", str(args.seed)]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    return argv
 
 
 # ----------------------------------------------------------------------
@@ -378,6 +461,19 @@ def _build_tools_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "artifacts", nargs="+", metavar="ARTIFACT",
         help="artifact path(s) with .manifest.json sidecars",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="pretty-print a repro-run/1 run report (--metrics-out output)",
+    )
+    report.add_argument(
+        "path", metavar="REPORT",
+        help="path to a run report written with --metrics-out",
+    )
+    report.add_argument(
+        "--json", action="store_true",
+        help="dump the validated report as canonical JSON instead",
     )
 
     bench = sub.add_parser(
@@ -510,11 +606,18 @@ def _tools_bench(args) -> int:
     if args.input is not None:
         report = perf.load_report(args.input)
     else:
-        results = perf.run_benchmarks(
-            args.only, quick=args.quick, repeats=repeats,
-            progress=lambda line: print(line, flush=True),
+        from .obs import MetricsRegistry, using_registry
+
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            results = perf.run_benchmarks(
+                args.only, quick=args.quick, repeats=repeats,
+                progress=lambda line: print(line, flush=True),
+            )
+        report = perf.build_report(
+            results, quick=args.quick, repeats=repeats,
+            metrics=registry.snapshot(),
         )
-        report = perf.build_report(results, quick=args.quick, repeats=repeats)
         if not args.no_write:
             path = perf.write_report(report, args.output)
             print(f"(report written to {path})")
@@ -533,6 +636,19 @@ def _tools_bench(args) -> int:
     return 1 if any(row.regressed for row in rows) else 0
 
 
+def _tools_report(args) -> int:
+    from .obs import load_run_report, render_run_report
+
+    report = load_run_report(args.path)
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        print(render_run_report(report))
+    return 0
+
+
 def _tools_main(argv: List[str]) -> int:
     args = _build_tools_parser().parse_args(argv)
     if args.command == "list":
@@ -541,6 +657,8 @@ def _tools_main(argv: List[str]) -> int:
         return _tools_cache(args)
     if args.command == "bench":
         return _tools_bench(args)
+    if args.command == "report":
+        return _tools_report(args)
     return _tools_store(args)
 
 

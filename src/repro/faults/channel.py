@@ -64,11 +64,29 @@ class GilbertElliottChannel:
             Mapping[Tuple[int, int], GilbertElliottParams]
         ] = None,
         seed: int = 0,
+        start_time: float = 0.0,
     ):
         self.default = default
         self.overrides = dict(overrides or {})
         self.seed = int(seed)
+        self.start_time = float(start_time)
         self._links: Dict[Tuple[int, int], LinkState] = {}
+
+    def arm(self, now: float) -> None:
+        """Anchor the chains at simulation time ``now``.
+
+        A channel installed mid-run must not compute its first dwell
+        over the whole pre-arm interval — that would let the chain mix
+        toward steady state over time during which it did not exist,
+        skewing the burst statistics of the first post-arm frames.
+        Call this when the channel is attached to a live network (the
+        :class:`~repro.faults.injector.FaultInjector` does); links
+        instantiated afterwards start their clocks at ``now``.
+        """
+        self.start_time = float(now)
+        for state in self._links.values():
+            if state.last_time < self.start_time:
+                state.last_time = self.start_time
 
     def params_for(self, src: int, dst: int) -> Optional[GilbertElliottParams]:
         """Effective parameters of one directed link, if any."""
@@ -88,7 +106,10 @@ class GilbertElliottChannel:
             # frames see the same loss regime as late ones.
             in_bad = bool(rng.random() < params.steady_state_bad)
             state = LinkState(
-                in_bad=in_bad, last_time=0.0, rng=rng, params=params
+                in_bad=in_bad,
+                last_time=self.start_time,
+                rng=rng,
+                params=params,
             )
             self._links[key] = state
         return state

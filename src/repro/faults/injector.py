@@ -56,8 +56,13 @@ class FaultInjector:
                 overrides=self.plan.link_params(),
                 seed=self.plan.seed,
             )
+            # Anchor the chains at the arming instant: an injector
+            # armed mid-run must not let the first frame's dwell span
+            # the whole pre-arm interval (networks arm at t=0, where
+            # this is a no-op).
+            self.channel.arm(engine.now)
             self.network.radio.loss_model = self.channel
-            self.network.trace.record_fault(0.0, "burst-loss-model")
+            self.network.trace.record_fault(engine.now, "burst-loss-model")
 
     def _killer(self, node_id: int):
         def fire() -> None:

@@ -1,0 +1,260 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms, phases.
+
+Determinism is the design constraint.  Parallel sweeps must produce the
+same snapshot for any ``--jobs`` value, so every aggregate here is
+order-insensitive (counters add, gauges keep the max, histogram buckets
+add) and histogram bucket edges are fixed at the first observation —
+never derived from the data.  Snapshots are plain sorted dicts of JSON
+scalars, safe to pickle across process pools and to merge in
+cell-enumeration order.
+
+Wall-clock quantities (phases, gauges) are inherently nondeterministic;
+:func:`repro.obs.report.deterministic_view` strips them when comparing
+snapshots across runs.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_CELL_SECONDS_EDGES",
+    "DEFAULT_EVENT_EDGES",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "using_registry",
+]
+
+#: Bucket edges for per-run engine event counts (events per
+#: ``Network.run`` harvest): spans toy tests to million-event sweeps.
+DEFAULT_EVENT_EDGES: Tuple[float, ...] = (
+    10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0
+)
+
+#: Bucket edges for per-cell wall seconds in the runner.
+DEFAULT_CELL_SECONDS_EDGES: Tuple[float, ...] = (
+    0.001, 0.01, 0.1, 1.0, 10.0, 100.0
+)
+
+
+class Histogram:
+    """A fixed-bucket histogram: ``len(edges) + 1`` counts.
+
+    A value lands in bucket ``i`` when ``value <= edges[i]`` (first
+    matching edge); values above the last edge land in the overflow
+    bucket.  Edges are frozen at construction so two histograms of the
+    same metric always merge bucket-by-bucket.
+    """
+
+    __slots__ = ("edges", "counts", "total", "count")
+
+    def __init__(self, edges: Sequence[float]):
+        edges = tuple(float(edge) for edge in edges)
+        if not edges:
+            raise ConfigurationError("histogram needs at least one edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ConfigurationError(
+                f"histogram edges must be strictly increasing, got {edges}"
+            )
+        self.edges = edges
+        self.counts: List[int] = [0] * (len(edges) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Add ``other``'s buckets into this histogram (same edges)."""
+        if other.edges != self.edges:
+            raise ConfigurationError(
+                f"cannot merge histograms with different edges: "
+                f"{self.edges} vs {other.edges}"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+        self.count += other.count
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "total": self.total,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Histogram":
+        histogram = cls(data["edges"])  # type: ignore[arg-type]
+        counts = list(data.get("counts", []))
+        if len(counts) != len(histogram.counts):
+            raise ConfigurationError(
+                f"histogram counts/edges mismatch: {len(counts)} counts "
+                f"for {len(histogram.edges)} edges"
+            )
+        histogram.counts = [int(c) for c in counts]
+        histogram.total = float(data.get("total", 0.0))
+        histogram.count = int(data.get("count", 0))
+        return histogram
+
+
+class MetricsRegistry:
+    """Accumulates counters, gauges, histograms, and phase timings.
+
+    One registry per scope: the runner gives every cell a fresh one and
+    merges the snapshots back in enumeration order, the CLI gives every
+    experiment one, and the bench harness embeds one per report.  All
+    methods are cheap dict operations — no I/O, no locks (registries
+    are never shared across threads).
+
+    ``capture_events=True`` additionally records phase start/end events
+    in :attr:`events` for the optional JSONL stream.
+    """
+
+    def __init__(self, *, capture_events: bool = False):
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        #: phase name -> [seconds, entry count]
+        self.phases: Dict[str, List[float]] = {}
+        self.capture_events = capture_events
+        self.events: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name``; merges keep the maximum observed value."""
+        self.gauges[name] = float(value)
+
+    def observe(
+        self, name: str, value: float, *, edges: Sequence[float]
+    ) -> None:
+        """Record ``value`` into histogram ``name`` (created on first use)."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(edges)
+        histogram.observe(value)
+
+    @contextmanager
+    def phase_timer(self, name: str):
+        """Accumulate wall time spent inside the ``with`` block."""
+        started = time.perf_counter()
+        if self.capture_events:
+            self.events.append(
+                {"event": "phase-start", "phase": name, "at": started}
+            )
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            bucket = self.phases.get(name)
+            if bucket is None:
+                self.phases[name] = [elapsed, 1]
+            else:
+                bucket[0] += elapsed
+                bucket[1] += 1
+            if self.capture_events:
+                self.events.append(
+                    {
+                        "event": "phase-end",
+                        "phase": name,
+                        "at": started + elapsed,
+                        "seconds": elapsed,
+                    }
+                )
+
+    # ------------------------------------------------------------------
+    # Snapshots and merging
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict copy with sorted keys (picklable, JSON-safe)."""
+        return {
+            "counters": {
+                name: self.counters[name] for name in sorted(self.counters)
+            },
+            "gauges": {
+                name: self.gauges[name] for name in sorted(self.gauges)
+            },
+            "histograms": {
+                name: self.histograms[name].as_dict()
+                for name in sorted(self.histograms)
+            },
+            "phases": {
+                name: {
+                    "seconds": self.phases[name][0],
+                    "count": int(self.phases[name][1]),
+                }
+                for name in sorted(self.phases)
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, object]) -> None:
+        """Fold one :meth:`snapshot` dict into this registry.
+
+        Counters and phase times add, gauges keep the max, histograms
+        add bucket-by-bucket.  All operations are commutative and
+        associative, so any merge order yields the same totals — the
+        runner still merges in cell-enumeration order so intermediate
+        states are reproducible too.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            current = self.gauges.get(name)
+            if current is None or value > current:
+                self.gauges[name] = float(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            incoming = Histogram.from_dict(data)
+            existing = self.histograms.get(name)
+            if existing is None:
+                self.histograms[name] = incoming
+            else:
+                existing.merge(incoming)
+        for name, data in snapshot.get("phases", {}).items():
+            bucket = self.phases.get(name)
+            if bucket is None:
+                self.phases[name] = [
+                    float(data["seconds"]), int(data["count"])
+                ]
+            else:
+                bucket[0] += float(data["seconds"])
+                bucket[1] += int(data["count"])
+
+
+# ----------------------------------------------------------------------
+# Active-registry stack
+# ----------------------------------------------------------------------
+#: Innermost active registry last; empty means observability is off and
+#: every instrumentation hook reduces to one ``None`` check.
+_ACTIVE: List[MetricsRegistry] = []
+
+
+def get_registry() -> Optional[MetricsRegistry]:
+    """The innermost active registry, or ``None`` when none is active."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def using_registry(registry: MetricsRegistry):
+    """Make ``registry`` the active sink for the ``with`` block."""
+    _ACTIVE.append(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE.pop()

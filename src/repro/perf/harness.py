@@ -22,7 +22,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from contextlib import nullcontext
+
 from ..errors import ConfigurationError
+from ..obs import get_registry
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -130,15 +133,22 @@ def run_benchmarks(
                 f"{available_benchmarks()}"
             )
         selected = [_REGISTRY[name] for name in names]
+    registry = get_registry()
     results: List[BenchResult] = []
     for bench in selected:
         if progress is not None:
             progress(f"running {bench.name} ...")
         best: Optional[BenchResult] = None
-        for _ in range(repeats):
-            result = bench.fn(quick)
-            if best is None or result.value > best.value:
-                best = result
+        timer = (
+            registry.phase_timer(f"bench.{bench.name}")
+            if registry is not None
+            else nullcontext()
+        )
+        with timer:
+            for _ in range(repeats):
+                result = bench.fn(quick)
+                if best is None or result.value > best.value:
+                    best = result
         assert best is not None
         results.append(best)
     return results
@@ -184,6 +194,7 @@ def build_report(
     quick: bool,
     repeats: int,
     baseline_reference: Optional[Dict[str, object]] = None,
+    metrics: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Assemble the JSON document ``write_report`` persists.
 
@@ -191,6 +202,10 @@ def build_report(
     numbers the committed baseline was measured against (e.g. the
     pre-optimization throughput and the resulting speedups), so a
     single file tells the whole story.
+
+    ``metrics`` is an optional :class:`repro.obs.MetricsRegistry`
+    snapshot gathered while the benchmarks ran (macro benchmarks drive
+    the instrumented runner), embedded verbatim under ``"metrics"``.
     """
     report: Dict[str, object] = {
         "schema": BENCH_SCHEMA,
@@ -202,6 +217,8 @@ def build_report(
     }
     if baseline_reference is not None:
         report["baseline_reference"] = baseline_reference
+    if metrics is not None:
+        report["metrics"] = metrics
     return report
 
 

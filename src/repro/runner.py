@@ -47,6 +47,12 @@ from .experiments.common import (
     ExperimentTable,
     deployment_cache_counters,
 )
+from .obs import (
+    DEFAULT_CELL_SECONDS_EDGES,
+    MetricsRegistry,
+    get_registry,
+    using_registry,
+)
 
 __all__ = [
     "available_experiments",
@@ -156,16 +162,34 @@ def _execute_cell(cell: Cell) -> object:
     return get_spec(cell.experiment).run_cell(cell)
 
 
-def _execute_cell_with_stats(cell: Cell) -> Tuple[object, int, int]:
+def _execute_cell_with_stats(
+    cell: Cell,
+) -> Tuple[object, int, int, Dict[str, object], float, int]:
     """Run one cell, reporting the deployment-LRU delta it caused.
 
     Workers execute one map task at a time, so sampling the process-
     local counters around the call attributes hits/misses exactly.
+
+    The cell runs under a *fresh* metrics registry (whether inline or
+    in a pool worker), and its snapshot travels back with the result;
+    the parent merges snapshots in cell-enumeration order, so the
+    aggregate is identical for any ``--jobs`` value.
     """
     before_hits, before_misses = deployment_cache_counters()
-    result = get_spec(cell.experiment).run_cell(cell)
+    registry = MetricsRegistry()
+    started = time.perf_counter()
+    with using_registry(registry):
+        result = get_spec(cell.experiment).run_cell(cell)
+    seconds = time.perf_counter() - started
     after_hits, after_misses = deployment_cache_counters()
-    return result, after_hits - before_hits, after_misses - before_misses
+    return (
+        result,
+        after_hits - before_hits,
+        after_misses - before_misses,
+        registry.snapshot(),
+        seconds,
+        os.getpid(),
+    )
 
 
 def execute_cells(
@@ -179,17 +203,23 @@ def execute_cells(
     of completion order, which is the whole merge step: position ``i``
     of the result list is cell ``i``, always.
     """
-    results, _hits, _misses = _run_cells_with_stats(list(cells), jobs)
+    results, _hits, _misses, _stats = _run_cells_with_stats(
+        list(cells), jobs
+    )
     return results
 
 
 def _run_cells_with_stats(
     cells: Sequence[Cell], jobs: Optional[int]
-) -> Tuple[List[object], int, int]:
-    """``execute_cells`` plus aggregated deployment-LRU hit/miss counts."""
+) -> Tuple[List[object], int, int, List[Tuple[Dict[str, object], float, int]]]:
+    """``execute_cells`` plus deployment-LRU counts and per-cell stats.
+
+    The fourth element aligns with ``cells``: one ``(metrics snapshot,
+    wall seconds, worker pid)`` triple per cell.
+    """
     cells = list(cells)
     if not cells:
-        return [], 0, 0
+        return [], 0, 0, []
     workers = min(resolve_jobs(jobs), len(cells))
     if workers <= 1:
         outcomes = [_execute_cell_with_stats(cell) for cell in cells]
@@ -204,7 +234,8 @@ def _run_cells_with_stats(
     results = [outcome[0] for outcome in outcomes]
     hits = sum(outcome[1] for outcome in outcomes)
     misses = sum(outcome[2] for outcome in outcomes)
-    return results, hits, misses
+    stats = [(outcome[3], outcome[4], outcome[5]) for outcome in outcomes]
+    return results, hits, misses, stats
 
 
 def execute(
@@ -227,63 +258,101 @@ def execute(
     """
     if isinstance(spec, str):
         spec = get_spec(spec)
-    cell_list = spec.cells(**kwargs)
-    store = _resolve_cache(cache)
-
-    from .store.digest import (
-        cell_digest,
-        digest_root,
-        fingerprint_modules,
-        spec_fingerprint,
+    parent = get_registry()
+    local = MetricsRegistry(
+        capture_events=parent.capture_events if parent is not None else False
     )
+    with using_registry(local):
+        with local.phase_timer("enumerate"):
+            cell_list = spec.cells(**kwargs)
+        store = _resolve_cache(cache)
 
-    fingerprint = spec_fingerprint(spec)
-    digests = [cell_digest(cell, fingerprint) for cell in cell_list]
-    effective_jobs = min(resolve_jobs(jobs), max(len(cell_list), 1))
-    started = time.perf_counter()
+        from .store.digest import (
+            cell_digest,
+            digest_root,
+            fingerprint_modules,
+            spec_fingerprint,
+        )
 
-    cache_meta: Dict[str, object] = {}
-    if store is None:
-        results, deploy_hits, deploy_misses = _run_cells_with_stats(
-            cell_list, effective_jobs
-        )
-    else:
-        results = [None] * len(cell_list)
-        missing: List[int] = []
-        hits = 0
-        bytes_read = 0
-        for index, digest in enumerate(digests):
-            found, value, nbytes = store.get(digest)
-            if found:
-                results[index] = value
-                hits += 1
-                bytes_read += nbytes
-            else:
-                missing.append(index)
-        fresh, deploy_hits, deploy_misses = _run_cells_with_stats(
-            [cell_list[index] for index in missing], effective_jobs
-        )
-        bytes_written = 0
-        for index, value in zip(missing, fresh):
-            results[index] = value
-            bytes_written += store.put(
-                digests[index],
-                value,
-                experiment=spec.name,
-                label=cell_list[index].label,
+        with local.phase_timer("digest"):
+            fingerprint = spec_fingerprint(spec)
+            digests = [cell_digest(cell, fingerprint) for cell in cell_list]
+        effective_jobs = min(resolve_jobs(jobs), max(len(cell_list), 1))
+        started = time.perf_counter()
+
+        cache_meta: Dict[str, object] = {}
+        if store is None:
+            with local.phase_timer("run_cells"):
+                results, deploy_hits, deploy_misses, cell_stats = (
+                    _run_cells_with_stats(cell_list, effective_jobs)
+                )
+        else:
+            results = [None] * len(cell_list)
+            missing: List[int] = []
+            hits = 0
+            bytes_read = 0
+            with local.phase_timer("cache_lookup"):
+                for index, digest in enumerate(digests):
+                    found, value, nbytes = store.get(digest)
+                    if found:
+                        results[index] = value
+                        hits += 1
+                        bytes_read += nbytes
+                    else:
+                        missing.append(index)
+            with local.phase_timer("run_cells"):
+                fresh, deploy_hits, deploy_misses, cell_stats = (
+                    _run_cells_with_stats(
+                        [cell_list[index] for index in missing],
+                        effective_jobs,
+                    )
+                )
+            bytes_written = 0
+            with local.phase_timer("cache_write"):
+                for index, value in zip(missing, fresh):
+                    results[index] = value
+                    bytes_written += store.put(
+                        digests[index],
+                        value,
+                        experiment=spec.name,
+                        label=cell_list[index].label,
+                    )
+                if bytes_written:
+                    store.maybe_gc()
+            local.inc("store.hits", hits)
+            local.inc("store.misses", len(missing))
+            local.inc("store.bytes_read", bytes_read)
+            local.inc("store.bytes_written", bytes_written)
+            cache_meta = {
+                "cache_hits": hits,
+                "cache_misses": len(missing),
+                "cache_bytes_read": bytes_read,
+                "cache_bytes_written": bytes_written,
+                "cache_dir": store.root,
+            }
+
+        elapsed = time.perf_counter() - started
+        # Merge per-cell metric snapshots in enumeration order: the
+        # aggregate (and every intermediate state) is the same for any
+        # worker count.
+        shard_cells: Dict[int, int] = {}
+        for snapshot, seconds, pid in cell_stats:
+            local.merge(snapshot)
+            local.observe(
+                "runner.cell_seconds",
+                seconds,
+                edges=DEFAULT_CELL_SECONDS_EDGES,
             )
-        if bytes_written:
-            store.maybe_gc()
-        cache_meta = {
-            "cache_hits": hits,
-            "cache_misses": len(missing),
-            "cache_bytes_read": bytes_read,
-            "cache_bytes_written": bytes_written,
-            "cache_dir": store.root,
-        }
-
-    elapsed = time.perf_counter() - started
-    table = spec.reduce(cell_list, results)
+            shard_cells[pid] = shard_cells.get(pid, 0) + 1
+        local.inc("runner.cells", len(cell_stats))
+        local.inc("deploy_cache.hits", deploy_hits)
+        local.inc("deploy_cache.misses", deploy_misses)
+        local.gauge(
+            "runner.cells_per_second",
+            len(cell_list) / elapsed if elapsed > 0 else 0.0,
+        )
+        with local.phase_timer("reduce"):
+            table = spec.reduce(cell_list, results)
     fn = spec.run_cell
     table.meta.update(
         {
@@ -305,9 +374,14 @@ def execute(
             ),
             "cell_digest_root": digest_root(digests),
             "cell_kwargs": _jsonable_kwargs(kwargs),
+            "metrics": local.snapshot(),
+            "shard_cells": sorted(shard_cells.values(), reverse=True),
         }
     )
     table.meta.update(cache_meta)
+    if parent is not None:
+        parent.merge(table.meta["metrics"])
+        parent.events.extend(local.events)
     return table
 
 

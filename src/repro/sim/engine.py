@@ -139,6 +139,7 @@ class EventEngine:
         self._running = False
         self._cancelled_pending = 0
         self._cancelled_total = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -165,6 +166,11 @@ class EventEngine:
         """Total cancellations observed over the engine's lifetime."""
         return self._cancelled_total
 
+    @property
+    def compactions(self) -> int:
+        """Heap compactions performed over the engine's lifetime."""
+        return self._compactions
+
     def _note_cancellation(self) -> None:
         """Bookkeeping hook invoked by :meth:`ScheduledEvent.cancel`."""
         self._cancelled_pending += 1
@@ -186,6 +192,7 @@ class EventEngine:
             heap[:] = [entry for entry in heap if entry[3] is not None]
             heapq.heapify(heap)
             self._cancelled_pending = 0
+            self._compactions += 1
 
     def schedule(
         self,

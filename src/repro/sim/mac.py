@@ -92,6 +92,8 @@ class CsmaMac:
         self.dropped_frames = 0
         #: total retransmissions performed (attempts beyond the first).
         self.retransmissions = 0
+        #: backoff timers armed (busy-channel deferrals plus retries).
+        self.backoffs = 0
 
     @property
     def queue_length(self) -> int:
@@ -153,6 +155,7 @@ class CsmaMac:
             self.radio.senses_busy(self.node_id)
             and deferrals < self.config.max_deferrals
         ):
+            self.backoffs += 1
             self.engine.post(
                 self._backoff(deferrals), lambda: self._attempt(deferrals + 1)
             )
@@ -179,6 +182,7 @@ class CsmaMac:
             and self._attempts < self.config.retry_limit
         )
         if retry:
+            self.backoffs += 1
             self.engine.post(
                 self._backoff(self._attempts), lambda: self._attempt(0)
             )

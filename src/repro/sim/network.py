@@ -13,6 +13,7 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..net.topology import Topology
+from ..obs import DEFAULT_EVENT_EDGES, get_registry
 from .engine import EventEngine
 from .mac import CsmaMac, MacConfig
 from .messages import Message
@@ -89,6 +90,9 @@ class Network:
             for node_id in range(topology.node_count)
         }
         self.injector = None
+        #: last absolute counter values harvested into a metrics
+        #: registry; lets repeated run() calls report deltas only.
+        self._metrics_checkpoint: Optional[Dict[str, float]] = None
         if fault_plan is not None:
             from ..faults.injector import FaultInjector
 
@@ -155,8 +159,65 @@ class Network:
     # Running
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> float:
-        """Run the event loop; returns the stop time."""
-        return self.engine.run(until)
+        """Run the event loop; returns the stop time.
+
+        When a metrics registry is active (:mod:`repro.obs`), the
+        counter deltas accumulated by this run are harvested into it;
+        with no registry the harvest is a single ``None`` check, so
+        instrumentation never taxes ordinary simulations.
+        """
+        stopped = self.engine.run(until)
+        if get_registry() is not None:
+            self._harvest_metrics()
+        return stopped
+
+    def _harvest_metrics(self) -> None:
+        """Publish counter deltas since the last harvest."""
+        registry = get_registry()
+        if registry is None:
+            return
+        engine = self.engine
+        radio = self.radio
+        trace = self.trace
+        current: Dict[str, float] = {
+            "engine.processed_events": engine.processed_events,
+            "engine.cancelled_events": engine.cancelled_events,
+            "engine.compactions": engine.compactions,
+            "radio.fast_path_frames": radio.fast_path_frames,
+            "radio.generic_frames": radio.generic_frames,
+            "trace.frames_sent": trace.total_frames_sent,
+            "trace.bytes_sent": trace.total_bytes_sent,
+            "trace.delivered": sum(trace.delivered_count.values()),
+            "trace.dropped": trace.total_drops,
+            "trace.fault_events": len(trace.fault_events),
+        }
+        for reason, count in trace.dropped_count.items():
+            current[f"trace.drops.{reason}"] = count
+        for kind, count in trace.sent_count.items():
+            current[f"trace.frames.{kind}"] = count
+        mac_backoffs = mac_retx = mac_dropped = 0
+        for mac in self._macs.values():
+            mac_backoffs += mac.backoffs
+            mac_retx += mac.retransmissions
+            mac_dropped += mac.dropped_frames
+        current["mac.backoffs"] = mac_backoffs
+        current["mac.retransmissions"] = mac_retx
+        current["mac.dropped_frames"] = mac_dropped
+        previous = self._metrics_checkpoint or {}
+        for name in sorted(current):
+            delta = current[name] - previous.get(name, 0)
+            if delta:
+                registry.inc(name, delta)
+        events_delta = current["engine.processed_events"] - previous.get(
+            "engine.processed_events", 0
+        )
+        if events_delta:
+            registry.observe(
+                "engine.events_per_run",
+                events_delta,
+                edges=DEFAULT_EVENT_EDGES,
+            )
+        self._metrics_checkpoint = current
 
     def iter_nodes(self) -> Iterator[Node]:
         """Iterate nodes in id order."""

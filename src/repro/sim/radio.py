@@ -163,6 +163,10 @@ class RadioMedium:
         #: order fixes the per-frame RNG draw order).
         self._neighbor_cache: Dict[int, Tuple[int, ...]] = {}
         self._neighbor_cache_version = topology.version
+        #: frames concluded by the perfect-channel fast path vs the
+        #: generic collision-aware path (observability counters).
+        self.fast_path_frames = 0
+        self.generic_frames = 0
         #: test hook — when True the perfect-channel fast path is
         #: disabled so equivalence tests can diff both paths.  Set it
         #: before the first transmit; the two paths do not share
@@ -302,6 +306,7 @@ class RadioMedium:
 
     def _finish_transmission(self, transmission: _Transmission) -> None:
         message = transmission.message
+        self.generic_frames += 1
         self._transmitting_until.pop(transmission.sender, None)
         addressee_got_it = message.is_broadcast
         addressee_seen = message.is_broadcast
@@ -345,6 +350,7 @@ class RadioMedium:
         receiver order, same drop-check order (alive -> Bernoulli ->
         loss model), same trace records, same RNG draws.
         """
+        self.fast_path_frames += 1
         self._transmitting_until.pop(message.src, None)
         src = message.src
         dst = message.dst

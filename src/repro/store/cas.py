@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..obs import get_registry
 
 __all__ = [
     "CellStore",
@@ -103,6 +104,11 @@ class CellStore:
             )
         self._objects_dir = os.path.join(self.root, "objects")
         self._index_path = os.path.join(self.root, "index.jsonl")
+        #: read hits whose LRU mtime touch failed (read-only shared
+        #: cache, e.g. a CI-mounted store); the hit itself still counts.
+        self.cache_touch_failed = 0
+        #: writes abandoned because the store is unwritable.
+        self.put_failed = 0
 
     # ------------------------------------------------------------------
     # Paths
@@ -123,7 +129,10 @@ class CellStore:
         """Look up one digest: ``(hit, result, compressed bytes read)``.
 
         A hit refreshes the object's mtime so the LRU eviction order
-        tracks use, not just creation.
+        tracks use, not just creation.  On a read-only shared cache the
+        touch fails; the hit is still served and the failure is counted
+        in :attr:`cache_touch_failed` (metric
+        ``store.cache_touch_failed``) instead of crashing the run.
         """
         path = self._object_path(digest)
         try:
@@ -148,7 +157,10 @@ class CellStore:
         try:
             os.utime(path)
         except OSError:
-            pass
+            self.cache_touch_failed += 1
+            registry = get_registry()
+            if registry is not None:
+                registry.inc("store.cache_touch_failed")
         return True, envelope["result"], len(payload)
 
     def put(
@@ -159,10 +171,19 @@ class CellStore:
         experiment: str = "",
         label: str = "",
     ) -> int:
-        """Store one result under ``digest``; returns compressed bytes."""
+        """Store one result under ``digest``; returns compressed bytes.
+
+        An unwritable store (read-only CI mount, disk full) degrades to
+        a no-op returning 0 — counted in :attr:`put_failed` (metric
+        ``store.put_failed``) — because a cache that cannot persist
+        must never fail the computation it memoises.
+        """
         path = self._object_path(digest)
         shard = os.path.dirname(path)
-        os.makedirs(shard, exist_ok=True)
+        try:
+            os.makedirs(shard, exist_ok=True)
+        except OSError:
+            return self._note_put_failure()
         envelope = {
             "digest": digest,
             "experiment": experiment,
@@ -175,11 +196,20 @@ class CellStore:
             compresslevel=5,
             mtime=0,
         )
-        fd, tmp = tempfile.mkstemp(prefix=_TMP_PREFIX, dir=shard)
+        try:
+            fd, tmp = tempfile.mkstemp(prefix=_TMP_PREFIX, dir=shard)
+        except OSError:
+            return self._note_put_failure()
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(payload)
             os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return self._note_put_failure()
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -188,6 +218,13 @@ class CellStore:
             raise
         self._append_index(digest, experiment, label, len(payload))
         return len(payload)
+
+    def _note_put_failure(self) -> int:
+        self.put_failed += 1
+        registry = get_registry()
+        if registry is not None:
+            registry.inc("store.put_failed")
+        return 0
 
     def _append_index(
         self, digest: str, experiment: str, label: str, nbytes: int

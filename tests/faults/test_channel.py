@@ -96,3 +96,57 @@ class TestPlumbing:
         channel = GilbertElliottChannel(None, overrides={(1, 2): hot}, seed=0)
         assert all(drive(channel, 1, 2, 50))
         assert not any(drive(channel, 2, 1, 50))
+
+
+class TestArmTime:
+    """Mid-run arming must not let the first dwell span the pre-arm gap."""
+
+    PARAMS = GilbertElliottParams(
+        bad_rate=0.25, recovery_rate=0.75, loss_good=0.05, loss_bad=0.8
+    )
+
+    def test_arm_at_t_matches_arm_at_zero(self):
+        at_zero = GilbertElliottChannel(self.PARAMS, seed=7)
+        at_zero.arm(0.0)
+        late = GilbertElliottChannel(self.PARAMS, seed=7)
+        offset = 5_000.0
+        late.arm(offset)
+        reference = drive(at_zero, 1, 2, 2_000)
+        shifted = [
+            late(1, 2, offset + i * 0.05) for i in range(2_000)
+        ]
+        # Identical dwell sequences -> identical chain evolution and
+        # loss pattern, regardless of when the channel was armed.
+        assert shifted == reference
+
+    def test_unarmed_channel_keeps_legacy_t0_anchor(self):
+        # Channels constructed without arm() still anchor at t=0 — the
+        # behaviour every existing plan (armed at network construction,
+        # engine.now == 0) depends on.
+        legacy = GilbertElliottChannel(self.PARAMS, seed=7)
+        explicit = GilbertElliottChannel(self.PARAMS, seed=7)
+        explicit.arm(0.0)
+        assert drive(legacy, 1, 2, 500) == drive(explicit, 1, 2, 500)
+
+    def test_arm_rebases_existing_links(self):
+        channel = GilbertElliottChannel(self.PARAMS, seed=7)
+        channel(1, 2, 0.0)  # instantiate the link before arming
+        channel.arm(1_000.0)
+        state = channel._links[(1, 2)]
+        assert state.last_time == 1_000.0
+
+    def test_injector_arms_at_engine_now(self):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan
+        from repro.net.topology import grid_deployment
+        from repro.sim.network import Network
+
+        network = Network(
+            grid_deployment(1, 2, spacing=10.0, radio_range=20.0)
+        )
+        network.engine.schedule(123.0, lambda: None)
+        network.engine.run()
+        plan = FaultPlan(burst_loss=self.PARAMS, seed=3)
+        injector = FaultInjector(plan, network)
+        injector.arm()
+        assert injector.channel.start_time == pytest.approx(123.0)

@@ -1,0 +1,136 @@
+"""Tests for the metrics registry primitives."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    using_registry,
+)
+
+
+class TestHistogram:
+    def test_bucketing_uses_fixed_edges(self):
+        histogram = Histogram((1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 99.0, 1000.0):
+            histogram.observe(value)
+        # value <= edge lands at that edge's bucket; above the last
+        # edge goes to overflow.
+        assert histogram.counts == [2, 2, 1, 1]
+        assert histogram.count == 6
+        assert histogram.total == pytest.approx(1115.5)
+
+    def test_merge_adds_bucket_by_bucket(self):
+        a = Histogram((1.0, 10.0))
+        b = Histogram((1.0, 10.0))
+        a.observe(0.5)
+        b.observe(5.0)
+        b.observe(50.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+
+    def test_merge_rejects_mismatched_edges(self):
+        a = Histogram((1.0, 10.0))
+        b = Histogram((1.0, 100.0))
+        with pytest.raises(ConfigurationError, match="edges"):
+            a.merge(b)
+
+    def test_edges_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            Histogram((10.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram(())
+
+    def test_roundtrips_through_dict(self):
+        histogram = Histogram((1.0, 10.0))
+        histogram.observe(3.0)
+        clone = Histogram.from_dict(histogram.as_dict())
+        assert clone.as_dict() == histogram.as_dict()
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 4)
+        assert registry.snapshot()["counters"] == {"a": 5}
+
+    def test_merge_is_order_insensitive(self):
+        parts = []
+        for start in (0, 1, 2):
+            registry = MetricsRegistry()
+            registry.inc("events", start + 10)
+            registry.gauge("peak", start)
+            registry.observe("sizes", start * 5.0, edges=(1.0, 10.0))
+            parts.append(registry.snapshot())
+
+        def merged(order):
+            total = MetricsRegistry()
+            for index in order:
+                total.merge(parts[index])
+            return total.snapshot()
+
+        assert merged([0, 1, 2]) == merged([2, 0, 1]) == merged([1, 2, 0])
+
+    def test_gauges_merge_by_max(self):
+        total = MetricsRegistry()
+        for value in (3.0, 7.0, 5.0):
+            part = MetricsRegistry()
+            part.gauge("peak", value)
+            total.merge(part.snapshot())
+        assert total.snapshot()["gauges"]["peak"] == 7.0
+
+    def test_phase_timer_accumulates(self):
+        registry = MetricsRegistry()
+        with registry.phase_timer("work"):
+            pass
+        with registry.phase_timer("work"):
+            pass
+        phases = registry.snapshot()["phases"]
+        assert phases["work"]["count"] == 2
+        assert phases["work"]["seconds"] >= 0.0
+
+    def test_phase_events_captured_when_enabled(self):
+        registry = MetricsRegistry(capture_events=True)
+        with registry.phase_timer("work"):
+            pass
+        kinds = [event["event"] for event in registry.events]
+        assert kinds == ["phase-start", "phase-end"]
+        assert registry.events[1]["phase"] == "work"
+
+    def test_snapshot_keys_sorted_and_picklable(self):
+        registry = MetricsRegistry()
+        registry.inc("zeta")
+        registry.inc("alpha")
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["alpha", "zeta"]
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+
+class TestActiveRegistryStack:
+    def test_off_by_default(self):
+        assert get_registry() is None
+
+    def test_nesting_restores_outer(self):
+        outer = MetricsRegistry()
+        inner = MetricsRegistry()
+        with using_registry(outer):
+            assert get_registry() is outer
+            with using_registry(inner):
+                assert get_registry() is inner
+            assert get_registry() is outer
+        assert get_registry() is None
+
+    def test_stack_pops_on_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with using_registry(registry):
+                raise RuntimeError("boom")
+        assert get_registry() is None

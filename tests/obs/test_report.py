@@ -1,0 +1,119 @@
+"""Tests for the repro-run/1 report schema and renderer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    RUN_SCHEMA,
+    MetricsRegistry,
+    build_run_report,
+    deterministic_view,
+    load_run_report,
+    render_run_report,
+    validate_run_report,
+    write_events_jsonl,
+    write_run_report,
+)
+
+
+def _sample_report():
+    registry = MetricsRegistry()
+    registry.inc("engine.processed_events", 1200)
+    registry.inc("deploy_cache.hits", 3)
+    registry.gauge("runner.cells_per_second", 8.5)
+    registry.observe("engine.events_per_run", 1200, edges=(10.0, 1000.0))
+    with registry.phase_timer("run_cells"):
+        pass
+    return build_run_report(
+        [
+            {
+                "name": "fig7",
+                "elapsed_seconds": 2.5,
+                "cells": 3,
+                "jobs": 2,
+                "metrics": registry.snapshot(),
+            }
+        ],
+        argv=["fig7", "--jobs", "2"],
+    )
+
+
+class TestBuildAndValidate:
+    def test_schema_and_totals(self):
+        report = _sample_report()
+        assert report["schema"] == RUN_SCHEMA
+        assert report["totals"]["experiments"] == 1
+        assert report["totals"]["cells"] == 3
+        totals = report["totals"]["metrics"]["counters"]
+        assert totals["engine.processed_events"] == 1200
+        validate_run_report(report)
+
+    def test_wrong_schema_rejected_with_path(self):
+        with pytest.raises(ConfigurationError, match="bogus.json"):
+            validate_run_report({"schema": "nope"}, path="bogus.json")
+
+    def test_malformed_experiment_entry_rejected(self):
+        report = _sample_report()
+        report["experiments"][0]["metrics"]["counters"]["bad"] = "NaN?"
+        with pytest.raises(ConfigurationError, match="bad"):
+            validate_run_report(report)
+
+    def test_broken_histogram_rejected(self):
+        report = _sample_report()
+        histograms = report["experiments"][0]["metrics"]["histograms"]
+        histograms["engine.events_per_run"]["counts"] = [1]
+        with pytest.raises(ConfigurationError, match="histograms"):
+            validate_run_report(report)
+
+
+class TestLoadAndWrite:
+    def test_roundtrip(self, tmp_path):
+        report = _sample_report()
+        path = str(tmp_path / "r.json")
+        write_run_report(report, path)
+        assert load_run_report(path) == json.loads(
+            (tmp_path / "r.json").read_text()
+        )
+
+    def test_missing_file_names_path(self, tmp_path):
+        path = str(tmp_path / "absent.json")
+        with pytest.raises(ConfigurationError, match="absent.json"):
+            load_run_report(path)
+
+    def test_invalid_json_names_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="broken.json"):
+            load_run_report(str(path))
+
+    def test_events_jsonl(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        write_events_jsonl(
+            [{"event": "phase-start", "phase": "x", "at": 1.0}], path
+        )
+        lines = (tmp_path / "events.jsonl").read_text().splitlines()
+        assert json.loads(lines[0])["phase"] == "x"
+
+
+class TestDeterministicView:
+    def test_strips_volatile_and_wallclock(self):
+        report = _sample_report()
+        view = deterministic_view(report["experiments"][0]["metrics"])
+        assert "engine.processed_events" in view["counters"]
+        assert "deploy_cache.hits" not in view["counters"]
+        assert "gauges" not in view
+        assert "phases" not in view
+        assert "engine.events_per_run" in view["histograms"]
+
+
+class TestRender:
+    def test_render_mentions_experiment_and_counters(self):
+        text = render_run_report(_sample_report())
+        assert "fig7" in text
+        assert "engine" in text
+        assert "processed_events=1200" in text
+        assert "run_cells" in text

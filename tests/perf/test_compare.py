@@ -190,3 +190,78 @@ class TestCliGate:
         report = json.loads(out_path.read_text())
         assert report["schema"] == BENCH_SCHEMA
         assert report["results"][0]["name"] == "cipher-xor-slice"
+
+
+class TestMalformedReportDiagnostics:
+    """Missing, unreadable, or malformed BENCH_*.json files are a CLI
+    configuration error: exit 2, path named on stderr, no traceback."""
+
+    def _assert_cli_error(self, capsys, args, path):
+        code = main(args)
+        captured = capsys.readouterr()
+        assert code == 2
+        assert path in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_missing_input_names_path(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(report_with({"a": 1.0})))
+        missing = str(tmp_path / "absent.json")
+        self._assert_cli_error(
+            capsys,
+            ["bench", "--input", missing, "--compare", str(baseline)],
+            "absent.json",
+        )
+
+    def test_unreadable_json_names_path(self, tmp_path, capsys):
+        garbled = tmp_path / "garbled.json"
+        garbled.write_text('{"schema": "repro-bench/1", "resul')
+        self._assert_cli_error(
+            capsys,
+            ["bench", "--input", str(garbled), "--compare", str(garbled)],
+            "garbled.json",
+        )
+
+    def test_schema_mismatch_names_path(self, tmp_path, capsys):
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps({"schema": "repro-run/1"}))
+        self._assert_cli_error(
+            capsys,
+            ["bench", "--input", str(other), "--compare", str(other)],
+            "other.json",
+        )
+
+    def test_null_value_row_rejected(self, tmp_path):
+        report = report_with({"a": 1.0})
+        report["results"][0]["value"] = None
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(report))
+        with pytest.raises(ConfigurationError, match=r"results\[0\]"):
+            load_report(str(bad))
+
+    def test_missing_name_row_rejected(self, tmp_path):
+        report = report_with({"a": 1.0})
+        del report["results"][0]["name"]
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(report))
+        with pytest.raises(ConfigurationError, match="bad.json"):
+            load_report(str(bad))
+
+    def test_non_list_results_rejected(self, tmp_path):
+        report = report_with({"a": 1.0})
+        report["results"] = {"oops": True}
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(report))
+        with pytest.raises(ConfigurationError, match="results"):
+            load_report(str(bad))
+
+    def test_malformed_row_via_cli_exits_2(self, tmp_path, capsys):
+        report = report_with({"a": 1.0})
+        report["results"][0]["wall_seconds"] = "fast"
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(report))
+        self._assert_cli_error(
+            capsys,
+            ["bench", "--input", str(bad), "--compare", str(bad)],
+            "bad.json",
+        )

@@ -189,3 +189,67 @@ class TestCountersDetailLevel:
         )
         assert network.trace.detail == "counters"
         assert network.trace._counters_only
+
+
+class TestMidRoundNewKeys:
+    """Counter keys that first appear *after* ``begin_round()``.
+
+    ``Counter.__sub__`` keeps keys only present in the left operand (as
+    positive counts), so a message kind, drop reason, or link first
+    seen mid-round must show up in the round summary with its full
+    mid-round count — no KeyError, no wrong delta.  These tests pin
+    that behaviour for both detail modes.
+    """
+
+    @pytest.mark.parametrize("detail", ["full", "counters"])
+    def test_new_kind_first_sent_mid_round(self, detail):
+        trace = TraceCollector(detail=detail)
+        trace.record_send(0.0, hello())
+        trace.begin_round()
+        aggregate = AggregateMessage(src=4, dst=0)
+        trace.record_send(1.0, aggregate)
+        summary = trace.round_summary()
+        assert summary["frames_by_kind"] == {"aggregate": 1}
+        assert summary["frames_sent"] == 1
+        assert summary["bytes_sent"] == aggregate.size_bytes
+
+    @pytest.mark.parametrize("detail", ["full", "counters"])
+    def test_new_drop_reason_mid_round(self, detail):
+        trace = TraceCollector(detail=detail)
+        message = hello()
+        trace.record_send(0.0, message)
+        trace.begin_round()
+        trace.record_drop(None, message, 5, DropReason.BURST_LOSS)
+        summary = trace.round_summary()
+        assert summary["drops_by_reason"] == {DropReason.BURST_LOSS: 1}
+        assert summary["dropped"] == 1
+
+    def test_new_link_mid_round_in_full_detail(self):
+        trace = TraceCollector(detail="full")
+        early = hello(src=1)
+        trace.record_drop(None, early, 2, DropReason.COLLISION)
+        trace.begin_round()
+        late = hello(src=7)
+        trace.record_drop(None, late, 8, DropReason.RANDOM_LOSS)
+        summary = trace.round_summary()
+        # Only the link that shed frames *this* round appears.
+        assert summary["drops_by_link"] == {"7->8": 1}
+
+    @pytest.mark.parametrize("detail", ["full", "counters"])
+    def test_new_delivery_kind_mid_round(self, detail):
+        trace = TraceCollector(detail=detail)
+        trace.record_send(0.0, hello())
+        trace.begin_round()
+        aggregate = AggregateMessage(src=4, dst=0)
+        trace.record_delivery(None, aggregate, 0)
+        assert trace.round_summary()["delivered"] == 1
+
+    def test_round_summary_does_not_mutate_state(self):
+        trace = TraceCollector()
+        trace.begin_round()
+        trace.record_send(0.0, hello())
+        first = trace.round_summary()
+        second = trace.round_summary()
+        assert first == second
+        # Cumulative view unaffected by the delta computation.
+        assert trace.total_frames_sent == 1

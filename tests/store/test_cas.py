@@ -154,3 +154,81 @@ class TestConcurrency:
         for digest in DIGESTS:
             hit, value, _nbytes = store.get(digest)
             assert hit and value == digest
+
+
+class TestReadOnlySharedCache:
+    """A read-only shared cache (CI mount) must degrade, not crash."""
+
+    def _populated_readonly_store(self, tmp_path):
+        store = CellStore(tmp_path / "cache", max_bytes=1 << 30)
+        store.put(DIGESTS[0], {"v": 1}, experiment="t")
+        # Drop write permission everywhere under the store root.  As
+        # root (CI containers) this does not actually make utime fail,
+        # so tests that need the failure also monkeypatch os.utime.
+        for dirpath, _dirnames, filenames in os.walk(store.root):
+            os.chmod(dirpath, 0o555)
+            for name in filenames:
+                os.chmod(os.path.join(dirpath, name), 0o444)
+        return store
+
+    def _restore_writable(self, store):
+        for dirpath, _dirnames, filenames in os.walk(store.root):
+            os.chmod(dirpath, 0o755)
+            for name in filenames:
+                os.chmod(os.path.join(dirpath, name), 0o644)
+
+    def test_read_hit_survives_failing_touch(self, tmp_path, monkeypatch):
+        store = self._populated_readonly_store(tmp_path)
+        try:
+            real_utime = os.utime
+
+            def denied(path, *args, **kwargs):
+                raise PermissionError(13, "Read-only file system", path)
+
+            monkeypatch.setattr(os, "utime", denied)
+            found, value, nbytes = store.get(DIGESTS[0])
+            monkeypatch.setattr(os, "utime", real_utime)
+            assert found and value == {"v": 1} and nbytes > 0
+            assert store.cache_touch_failed == 1
+        finally:
+            self._restore_writable(store)
+
+    def test_touch_failure_counts_into_active_registry(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs import MetricsRegistry, using_registry
+
+        store = CellStore(tmp_path / "cache", max_bytes=1 << 30)
+        store.put(DIGESTS[0], {"v": 1}, experiment="t")
+        monkeypatch.setattr(
+            os, "utime",
+            lambda *a, **k: (_ for _ in ()).throw(PermissionError()),
+        )
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            found, _value, _nbytes = store.get(DIGESTS[0])
+        assert found
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["store.cache_touch_failed"] == 1
+
+    def test_put_degrades_on_unwritable_store(self, tmp_path, monkeypatch):
+        store = CellStore(tmp_path / "cache", max_bytes=1 << 30)
+        store.put(DIGESTS[0], {"v": 1}, experiment="t")
+
+        def denied(*args, **kwargs):
+            raise PermissionError(13, "Read-only file system")
+
+        monkeypatch.setattr("tempfile.mkstemp", denied)
+        assert store.put(DIGESTS[1], {"v": 2}, experiment="t") == 0
+        assert store.put_failed == 1
+        # The store still serves what it already holds.
+        found, value, _ = store.get(DIGESTS[0])
+        assert found and value == {"v": 1}
+
+    def test_readonly_cache_still_serves_hits(self, tmp_path):
+        store = self._populated_readonly_store(tmp_path)
+        try:
+            found, value, _ = store.get(DIGESTS[0])
+            assert found and value == {"v": 1}
+        finally:
+            self._restore_writable(store)

@@ -167,3 +167,35 @@ class TestManagementCommands:
     def test_experiment_names_still_route_to_the_runner(self, capsys):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+
+class TestTruncatedManifest:
+    """A manifest cut off mid-write (disk full, interrupted run) is a
+    configuration error naming the path — never a JSON traceback."""
+
+    def test_store_verify_truncated_manifest_exits_2(
+        self, tmp_path, capsys
+    ):
+        csv_dir = tmp_path / "csv"
+        assert _run_fig7(tmp_path, "--csv", str(csv_dir)) == 0
+        sidecar = manifest_path(str(csv_dir / "fig7.csv"))
+        whole = open(sidecar, "r", encoding="utf-8").read()
+        with open(sidecar, "w", encoding="utf-8") as handle:
+            handle.write(whole[: len(whole) // 2])
+        capsys.readouterr()
+        assert main(["store", "verify", str(csv_dir / "fig7.csv")]) == 2
+        captured = capsys.readouterr()
+        assert "manifest" in captured.err
+        assert sidecar in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_store_verify_empty_manifest_exits_2(self, tmp_path, capsys):
+        csv_dir = tmp_path / "csv"
+        assert _run_fig7(tmp_path, "--csv", str(csv_dir)) == 0
+        sidecar = manifest_path(str(csv_dir / "fig7.csv"))
+        open(sidecar, "w").close()
+        capsys.readouterr()
+        assert main(["store", "verify", str(csv_dir / "fig7.csv")]) == 2
+        captured = capsys.readouterr()
+        assert sidecar in captured.err
+        assert "Traceback" not in captured.err
