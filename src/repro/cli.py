@@ -14,6 +14,7 @@ Management commands ride alongside the experiment names::
     ipda cache stats|gc|clear       # inspect / trim the cell store
     ipda store verify results/fig7.csv   # prove provenance
     ipda bench --quick --compare BENCH_baseline.json   # perf gate
+    ipda fleet worker|status|requeue     # crash-safe work queue ops
 
 Examples::
 
@@ -54,7 +55,7 @@ _FAST_SIZES = (200, 300, 400)
 
 #: First-positional words routed to the management parser instead of
 #: the experiment runner.
-TOOL_COMMANDS = ("bench", "cache", "list", "report", "store")
+TOOL_COMMANDS = ("bench", "cache", "fleet", "list", "report", "store")
 
 Runner = Callable[..., ExperimentTable]
 
@@ -225,6 +226,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cell-store location (implies --cache)",
     )
     parser.add_argument(
+        "--queue",
+        metavar="DIR",
+        default=None,
+        help=(
+            "run the sweep through a crash-safe fleet work queue at DIR: "
+            "cells become lease tickets, SIGKILLed workers and driver "
+            "restarts are survived, and a resumed run re-runs only the "
+            "cells that were in flight (results are cached in DIR/store "
+            "unless --cache-dir names another store; add external "
+            "workers with 'ipda fleet worker --queue DIR')"
+        ),
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "soft per-cell deadline: a cell running longer counts as a "
+            "failure and is retried (fleet mode) or aborts the run "
+            "after repeated strikes"
+        ),
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
@@ -279,6 +304,8 @@ def _throughput_line(name: str, table: ExperimentTable,
         parts.append(
             f"store {meta['cache_hits']}/{meta['cache_misses']} hit/miss"
         )
+    if "fleet_queue" in meta:
+        parts.append(f"fleet queue {meta['fleet_queue']}")
     return "(" + ", ".join(parts) + ")"
 
 
@@ -335,7 +362,20 @@ def _experiment_main(args) -> int:
     from .obs import MetricsRegistry, using_registry
 
     store = _resolve_cli_cache(args)
+    fleet_queue = None
+    if args.queue:
+        from .fleet import FleetQueue
+
+        fleet_queue = FleetQueue(args.queue)
+        if store is None and not args.no_cache:
+            from .store import CellStore
+
+            store = CellStore(os.path.join(fleet_queue.root, "store"))
     previous = runner_module.set_default_cache(store)
+    previous_fleet = runner_module.set_default_fleet(fleet_queue)
+    previous_timeout = runner_module.set_default_cell_timeout(
+        args.cell_timeout
+    )
     capture_events = bool(args.metrics_events)
     report_entries: List[dict] = []
     events: List[dict] = []
@@ -361,6 +401,8 @@ def _experiment_main(args) -> int:
                     events.append(dict(event, experiment=name))
     finally:
         runner_module.set_default_cache(previous)
+        runner_module.set_default_fleet(previous_fleet)
+        runner_module.set_default_cell_timeout(previous_timeout)
     _write_run_report(args, report_entries, events)
     return 0
 
@@ -415,6 +457,10 @@ def _report_argv(args) -> List[str]:
         argv += ["--seed", str(args.seed)]
     if args.jobs is not None:
         argv += ["--jobs", str(args.jobs)]
+    if args.queue:
+        argv += ["--queue", args.queue]
+    if args.cell_timeout is not None:
+        argv += ["--cell-timeout", str(args.cell_timeout)]
     return argv
 
 
@@ -461,6 +507,75 @@ def _build_tools_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "artifacts", nargs="+", metavar="ARTIFACT",
         help="artifact path(s) with .manifest.json sidecars",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="operate the crash-safe fleet work queue (see --queue)",
+    )
+    fleet_sub = fleet.add_subparsers(dest="action", required=True)
+    worker = fleet_sub.add_parser(
+        "worker",
+        help=(
+            "run one claim/run/publish worker loop against a queue; "
+            "start any number on any host sharing the filesystem"
+        ),
+    )
+    worker.add_argument(
+        "--queue", metavar="DIR", required=True,
+        help="queue directory (as passed to an experiment's --queue)",
+    )
+    worker.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="result store (default: <queue>/store)",
+    )
+    worker.add_argument(
+        "--worker-id", metavar="ID", default=None,
+        help="lease owner name (default: hostname:pid)",
+    )
+    worker.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="exit after completing N cells",
+    )
+    worker.add_argument(
+        "--idle-exit", type=float, default=None, metavar="SECONDS",
+        help=(
+            "keep polling an empty queue this long before exiting "
+            "(default: exit as soon as the queue is drained)"
+        ),
+    )
+    worker.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "stop renewing a cell's lease after this long so the "
+            "fleet can retry it elsewhere (soft timeout)"
+        ),
+    )
+    worker.add_argument(
+        "--lease-seconds", type=float, default=None, metavar="SECONDS",
+        help="lease duration for claims made by this worker",
+    )
+    status = fleet_sub.add_parser(
+        "status",
+        help="queue counts, journal health, and the quarantine report",
+    )
+    status.add_argument(
+        "--queue", metavar="DIR", required=True, help="queue directory"
+    )
+    status.add_argument(
+        "--json", action="store_true",
+        help="machine-readable status (used by the CI chaos gate)",
+    )
+    requeue = fleet_sub.add_parser(
+        "requeue",
+        help="move quarantined cells back to pending with a clean slate",
+    )
+    requeue.add_argument(
+        "--queue", metavar="DIR", required=True, help="queue directory"
+    )
+    requeue.add_argument(
+        "digests", nargs="*", metavar="DIGEST",
+        help="specific cell digests (default: everything in quarantine)",
     )
 
     report = sub.add_parser(
@@ -575,11 +690,37 @@ def _tools_cache(args) -> int:
     return 0
 
 
+def _verify_store_root(path: str) -> None:
+    """Index health check for a store-root directory argument.
+
+    A crash during an index append leaves a torn final line; loading
+    already tolerates it, and verify *repairs* it by rewriting the
+    index from its surviving records.
+    """
+    from .store import CellStore
+
+    store = CellStore(path)
+    records, torn = store.verify_index(repair=True)
+    if torn:
+        print(
+            f"{path}: index repaired — kept {records} record(s), "
+            f"dropped {torn} torn line(s) (crash during append)"
+        )
+    else:
+        print(f"{path}: index ok ({records} record(s))")
+
+
 def _tools_store(args) -> int:
     from .store.manifest import verify_artifact
 
     failures = 0
     for artifact in args.artifacts:
+        if os.path.isdir(artifact) and (
+            os.path.exists(os.path.join(artifact, "index.jsonl"))
+            or os.path.isdir(os.path.join(artifact, "objects"))
+        ):
+            _verify_store_root(artifact)
+            continue
         problems = verify_artifact(artifact)
         if problems:
             failures += 1
@@ -589,6 +730,92 @@ def _tools_store(args) -> int:
         else:
             print(f"{artifact}: verified (digests match the current tree)")
     return 1 if failures else 0
+
+
+def _tools_fleet(args) -> int:
+    from .fleet import FleetQueue
+
+    if args.action == "worker":
+        import repro.fleet.chaos  # noqa: F401  (registers chaos-grid)
+        from .fleet import run_worker
+        from .store import CellStore
+
+        kwargs = {}
+        if args.lease_seconds is not None:
+            kwargs["lease_seconds"] = args.lease_seconds
+        queue = FleetQueue(args.queue, **kwargs)
+        store_root = (
+            os.path.expanduser(args.cache_dir)
+            if args.cache_dir
+            else os.path.join(queue.root, "store")
+        )
+        summary = run_worker(
+            queue,
+            CellStore(store_root),
+            worker_id=args.worker_id,
+            max_cells=args.max_cells,
+            idle_timeout=args.idle_exit,
+            stop_when_drained=args.idle_exit is None,
+            cell_timeout=args.cell_timeout,
+        )
+        print(
+            f"worker {summary.worker_id} stopped ({summary.stopped}): "
+            f"{summary.cells_done} done, {summary.cells_failed} failed, "
+            f"{summary.cells_lost} lost lease(s), "
+            f"{summary.claims} claim(s)"
+        )
+        return 0
+    queue = FleetQueue(args.queue)
+    if args.action == "status":
+        status = queue.status()
+        if args.json:
+            import json
+
+            print(
+                json.dumps(
+                    {
+                        "root": status.root,
+                        "pending": status.pending,
+                        "leased": status.leased,
+                        "done": status.done,
+                        "quarantined": status.quarantined,
+                        "journal_entries": status.journal_entries,
+                        "journal_torn_lines": status.journal_torn_lines,
+                        "quarantine": status.quarantine,
+                    },
+                    indent=1,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        print(f"queue: {status.root}")
+        print(
+            f"pending {status.pending}  leased {status.leased}  "
+            f"done {status.done}  quarantined {status.quarantined}"
+        )
+        journal = f"journal: {status.journal_entries} entries"
+        if status.journal_torn_lines:
+            journal += (
+                f" ({status.journal_torn_lines} torn line(s) tolerated)"
+            )
+        print(journal)
+        for record in status.quarantine:
+            cell = record.get("cell", {})
+            key = "/".join(str(part) for part in cell.get("key", ()))
+            errors = record.get("errors", [])
+            last = errors[-1] if errors else {}
+            print(
+                f"  quarantined {cell.get('experiment', '?')}[{key}"
+                f"#{cell.get('rep', '?')}] "
+                f"digest={str(record.get('digest', ''))[:12]} "
+                f"attempts={record.get('attempts', '?')}: "
+                f"{last.get('message', 'unknown error')}"
+            )
+        return 0
+    # requeue
+    restored = queue.requeue(args.digests or None)
+    print(f"requeued {restored} cell(s) ({queue.root})")
+    return 0
 
 
 def _tools_bench(args) -> int:
@@ -657,6 +884,8 @@ def _tools_main(argv: List[str]) -> int:
         return _tools_cache(args)
     if args.command == "bench":
         return _tools_bench(args)
+    if args.command == "fleet":
+        return _tools_fleet(args)
     if args.command == "report":
         return _tools_report(args)
     return _tools_store(args)

@@ -43,3 +43,21 @@ class IntegrityError(ReproError):
 
 class AnalysisError(ReproError):
     """A closed-form analysis routine received out-of-domain parameters."""
+
+
+class FleetError(ReproError):
+    """The fleet work queue was misused or reached an invalid state."""
+
+
+class QuarantineError(FleetError):
+    """A sweep finished with quarantined cells instead of results.
+
+    ``records`` carries one quarantine record per failed cell (digest,
+    cell label, attempt count, and the captured error/traceback), so
+    callers can render an explicit failure report instead of a
+    traceback.
+    """
+
+    def __init__(self, message: str, records=()):
+        super().__init__(message)
+        self.records = list(records)

@@ -26,6 +26,7 @@ from __future__ import annotations
 import csv
 import io
 import math
+import os
 import statistics
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -152,19 +153,59 @@ def grouped(
 #: determines the deployment, so a rebuild is byte-identical.
 _DEPLOYMENT_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
 _DEPLOYMENT_CACHE_LIMIT = 32
-#: Lifetime hit/miss counters for this process's deployment cache.  The
-#: runner samples them around each cell (workers are single-threaded,
-#: so per-cell deltas are exact) and folds the totals into the
-#: throughput report.
-_DEPLOYMENT_CACHE_COUNTERS = {"hits": 0, "misses": 0}
+#: Size cap in *cached nodes* (sum of node_count over live entries).
+#: Entry count alone doesn't bound memory for a long-lived fleet worker
+#: that drifts across sweeps of very different deployment sizes, so the
+#: LRU also evicts by total node weight ($REPRO_DEPLOY_CACHE_MAX_NODES
+#: overrides; topology memory scales with node count).
+_DEPLOYMENT_CACHE_MAX_NODES = 200_000
+#: node weight per live cache key (parallel to _DEPLOYMENT_CACHE).
+_DEPLOYMENT_CACHE_COST: Dict[tuple, int] = {}
+#: Lifetime hit/miss/eviction counters for this process's deployment
+#: cache.  The runner samples them around each cell (workers are
+#: single-threaded, so per-cell deltas are exact) and folds the totals
+#: into the throughput report.
+_DEPLOYMENT_CACHE_COUNTERS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
-def deployment_cache_counters() -> Tuple[int, int]:
-    """Cumulative ``(hits, misses)`` of this process's deployment LRU."""
+def _deploy_cache_max_nodes() -> int:
+    env = os.environ.get("REPRO_DEPLOY_CACHE_MAX_NODES")
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_DEPLOY_CACHE_MAX_NODES must be an integer, "
+                f"got {env!r}"
+            ) from None
+        if value < 1:
+            raise ConfigurationError(
+                f"REPRO_DEPLOY_CACHE_MAX_NODES must be >= 1, got {value}"
+            )
+        return value
+    return _DEPLOYMENT_CACHE_MAX_NODES
+
+
+def deployment_cache_counters() -> Tuple[int, int, int]:
+    """Cumulative ``(hits, misses, evictions)`` of this process's
+    deployment LRU."""
     return (
         _DEPLOYMENT_CACHE_COUNTERS["hits"],
         _DEPLOYMENT_CACHE_COUNTERS["misses"],
+        _DEPLOYMENT_CACHE_COUNTERS["evictions"],
     )
+
+
+def _evict_deployments() -> None:
+    """Pop LRU entries until both the count and node-weight caps hold."""
+    max_nodes = _deploy_cache_max_nodes()
+    while len(_DEPLOYMENT_CACHE) > 1 and (
+        len(_DEPLOYMENT_CACHE) > _DEPLOYMENT_CACHE_LIMIT
+        or sum(_DEPLOYMENT_CACHE_COST.values()) > max_nodes
+    ):
+        evicted_key, _topology = _DEPLOYMENT_CACHE.popitem(last=False)
+        _DEPLOYMENT_CACHE_COST.pop(evicted_key, None)
+        _DEPLOYMENT_CACHE_COUNTERS["evictions"] += 1
 
 
 def cached_deployment(node_count: int, *, seed: int, **kwargs):
@@ -181,8 +222,8 @@ def cached_deployment(node_count: int, *, seed: int, **kwargs):
 
         topology = random_deployment(node_count, seed=seed, **kwargs)
         _DEPLOYMENT_CACHE[key] = topology
-        if len(_DEPLOYMENT_CACHE) > _DEPLOYMENT_CACHE_LIMIT:
-            _DEPLOYMENT_CACHE.popitem(last=False)
+        _DEPLOYMENT_CACHE_COST[key] = int(node_count)
+        _evict_deployments()
     else:
         _DEPLOYMENT_CACHE_COUNTERS["hits"] += 1
         _DEPLOYMENT_CACHE.move_to_end(key)

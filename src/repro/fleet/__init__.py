@@ -1,0 +1,43 @@
+"""Crash-safe fleet work queue for distributed sweep execution.
+
+The runner's process pool (``repro.runner``) shards cells over local
+workers; this package adds the durability layer that lets a sweep
+survive the machinery around it failing: a file-backed work queue
+(:mod:`~repro.fleet.queue`) where cells are enqueued as digest-keyed
+tickets, workers take time-bounded leases with heartbeat renewal,
+expired leases are reclaimed, failing cells retry with capped
+exponential backoff, and repeat offenders land in a quarantine list
+with their captured traceback instead of poisoning the run.
+
+Results are published into the content-addressed store
+(:mod:`repro.store`), so any worker — another process, or another host
+on a shared filesystem — can resume an interrupted grid with zero
+recomputation, and the runner's enumeration-order merge keeps resumed
+output byte-identical to an uninterrupted run.
+
+:mod:`~repro.fleet.worker` is the claim/run/publish loop (used by the
+runner's pool workers and by ``repro fleet worker``);
+:mod:`~repro.fleet.chaos` is the fault-injection harness the chaos
+test-suite and CI smoke step drive.
+"""
+
+from .queue import (
+    FleetQueue,
+    QueueStatus,
+    RetryPolicy,
+    Ticket,
+    cell_from_jsonable,
+    cell_to_jsonable,
+)
+from .worker import WorkerSummary, run_worker
+
+__all__ = [
+    "FleetQueue",
+    "QueueStatus",
+    "RetryPolicy",
+    "Ticket",
+    "WorkerSummary",
+    "cell_from_jsonable",
+    "cell_to_jsonable",
+    "run_worker",
+]

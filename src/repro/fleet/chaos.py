@@ -1,0 +1,220 @@
+"""Chaos harness for the fleet runner: kill workers, tear state, resume.
+
+Three pieces:
+
+* **``chaos-grid``** — a tiny registered cell experiment whose cells
+  can be made slow (``sleep_ms``) or poisonous (``poison`` indices
+  raise inside ``run_cell``).  Its results are pure functions of the
+  cell, so digests and golden tables are stable across processes —
+  exactly what the chaos tests need to prove byte-identical resumes.
+* **:class:`ChaosMonkey`** — env-armed fault injection for the driver
+  loop (``REPRO_FLEET_CHAOS``), e.g. ``kill-driver-after=2`` SIGKILLs
+  the driving process after two cell completions, and
+  ``kill-worker-after=1`` SIGKILLs one pool worker mid-run.  Parsed
+  once; costs one ``None`` check per poll when unset.
+* **state-tearing helpers** — :func:`truncate_journal` chops the audit
+  journal mid-line (torn append), :func:`expire_leases` backdates every
+  live lease so reclamation logic can be exercised without waiting.
+
+The CI chaos smoke step and ``tests/fleet/`` drive all three; none of
+this is imported on any production path unless explicitly armed.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError, SimulationError
+from ..experiments.common import (
+    CellExperiment,
+    ExperimentTable,
+    grouped,
+    make_cell,
+)
+from ..rng import derive_seed
+from .queue import FleetQueue
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosMonkey",
+    "CHAOS_SPEC",
+    "expire_leases",
+    "truncate_journal",
+]
+
+CHAOS_ENV = "REPRO_FLEET_CHAOS"
+
+
+# ----------------------------------------------------------------------
+# The chaos-grid experiment (deterministic, optionally slow/poisonous)
+# ----------------------------------------------------------------------
+def _chaos_cells(
+    count: int = 4,
+    repetitions: int = 1,
+    seed: int = 0,
+    sleep_ms: float = 0.0,
+    poison=(),
+):
+    poison = tuple(sorted(int(index) for index in poison))
+    return [
+        make_cell(
+            "chaos-grid",
+            (index,),
+            rep,
+            seed=seed,
+            sleep_ms=float(sleep_ms),
+            poison=poison,
+        )
+        for index in range(int(count))
+        for rep in range(int(repetitions))
+    ]
+
+
+def _chaos_run_cell(cell) -> Dict[str, object]:
+    index = int(cell.key[0])
+    sleep_ms = float(cell.param("sleep_ms", 0.0))
+    if sleep_ms > 0:
+        time.sleep(sleep_ms / 1000.0)
+    if index in cell.param("poison", ()):
+        raise SimulationError(
+            f"poison cell {cell.label}: injected failure"
+        )
+    value = derive_seed(
+        int(cell.param("seed", 0)), "chaos-grid", index, cell.rep
+    )
+    return {"index": index, "rep": cell.rep, "value": value % 100_000}
+
+
+def _chaos_reduce(cells, results) -> ExperimentTable:
+    table = ExperimentTable(
+        name="chaos-grid", columns=["index", "reps", "checksum"]
+    )
+    for key, pairs in grouped(cells, results).items():
+        checksum = sum(result["value"] for _cell, result in pairs)
+        table.add_row(key[0], len(pairs), checksum % 1_000_000)
+    return table
+
+
+#: Registered on import (workers started via ``repro fleet worker``
+#: import this module, so any host can resolve chaos-grid cells).
+CHAOS_SPEC = CellExperiment(
+    name="chaos-grid",
+    cells=_chaos_cells,
+    run_cell=_chaos_run_cell,
+    reduce=_chaos_reduce,
+    description="fault-injection workload for the fleet chaos harness",
+)
+
+
+def _register() -> None:
+    from ..runner import register_spec
+
+    register_spec(CHAOS_SPEC)
+
+
+_register()
+
+
+# ----------------------------------------------------------------------
+# Env-armed fault injection for the driver loop
+# ----------------------------------------------------------------------
+class ChaosMonkey:
+    """Injects SIGKILLs into a fleet run at deterministic points.
+
+    Spec grammar (comma-separated, all optional)::
+
+        kill-driver-after=N   SIGKILL this process once N cells are done
+        kill-worker-after=N   SIGKILL one pool worker once N cells are done
+
+    Each trigger fires at most once.  ``ChaosMonkey.from_env()`` returns
+    ``None`` when :data:`CHAOS_ENV` is unset, so the production driver
+    pays a single ``None`` check.
+    """
+
+    def __init__(self, spec: str):
+        self.kill_driver_after: Optional[int] = None
+        self.kill_worker_after: Optional[int] = None
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, _, value = part.partition("=")
+            try:
+                count = int(value)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{CHAOS_ENV} entry {part!r}: expected name=<int>"
+                ) from None
+            if name == "kill-driver-after":
+                self.kill_driver_after = count
+            elif name == "kill-worker-after":
+                self.kill_worker_after = count
+            else:
+                raise ConfigurationError(
+                    f"{CHAOS_ENV} entry {part!r}: unknown trigger {name!r}"
+                )
+
+    @classmethod
+    def from_env(cls) -> Optional["ChaosMonkey"]:
+        spec = os.environ.get(CHAOS_ENV)
+        return cls(spec) if spec else None
+
+    def poll(self, done_count: int, worker_pids: List[int]) -> None:
+        """Fire any armed trigger whose completion threshold is met."""
+        if (
+            self.kill_worker_after is not None
+            and done_count >= self.kill_worker_after
+        ):
+            self.kill_worker_after = None
+            for pid in worker_pids:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (OSError, ProcessLookupError):
+                    continue
+                break
+        if (
+            self.kill_driver_after is not None
+            and done_count >= self.kill_driver_after
+        ):
+            self.kill_driver_after = None
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+# ----------------------------------------------------------------------
+# State-tearing helpers (tests + CI smoke)
+# ----------------------------------------------------------------------
+def truncate_journal(queue: FleetQueue, drop_bytes: int = 7) -> bool:
+    """Chop the tail off ``queue.jsonl``, simulating a torn append.
+
+    Returns False when the journal is too short to tear.  The queue
+    must load afterwards with ``journal_torn_lines >= 1`` and no other
+    damage — the state directories are authoritative.
+    """
+    path = os.path.join(queue.root, "queue.jsonl")
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return False
+    if size <= drop_bytes:
+        return False
+    with open(path, "rb+") as handle:
+        handle.truncate(size - drop_bytes)
+    return True
+
+
+def expire_leases(queue: FleetQueue) -> int:
+    """Backdate every live lease so it is immediately reclaimable."""
+    expired = 0
+    for ticket in list(queue.tickets("leased")):
+        record = queue._read_json(queue._path("leased", ticket.digest))
+        if record is None:
+            continue
+        record["lease_expires"] = 0.0
+        queue._write_json(
+            queue._path("leased", ticket.digest), record
+        )
+        expired += 1
+    return expired

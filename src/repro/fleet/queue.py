@@ -1,0 +1,748 @@
+"""File-backed work queue: leases, heartbeats, retry/backoff, quarantine.
+
+Layout under the queue root (shareable across processes and across
+hosts on a shared filesystem)::
+
+    pending/<digest>.json      claimable ticket (cell + attempt history)
+    leased/<digest>.json       ticket + active lease (worker, expiry)
+    done/<digest>.json         completion record (worker, seconds, metrics)
+    quarantine/<digest>.json   ticket + captured error after N strikes
+    recover/<digest>.*.json    in-flight state transitions (crash-safe)
+    queue.jsonl                append-only audit journal
+
+The state directories are authoritative; every ticket lives in exactly
+one of them and every transition is a single atomic ``os.replace``:
+
+* **claim** — rename ``pending/<d>`` into a private ``recover/`` slot.
+  Rename is atomic and fails with ``FileNotFoundError`` for every racer
+  but one, which is the whole mutual-exclusion story: two workers can
+  never hold the same cell.  The winner stamps its lease (worker id,
+  expiry) into the slot via temp-file + ``os.replace`` and only then
+  renames it into ``leased/`` — a ticket visible in ``leased/`` always
+  carries a valid lease, so a concurrent reclaimer can never mistake a
+  half-claimed ticket for an expired one.
+* **fail / reclaim** — rename ``leased/<d>`` into ``recover/`` first
+  (again, exactly one racer wins the right to move the ticket), then
+  finalise to ``pending/`` (retry with capped exponential backoff) or
+  ``quarantine/`` (after :attr:`RetryPolicy.max_attempts` strikes).  A
+  crash between the two steps leaves an orphan in ``recover/`` that any
+  later :meth:`FleetQueue.reclaim_expired` sweeps and finalises — no
+  ticket is ever lost.
+* **complete** — write ``done/<d>`` (temp + replace), then unlink the
+  lease.  A crash in between leaves both; ``done`` wins on load.
+
+Content writes always go through a temp file in the same directory and
+``os.replace``, so readers never observe a torn ticket.  The journal is
+plain appends and *can* tear on a crash; :meth:`FleetQueue.journal` and
+the loaders tolerate a truncated final line, counting it in
+:attr:`FleetQueue.journal_torn_lines` instead of raising.
+
+Lease expiry counts as a strike: a cell that keeps killing its worker
+(poison cell) burns through its attempts and lands in quarantine with
+``lease expired`` errors instead of looping forever.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, FleetError
+from ..experiments.common import Cell
+from ..obs import get_registry
+
+__all__ = [
+    "FleetQueue",
+    "QueueStatus",
+    "RetryPolicy",
+    "Ticket",
+    "cell_from_jsonable",
+    "cell_to_jsonable",
+]
+
+_STATES = ("pending", "leased", "done", "quarantine")
+_TMP_PREFIX = ".tmp-"
+#: recover/ entries older than this are treated as crashed transitions
+#: and finalised by the next sweep (seconds).
+_RECOVER_MAX_AGE = 5.0
+
+
+def _metric(name: str, amount: float = 1) -> None:
+    registry = get_registry()
+    if registry is not None:
+        registry.inc(name, amount)
+
+
+def _tuplify(value: object) -> object:
+    """Invert JSON's tuple->list coercion for cell keys/params.
+
+    Cells are hashable (frozen dataclasses of tuples), so any list that
+    comes back from JSON must originally have been a tuple.
+    """
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value
+
+
+def cell_to_jsonable(cell: Cell) -> Dict[str, object]:
+    """JSON-safe encoding of a :class:`Cell` (inverse of
+    :func:`cell_from_jsonable`)."""
+    return {
+        "experiment": cell.experiment,
+        "key": list(cell.key),
+        "rep": cell.rep,
+        "params": [[name, value] for name, value in cell.params],
+    }
+
+
+def cell_from_jsonable(data: Dict[str, object]) -> Cell:
+    """Rebuild a :class:`Cell` from its JSON encoding."""
+    try:
+        return Cell(
+            experiment=str(data["experiment"]),
+            key=tuple(_tuplify(part) for part in data["key"]),
+            rep=int(data["rep"]),
+            params=tuple(
+                (str(name), _tuplify(value))
+                for name, value in data.get("params", [])
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FleetError(f"malformed cell record {data!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failing cells are retried before quarantine.
+
+    ``backoff(attempts)`` is capped exponential: ``base * 2**(n-1)``
+    seconds after the n-th strike, never more than ``backoff_cap``.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.5
+    backoff_cap: float = 30.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigurationError("backoff values must be >= 0")
+
+    def backoff(self, attempts: int) -> float:
+        """Delay before the next claim after ``attempts`` strikes."""
+        if attempts < 1:
+            return 0.0
+        return min(
+            self.backoff_base * (2.0 ** (attempts - 1)), self.backoff_cap
+        )
+
+
+@dataclass
+class Ticket:
+    """One leased cell, as held by a worker."""
+
+    digest: str
+    cell: Cell
+    attempts: int = 0
+    not_before: float = 0.0
+    worker: str = ""
+    lease_expires: float = 0.0
+    errors: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return self.cell.label
+
+
+@dataclass
+class QueueStatus:
+    """Snapshot of the queue's state-directory counts."""
+
+    root: str
+    pending: int = 0
+    leased: int = 0
+    done: int = 0
+    quarantined: int = 0
+    journal_entries: int = 0
+    journal_torn_lines: int = 0
+    quarantine: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.pending + self.leased + self.done + self.quarantined
+
+
+class FleetQueue:
+    """Digest-keyed, crash-safe work queue over a directory tree."""
+
+    def __init__(
+        self,
+        root: str,
+        *,
+        lease_seconds: float = 30.0,
+        policy: Optional[RetryPolicy] = None,
+        clock=time.time,
+    ):
+        if lease_seconds <= 0:
+            raise ConfigurationError(
+                f"lease_seconds must be > 0, got {lease_seconds}"
+            )
+        self.root = os.path.abspath(os.path.expanduser(root))
+        self.lease_seconds = float(lease_seconds)
+        self.policy = policy or RetryPolicy()
+        self._clock = clock
+        self._journal_path = os.path.join(self.root, "queue.jsonl")
+        self._dirs = {
+            state: os.path.join(self.root, state) for state in _STATES
+        }
+        self._recover_dir = os.path.join(self.root, "recover")
+        #: truncated/corrupt journal lines tolerated on the last read.
+        self.journal_torn_lines = 0
+        for path in list(self._dirs.values()) + [self._recover_dir]:
+            os.makedirs(path, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Low-level helpers
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return float(self._clock())
+
+    def _path(self, state: str, digest: str) -> str:
+        return os.path.join(self._dirs[state], digest + ".json")
+
+    def _write_json(self, path: str, record: Dict[str, object]) -> None:
+        """Atomic (temp + replace) JSON write; never leaves torn files."""
+        directory = os.path.dirname(path)
+        fd, tmp = tempfile.mkstemp(prefix=_TMP_PREFIX, dir=directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _read_json(path: str) -> Optional[Dict[str, object]]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def _append_journal(self, op: str, digest: str, **extra: object) -> None:
+        """Best-effort audit append; the state dirs stay authoritative."""
+        record = {"op": op, "digest": digest, "at": self._now()}
+        record.update(extra)
+        try:
+            with open(self._journal_path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:
+            pass
+
+    def journal(self) -> List[Dict[str, object]]:
+        """Parse the audit journal, tolerating a torn final line.
+
+        A crash mid-append leaves a truncated last line (possibly
+        without its newline); it is skipped and counted in
+        :attr:`journal_torn_lines` (metric ``fleet.journal_torn_lines``)
+        rather than failing the load — the state directories, not the
+        journal, are the source of truth.
+        """
+        entries: List[Dict[str, object]] = []
+        torn = 0
+        try:
+            with open(self._journal_path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        torn += 1
+                        continue
+                    if isinstance(record, dict):
+                        entries.append(record)
+                    else:
+                        torn += 1
+        except OSError:
+            pass
+        self.journal_torn_lines = torn
+        if torn:
+            _metric("fleet.journal_torn_lines", torn)
+        return entries
+
+    def _list_digests(self, state: str) -> List[str]:
+        try:
+            names = os.listdir(self._dirs[state])
+        except OSError:
+            return []
+        return sorted(
+            name[:-5]
+            for name in names
+            if name.endswith(".json") and not name.startswith(_TMP_PREFIX)
+        )
+
+    def _ticket_from_record(
+        self, digest: str, record: Dict[str, object]
+    ) -> Ticket:
+        return Ticket(
+            digest=digest,
+            cell=cell_from_jsonable(record.get("cell", {})),
+            attempts=int(record.get("attempts", 0)),
+            not_before=float(record.get("not_before", 0.0)),
+            worker=str(record.get("worker", "")),
+            lease_expires=float(record.get("lease_expires", 0.0)),
+            errors=list(record.get("errors", [])),
+        )
+
+    def _ticket_record(self, ticket: Ticket) -> Dict[str, object]:
+        return {
+            "digest": ticket.digest,
+            "cell": cell_to_jsonable(ticket.cell),
+            "attempts": ticket.attempts,
+            "not_before": ticket.not_before,
+            "worker": ticket.worker,
+            "lease_expires": ticket.lease_expires,
+            "errors": ticket.errors,
+        }
+
+    # ------------------------------------------------------------------
+    # Enqueue
+    # ------------------------------------------------------------------
+    def enqueue(
+        self,
+        cells: Sequence[Cell],
+        digests: Sequence[str],
+        *,
+        reset_done: bool = False,
+    ) -> int:
+        """Add tickets for ``cells`` (aligned with ``digests``).
+
+        Digests already pending/leased/quarantined are left alone (a
+        concurrent driver or an earlier interrupted run owns them).  A
+        ``done`` marker normally also skips the enqueue; with
+        ``reset_done=True`` it is discarded and the cell re-queued —
+        the runner uses this when the store no longer holds the
+        published result (e.g. it was evicted by ``cache gc``).
+        """
+        if len(cells) != len(digests):
+            raise ConfigurationError(
+                f"{len(digests)} digests for {len(cells)} cells"
+            )
+        added = 0
+        for cell, digest in zip(cells, digests):
+            if os.path.exists(self._path("quarantine", digest)):
+                continue
+            if os.path.exists(self._path("done", digest)):
+                if not reset_done:
+                    continue
+                try:
+                    os.unlink(self._path("done", digest))
+                except OSError:
+                    pass
+            if os.path.exists(self._path("leased", digest)) or os.path.exists(
+                self._path("pending", digest)
+            ):
+                continue
+            ticket = Ticket(digest=digest, cell=cell)
+            self._write_json(
+                self._path("pending", digest), self._ticket_record(ticket)
+            )
+            self._append_journal("enqueue", digest, cell=cell.label)
+            added += 1
+        if added:
+            _metric("fleet.enqueued", added)
+        return added
+
+    # ------------------------------------------------------------------
+    # Claim / heartbeat
+    # ------------------------------------------------------------------
+    def claim(
+        self, worker_id: str, *, now: Optional[float] = None
+    ) -> Optional[Ticket]:
+        """Lease one claimable ticket, or ``None`` if nothing is ready.
+
+        Scans ``pending/`` in digest order, skipping tickets still in
+        their retry backoff; the atomic rename into ``leased/`` makes
+        the claim exclusive under any number of concurrent workers.
+        """
+        now = self._now() if now is None else now
+        self._sweep_recover(now)
+        for digest in self._list_digests("pending"):
+            pending = self._path("pending", digest)
+            record = self._read_json(pending)
+            if record is None:
+                continue
+            if float(record.get("not_before", 0.0)) > now:
+                continue
+            # Win the ticket by moving it into a private recover/ slot,
+            # stamp the lease there, then publish to leased/ — so a
+            # ticket visible in leased/ ALWAYS carries a valid lease
+            # and can never be mistaken for expired by a concurrent
+            # reclaimer mid-claim.
+            moved = self._grab_recover(pending, digest)
+            if moved is None:
+                continue  # lost the race to another worker
+            record = self._read_json(moved)
+            if record is None:
+                continue
+            ticket = self._ticket_from_record(digest, record)
+            ticket.worker = worker_id
+            ticket.lease_expires = now + self.lease_seconds
+            self._write_json(moved, self._ticket_record(ticket))
+            os.replace(moved, self._path("leased", digest))
+            self._append_journal(
+                "claim", digest, worker=worker_id,
+                lease_expires=ticket.lease_expires,
+            )
+            _metric("fleet.claims")
+            return ticket
+        return None
+
+    def heartbeat(
+        self, ticket: Ticket, *, now: Optional[float] = None
+    ) -> bool:
+        """Renew the lease on ``ticket``; ``False`` if ownership was lost.
+
+        Ownership is lost when the lease expired and another worker
+        reclaimed (or quarantined) the cell; the caller must then
+        discard its in-flight work instead of completing it.
+        """
+        now = self._now() if now is None else now
+        leased = self._path("leased", ticket.digest)
+        record = self._read_json(leased)
+        if record is None or record.get("worker") != ticket.worker:
+            return False
+        ticket.lease_expires = now + self.lease_seconds
+        record["lease_expires"] = ticket.lease_expires
+        self._write_json(leased, record)
+        self._append_journal(
+            "heartbeat", ticket.digest, worker=ticket.worker,
+            lease_expires=ticket.lease_expires,
+        )
+        _metric("fleet.heartbeats")
+        return True
+
+    # ------------------------------------------------------------------
+    # Complete / fail
+    # ------------------------------------------------------------------
+    def complete(
+        self,
+        ticket: Ticket,
+        *,
+        seconds: float = 0.0,
+        metrics: Optional[Dict[str, object]] = None,
+        pid: Optional[int] = None,
+        deploy: Optional[Sequence[int]] = None,
+    ) -> bool:
+        """Mark ``ticket`` done; ``False`` if its lease had been lost.
+
+        The result itself lives in the content-addressed store (it is
+        published before ``complete`` is called, and publishing is
+        idempotent — digest-keyed); the done marker records who ran the
+        cell, how long it took, and its metrics snapshot so the driver
+        can rebuild per-cell stats in enumeration order.
+        """
+        leased = self._path("leased", ticket.digest)
+        record = self._read_json(leased)
+        if record is None or record.get("worker") != ticket.worker:
+            return False
+        done = {
+            "digest": ticket.digest,
+            "cell": cell_to_jsonable(ticket.cell),
+            "worker": ticket.worker,
+            "seconds": float(seconds),
+            "metrics": metrics or {},
+            "pid": int(pid) if pid is not None else os.getpid(),
+            "deploy": [int(n) for n in (deploy or (0, 0, 0))],
+            "attempts": ticket.attempts,
+        }
+        self._write_json(self._path("done", ticket.digest), done)
+        try:
+            os.unlink(leased)
+        except OSError:
+            pass
+        self._append_journal(
+            "complete", ticket.digest, worker=ticket.worker,
+            seconds=float(seconds),
+        )
+        _metric("fleet.completed")
+        return True
+
+    def fail(
+        self,
+        ticket: Ticket,
+        error: object,
+        *,
+        now: Optional[float] = None,
+    ) -> str:
+        """Record a strike; returns ``"retry"``, ``"quarantined"``, or
+        ``"lost"`` (the lease was already taken over)."""
+        now = self._now() if now is None else now
+        leased = self._path("leased", ticket.digest)
+        record = self._read_json(leased)
+        if record is None or record.get("worker") != ticket.worker:
+            return "lost"
+        moved = self._grab_recover(leased, ticket.digest)
+        if moved is None:
+            return "lost"
+        return self._finalise_strike(
+            moved, ticket.digest, self._error_record(error, ticket.worker),
+            now,
+        )
+
+    def _error_record(self, error: object, worker: str) -> Dict[str, object]:
+        if isinstance(error, dict):
+            record = dict(error)
+        else:
+            record = {"message": str(error)}
+        record.setdefault("worker", worker)
+        record["at"] = self._now()
+        return record
+
+    # ------------------------------------------------------------------
+    # Expiry / recovery
+    # ------------------------------------------------------------------
+    def reclaim_expired(self, *, now: Optional[float] = None) -> int:
+        """Return expired leases to ``pending`` (or quarantine them).
+
+        An expired lease means the worker died, hung past its lease, or
+        stopped heartbeating — each counts as a strike, so a cell that
+        repeatedly kills its worker quarantines instead of cycling
+        forever.  Safe to call from any process at any time.
+        """
+        now = self._now() if now is None else now
+        reclaimed = self._sweep_recover(now)
+        for digest in self._list_digests("leased"):
+            leased = self._path("leased", digest)
+            record = self._read_json(leased)
+            if record is None:
+                continue
+            expires = float(record.get("lease_expires", 0.0))
+            if expires > now:
+                continue
+            moved = self._grab_recover(leased, digest)
+            if moved is None:
+                continue  # another sweeper got it first
+            error = {
+                "message": (
+                    f"lease expired (worker {record.get('worker') or '?'} "
+                    f"died or stalled past {self.lease_seconds:.1f}s)"
+                ),
+                "kind": "lease-expired",
+                "worker": str(record.get("worker", "")),
+            }
+            self._finalise_strike(moved, digest, error, now)
+            self._append_journal(
+                "reclaim", digest, worker=str(record.get("worker", ""))
+            )
+            _metric("fleet.reclaims")
+            reclaimed += 1
+        return reclaimed
+
+    def _grab_recover(self, path: str, digest: str) -> Optional[str]:
+        """Atomically win the right to transition ``path``; None = lost."""
+        target = os.path.join(
+            self._recover_dir, f"{digest}.{os.getpid()}.json"
+        )
+        try:
+            os.replace(path, target)
+        except FileNotFoundError:
+            return None
+        return target
+
+    def _finalise_strike(
+        self,
+        recover_path: str,
+        digest: str,
+        error: Dict[str, object],
+        now: float,
+    ) -> str:
+        """Move a recover/ ticket to pending (backoff) or quarantine."""
+        record = self._read_json(recover_path)
+        if record is None:
+            try:
+                os.unlink(recover_path)
+            except OSError:
+                pass
+            return "lost"
+        attempts = int(record.get("attempts", 0)) + 1
+        errors = list(record.get("errors", []))
+        errors.append(error)
+        record.update(
+            attempts=attempts,
+            errors=errors,
+            worker="",
+            lease_expires=0.0,
+        )
+        if attempts >= self.policy.max_attempts:
+            record["quarantined_at"] = now
+            self._write_json(recover_path, record)
+            os.replace(recover_path, self._path("quarantine", digest))
+            self._append_journal(
+                "quarantine", digest, attempts=attempts,
+                error=str(error.get("message", ""))[:200],
+            )
+            _metric("fleet.quarantined")
+            return "quarantined"
+        record["not_before"] = now + self.policy.backoff(attempts)
+        self._write_json(recover_path, record)
+        os.replace(recover_path, self._path("pending", digest))
+        self._append_journal(
+            "retry", digest, attempts=attempts,
+            not_before=record["not_before"],
+        )
+        _metric("fleet.retries")
+        return "retry"
+
+    def _sweep_recover(self, now: float) -> int:
+        """Finalise transitions orphaned by a crash mid-``fail``/reclaim."""
+        finalised = 0
+        try:
+            names = os.listdir(self._recover_dir)
+        except OSError:
+            return 0
+        wall = time.time()  # mtimes are wall-clock, not queue-clock
+        for name in sorted(names):
+            path = os.path.join(self._recover_dir, name)
+            try:
+                age = wall - os.stat(path).st_mtime
+            except OSError:
+                continue
+            if age <= _RECOVER_MAX_AGE:
+                continue
+            digest = name.split(".", 1)[0]
+            # Re-grab under our own pid so two sweepers cannot both
+            # finalise the same orphan.
+            grabbed = self._grab_recover(path, digest)
+            if grabbed is None:
+                continue
+            error = {
+                "message": "state transition interrupted by a crash",
+                "kind": "recover-sweep",
+            }
+            self._finalise_strike(grabbed, digest, error, now)
+            finalised += 1
+        return finalised
+
+    # ------------------------------------------------------------------
+    # Inspection / management
+    # ------------------------------------------------------------------
+    def done_record(self, digest: str) -> Optional[Dict[str, object]]:
+        """The completion record for ``digest``, or None."""
+        return self._read_json(self._path("done", digest))
+
+    def quarantine_record(self, digest: str) -> Optional[Dict[str, object]]:
+        return self._read_json(self._path("quarantine", digest))
+
+    def quarantine_records(self) -> List[Dict[str, object]]:
+        """All quarantine records, in digest order."""
+        records = []
+        for digest in self._list_digests("quarantine"):
+            record = self.quarantine_record(digest)
+            if record is not None:
+                records.append(record)
+        return records
+
+    def counts(self) -> Dict[str, int]:
+        return {state: len(self._list_digests(state)) for state in _STATES}
+
+    def outstanding(self, digests: Sequence[str]) -> List[str]:
+        """The subset of ``digests`` with neither a done nor a
+        quarantine marker (i.e. still pending, leased, or unknown)."""
+        return [
+            digest
+            for digest in digests
+            if not os.path.exists(self._path("done", digest))
+            and not os.path.exists(self._path("quarantine", digest))
+        ]
+
+    def drained(self) -> bool:
+        """True when nothing is pending, leased, or mid-transition."""
+        try:
+            recovering = any(
+                not name.startswith(_TMP_PREFIX)
+                for name in os.listdir(self._recover_dir)
+            )
+        except OSError:
+            recovering = False
+        return (
+            not recovering
+            and not self._list_digests("pending")
+            and not self._list_digests("leased")
+        )
+
+    def status(self) -> QueueStatus:
+        """Counts plus quarantine details and journal health."""
+        entries = self.journal()
+        counts = self.counts()
+        return QueueStatus(
+            root=self.root,
+            pending=counts["pending"],
+            leased=counts["leased"],
+            done=counts["done"],
+            quarantined=counts["quarantine"],
+            journal_entries=len(entries),
+            journal_torn_lines=self.journal_torn_lines,
+            quarantine=self.quarantine_records(),
+        )
+
+    def requeue(self, digests: Optional[Sequence[str]] = None) -> int:
+        """Move quarantined cells back to ``pending`` with a clean slate.
+
+        ``digests=None`` requeues everything in quarantine.  Returns
+        the number of tickets restored.
+        """
+        targets = (
+            self._list_digests("quarantine") if digests is None else digests
+        )
+        restored = 0
+        for digest in targets:
+            path = self._path("quarantine", digest)
+            record = self._read_json(path)
+            if record is None:
+                continue
+            record.update(
+                attempts=0, not_before=0.0, worker="", lease_expires=0.0
+            )
+            record.pop("quarantined_at", None)
+            self._write_json(path, record)
+            try:
+                os.replace(path, self._path("pending", digest))
+            except FileNotFoundError:
+                continue
+            self._append_journal("requeue", digest)
+            restored += 1
+        if restored:
+            _metric("fleet.requeued", restored)
+        return restored
+
+    def tickets(self, state: str) -> Iterator[Ticket]:
+        """Iterate tickets in one state directory (pending/leased)."""
+        if state not in _STATES:
+            raise ConfigurationError(
+                f"unknown queue state {state!r}; one of {_STATES}"
+            )
+        for digest in self._list_digests(state):
+            record = self._read_json(self._path(state, digest))
+            if record is not None and "cell" in record:
+                yield self._ticket_from_record(digest, record)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FleetQueue(root={self.root!r}, "
+            f"lease_seconds={self.lease_seconds})"
+        )

@@ -1,0 +1,203 @@
+"""The fleet worker loop: claim, run, publish, complete, repeat.
+
+Used in two places: the runner spawns one :func:`run_worker` per pool
+slot when driving a sweep through the queue, and ``repro fleet worker``
+runs the same loop as a standalone process — start any number of them
+on any host sharing the queue/store filesystem and they cooperatively
+drain the grid.
+
+While a cell runs, a daemon heartbeat thread renews the lease at a
+third of the lease interval, so slow-but-alive cells are never
+reclaimed.  With ``cell_timeout`` set the thread *stops renewing* once
+the cell has run that long — a soft timeout: the fleet reclaims the
+lease and retries the cell elsewhere, and when the stuck cell
+eventually finishes here its lease check fails and the result is
+discarded instead of double-published.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..obs import MetricsRegistry, using_registry
+from .queue import FleetQueue, Ticket
+
+__all__ = ["WorkerSummary", "run_worker", "default_worker_id"]
+
+
+def default_worker_id() -> str:
+    """hostname:pid — unique across hosts sharing one queue."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+@dataclass
+class WorkerSummary:
+    """What one worker loop did before exiting."""
+
+    worker_id: str
+    cells_done: int = 0
+    cells_failed: int = 0
+    cells_lost: int = 0
+    claims: int = 0
+    reclaims: int = 0
+    #: why the loop ended: drained | max-cells | idle-timeout
+    stopped: str = "drained"
+    counters: Dict[str, float] = field(default_factory=dict)
+
+
+class _Heartbeat:
+    """Daemon thread renewing one ticket's lease while a cell runs."""
+
+    def __init__(
+        self,
+        queue: FleetQueue,
+        ticket: Ticket,
+        *,
+        cell_timeout: Optional[float] = None,
+    ):
+        self._queue = queue
+        self._ticket = ticket
+        self._cell_timeout = cell_timeout
+        self._stop = threading.Event()
+        self.lost = False
+        self._started = time.monotonic()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        interval = max(self._queue.lease_seconds / 3.0, 0.05)
+        while not self._stop.wait(interval):
+            if (
+                self._cell_timeout is not None
+                and time.monotonic() - self._started >= self._cell_timeout
+            ):
+                # Soft timeout: let the lease lapse so the fleet can
+                # retry the cell on another worker.
+                return
+            if not self._queue.heartbeat(self._ticket):
+                self.lost = True
+                return
+
+
+def _run_ticket(ticket: Ticket):
+    """Run one cell under a fresh registry; mirrors the runner's
+    per-cell stats contract (snapshot, wall seconds, deploy delta)."""
+    from ..experiments.common import deployment_cache_counters
+    from ..runner import get_spec
+
+    before = deployment_cache_counters()
+    registry = MetricsRegistry()
+    started = time.perf_counter()
+    with using_registry(registry):
+        result = get_spec(ticket.cell.experiment).run_cell(ticket.cell)
+    seconds = time.perf_counter() - started
+    after = deployment_cache_counters()
+    deploy = [b - a for a, b in zip(before, after)]
+    return result, registry.snapshot(), seconds, deploy
+
+
+def run_worker(
+    queue: FleetQueue,
+    store,
+    *,
+    worker_id: Optional[str] = None,
+    max_cells: Optional[int] = None,
+    idle_timeout: Optional[float] = None,
+    poll_interval: float = 0.2,
+    stop_when_drained: bool = True,
+    cell_timeout: Optional[float] = None,
+) -> WorkerSummary:
+    """Drain the queue: claim cells, run them, publish into ``store``.
+
+    Exits when the queue is drained (``stop_when_drained``), after
+    ``max_cells`` completions, or after ``idle_timeout`` seconds
+    without finding work (for long-lived standalone workers).  A cell
+    that raises is failed through the queue's retry/quarantine policy —
+    the worker itself never propagates cell exceptions.
+    """
+    worker = worker_id or default_worker_id()
+    summary = WorkerSummary(worker_id=worker)
+    idle_since: Optional[float] = None
+    while True:
+        if max_cells is not None and summary.cells_done >= max_cells:
+            summary.stopped = "max-cells"
+            break
+        summary.reclaims += queue.reclaim_expired()
+        ticket = queue.claim(worker)
+        if ticket is None:
+            if stop_when_drained and queue.drained():
+                summary.stopped = "drained"
+                break
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            elif (
+                idle_timeout is not None and now - idle_since >= idle_timeout
+            ):
+                summary.stopped = "idle-timeout"
+                break
+            # Backoff tickets exist but are not claimable yet (or other
+            # workers hold every lease): wait for work.
+            time.sleep(poll_interval)
+            continue
+        idle_since = None
+        summary.claims += 1
+        with _Heartbeat(queue, ticket, cell_timeout=cell_timeout) as beat:
+            try:
+                result, snapshot, seconds, deploy = _run_ticket(ticket)
+            except BaseException as exc:
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                summary.cells_failed += 1
+                queue.fail(
+                    ticket,
+                    {
+                        "message": f"{type(exc).__name__}: {exc}",
+                        "kind": "exception",
+                        "traceback": traceback.format_exc(),
+                    },
+                )
+                continue
+        if beat.lost:
+            # Another worker owns (or quarantined) the cell now; our
+            # result would race theirs, so drop it.
+            summary.cells_lost += 1
+            continue
+        # Publish before completing: a done marker must never exist
+        # without its result being fetchable from the store.
+        store.put(
+            ticket.digest,
+            result,
+            experiment=ticket.cell.experiment,
+            label=ticket.cell.label,
+        )
+        if queue.complete(
+            ticket,
+            seconds=seconds,
+            metrics=snapshot,
+            pid=os.getpid(),
+            deploy=deploy,
+        ):
+            summary.cells_done += 1
+        else:
+            summary.cells_lost += 1
+    summary.counters = {
+        "fleet.worker_cells_done": summary.cells_done,
+        "fleet.worker_cells_failed": summary.cells_failed,
+        "fleet.worker_cells_lost": summary.cells_lost,
+        "fleet.worker_claims": summary.claims,
+    }
+    return summary

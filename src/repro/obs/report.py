@@ -37,7 +37,9 @@ RUN_SCHEMA = "repro-run/1"
 #: Metric-name prefixes whose values legitimately vary run to run or
 #: with ``--jobs`` (wall clocks, cache locality); stripped by
 #: :func:`deterministic_view` when comparing snapshots.
-VOLATILE_PREFIXES: Tuple[str, ...] = ("runner.", "deploy_cache.", "store.")
+VOLATILE_PREFIXES: Tuple[str, ...] = (
+    "runner.", "deploy_cache.", "store.", "fleet.",
+)
 
 _SNAPSHOT_SECTIONS = ("counters", "gauges", "histograms", "phases")
 

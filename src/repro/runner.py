@@ -37,10 +37,17 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from contextlib import contextmanager
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait as futures_wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from .errors import ConfigurationError
+from .errors import ConfigurationError, FleetError, QuarantineError, ReproError
 from .experiments.common import (
     Cell,
     CellExperiment,
@@ -62,6 +69,8 @@ __all__ = [
     "register_spec",
     "resolve_jobs",
     "set_default_cache",
+    "set_default_cell_timeout",
+    "set_default_fleet",
 ]
 
 #: Ad-hoc specs registered at runtime (tests, notebooks).  Looked up
@@ -72,6 +81,25 @@ _EXTRA_SPECS: Dict[str, CellExperiment] = {}
 #: by the CLI's ``--cache``/``--cache-dir`` flags (see
 #: :func:`set_default_cache`).  ``None`` means caching off.
 _DEFAULT_CACHE = None
+
+#: Fleet queue used when ``execute`` is called with ``queue=None``;
+#: installed by the CLI's ``--queue`` flag.  ``None`` means direct
+#: pool execution (no durable queue).
+_DEFAULT_FLEET = None
+
+#: Per-cell soft timeout applied when ``execute`` is called with
+#: ``cell_timeout=None``; installed by the CLI's ``--cell-timeout``.
+_DEFAULT_CELL_TIMEOUT: Optional[float] = None
+
+#: How many times infrastructure failures (a killed worker process, a
+#: soft-timeout pool respawn) may strike one cell before the run gives
+#: up on it.  Cell *exceptions* in direct mode fail fast instead — they
+#: are deterministic, so retrying them only wastes time.
+_MAX_CELL_STRIKES = 3
+
+#: Backstop against pathological respawn loops: more pool respawns than
+#: this aborts the run even if no single cell has exhausted its strikes.
+_MAX_POOL_RESPAWNS = 16
 
 
 def register_spec(spec: CellExperiment) -> CellExperiment:
@@ -132,6 +160,26 @@ def set_default_cache(store) -> object:
     return previous
 
 
+def set_default_fleet(queue) -> object:
+    """Install the fleet queue ``execute(queue=None)`` uses.
+
+    Mirrors :func:`set_default_cache`; the CLI's ``--queue`` flag wraps
+    the run loop in install/restore.  Returns the previous default.
+    """
+    global _DEFAULT_FLEET
+    previous = _DEFAULT_FLEET
+    _DEFAULT_FLEET = queue
+    return previous
+
+
+def set_default_cell_timeout(seconds: Optional[float]) -> Optional[float]:
+    """Install the soft per-cell timeout used when none is passed."""
+    global _DEFAULT_CELL_TIMEOUT
+    previous = _DEFAULT_CELL_TIMEOUT
+    _DEFAULT_CELL_TIMEOUT = seconds
+    return previous
+
+
 def _resolve_cache(cache):
     """Normalise the ``cache=`` argument into a CellStore or None.
 
@@ -157,6 +205,30 @@ def _resolve_cache(cache):
     )
 
 
+def _resolve_queue(queue):
+    """Normalise the ``queue=`` argument into a FleetQueue or None.
+
+    ``None`` defers to the installed default (see
+    :func:`set_default_fleet`), ``False`` forces direct execution, a
+    string/path opens a queue at that directory, and a
+    :class:`~repro.fleet.FleetQueue` is used as-is.
+    """
+    if queue is None:
+        return _DEFAULT_FLEET
+    if queue is False:
+        return None
+    from .fleet import FleetQueue
+
+    if isinstance(queue, FleetQueue):
+        return queue
+    if isinstance(queue, (str, os.PathLike)):
+        return FleetQueue(os.path.expanduser(os.fspath(queue)))
+    raise ConfigurationError(
+        f"queue must be None, False, a path, or a FleetQueue; "
+        f"got {queue!r}"
+    )
+
+
 def _execute_cell(cell: Cell) -> object:
     """Worker entry point: resolve the spec by name and run one cell."""
     return get_spec(cell.experiment).run_cell(cell)
@@ -164,31 +236,40 @@ def _execute_cell(cell: Cell) -> object:
 
 def _execute_cell_with_stats(
     cell: Cell,
-) -> Tuple[object, int, int, Dict[str, object], float, int]:
+) -> Tuple[object, Tuple[int, int, int], Dict[str, object], float, int]:
     """Run one cell, reporting the deployment-LRU delta it caused.
 
-    Workers execute one map task at a time, so sampling the process-
-    local counters around the call attributes hits/misses exactly.
+    Workers execute one task at a time, so sampling the process-local
+    counters around the call attributes hits/misses/evictions exactly.
 
     The cell runs under a *fresh* metrics registry (whether inline or
     in a pool worker), and its snapshot travels back with the result;
     the parent merges snapshots in cell-enumeration order, so the
     aggregate is identical for any ``--jobs`` value.
     """
-    before_hits, before_misses = deployment_cache_counters()
+    before = deployment_cache_counters()
     registry = MetricsRegistry()
     started = time.perf_counter()
     with using_registry(registry):
         result = get_spec(cell.experiment).run_cell(cell)
     seconds = time.perf_counter() - started
-    after_hits, after_misses = deployment_cache_counters()
-    return (
-        result,
-        after_hits - before_hits,
-        after_misses - before_misses,
-        registry.snapshot(),
-        seconds,
-        os.getpid(),
+    after = deployment_cache_counters()
+    deploy = tuple(b - a for a, b in zip(before, after))
+    return (result, deploy, registry.snapshot(), seconds, os.getpid())
+
+
+def _cell_failure(cell: Cell, exc: BaseException) -> ReproError:
+    """Wrap a ``run_cell`` exception into an exit-2 error naming the cell.
+
+    A worker raising must never surface as a raw pool traceback; the
+    failing cell is counted in ``runner.cells_failed`` and named so the
+    user can reproduce it in isolation.
+    """
+    registry = get_registry()
+    if registry is not None:
+        registry.inc("runner.cells_failed")
+    return ReproError(
+        f"cell {cell.label} failed: {type(exc).__name__}: {exc}"
     )
 
 
@@ -198,44 +279,346 @@ def execute_cells(
     """Run every cell, returning results aligned with ``cells``.
 
     ``jobs == 1`` runs inline; otherwise a process pool computes cells
-    concurrently.  ``ProcessPoolExecutor.map`` hands tasks out in
-    submission order and yields results in that same order regardless
-    of completion order, which is the whole merge step: position ``i``
-    of the result list is cell ``i``, always.
+    concurrently and the driver reassembles results in submission
+    order, which is the whole merge step: position ``i`` of the result
+    list is cell ``i``, always — even when a worker died mid-cell and
+    the pool was respawned.
     """
-    results, _hits, _misses, _stats = _run_cells_with_stats(
-        list(cells), jobs
-    )
+    results, _deploy, _stats = _run_cells_with_stats(list(cells), jobs)
     return results
 
 
 def _run_cells_with_stats(
-    cells: Sequence[Cell], jobs: Optional[int]
-) -> Tuple[List[object], int, int, List[Tuple[Dict[str, object], float, int]]]:
+    cells: Sequence[Cell],
+    jobs: Optional[int],
+    *,
+    cell_timeout: Optional[float] = None,
+) -> Tuple[
+    List[object],
+    Tuple[int, int, int],
+    List[Tuple[Dict[str, object], float, int]],
+]:
     """``execute_cells`` plus deployment-LRU counts and per-cell stats.
 
-    The fourth element aligns with ``cells``: one ``(metrics snapshot,
+    The third element aligns with ``cells``: one ``(metrics snapshot,
     wall seconds, worker pid)`` triple per cell.
     """
     cells = list(cells)
     if not cells:
-        return [], 0, 0, []
+        return [], (0, 0, 0), []
     workers = min(resolve_jobs(jobs), len(cells))
     if workers <= 1:
-        outcomes = [_execute_cell_with_stats(cell) for cell in cells]
+        outcomes = []
+        for cell in cells:
+            try:
+                outcomes.append(_execute_cell_with_stats(cell))
+            except Exception as exc:
+                raise _cell_failure(cell, exc) from exc
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            # chunksize=1: cells are coarse (whole simulation rounds), so
-            # per-task dispatch overhead is noise and fine-grained dispatch
-            # keeps stragglers from serialising behind a big chunk.
-            outcomes = list(
-                pool.map(_execute_cell_with_stats, cells, chunksize=1)
-            )
+        outcomes = _drive_pool(cells, workers, cell_timeout=cell_timeout)
     results = [outcome[0] for outcome in outcomes]
-    hits = sum(outcome[1] for outcome in outcomes)
-    misses = sum(outcome[2] for outcome in outcomes)
-    stats = [(outcome[3], outcome[4], outcome[5]) for outcome in outcomes]
-    return results, hits, misses, stats
+    deploy = tuple(
+        sum(outcome[1][axis] for outcome in outcomes) for axis in range(3)
+    )
+    stats = [(outcome[2], outcome[3], outcome[4]) for outcome in outcomes]
+    return results, deploy, stats
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down hard (for soft timeouts): kill, then discard."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _drive_pool(
+    cells: Sequence[Cell],
+    workers: int,
+    *,
+    cell_timeout: Optional[float] = None,
+) -> List[tuple]:
+    """Submit-based pool driver that survives worker death.
+
+    ``pool.map`` dies with the first broken worker and throws away
+    every in-flight cell; this driver instead tracks one future per
+    cell, and on :class:`BrokenProcessPool` (a worker was OOM-killed,
+    SIGKILLed, or segfaulted) respawns the pool and resubmits the
+    orphaned cells.  Each respawn counts a *strike* against every cell
+    that was in flight (the culprit is unknowable from outside); a cell
+    that survives :data:`_MAX_CELL_STRIKES` respawns is declared poison
+    and the run fails with an explicit error naming it.
+
+    ``cell_timeout`` adds a soft per-cell deadline: a cell running past
+    it strikes (only that cell) and the pool is respawned to free the
+    stuck worker.  Cells whose ``run_cell`` *raises* fail fast — see
+    :func:`_cell_failure`.
+    """
+    outcomes: List[Optional[tuple]] = [None] * len(cells)
+    strikes = [0] * len(cells)
+    last_infra_error = ["worker process died"] * len(cells)
+    todo = deque(range(len(cells)))
+    in_flight: Dict[object, Tuple[int, float]] = {}
+    registry = get_registry()
+    respawns = 0
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        while todo or in_flight:
+            # chunk-free dispatch: cells are coarse (whole simulation
+            # rounds), so per-task overhead is noise and fine dispatch
+            # keeps stragglers from serialising behind a big chunk.
+            while todo:
+                index = todo.popleft()
+                future = pool.submit(_execute_cell_with_stats, cells[index])
+                in_flight[future] = (index, time.monotonic())
+            timeout = None
+            if cell_timeout is not None:
+                now = time.monotonic()
+                deadlines = [
+                    started + cell_timeout - now
+                    for _index, started in in_flight.values()
+                ]
+                timeout = max(min(deadlines), 0.05)
+            done, _pending = futures_wait(
+                set(in_flight), timeout=timeout,
+                return_when=FIRST_COMPLETED,
+            )
+            broken = False
+            for future in done:
+                index, _started = in_flight.pop(future)
+                try:
+                    outcomes[index] = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    strikes[index] += 1
+                    todo.append(index)
+                except Exception as exc:
+                    raise _cell_failure(cells[index], exc) from exc
+            if broken:
+                # Every other in-flight cell was orphaned with the pool.
+                for future, (index, _started) in in_flight.items():
+                    strikes[index] += 1
+                    todo.append(index)
+                in_flight.clear()
+            elif cell_timeout is not None and not done:
+                now = time.monotonic()
+                expired = [
+                    (future, index)
+                    for future, (index, started) in in_flight.items()
+                    if now - started >= cell_timeout
+                ]
+                if expired:
+                    for future, index in expired:
+                        strikes[index] += 1
+                        last_infra_error[index] = (
+                            f"soft timeout: still running after "
+                            f"{cell_timeout:.1f}s"
+                        )
+                        if registry is not None:
+                            registry.inc("runner.cell_timeouts")
+                    # The stuck workers hold pool slots until killed, so
+                    # the whole pool is torn down and rebuilt; innocent
+                    # in-flight cells are resubmitted without a strike.
+                    for future, (index, _started) in in_flight.items():
+                        todo.append(index)
+                    in_flight.clear()
+                    _kill_pool(pool)
+                    broken = True
+            if broken:
+                respawns += 1
+                if registry is not None:
+                    registry.inc("runner.pool_respawns")
+                for index in list(todo):
+                    if strikes[index] >= _MAX_CELL_STRIKES:
+                        if registry is not None:
+                            registry.inc("runner.cells_failed")
+                        raise ReproError(
+                            f"cell {cells[index].label} abandoned after "
+                            f"{strikes[index]} strikes "
+                            f"({last_infra_error[index]}); it keeps taking "
+                            f"its worker down — run it alone with jobs=1 "
+                            f"to see the real failure"
+                        )
+                if respawns > _MAX_POOL_RESPAWNS:
+                    raise FleetError(
+                        f"gave up after {respawns} pool respawns with "
+                        f"{len(todo)} cell(s) unfinished — workers keep "
+                        f"dying; check memory limits and system logs"
+                    )
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=workers)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return outcomes  # type: ignore[return-value]
+
+
+def _fleet_worker_entry(
+    queue_root: str,
+    lease_seconds: float,
+    policy,
+    store_root: str,
+    worker_index: int,
+    cell_timeout: Optional[float],
+):
+    """Pool-worker entry: run one claim/run/publish loop until drained."""
+    from .fleet import FleetQueue, run_worker
+    from .fleet.worker import default_worker_id
+    from .store import CellStore
+
+    queue = FleetQueue(
+        queue_root, lease_seconds=lease_seconds, policy=policy
+    )
+    store = CellStore(store_root)
+    return run_worker(
+        queue,
+        store,
+        worker_id=f"{default_worker_id()}#{worker_index}",
+        cell_timeout=cell_timeout,
+    )
+
+
+def _drive_fleet(
+    queue,
+    store,
+    target_digests: Sequence[str],
+    workers: int,
+    *,
+    cell_timeout: Optional[float],
+    registry,
+) -> None:
+    """Drive local pool workers through the queue until every target
+    digest is done or quarantined.
+
+    Each pool slot runs :func:`repro.fleet.run_worker`; external
+    workers (other processes, other hosts on a shared filesystem) can
+    claim from the same queue concurrently.  A SIGKILLed worker breaks
+    the whole :class:`ProcessPoolExecutor`; the driver respawns the
+    pool and the dead worker's lease expires and is reclaimed — no
+    cell is lost and no completed work is redone (results live in the
+    content-addressed store).
+    """
+    from .fleet.chaos import ChaosMonkey
+
+    chaos = ChaosMonkey.from_env()
+    targets = list(target_digests)
+    respawns = 0
+    worker_seq = 0
+
+    def spawn(pool_workers: int):
+        nonlocal worker_seq
+        pool = ProcessPoolExecutor(max_workers=pool_workers)
+        futures = set()
+        for _slot in range(pool_workers):
+            futures.add(
+                pool.submit(
+                    _fleet_worker_entry,
+                    queue.root,
+                    queue.lease_seconds,
+                    queue.policy,
+                    store.root,
+                    worker_seq,
+                    cell_timeout,
+                )
+            )
+            worker_seq += 1
+        return pool, futures
+
+    pool, futures = spawn(workers)
+    try:
+        while True:
+            outstanding = queue.outstanding(targets)
+            if not outstanding:
+                break
+            if chaos is not None:
+                pids = list(getattr(pool, "_processes", None) or {})
+                chaos.poll(len(targets) - len(outstanding), pids)
+            done, futures = futures_wait(
+                futures, timeout=0.2, return_when=FIRST_COMPLETED
+            )
+            broken = False
+            for future in done:
+                try:
+                    summary = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    continue
+                if registry is not None:
+                    for name, value in summary.counters.items():
+                        registry.inc(name, value)
+                    if summary.cells_failed:
+                        registry.inc(
+                            "runner.cells_failed", summary.cells_failed
+                        )
+            if broken:
+                futures = set()
+            queue.reclaim_expired()
+            if not futures and queue.outstanding(targets):
+                # All workers exited (or died) with work left: leases
+                # from dead workers need their expiry to lapse, retry
+                # backoffs need to elapse, or quarantine must fill.  If
+                # everything left is quarantined the loop exits above.
+                if queue.drained() and not queue.outstanding(targets):
+                    break
+                respawns += 1
+                if registry is not None:
+                    registry.inc("fleet.pool_respawns")
+                if respawns > _MAX_POOL_RESPAWNS:
+                    raise FleetError(
+                        f"gave up after {respawns} fleet pool respawns "
+                        f"with {len(queue.outstanding(targets))} cell(s) "
+                        f"outstanding — workers keep dying; inspect "
+                        f"'repro fleet status --queue {queue.root}'"
+                    )
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool, futures = spawn(workers)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _quarantine_report(queue, records) -> QuarantineError:
+    """Build the explicit exit-2 failure for quarantined cells."""
+    lines = [
+        f"{len(records)} cell(s) quarantined after repeated failures:"
+    ]
+    for record in records:
+        cell = record.get("cell", {})
+        label = Cell(
+            experiment=str(cell.get("experiment", "?")),
+            key=tuple(cell.get("key", ())),
+            rep=int(cell.get("rep", 0)),
+        ).label
+        errors = record.get("errors", [])
+        last = errors[-1] if errors else {}
+        lines.append(
+            f"  - {label} (digest {str(record.get('digest', ''))[:12]}…, "
+            f"{record.get('attempts', '?')} attempts): "
+            f"{last.get('message', 'unknown error')}"
+        )
+    lines.append(
+        f"inspect: repro fleet status --queue {queue.root}; "
+        f"retry: repro fleet requeue --queue {queue.root}"
+    )
+    return QuarantineError("\n".join(lines), records=records)
+
+
+@contextmanager
+def _merge_on_error(parent, local):
+    """Fold ``local`` metrics into ``parent`` even when the sweep raises.
+
+    Failure counters (``runner.cells_failed``, quarantine tallies) must
+    survive into run reports; without this they would die with the
+    aborted local registry.
+    """
+    try:
+        yield
+    except BaseException:
+        if parent is not None:
+            parent.merge(local.snapshot())
+            parent.events.extend(local.events)
+        raise
 
 
 def execute(
@@ -243,6 +626,8 @@ def execute(
     *,
     jobs: Optional[int] = 1,
     cache: object = None,
+    queue: object = None,
+    cell_timeout: Optional[float] = None,
     **kwargs: object,
 ) -> ExperimentTable:
     """Enumerate, (cache-)shard, and reduce one experiment sweep.
@@ -250,11 +635,24 @@ def execute(
     ``kwargs`` are passed to the spec's ``cells()``.  ``cache`` selects
     the content-addressed store (see :func:`_resolve_cache`); with a
     store attached, cached cells are served without touching the pool
-    and fresh results are written back.  The returned table's ``meta``
-    carries the sweep shape, throughput, provenance (code fingerprint,
-    cell-digest root, sweep kwargs), the deployment-LRU counters, and —
-    when a store was used — ``cache_hits``/``cache_misses`` plus bytes
-    moved.
+    and fresh results are written back.  ``queue`` routes the misses
+    through a crash-safe fleet work queue (see :func:`_resolve_queue`):
+    cells are enqueued as digest-keyed lease tickets, pool workers (and
+    any external ``repro fleet worker`` processes sharing the
+    directory) claim and publish them into the store, and the run
+    survives SIGKILLed workers, expired leases, and driver restarts —
+    a resumed run re-runs only the cells that were in flight.  A cell
+    that keeps failing lands in quarantine and the run raises
+    :class:`~repro.errors.QuarantineError` naming it, never a raw pool
+    traceback.  ``cell_timeout`` is a soft per-cell deadline in
+    seconds.
+
+    The returned table's ``meta`` carries the sweep shape, throughput,
+    provenance (code fingerprint, cell-digest root, sweep kwargs), the
+    deployment-LRU counters, and — when a store was used —
+    ``cache_hits``/``cache_misses`` plus bytes moved.  The enumeration-
+    order merge guarantees byte-identical output for any worker count,
+    cache state, or interruption history.
     """
     if isinstance(spec, str):
         spec = get_spec(spec)
@@ -262,10 +660,19 @@ def execute(
     local = MetricsRegistry(
         capture_events=parent.capture_events if parent is not None else False
     )
-    with using_registry(local):
+    if cell_timeout is None:
+        cell_timeout = _DEFAULT_CELL_TIMEOUT
+    with _merge_on_error(parent, local), using_registry(local):
         with local.phase_timer("enumerate"):
             cell_list = spec.cells(**kwargs)
         store = _resolve_cache(cache)
+        fleet = _resolve_queue(queue)
+        if fleet is not None and store is None:
+            # Fleet results are published through the store, so the
+            # queue brings its own store when none was configured.
+            from .store import CellStore
+
+            store = CellStore(os.path.join(fleet.root, "store"))
 
         from .store.digest import (
             cell_digest,
@@ -283,8 +690,8 @@ def execute(
         cache_meta: Dict[str, object] = {}
         if store is None:
             with local.phase_timer("run_cells"):
-                results, deploy_hits, deploy_misses, cell_stats = (
-                    _run_cells_with_stats(cell_list, effective_jobs)
+                results, deploy, cell_stats = _run_cells_with_stats(
+                    cell_list, effective_jobs, cell_timeout=cell_timeout
                 )
         else:
             results = [None] * len(cell_list)
@@ -300,36 +707,50 @@ def execute(
                         bytes_read += nbytes
                     else:
                         missing.append(index)
-            with local.phase_timer("run_cells"):
-                fresh, deploy_hits, deploy_misses, cell_stats = (
-                    _run_cells_with_stats(
+            bytes_written = 0
+            if fleet is not None:
+                fresh, deploy, cell_stats = _run_cells_via_fleet(
+                    fleet,
+                    store,
+                    [cell_list[index] for index in missing],
+                    [digests[index] for index in missing],
+                    effective_jobs,
+                    cell_timeout=cell_timeout,
+                    registry=local,
+                )
+                cache_meta["fleet_queue"] = fleet.root
+            else:
+                with local.phase_timer("run_cells"):
+                    fresh, deploy, cell_stats = _run_cells_with_stats(
                         [cell_list[index] for index in missing],
                         effective_jobs,
+                        cell_timeout=cell_timeout,
                     )
-                )
-            bytes_written = 0
-            with local.phase_timer("cache_write"):
-                for index, value in zip(missing, fresh):
-                    results[index] = value
-                    bytes_written += store.put(
-                        digests[index],
-                        value,
-                        experiment=spec.name,
-                        label=cell_list[index].label,
-                    )
-                if bytes_written:
-                    store.maybe_gc()
+                with local.phase_timer("cache_write"):
+                    for index, value in zip(missing, fresh):
+                        bytes_written += store.put(
+                            digests[index],
+                            value,
+                            experiment=spec.name,
+                            label=cell_list[index].label,
+                        )
+                    if bytes_written:
+                        store.maybe_gc()
+            for index, value in zip(missing, fresh):
+                results[index] = value
             local.inc("store.hits", hits)
             local.inc("store.misses", len(missing))
             local.inc("store.bytes_read", bytes_read)
             local.inc("store.bytes_written", bytes_written)
-            cache_meta = {
-                "cache_hits": hits,
-                "cache_misses": len(missing),
-                "cache_bytes_read": bytes_read,
-                "cache_bytes_written": bytes_written,
-                "cache_dir": store.root,
-            }
+            cache_meta.update(
+                {
+                    "cache_hits": hits,
+                    "cache_misses": len(missing),
+                    "cache_bytes_read": bytes_read,
+                    "cache_bytes_written": bytes_written,
+                    "cache_dir": store.root,
+                }
+            )
 
         elapsed = time.perf_counter() - started
         # Merge per-cell metric snapshots in enumeration order: the
@@ -345,8 +766,9 @@ def execute(
             )
             shard_cells[pid] = shard_cells.get(pid, 0) + 1
         local.inc("runner.cells", len(cell_stats))
-        local.inc("deploy_cache.hits", deploy_hits)
-        local.inc("deploy_cache.misses", deploy_misses)
+        local.inc("deploy_cache.hits", deploy[0])
+        local.inc("deploy_cache.misses", deploy[1])
+        local.inc("deploy_cache.evictions", deploy[2])
         local.gauge(
             "runner.cells_per_second",
             len(cell_list) / elapsed if elapsed > 0 else 0.0,
@@ -363,8 +785,9 @@ def execute(
             "cells_per_second": (
                 len(cell_list) / elapsed if elapsed > 0 else float("inf")
             ),
-            "deploy_cache_hits": deploy_hits,
-            "deploy_cache_misses": deploy_misses,
+            "deploy_cache_hits": deploy[0],
+            "deploy_cache_misses": deploy[1],
+            "deploy_cache_evictions": deploy[2],
             "fingerprint": fingerprint,
             "fingerprint_modules": dict(
                 fingerprint_modules(
@@ -383,6 +806,80 @@ def execute(
         parent.merge(table.meta["metrics"])
         parent.events.extend(local.events)
     return table
+
+
+def _run_cells_via_fleet(
+    fleet,
+    store,
+    cells: Sequence[Cell],
+    digests: Sequence[str],
+    jobs: int,
+    *,
+    cell_timeout: Optional[float],
+    registry,
+) -> Tuple[
+    List[object],
+    Tuple[int, int, int],
+    List[Tuple[Dict[str, object], float, int]],
+]:
+    """Run ``cells`` through the fleet queue; returns the same shape as
+    :func:`_run_cells_with_stats` (results aligned with ``cells``).
+
+    Cells whose digest already carries a ``done`` marker but whose
+    result is no longer in the store (evicted) are re-queued; cells
+    pending or leased from an interrupted earlier run are simply
+    awaited, which is exactly the warm-resume path: only in-flight
+    work is redone.
+    """
+    cells = list(cells)
+    digests = list(digests)
+    if not cells:
+        return [], (0, 0, 0), []
+    with registry.phase_timer("queue_enqueue"):
+        fleet.enqueue(cells, digests, reset_done=True)
+    workers = min(resolve_jobs(jobs), len(cells))
+    with registry.phase_timer("queue_drain"):
+        _drive_fleet(
+            fleet,
+            store,
+            digests,
+            workers,
+            cell_timeout=cell_timeout,
+            registry=registry,
+        )
+    quarantined = []
+    results: List[object] = [None] * len(cells)
+    stats: List[Tuple[Dict[str, object], float, int]] = []
+    deploy = [0, 0, 0]
+    with registry.phase_timer("queue_collect"):
+        for index, digest in enumerate(digests):
+            record = fleet.quarantine_record(digest)
+            if record is not None:
+                quarantined.append(record)
+                continue
+            found, value, _nbytes = store.get(digest)
+            if not found:
+                raise FleetError(
+                    f"cell {cells[index].label} is marked done in the "
+                    f"queue but its result is missing from the store "
+                    f"{store.root!r} — the store may have been cleared "
+                    f"mid-run; requeue with 'repro fleet requeue'"
+                )
+            results[index] = value
+            done = fleet.done_record(digest) or {}
+            stats.append(
+                (
+                    done.get("metrics") or {},
+                    float(done.get("seconds", 0.0)),
+                    int(done.get("pid", 0)),
+                )
+            )
+            for axis, amount in enumerate(done.get("deploy", (0, 0, 0))):
+                if axis < 3:
+                    deploy[axis] += int(amount)
+    if quarantined:
+        raise _quarantine_report(fleet, quarantined)
+    return results, (deploy[0], deploy[1], deploy[2]), stats
 
 
 def _jsonable_kwargs(kwargs: Dict[str, object]) -> Dict[str, object]:

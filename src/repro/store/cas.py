@@ -109,6 +109,9 @@ class CellStore:
         self.cache_touch_failed = 0
         #: writes abandoned because the store is unwritable.
         self.put_failed = 0
+        #: torn/corrupt ``index.jsonl`` lines tolerated on the last
+        #: index read (crash during append leaves a truncated tail).
+        self.index_torn_lines = 0
 
     # ------------------------------------------------------------------
     # Paths
@@ -243,26 +246,75 @@ class CellStore:
         except OSError:
             pass
 
-    def _read_index(self) -> Dict[str, str]:
-        """digest -> experiment, last record winning."""
-        mapping: Dict[str, str] = {}
+    def _read_index_records(
+        self,
+    ) -> Tuple[List[Dict[str, object]], int]:
+        """Parse ``index.jsonl`` tolerating torn lines.
+
+        A crash during an append (killed writer, full disk) leaves a
+        truncated final line; it — and any other undecodable line — is
+        skipped and counted instead of failing the load, because the
+        object files, not the index, are authoritative.  The count
+        lands in :attr:`index_torn_lines` and the
+        ``store.index_torn_lines`` metric so ``repro store verify``
+        can surface and repair the damage.
+        """
+        records: List[Dict[str, object]] = []
+        torn = 0
         try:
             with open(self._index_path, "r", encoding="utf-8") as handle:
                 for line in handle:
-                    line = line.strip()
-                    if not line:
+                    stripped = line.strip()
+                    if not stripped:
                         continue
                     try:
-                        record = json.loads(line)
+                        record = json.loads(stripped)
                     except ValueError:
+                        torn += 1
                         continue
                     if isinstance(record, dict) and "digest" in record:
-                        mapping[str(record["digest"])] = str(
-                            record.get("experiment", "")
-                        )
+                        records.append(record)
+                    else:
+                        torn += 1
         except OSError:
             pass
-        return mapping
+        self.index_torn_lines = torn
+        if torn:
+            registry = get_registry()
+            if registry is not None:
+                registry.inc("store.index_torn_lines", torn)
+        return records, torn
+
+    def _read_index(self) -> Dict[str, str]:
+        """digest -> experiment, last record winning."""
+        records, _torn = self._read_index_records()
+        return {
+            str(record["digest"]): str(record.get("experiment", ""))
+            for record in records
+        }
+
+    def verify_index(self, *, repair: bool = False) -> Tuple[int, int]:
+        """Check ``index.jsonl`` health: ``(clean records, torn lines)``.
+
+        With ``repair=True`` a torn index is rewritten (atomically)
+        from its surviving records, so the next append starts from a
+        clean tail.  A healthy index is left untouched.
+        """
+        records, torn = self._read_index_records()
+        if torn and repair:
+            try:
+                fd, tmp = tempfile.mkstemp(
+                    prefix=_TMP_PREFIX, dir=self.root
+                )
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    for record in records:
+                        handle.write(
+                            json.dumps(record, sort_keys=True) + "\n"
+                        )
+                os.replace(tmp, self._index_path)
+            except OSError:
+                pass
+        return len(records), torn
 
     # ------------------------------------------------------------------
     # Inventory / maintenance

@@ -1,0 +1,93 @@
+"""Per-worker deployment-LRU bounds (count cap + node-weight cap).
+
+A long-lived fleet worker drifts across sweeps of very different
+deployment sizes; entry count alone does not bound its memory, so the
+LRU also evicts by total cached node weight.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import common
+
+
+@pytest.fixture(autouse=True)
+def clean_cache(monkeypatch):
+    """Isolate every test from the process-wide LRU and counters."""
+    monkeypatch.setattr(common, "_DEPLOYMENT_CACHE", common.OrderedDict())
+    monkeypatch.setattr(common, "_DEPLOYMENT_CACHE_COST", {})
+    monkeypatch.setattr(
+        common,
+        "_DEPLOYMENT_CACHE_COUNTERS",
+        {"hits": 0, "misses": 0, "evictions": 0},
+    )
+
+
+def _fill(sizes):
+    for size in sizes:
+        common.cached_deployment(size, seed=1, area=120.0)
+
+
+class TestCountCap:
+    def test_lru_never_exceeds_entry_limit(self, monkeypatch):
+        monkeypatch.setattr(common, "_DEPLOYMENT_CACHE_LIMIT", 3)
+        _fill([10, 11, 12, 13, 14])
+        assert len(common._DEPLOYMENT_CACHE) == 3
+        hits, misses, evictions = common.deployment_cache_counters()
+        assert (hits, misses, evictions) == (0, 5, 2)
+
+    def test_eviction_is_least_recently_used(self, monkeypatch):
+        monkeypatch.setattr(common, "_DEPLOYMENT_CACHE_LIMIT", 2)
+        _fill([10, 11])
+        common.cached_deployment(10, seed=1, area=120.0)  # refresh 10
+        _fill([12])  # evicts 11, not 10
+        common.cached_deployment(10, seed=1, area=120.0)
+        hits, _misses, _evictions = common.deployment_cache_counters()
+        assert hits == 2
+
+
+class TestNodeWeightCap:
+    def test_evicts_by_total_cached_nodes(self, monkeypatch):
+        monkeypatch.setattr(
+            common, "_DEPLOYMENT_CACHE_MAX_NODES", 30
+        )
+        _fill([12, 12 + 1, 12 + 2])  # 39 nodes total > 30
+        total = sum(common._DEPLOYMENT_CACHE_COST.values())
+        assert total <= 30
+        assert common.deployment_cache_counters()[2] >= 1
+        # cost bookkeeping stays parallel to the cache
+        assert set(common._DEPLOYMENT_CACHE_COST) == set(
+            common._DEPLOYMENT_CACHE
+        )
+
+    def test_single_oversized_entry_is_kept(self, monkeypatch):
+        # the cap never evicts the entry just inserted (len > 1 guard):
+        # a deployment larger than the cap alone must still be usable.
+        monkeypatch.setattr(common, "_DEPLOYMENT_CACHE_MAX_NODES", 5)
+        common.cached_deployment(40, seed=1, area=120.0)
+        assert len(common._DEPLOYMENT_CACHE) == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEPLOY_CACHE_MAX_NODES", "25")
+        _fill([12, 13])  # 25 nodes: at the cap, nothing evicted
+        assert common.deployment_cache_counters()[2] == 0
+        _fill([14])
+        assert common.deployment_cache_counters()[2] >= 1
+
+    def test_env_override_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEPLOY_CACHE_MAX_NODES", "many")
+        with pytest.raises(ConfigurationError):
+            common.cached_deployment(10, seed=1, area=120.0)
+        monkeypatch.setenv("REPRO_DEPLOY_CACHE_MAX_NODES", "0")
+        with pytest.raises(ConfigurationError):
+            common.cached_deployment(11, seed=1, area=120.0)
+
+
+class TestCounters:
+    def test_counters_are_a_3_tuple(self):
+        assert common.deployment_cache_counters() == (0, 0, 0)
+        _fill([10])
+        _fill([10])
+        assert common.deployment_cache_counters() == (1, 1, 0)

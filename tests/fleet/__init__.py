@@ -1,0 +1,1 @@
+"""Fleet work-queue tests."""

@@ -1,0 +1,233 @@
+"""Chaos harness: SIGKILLed workers, torn state, killed drivers.
+
+Every scenario here ends one of two ways — a byte-identical table, or
+an explicit typed error with a quarantine report.  Never a raw
+traceback, never silently missing cells.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+import repro.fleet.chaos as chaos
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    CellExperiment,
+    ExperimentTable,
+    grouped,
+    make_cell,
+)
+from repro.fleet import FleetQueue
+from repro.fleet.chaos import (
+    ChaosMonkey,
+    expire_leases,
+    truncate_journal,
+)
+from repro.obs import MetricsRegistry, using_registry
+from repro.runner import execute, register_spec
+
+GRID = dict(count=4, repetitions=2, seed=3)
+REPO_SRC = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "src"
+)
+
+
+# ----------------------------------------------------------------------
+# suicide-grid: each cell SIGKILLs its worker exactly once, then runs.
+# The flag directory makes the first attempt fatal and every retry
+# clean — the deterministic stand-in for a flaky OOM-killed worker.
+# ----------------------------------------------------------------------
+def _suicide_cells(count=4, flag_dir="", kill=()):
+    kill = tuple(sorted(int(index) for index in kill))
+    return [
+        make_cell("suicide-grid", (index,), 0, flag_dir=flag_dir,
+                  kill=kill)
+        for index in range(int(count))
+    ]
+
+
+def _suicide_run_cell(cell):
+    index = int(cell.key[0])
+    if index in cell.param("kill", ()):
+        flag = os.path.join(
+            str(cell.param("flag_dir")), f"killed-{index}"
+        )
+        if not os.path.exists(flag):
+            with open(flag, "w", encoding="utf-8") as handle:
+                handle.write("x")
+            os.kill(os.getpid(), signal.SIGKILL)
+    return {"index": index, "value": index * 11}
+
+
+def _suicide_reduce(cells, results):
+    table = ExperimentTable(name="suicide-grid",
+                            columns=["index", "value"])
+    for key, pairs in grouped(cells, results).items():
+        table.add_row(key[0], sum(r["value"] for _c, r in pairs))
+    return table
+
+
+register_spec(CellExperiment(
+    name="suicide-grid",
+    cells=_suicide_cells,
+    run_cell=_suicide_run_cell,
+    reduce=_suicide_reduce,
+    description="kills its own worker once per cell (chaos tests)",
+))
+
+
+class TestWorkerDeath:
+    def test_pool_survives_sigkilled_worker(self, tmp_path):
+        reference = execute(
+            "suicide-grid", jobs=1, flag_dir=str(tmp_path)
+        ).to_text()
+        flag_dir = tmp_path / "pool"
+        flag_dir.mkdir()
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            table = execute(
+                "suicide-grid", jobs=2, flag_dir=str(flag_dir), kill=(1,)
+            )
+        assert table.to_text() == reference
+        counters = registry.snapshot()["counters"]
+        assert counters["runner.pool_respawns"] >= 1
+
+    def test_fleet_survives_sigkilled_worker(self, tmp_path):
+        reference = execute(
+            "suicide-grid", jobs=1, flag_dir=str(tmp_path)
+        ).to_text()
+        flag_dir = tmp_path / "fleet"
+        flag_dir.mkdir()
+        queue = FleetQueue(tmp_path / "queue", lease_seconds=1.0)
+        table = execute(
+            "suicide-grid", jobs=2, queue=queue,
+            flag_dir=str(flag_dir), kill=(2,),
+        )
+        assert table.to_text() == reference
+        counts = queue.counts()
+        assert counts["done"] == 4
+        assert counts["quarantine"] == 0
+        # the killed attempt left its mark in the ticket history
+        record = None
+        for digest in queue._list_digests("done"):
+            record = queue.done_record(digest)
+            if record["attempts"] >= 1:
+                break
+        assert record is not None and record["attempts"] >= 1
+
+
+class TestTornState:
+    def test_truncated_journal_does_not_break_resume(self, tmp_path):
+        queue = FleetQueue(tmp_path / "queue", lease_seconds=5.0)
+        reference = execute("chaos-grid", jobs=1, **GRID).to_text()
+        execute("chaos-grid", jobs=2, queue=queue, **GRID)
+        assert truncate_journal(queue)
+        queue.journal()
+        assert queue.journal_torn_lines >= 1
+        warm = execute("chaos-grid", jobs=2, queue=queue, **GRID)
+        assert warm.to_text() == reference
+        assert warm.meta["cache_misses"] == 0
+
+    def test_expired_leases_are_reclaimed(self, tmp_path):
+        queue = FleetQueue(tmp_path / "queue", lease_seconds=300.0)
+        cells = chaos.CHAOS_SPEC.cells(count=2)
+        from repro.store.digest import cell_digest, spec_fingerprint
+
+        fingerprint = spec_fingerprint(chaos.CHAOS_SPEC)
+        digests = [cell_digest(cell, fingerprint) for cell in cells]
+        queue.enqueue(cells, digests)
+        assert queue.claim("dead-worker") is not None
+        assert queue.reclaim_expired() == 0  # lease still live
+        assert expire_leases(queue) == 1
+        assert queue.reclaim_expired() == 1
+
+
+class TestChaosMonkey:
+    def test_spec_parsing(self):
+        monkey = ChaosMonkey("kill-driver-after=3, kill-worker-after=1")
+        assert monkey.kill_driver_after == 3
+        assert monkey.kill_worker_after == 1
+        with pytest.raises(ConfigurationError):
+            ChaosMonkey("kill-driver-after=soon")
+        with pytest.raises(ConfigurationError):
+            ChaosMonkey("reboot-after=1")
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(chaos.CHAOS_ENV, raising=False)
+        assert ChaosMonkey.from_env() is None
+        monkeypatch.setenv(chaos.CHAOS_ENV, "kill-worker-after=2")
+        monkey = ChaosMonkey.from_env()
+        assert monkey.kill_worker_after == 2
+
+    def test_worker_trigger_fires_once(self):
+        monkey = ChaosMonkey("kill-worker-after=1")
+        doomed = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(60)"]
+        )
+        try:
+            monkey.poll(0, [doomed.pid])
+            assert doomed.poll() is None  # threshold not reached
+            monkey.poll(1, [doomed.pid])
+            assert doomed.wait(timeout=10) == -signal.SIGKILL
+            assert monkey.kill_worker_after is None  # disarmed
+            monkey.poll(5, [doomed.pid])  # no second kill attempt
+        finally:
+            if doomed.poll() is None:
+                doomed.kill()
+
+
+class TestDriverDeath:
+    def test_resume_after_hard_kill_is_byte_identical(self, tmp_path):
+        # SIGKILL the whole process group (driver + pool workers) once
+        # the first cell completes — the "machine died mid-run" case.
+        import time
+
+        slow = dict(GRID, sleep_ms=300.0)
+        reference = execute("chaos-grid", jobs=1, **slow).to_text()
+        queue_root = tmp_path / "queue"
+        script = (
+            "import repro.fleet.chaos\n"
+            "from repro.runner import execute\n"
+            "from repro.fleet import FleetQueue\n"
+            f"queue = FleetQueue({str(queue_root)!r}, lease_seconds=2.0)\n"
+            "execute('chaos-grid', jobs=2, queue=queue, count=4,\n"
+            "        repetitions=2, seed=3, sleep_ms=300.0)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script], env=env,
+            start_new_session=True,
+        )
+        queue = FleetQueue(queue_root, lease_seconds=2.0)
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if queue.counts()["done"] >= 1:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("fleet run never completed a cell")
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                os.killpg(proc.pid, signal.SIGKILL)
+                proc.wait(timeout=30)
+        interrupted = queue.counts()
+        assert 1 <= interrupted["done"] < 8  # it really died mid-run
+        # warm resume in-process: only unfinished cells are re-run
+        table = execute("chaos-grid", jobs=2, queue=queue, **slow)
+        assert table.to_text() == reference
+        assert table.meta["cache_hits"] >= interrupted["done"]
+        assert table.meta["cache_misses"] <= 8 - interrupted["done"]
+        final = queue.counts()
+        assert final["quarantine"] == 0
+        assert final["pending"] == 0 and final["leased"] == 0

@@ -1,0 +1,361 @@
+"""Tests for the file-backed fleet work queue (repro.fleet.queue).
+
+The lease lifecycle (claim -> heartbeat -> expiry -> reclamation) and
+the mutual-exclusion guarantees are the contract the whole fleet
+runner stands on, so they are exercised here directly against the
+queue, with a controllable clock where timing matters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError, FleetError
+from repro.experiments.common import make_cell
+from repro.fleet import (
+    FleetQueue,
+    RetryPolicy,
+    cell_from_jsonable,
+    cell_to_jsonable,
+)
+
+
+def _cells(count=4):
+    cells = [
+        make_cell("chaos-grid", (index,), 0, seed=0, sleep_ms=0.0,
+                  poison=())
+        for index in range(count)
+    ]
+    digests = [f"{index:02x}" + "0" * 38 for index in range(count)]
+    return cells, digests
+
+
+class FakeClock:
+    """A settable clock so lease expiry needs no real sleeping."""
+
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def queue(tmp_path, clock):
+    return FleetQueue(tmp_path / "q", lease_seconds=10.0, clock=clock)
+
+
+class TestCellCodec:
+    def test_roundtrip_preserves_hashable_cell(self):
+        cell = make_cell("fig7", (200, "ipda"), 3, seed=7, sizes=(1, 2))
+        rebuilt = cell_from_jsonable(
+            json.loads(json.dumps(cell_to_jsonable(cell)))
+        )
+        assert rebuilt == cell
+        assert hash(rebuilt) == hash(cell)
+
+    def test_malformed_record_raises_fleet_error(self):
+        with pytest.raises(FleetError):
+            cell_from_jsonable({"experiment": "x"})
+
+
+class TestRetryPolicy:
+    def test_backoff_is_capped_exponential(self):
+        policy = RetryPolicy(backoff_base=0.5, backoff_cap=4.0)
+        assert policy.backoff(0) == 0.0
+        assert policy.backoff(1) == 0.5
+        assert policy.backoff(2) == 1.0
+        assert policy.backoff(3) == 2.0
+        assert policy.backoff(10) == 4.0
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_base=-1.0)
+
+
+class TestEnqueueClaimComplete:
+    def test_lifecycle(self, queue):
+        cells, digests = _cells(2)
+        assert queue.enqueue(cells, digests) == 2
+        assert queue.counts() == {
+            "pending": 2, "leased": 0, "done": 0, "quarantine": 0
+        }
+        ticket = queue.claim("w1")
+        assert ticket is not None
+        assert ticket.worker == "w1"
+        assert ticket.cell == cells[0]
+        assert queue.complete(ticket, seconds=0.1, metrics={}, pid=1)
+        assert queue.counts()["done"] == 1
+        record = queue.done_record(ticket.digest)
+        assert record["worker"] == "w1"
+        assert record["deploy"] == [0, 0, 0]
+        # second enqueue skips everything already tracked
+        assert queue.enqueue(cells, digests) == 0
+
+    def test_enqueue_reset_done_requeues(self, queue):
+        cells, digests = _cells(1)
+        queue.enqueue(cells, digests)
+        ticket = queue.claim("w1")
+        queue.complete(ticket)
+        assert queue.enqueue(cells, digests) == 0
+        assert queue.enqueue(cells, digests, reset_done=True) == 1
+        assert queue.counts()["done"] == 0
+
+    def test_enqueue_length_mismatch(self, queue):
+        cells, digests = _cells(2)
+        with pytest.raises(ConfigurationError):
+            queue.enqueue(cells, digests[:1])
+
+    def test_outstanding_and_drained(self, queue):
+        cells, digests = _cells(2)
+        queue.enqueue(cells, digests)
+        assert queue.outstanding(digests) == digests
+        assert not queue.drained()
+        for _ in range(2):
+            queue.complete(queue.claim("w1"))
+        assert queue.outstanding(digests) == []
+        assert queue.drained()
+
+    def test_claim_empty_queue_returns_none(self, queue):
+        assert queue.claim("w1") is None
+
+
+class TestDoubleClaimExclusion:
+    def test_two_workers_never_hold_the_same_cell(self, tmp_path):
+        queue = FleetQueue(tmp_path / "q", lease_seconds=30.0)
+        cells, digests = _cells(8)
+        queue.enqueue(cells, digests)
+        claimed = []
+        barrier = threading.Barrier(4)
+
+        def worker(name):
+            barrier.wait()
+            while True:
+                ticket = queue.claim(name)
+                if ticket is None:
+                    return
+                claimed.append(ticket.digest)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(claimed) == digests  # every cell exactly once
+
+    def test_concurrent_claim_leaves_no_orphan_ticket(self, tmp_path):
+        # Regression: a half-claimed ticket (renamed but lease not yet
+        # stamped) must never look expired to a concurrent reclaimer.
+        queue = FleetQueue(tmp_path / "q", lease_seconds=30.0)
+        cells, digests = _cells(6)
+        queue.enqueue(cells, digests)
+        stop = threading.Event()
+
+        def reclaimer():
+            while not stop.is_set():
+                queue.reclaim_expired()
+
+        thread = threading.Thread(target=reclaimer)
+        thread.start()
+        try:
+            done = 0
+            while done < len(cells):
+                ticket = queue.claim("w1")
+                if ticket is None:
+                    continue
+                assert queue.complete(ticket)
+                done += 1
+        finally:
+            stop.set()
+            thread.join()
+        assert queue.counts() == {
+            "pending": 0, "leased": 0, "done": 6, "quarantine": 0
+        }
+
+
+class TestLeaseLifecycle:
+    def test_heartbeat_renews_lease(self, queue, clock):
+        cells, digests = _cells(1)
+        queue.enqueue(cells, digests)
+        ticket = queue.claim("w1")
+        first_expiry = ticket.lease_expires
+        clock.advance(6.0)
+        assert queue.heartbeat(ticket)
+        assert ticket.lease_expires > first_expiry
+        clock.advance(6.0)  # past the original expiry, not the renewed
+        assert queue.reclaim_expired() == 0
+
+    def test_expired_lease_reclaimed_by_second_worker(self, queue, clock):
+        cells, digests = _cells(1)
+        queue.enqueue(cells, digests)
+        ticket = queue.claim("w1")
+        clock.advance(11.0)  # past lease_seconds=10
+        assert queue.reclaim_expired() == 1
+        clock.advance(queue.policy.backoff(1) + 0.01)  # strike backoff
+        retaken = queue.claim("w2")
+        assert retaken is not None
+        assert retaken.worker == "w2"
+        assert retaken.attempts == 1  # expiry counted as a strike
+        assert retaken.errors[-1]["kind"] == "lease-expired"
+        # the original worker has lost ownership on every path
+        assert not queue.heartbeat(ticket)
+        assert not queue.complete(ticket)
+        assert queue.fail(ticket, "late failure") == "lost"
+
+    def test_live_lease_not_reclaimed(self, queue, clock):
+        cells, digests = _cells(1)
+        queue.enqueue(cells, digests)
+        queue.claim("w1")
+        clock.advance(5.0)
+        assert queue.reclaim_expired() == 0
+        assert queue.counts()["leased"] == 1
+
+
+class TestFailRetryQuarantine:
+    def test_fail_backs_off_then_retries(self, queue, clock):
+        cells, digests = _cells(1)
+        queue.enqueue(cells, digests)
+        ticket = queue.claim("w1")
+        assert queue.fail(ticket, {"message": "boom"}) == "retry"
+        # backoff window: not claimable yet
+        assert queue.claim("w2") is None
+        clock.advance(queue.policy.backoff(1) + 0.01)
+        retry = queue.claim("w2")
+        assert retry is not None
+        assert retry.attempts == 1
+        assert retry.errors[0]["message"] == "boom"
+
+    def test_quarantine_after_max_attempts_keeps_traceback(
+        self, tmp_path, clock
+    ):
+        queue = FleetQueue(
+            tmp_path / "q",
+            lease_seconds=10.0,
+            policy=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            clock=clock,
+        )
+        cells, digests = _cells(1)
+        queue.enqueue(cells, digests)
+        error = {"message": "ZeroDivisionError: boom",
+                 "kind": "exception",
+                 "traceback": "Traceback (most recent call last): ..."}
+        assert queue.fail(queue.claim("w1"), error) == "retry"
+        assert queue.fail(queue.claim("w1"), error) == "quarantined"
+        assert queue.counts()["quarantine"] == 1
+        (record,) = queue.quarantine_records()
+        assert record["attempts"] == 2
+        assert record["errors"][-1]["traceback"].startswith("Traceback")
+        # quarantined digests are out of the running entirely
+        assert queue.claim("w2") is None
+        assert queue.outstanding(digests) == []
+        assert queue.enqueue(cells, digests) == 0
+
+    def test_requeue_restores_quarantined_cells(self, tmp_path, clock):
+        queue = FleetQueue(
+            tmp_path / "q",
+            lease_seconds=10.0,
+            policy=RetryPolicy(max_attempts=1),
+            clock=clock,
+        )
+        cells, digests = _cells(2)
+        queue.enqueue(cells, digests)
+        for _ in range(2):
+            queue.fail(queue.claim("w1"), "boom")
+        assert queue.counts()["quarantine"] == 2
+        assert queue.requeue([digests[0]]) == 1
+        assert queue.requeue() == 1  # the rest
+        ticket = queue.claim("w1")
+        assert ticket.attempts == 0  # clean slate
+
+
+class TestCrashRecovery:
+    def test_orphaned_recover_entry_is_swept(self, queue, clock):
+        cells, digests = _cells(1)
+        queue.enqueue(cells, digests)
+        ticket = queue.claim("w1")
+        # Simulate a crash mid-transition: the ticket was grabbed into
+        # recover/ but never finalised.
+        moved = queue._grab_recover(
+            queue._path("leased", ticket.digest), ticket.digest
+        )
+        assert moved is not None
+        assert not queue.drained()  # mid-transition counts as work
+        # age the orphan past the sweep threshold (mtime is wall-clock)
+        import time as _time
+        stale = _time.time() - 60.0
+        os.utime(moved, (stale, stale))
+        # any later sweep finalises it back to pending with a strike
+        assert queue.reclaim_expired() >= 1
+        clock.advance(queue.policy.backoff(1) + 0.01)
+        retaken = queue.claim("w2")
+        assert retaken is not None
+        assert retaken.attempts == 1
+        assert retaken.errors[-1]["kind"] == "recover-sweep"
+
+    def test_torn_journal_line_tolerated(self, queue):
+        cells, digests = _cells(2)
+        queue.enqueue(cells, digests)
+        journal = os.path.join(queue.root, "queue.jsonl")
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "enq')  # torn mid-append, no newline
+        entries = queue.journal()
+        assert len(entries) == 2
+        assert queue.journal_torn_lines == 1
+        status = queue.status()
+        assert status.journal_entries == 2
+        assert status.journal_torn_lines == 1
+
+    def test_torn_ticket_files_never_exist(self, queue):
+        # every ticket write goes through temp+replace in the same dir
+        cells, digests = _cells(4)
+        queue.enqueue(cells, digests)
+        for state in ("pending", "leased", "done", "quarantine"):
+            for name in os.listdir(os.path.join(queue.root, state)):
+                assert name.endswith(".json")
+                path = os.path.join(queue.root, state, name)
+                with open(path, "r", encoding="utf-8") as handle:
+                    json.load(handle)  # parses cleanly
+
+
+class TestStatus:
+    def test_status_counts(self, tmp_path, clock):
+        queue = FleetQueue(
+            tmp_path / "q",
+            lease_seconds=10.0,
+            policy=RetryPolicy(max_attempts=1),
+            clock=clock,
+        )
+        cells, digests = _cells(4)
+        queue.enqueue(cells, digests)
+        queue.complete(queue.claim("w1"))
+        queue.claim("w1")
+        queue.fail(queue.claim("w1"), "boom")
+        status = queue.status()
+        assert (status.pending, status.leased, status.done,
+                status.quarantined) == (1, 1, 1, 1)
+        assert status.total == 4
+        assert status.quarantine[0]["errors"]
+
+    def test_invalid_config_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            FleetQueue(tmp_path / "q", lease_seconds=0)
+        queue = FleetQueue(tmp_path / "q2")
+        with pytest.raises(ConfigurationError):
+            list(queue.tickets("recover"))

@@ -1,0 +1,126 @@
+"""Runner <-> fleet integration: byte-identical merges, failure paths.
+
+The contract under test: for a deterministic experiment, ``execute``
+produces the exact same table text whether cells run inline, through
+the resilient process pool, or through the fleet queue — including
+warm resumes — and every failure surfaces as a typed ``ReproError``
+naming the cell, never a bare traceback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.fleet.chaos  # noqa: F401 -- registers the chaos-grid spec
+from repro.errors import QuarantineError, ReproError
+from repro.fleet import FleetQueue, RetryPolicy
+from repro.obs import MetricsRegistry, using_registry
+from repro.runner import execute
+
+GRID = dict(count=4, repetitions=2, seed=3)
+
+
+@pytest.fixture(scope="module")
+def reference_text():
+    return execute("chaos-grid", jobs=1, **GRID).to_text()
+
+
+def _queue(tmp_path, **kwargs):
+    kwargs.setdefault("lease_seconds", 5.0)
+    return FleetQueue(tmp_path / "queue", **kwargs)
+
+
+class TestFleetMerge:
+    def test_fleet_run_matches_inline(self, tmp_path, reference_text):
+        queue = _queue(tmp_path)
+        table = execute("chaos-grid", jobs=2, queue=queue, **GRID)
+        assert table.to_text() == reference_text
+        assert table.meta["fleet_queue"] == queue.root
+        assert queue.counts() == {
+            "pending": 0, "leased": 0, "done": 8, "quarantine": 0
+        }
+
+    def test_warm_resume_runs_nothing(self, tmp_path, reference_text):
+        queue = _queue(tmp_path)
+        execute("chaos-grid", jobs=2, queue=queue, **GRID)
+        warm = execute("chaos-grid", jobs=2, queue=queue, **GRID)
+        assert warm.to_text() == reference_text
+        assert warm.meta["cache_hits"] == 8
+        assert warm.meta["cache_misses"] == 0
+
+    def test_partial_resume_runs_only_missing_cells(
+        self, tmp_path, reference_text
+    ):
+        queue = _queue(tmp_path)
+        execute("chaos-grid", jobs=2, queue=queue, count=2,
+                repetitions=2, seed=3)
+        # widening the sweep reuses the overlapping cells
+        table = execute("chaos-grid", jobs=2, queue=queue, **GRID)
+        assert table.to_text() == reference_text
+        assert table.meta["cache_hits"] == 4
+        assert table.meta["cache_misses"] == 4
+
+    def test_queue_path_string_accepted(self, tmp_path, reference_text):
+        table = execute(
+            "chaos-grid", jobs=2, queue=str(tmp_path / "q"), **GRID
+        )
+        assert table.to_text() == reference_text
+
+
+class TestFailureSurface:
+    def test_plain_mode_cell_exception_is_repro_error(self):
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            with pytest.raises(ReproError) as excinfo:
+                execute("chaos-grid", jobs=1, poison=(1,), **GRID)
+        message = str(excinfo.value)
+        assert "chaos-grid[1#0]" in message
+        assert "SimulationError" in message
+        assert registry.snapshot()["counters"]["runner.cells_failed"] >= 1
+
+    def test_pooled_mode_cell_exception_is_repro_error(self):
+        with pytest.raises(ReproError) as excinfo:
+            execute("chaos-grid", jobs=2, poison=(0,), **GRID)
+        assert "chaos-grid[0#" in str(excinfo.value)
+
+    def test_fleet_poison_cell_quarantines_with_report(self, tmp_path):
+        queue = _queue(
+            tmp_path, policy=RetryPolicy(max_attempts=2, backoff_base=0.0)
+        )
+        with pytest.raises(QuarantineError) as excinfo:
+            execute("chaos-grid", jobs=2, queue=queue, poison=(2,), **GRID)
+        message = str(excinfo.value)
+        assert "chaos-grid[2#0]" in message
+        assert "chaos-grid[2#1]" in message
+        assert "fleet requeue" in message  # tells the user the way out
+        records = excinfo.value.records
+        assert len(records) == 2
+        assert all(r["attempts"] == 2 for r in records)
+        assert all(
+            "poison" in r["errors"][-1]["message"] for r in records
+        )
+        assert all(
+            r["errors"][-1]["traceback"] for r in records
+        )
+        # healthy cells still completed and are cached for the retry
+        assert queue.counts()["done"] == 6
+
+    def test_requeue_gives_quarantined_cells_fresh_attempts(
+        self, tmp_path
+    ):
+        queue = _queue(
+            tmp_path, policy=RetryPolicy(max_attempts=1, backoff_base=0.0)
+        )
+        with pytest.raises(QuarantineError):
+            execute("chaos-grid", jobs=2, queue=queue, poison=(3,), **GRID)
+        assert queue.counts()["quarantine"] == 2
+        assert queue.requeue() == 2
+        assert queue.counts()["quarantine"] == 0
+        assert queue.counts()["pending"] == 2
+        # the sweep still carries the poison, so the retry burns its
+        # fresh attempts and quarantines again — with a fresh report
+        with pytest.raises(QuarantineError) as excinfo:
+            execute("chaos-grid", jobs=2, queue=queue, poison=(3,), **GRID)
+        assert all(r["attempts"] == 1 for r in excinfo.value.records)
+        # the healthy cells stayed cached throughout
+        assert queue.counts()["done"] == 6

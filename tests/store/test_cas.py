@@ -232,3 +232,49 @@ class TestReadOnlySharedCache:
             assert found and value == {"v": 1}
         finally:
             self._restore_writable(store)
+
+
+class TestTornIndex:
+    """A crash mid-append tears index.jsonl; the store must shrug."""
+
+    def _tear(self, store, text='{"digest": "dead'):
+        with open(store._index_path, "a", encoding="utf-8") as handle:
+            handle.write(text)  # torn: no closing brace, no newline
+
+    def test_torn_final_line_is_skipped_not_fatal(self, store):
+        store.put(DIGESTS[0], {"v": 1}, experiment="fig7")
+        store.put(DIGESTS[1], {"v": 2}, experiment="fig7")
+        self._tear(store)
+        index = store._read_index()
+        assert set(index) == {DIGESTS[0], DIGESTS[1]}
+        assert store.index_torn_lines == 1
+
+    def test_torn_line_counted_in_metrics(self, store):
+        from repro.obs import MetricsRegistry, using_registry
+
+        store.put(DIGESTS[0], {"v": 1}, experiment="fig7")
+        self._tear(store)
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            store._read_index()
+        counters = registry.snapshot()["counters"]
+        assert counters["store.index_torn_lines"] == 1
+
+    def test_verify_index_reports_and_repairs(self, store):
+        store.put(DIGESTS[0], {"v": 1}, experiment="fig7")
+        self._tear(store)
+        self._tear(store, "\nnot json either")
+        records, torn = store.verify_index()
+        assert (records, torn) == (1, 2)
+        records, torn = store.verify_index(repair=True)
+        assert (records, torn) == (1, 2)
+        # the rewritten index is clean and complete
+        records, torn = store.verify_index()
+        assert (records, torn) == (1, 0)
+        assert store._read_index() == {DIGESTS[0]: "fig7"}
+
+    def test_repair_leaves_healthy_index_untouched(self, store):
+        store.put(DIGESTS[0], {"v": 1}, experiment="fig7")
+        before = open(store._index_path, "rb").read()
+        assert store.verify_index(repair=True) == (1, 0)
+        assert open(store._index_path, "rb").read() == before

@@ -199,3 +199,32 @@ class TestTruncatedManifest:
         captured = capsys.readouterr()
         assert sidecar in captured.err
         assert "Traceback" not in captured.err
+
+
+class TestStoreVerifyIndexRepair:
+    """``repro store verify <store-root>`` repairs a torn index."""
+
+    def _store_with_torn_index(self, tmp_path):
+        root = tmp_path / "cache"
+        store = CellStore(root)
+        store.put("ab" + "0" * 38, {"v": 1}, experiment="fig7")
+        with open(store._index_path, "a", encoding="utf-8") as handle:
+            handle.write('{"digest": "torn')
+        return root
+
+    def test_repairs_torn_index(self, tmp_path, capsys):
+        root = self._store_with_torn_index(tmp_path)
+        assert main(["store", "verify", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "index repaired" in out
+        assert "kept 1 record(s)" in out
+        assert "dropped 1 torn line(s)" in out
+        # second verify finds a clean index
+        assert main(["store", "verify", str(root)]) == 0
+        assert "index ok (1 record(s))" in capsys.readouterr().out
+
+    def test_healthy_store_root_reports_ok(self, tmp_path, capsys):
+        root = tmp_path / "cache"
+        CellStore(root).put("cd" + "0" * 38, {"v": 2}, experiment="fig7")
+        assert main(["store", "verify", str(root)]) == 0
+        assert "index ok" in capsys.readouterr().out

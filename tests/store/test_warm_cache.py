@@ -38,12 +38,12 @@ class TestWarmCache:
 
         original = runner_module._run_cells_with_stats
 
-        def guard(cells, jobs):
+        def guard(cells, jobs, **kwargs):
             assert not list(cells), (
                 f"warm-cache run of {name} submitted {len(list(cells))} "
                 "cell(s) to the executor"
             )
-            return original(cells, jobs)
+            return original(cells, jobs, **kwargs)
 
         monkeypatch.setattr(runner_module, "_run_cells_with_stats", guard)
         warm = execute(name, jobs=2, cache=store, **TINY_KWARGS[name])
