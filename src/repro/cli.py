@@ -55,7 +55,7 @@ _FAST_SIZES = (200, 300, 400)
 
 #: First-positional words routed to the management parser instead of
 #: the experiment runner.
-TOOL_COMMANDS = ("bench", "cache", "fleet", "list", "report", "store")
+TOOL_COMMANDS = ("bench", "cache", "fleet", "list", "report", "serve", "store")
 
 Runner = Callable[..., ExperimentTable]
 
@@ -580,15 +580,102 @@ def _build_tools_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser(
         "report",
-        help="pretty-print a repro-run/1 run report (--metrics-out output)",
+        help=(
+            "pretty-print a run (repro-run/1) or service bench "
+            "(repro-serve/1) report"
+        ),
     )
     report.add_argument(
         "path", metavar="REPORT",
-        help="path to a run report written with --metrics-out",
+        help="path to a report written with --metrics-out or serve --output",
     )
     report.add_argument(
         "--json", action="store_true",
         help="dump the validated report as canonical JSON instead",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "long-running aggregation service over a persistent fleet; "
+            "--bench runs the deterministic load generator"
+        ),
+    )
+    serve.add_argument(
+        "--bench", action="store_true",
+        help="closed-loop virtual-time load generator (deterministic per "
+             "seed); without it a live asyncio service handles the same "
+             "load in wall time",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=10.0, metavar="SECONDS",
+        help="service seconds of offered arrivals (default: 10)",
+    )
+    serve.add_argument(
+        "--qps", type=float, default=50.0,
+        help="target offered load, queries per service second (default: 50)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed for deployment, readings, and arrivals (default: 0)",
+    )
+    serve.add_argument(
+        "--nodes", type=int, default=200,
+        help="deployment size (default: 200, the paper deployment)",
+    )
+    serve.add_argument(
+        "--slices", type=int, default=2,
+        help="iPDA slicing factor l (default: 2)",
+    )
+    serve.add_argument(
+        "--threshold", type=int, default=5,
+        help="integrity threshold Th (default: 5)",
+    )
+    serve.add_argument(
+        "--robust", action="store_true",
+        help="loss-tolerant iPDA with the three-way accept/degrade/reject "
+             "verdict (default: paper fire-and-forget)",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=256,
+        help="admission-queue high-water mark; submissions past it are "
+             "rejected with backpressure (default: 256)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="most queries folded into one dispatch cycle (default: 64)",
+    )
+    serve.add_argument(
+        "--epoch-seconds", type=float, default=0.5,
+        help="service seconds one dispatch cycle costs (default: 0.5)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-query deadline; queries older than this when their "
+             "cycle starts come back 'expired' (default: none)",
+    )
+    serve.add_argument(
+        "--mix", choices=sorted(_serve_mixes()), default="ipda",
+        help="query mix: 'ipda' (pipelined-epoch perf mix) or 'mixed' "
+             "(all lanes and kinds) (default: ipda)",
+    )
+    serve.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="arm faults against the live service, scheduled by epoch: "
+             "'crash=<n>@<epoch>[+<k>]' and/or 'loss=<light|heavy>"
+             "[@<epoch>]', comma-separated (e.g. 'crash=2@3+4,loss=light')",
+    )
+    serve.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the repro-serve/1 report JSON here",
+    )
+    serve.add_argument(
+        "--metrics-events", metavar="PATH", default=None,
+        help="also write the phase/metric event stream as JSONL",
+    )
+    serve.add_argument(
+        "--json", action="store_true",
+        help="print the report as JSON instead of the summary",
     )
 
     bench = sub.add_parser(
@@ -864,16 +951,188 @@ def _tools_bench(args) -> int:
 
 
 def _tools_report(args) -> int:
-    from .obs import load_run_report, render_run_report
+    from .obs import load_run_report, peek_schema, render_run_report
 
-    report = load_run_report(args.path)
+    if peek_schema(args.path) == "repro-serve/1":
+        from .serve import load_serve_report, render_serve_report
+
+        report = load_serve_report(args.path)
+        renderer = render_serve_report
+    else:
+        report = load_run_report(args.path)
+        renderer = render_run_report
     if args.json:
         import json
 
         print(json.dumps(report, indent=1, sort_keys=True))
     else:
-        print(render_run_report(report))
+        print(renderer(report))
     return 0
+
+
+def _serve_mixes():
+    from .serve.bench import MIXES
+
+    return MIXES
+
+
+def _serve_argv(args) -> List[str]:
+    """Reconstruct the serve invocation for report provenance."""
+    argv = ["serve"]
+    if args.bench:
+        argv.append("--bench")
+    argv += [
+        "--duration", str(args.duration), "--qps", str(args.qps),
+        "--seed", str(args.seed), "--nodes", str(args.nodes),
+        "--mix", args.mix,
+    ]
+    if args.robust:
+        argv.append("--robust")
+    if args.deadline is not None:
+        argv += ["--deadline", str(args.deadline)]
+    if args.faults:
+        argv += ["--faults", args.faults]
+    return argv
+
+
+def _tools_serve(args) -> int:
+    from .obs import MetricsRegistry, write_events_jsonl
+    from .serve import (
+        BenchConfig,
+        FleetConfig,
+        ServiceConfig,
+        render_serve_report,
+        run_bench,
+        write_serve_report,
+    )
+
+    bench = BenchConfig(
+        duration=args.duration,
+        qps=args.qps,
+        seed=args.seed,
+        mix=args.mix,
+        deadline=args.deadline,
+    )
+    fleet_config = FleetConfig(
+        node_count=args.nodes,
+        seed=args.seed,
+        slices=args.slices,
+        threshold=args.threshold,
+        robust=args.robust,
+    )
+    service_config = ServiceConfig(
+        capacity=args.capacity,
+        max_batch=args.max_batch,
+        epoch_seconds=args.epoch_seconds,
+    )
+    registry = MetricsRegistry(capture_events=bool(args.metrics_events))
+    argv = _serve_argv(args)
+    if args.bench:
+        report = run_bench(
+            bench,
+            fleet_config=fleet_config,
+            service_config=service_config,
+            fault_spec=args.faults,
+            argv=argv,
+            registry=registry,
+        )
+    else:
+        report = _serve_live(
+            bench, fleet_config, service_config, args.faults, registry, argv
+        )
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        print(render_serve_report(report))
+    if args.output:
+        path = write_serve_report(report, args.output)
+        print(f"(serve report written to {path})")
+    if args.metrics_events:
+        path = write_events_jsonl(list(registry.events), args.metrics_events)
+        print(f"(metric events written to {path})")
+    return 0
+
+
+def _serve_live(
+    bench, fleet_config, service_config, fault_spec, registry, argv
+):
+    """Drive the asyncio service with the bench's arrival schedule.
+
+    Same Poisson arrivals, but paced on the wall clock through the
+    live :class:`~repro.serve.AggregationService`; the report's SLO
+    figures are therefore real wall-time latencies and NOT expected to
+    be deterministic across runs.
+    """
+    import asyncio
+
+    from .errors import ServiceOverloadError
+    from .obs import using_registry
+    from .serve import (
+        AggregationQuery,
+        AggregationService,
+        ServiceCore,
+        ServiceFaultSchedule,
+        build_serve_report,
+        parse_fault_spec,
+    )
+    from .serve.bench import arrival_schedule
+
+    faults = (
+        parse_fault_spec(fault_spec) if fault_spec else ServiceFaultSchedule()
+    )
+    schedule = arrival_schedule(bench)
+    results: List[object] = []
+    rejected = 0
+
+    async def drive():
+        nonlocal rejected
+        core = ServiceCore(
+            config=service_config, fleet_config=fleet_config, faults=faults
+        )
+        wall_start = time.perf_counter()
+        async with AggregationService(core) as service:
+            construction_wall = time.perf_counter() - wall_start
+            loop = asyncio.get_running_loop()
+            epoch_zero = loop.time()
+
+            async def submit_at(offset, kind, protocol, deadline):
+                nonlocal rejected
+                await asyncio.sleep(
+                    max(0.0, epoch_zero + offset - loop.time())
+                )
+                query = AggregationQuery(
+                    kind, protocol=protocol, deadline_seconds=deadline
+                )
+                try:
+                    results.append(await service.submit(query))
+                except ServiceOverloadError:
+                    rejected += 1
+
+            serve_start = time.perf_counter()
+            await asyncio.gather(
+                *(submit_at(*arrival) for arrival in schedule)
+            )
+        return core, construction_wall, time.perf_counter() - serve_start
+
+    with using_registry(registry):
+        core, construction_wall, serve_wall = asyncio.run(drive())
+    return build_serve_report(
+        bench,
+        fleet_config,
+        service_config,
+        results=results,
+        rejected=rejected,
+        offered=len(schedule),
+        snapshot=registry.snapshot(),
+        construction_bytes=core.fleet.construction_bytes,
+        epochs_served=core.fleet.epoch,
+        construction_wall=construction_wall,
+        serve_wall=serve_wall,
+        fault_spec=fault_spec,
+        argv=argv,
+    )
 
 
 def _tools_main(argv: List[str]) -> int:
@@ -888,6 +1147,8 @@ def _tools_main(argv: List[str]) -> int:
         return _tools_fleet(args)
     if args.command == "report":
         return _tools_report(args)
+    if args.command == "serve":
+        return _tools_serve(args)
     return _tools_store(args)
 
 

@@ -45,6 +45,19 @@ class AnalysisError(ReproError):
     """A closed-form analysis routine received out-of-domain parameters."""
 
 
+class ServiceError(ReproError):
+    """The long-running aggregation service was misused or failed."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The admission queue is past its high-water mark: backpressure.
+
+    Raised by :meth:`repro.serve.AggregationService.submit` instead of
+    queueing — callers are expected to shed load or retry later, never
+    to block behind an unbounded queue.
+    """
+
+
 class FleetError(ReproError):
     """The fleet work queue was misused or reached an invalid state."""
 

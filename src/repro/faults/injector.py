@@ -23,11 +23,26 @@ __all__ = ["FaultInjector"]
 
 
 class FaultInjector:
-    """Wires one :class:`FaultPlan` into one :class:`Network`."""
+    """Wires one :class:`FaultPlan` into one :class:`Network`.
 
-    def __init__(self, plan: FaultPlan, network: "Network"):
+    ``time_offset`` shifts every scheduled crash/recovery: plans are
+    written in run-relative seconds, so arming one against an already
+    running network (the long-running service does this between query
+    epochs) passes ``time_offset=engine.now`` to keep the plan's
+    timeline anchored at the arming instant instead of the distant
+    past.  The burst-loss channel is always anchored at arm time.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        network: "Network",
+        *,
+        time_offset: float = 0.0,
+    ):
         self.plan = plan
         self.network = network
+        self.time_offset = float(time_offset)
         self.channel: GilbertElliottChannel | None = None
         self._armed = False
 
@@ -38,15 +53,16 @@ class FaultInjector:
         self._armed = True
         engine = self.network.engine
         node_count = self.network.topology.node_count
+        offset = self.time_offset
         for crash in self.plan.crashes:
             if crash.node >= node_count:
                 continue  # plan written for a larger deployment
             engine.schedule_at(
-                crash.at, self._killer(crash.node), priority=-2
+                crash.at + offset, self._killer(crash.node), priority=-2
             )
             if crash.recover_at is not None:
                 engine.schedule_at(
-                    crash.recover_at,
+                    crash.recover_at + offset,
                     self._reviver(crash.node),
                     priority=-2,
                 )

@@ -60,10 +60,12 @@ class _Heartbeat:
         ticket: Ticket,
         *,
         cell_timeout: Optional[float] = None,
+        join_timeout: float = 5.0,
     ):
         self._queue = queue
         self._ticket = ticket
         self._cell_timeout = cell_timeout
+        self._join_timeout = join_timeout
         self._stop = threading.Event()
         self.lost = False
         self._started = time.monotonic()
@@ -75,7 +77,12 @@ class _Heartbeat:
 
     def __exit__(self, *exc_info) -> None:
         self._stop.set()
-        self._thread.join(timeout=5.0)
+        self._thread.join(timeout=self._join_timeout)
+        if self._thread.is_alive():
+            # A renewer wedged (e.g. in a hung filesystem call) cannot
+            # vouch for the lease; treat it as lost so the result is
+            # discarded instead of racing a reclaiming worker.
+            self.lost = True
 
     def _run(self) -> None:
         interval = max(self._queue.lease_seconds / 3.0, 0.05)
@@ -87,7 +94,21 @@ class _Heartbeat:
                 # Soft timeout: let the lease lapse so the fleet can
                 # retry the cell on another worker.
                 return
-            if not self._queue.heartbeat(self._ticket):
+            try:
+                renewed = self._queue.heartbeat(self._ticket)
+            except Exception:
+                # A shared-filesystem hiccup (OSError and friends) must
+                # not kill the renewer silently — that leaves ``lost``
+                # False while the lease lapses, and the worker later
+                # double-publishes against whoever reclaimed the cell.
+                # Retry once immediately; a second failure means the
+                # lease can no longer be trusted.
+                try:
+                    renewed = self._queue.heartbeat(self._ticket)
+                except Exception:
+                    self.lost = True
+                    return
+            if not renewed:
                 self.lost = True
                 return
 
@@ -199,5 +220,6 @@ def run_worker(
         "fleet.worker_cells_failed": summary.cells_failed,
         "fleet.worker_cells_lost": summary.cells_lost,
         "fleet.worker_claims": summary.claims,
+        "fleet.worker_reclaims": summary.reclaims,
     }
     return summary

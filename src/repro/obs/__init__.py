@@ -21,8 +21,10 @@ Usage::
 """
 
 from .registry import (
+    DEFAULT_BATCH_EDGES,
     DEFAULT_CELL_SECONDS_EDGES,
     DEFAULT_EVENT_EDGES,
+    DEFAULT_LATENCY_EDGES,
     Histogram,
     MetricsRegistry,
     get_registry,
@@ -33,6 +35,7 @@ from .report import (
     build_run_report,
     deterministic_view,
     load_run_report,
+    peek_schema,
     render_run_report,
     validate_run_report,
     write_events_jsonl,
@@ -40,8 +43,10 @@ from .report import (
 )
 
 __all__ = [
+    "DEFAULT_BATCH_EDGES",
     "DEFAULT_CELL_SECONDS_EDGES",
     "DEFAULT_EVENT_EDGES",
+    "DEFAULT_LATENCY_EDGES",
     "Histogram",
     "MetricsRegistry",
     "RUN_SCHEMA",
@@ -49,6 +54,7 @@ __all__ = [
     "deterministic_view",
     "get_registry",
     "load_run_report",
+    "peek_schema",
     "render_run_report",
     "using_registry",
     "validate_run_report",

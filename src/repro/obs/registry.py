@@ -15,6 +15,7 @@ snapshots across runs.
 
 from __future__ import annotations
 
+import math
 import time
 from bisect import bisect_left
 from contextlib import contextmanager
@@ -23,8 +24,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..errors import ConfigurationError
 
 __all__ = [
+    "DEFAULT_BATCH_EDGES",
     "DEFAULT_CELL_SECONDS_EDGES",
     "DEFAULT_EVENT_EDGES",
+    "DEFAULT_LATENCY_EDGES",
     "Histogram",
     "MetricsRegistry",
     "get_registry",
@@ -40,6 +43,17 @@ DEFAULT_EVENT_EDGES: Tuple[float, ...] = (
 #: Bucket edges for per-cell wall seconds in the runner.
 DEFAULT_CELL_SECONDS_EDGES: Tuple[float, ...] = (
     0.001, 0.01, 0.1, 1.0, 10.0, 100.0
+)
+
+#: Bucket edges for per-query service latencies (queue wait and total
+#: turnaround, in service seconds) recorded by :mod:`repro.serve`.
+DEFAULT_LATENCY_EDGES: Tuple[float, ...] = (
+    0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0
+)
+
+#: Bucket edges for queries coalesced into one service cycle.
+DEFAULT_BATCH_EDGES: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0
 )
 
 
@@ -68,8 +82,18 @@ class Histogram:
         self.count = 0
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation.
+
+        Non-finite values are rejected before any state changes:
+        ``bisect_left`` placement is undefined for NaN and a single
+        NaN/inf observation would silently poison ``total`` (and every
+        downstream merge and run report built from it).
+        """
         value = float(value)
+        if not math.isfinite(value):
+            raise ConfigurationError(
+                f"histogram observation must be finite, got {value!r}"
+            )
         self.counts[bisect_left(self.edges, value)] += 1
         self.total += value
         self.count += 1

@@ -25,6 +25,7 @@ __all__ = [
     "build_run_report",
     "deterministic_view",
     "load_run_report",
+    "peek_schema",
     "render_run_report",
     "validate_run_report",
     "write_events_jsonl",
@@ -153,6 +154,31 @@ def validate_run_report(
             + "; ".join(problems[:5])
         )
     return report
+
+
+def peek_schema(path: str) -> Optional[str]:
+    """Read just the ``schema`` field of a report file.
+
+    Lets ``repro report`` dispatch between the report families
+    (``repro-run/1`` runs, ``repro-serve/1`` service benches) before
+    committing to a schema-specific loader.  Errors always name
+    ``path``.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read report {path!r}: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"{path!r} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(document, dict):
+        return None
+    schema = document.get("schema")
+    return schema if isinstance(schema, str) else None
 
 
 def load_run_report(path: str) -> Dict[str, object]:

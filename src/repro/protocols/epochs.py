@@ -18,7 +18,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Set
 
 from ..core.config import IpdaConfig
-from ..core.integrity import IntegrityChecker, VerificationResult
+from ..core.integrity import (
+    DegradationPolicy,
+    IntegrityChecker,
+    VerificationResult,
+)
 from ..core.slicing import SliceAssembler
 from ..crypto.keys import PairwiseKeyScheme
 from ..errors import AnalysisError, ProtocolError
@@ -212,21 +216,21 @@ class EpochedIpdaSession:
 
         s_red = root.tree_sum(TreeColor.RED)
         s_blue = root.tree_sum(TreeColor.BLUE)
-        verification = IntegrityChecker(self.config.threshold).verify(
-            s_red, s_blue
-        )
+        participants = {
+            node.id
+            for node in self.network.iter_nodes()
+            if isinstance(node, _IpdaNode)
+            and node.id != self.base_station
+            and node.participant
+        }
+        verification = self._verify(root, s_red, s_blue, participants,
+                                    magnitude)
         outcome = EpochOutcome(
             epoch=epoch,
             s_red=s_red,
             s_blue=s_blue,
             verification=verification,
-            participants={
-                node.id
-                for node in self.network.iter_nodes()
-                if isinstance(node, _IpdaNode)
-                and node.id != self.base_station
-                and node.participant
-            },
+            participants=participants,
             bytes_this_epoch=(
                 self.network.trace.total_bytes_sent - bytes_before
             ),
@@ -234,6 +238,41 @@ class EpochedIpdaSession:
         )
         self.history.append(outcome)
         return outcome
+
+    def _verify(
+        self,
+        root: _IpdaBaseStation,
+        s_red: int,
+        s_blue: int,
+        participants: Set[int],
+        magnitude: int,
+    ) -> VerificationResult:
+        """Bare two-way test, or the loss-tolerant three-way verdict.
+
+        Mirrors :meth:`IpdaProtocol.run_round`: with
+        ``config.robustness`` set and degradation enabled, the piece
+        counts the robust reports carried scale the acceptance
+        threshold, so epochs served through standing trees get the
+        same accept/degrade/reject classification as one-shot rounds.
+        """
+        checker = IntegrityChecker(self.config.threshold)
+        robustness = self.config.robustness
+        if robustness is None or not robustness.degradation:
+            return checker.verify(s_red, s_blue)
+        slack = robustness.piece_slack
+        if slack is None:
+            slack = magnitude * max(2, self.config.slices)
+        return checker.verify(
+            s_red,
+            s_blue,
+            pieces_red=root.tree_pieces(TreeColor.RED),
+            pieces_blue=root.tree_pieces(TreeColor.BLUE),
+            expected_pieces=len(participants) * self.config.slices,
+            policy=DegradationPolicy(
+                piece_slack=slack,
+                max_missing_fraction=robustness.max_missing_fraction,
+            ),
+        )
 
     def _reset_epoch_state(self, root: _IpdaBaseStation) -> None:
         for node in self.network.iter_nodes():
@@ -243,18 +282,38 @@ class EpochedIpdaSession:
             for color in list(node.assemblers):
                 node.assemblers[color] = SliceAssembler(node.id)
             node.child_sum = {TreeColor.RED: 0, TreeColor.BLUE: 0}
+            # Robust-mode state is per-epoch too: piece counts feed the
+            # epoch's verdict and stale un-ACKed sends must not leak
+            # retransmissions into the next epoch's fresh assemblers.
+            node.child_pieces = {TreeColor.RED: 0, TreeColor.BLUE: 0}
+            node._pending_slices.clear()
+            node._pending_reports.clear()
+            # The duplicate filters guard against fail-over replays
+            # *within* one epoch; carried across epochs they make every
+            # fresh aggregate look like a replay of the last epoch's
+            # (same origins, new values) and silently drop it.
+            node._seen_slices.clear()
+            node._seen_aggregates.clear()
+            node._merged_origins = {TreeColor.RED: set(), TreeColor.BLUE: set()}
+            node._reported = False
 
 
 def _slicing_starter(node: _IpdaNode):
     def fire() -> None:
-        node.begin_slicing()
+        # Fire-time guard: epochs schedule directly on the engine (the
+        # node-level scheduler is unavailable before the epoch starts),
+        # so a node crashed by a mid-traffic fault plan must be checked
+        # here or it would keep slicing from beyond the grave.
+        if node.alive:
+            node.begin_slicing()
 
     return fire
 
 
 def _reporter(node: _IpdaNode):
     def fire() -> None:
-        node._report()
+        if node.alive:
+            node._report()
 
     return fire
 

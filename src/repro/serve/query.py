@@ -1,0 +1,143 @@
+"""Query and result types for the aggregation service.
+
+An :class:`AggregationQuery` names *what* to aggregate (the statistic
+kind) and *how* (the protocol lane that serves it); a
+:class:`QueryResult` carries the answer plus the per-query SLO record:
+when the query arrived, when its epoch started, how long it waited in
+the admission queue, and the integrity verdict the base station
+attached to the epoch that served it.
+
+All times are **service seconds** — the service's own clock (wall time
+in live mode, virtual time in the deterministic bench), not the radio
+simulator's TDMA timeline, which runs tens of simulated seconds per
+epoch regardless of the query load.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "KINDS_BY_PROTOCOL",
+    "VERDICTS",
+    "AggregationQuery",
+    "QueryResult",
+]
+
+#: Statistic kinds each protocol lane can serve.  The iPDA and TAG
+#: lanes answer the additive statistics (one epoch yields the pair
+#: ``(Σr, N)`` every additive kind decodes from); the KIPDA lane
+#: answers the extremum kinds slicing cannot express.
+KINDS_BY_PROTOCOL: Dict[str, frozenset] = {
+    "ipda": frozenset({"sum", "avg", "count"}),
+    "tag": frozenset({"sum", "avg", "count"}),
+    "kipda": frozenset({"max", "min"}),
+}
+
+#: Terminal states of a served query.  ``accepted``/``degraded``/
+#: ``rejected`` come from the integrity check of the epoch that served
+#: it; ``expired`` means the query outlived its deadline in the queue.
+VERDICTS = ("accepted", "degraded", "rejected", "expired")
+
+_ALIASES = {"average": "avg", "maximum": "max", "minimum": "min"}
+
+_query_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class AggregationQuery:
+    """One continuous-aggregation request.
+
+    Parameters
+    ----------
+    kind:
+        Statistic to compute: ``sum``/``avg``/``count`` (additive
+        lanes) or ``max``/``min`` (KIPDA lane).
+    protocol:
+        Which lane serves it: ``ipda`` (default; integrity-checked,
+        privacy-preserving), ``tag`` (baseline, no privacy), or
+        ``kipda`` (k-indistinguishable extremum).
+    deadline_seconds:
+        Give up if the query has waited longer than this when its
+        epoch would start; the result comes back ``expired``.
+    """
+
+    kind: str
+    protocol: str = "ipda"
+    deadline_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        kind = _ALIASES.get(self.kind, self.kind)
+        object.__setattr__(self, "kind", kind)
+        allowed = KINDS_BY_PROTOCOL.get(self.protocol)
+        if allowed is None:
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r}; choose from "
+                f"{sorted(KINDS_BY_PROTOCOL)}"
+            )
+        if kind not in allowed:
+            raise ConfigurationError(
+                f"protocol {self.protocol!r} cannot serve kind {kind!r} "
+                f"(supported: {sorted(allowed)})"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigurationError("deadline_seconds must be positive")
+
+
+@dataclass
+class QueryResult:
+    """Answer plus SLO accounting for one query.
+
+    ``value`` is ``None`` when the verdict is ``rejected`` (the base
+    station refused to report) or ``expired``.  ``confidence`` follows
+    :class:`repro.core.integrity.VerificationResult`: 1.0 on a clean
+    accept, shrinking with the coverage gap on degradation.
+    """
+
+    query_id: int
+    kind: str
+    protocol: str
+    verdict: str
+    value: Optional[float] = None
+    confidence: float = 0.0
+    #: index of the service cycle (iPDA epoch) that served the query;
+    #: None when it never reached a cycle (expired in the queue).
+    epoch: Optional[int] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    #: lane-specific detail (tree sums, piece coverage, camouflage
+    #: vector size, ...) for dashboards; not part of the SLO contract.
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Did the service produce a usable value?"""
+        return self.verdict in ("accepted", "degraded")
+
+    @property
+    def queue_wait(self) -> float:
+        """Service seconds spent in the admission queue."""
+        reference = (
+            self.started_at if self.started_at is not None
+            else self.completed_at
+        )
+        if reference is None:
+            return 0.0
+        return max(reference - self.submitted_at, 0.0)
+
+    @property
+    def latency(self) -> float:
+        """Submission-to-completion service seconds (the SLO latency)."""
+        if self.completed_at is None:
+            return 0.0
+        return max(self.completed_at - self.submitted_at, 0.0)
+
+
+def next_query_id() -> int:
+    """Process-wide monotonically increasing query id."""
+    return next(_query_ids)

@@ -1,0 +1,346 @@
+"""The long-running aggregation service: admission, batching, SLOs.
+
+Two layers:
+
+* :class:`ServiceCore` — the synchronous heart.  ``submit()`` admits a
+  query into a bounded queue (or raises
+  :class:`~repro.errors.ServiceOverloadError` past the high-water
+  mark); ``dispatch()`` drains up to one batch, expires queries whose
+  deadline passed while queued, serves the rest in one fleet cycle,
+  and stamps every result with its SLO record.  The core never reads a
+  clock — callers pass ``now``, so the deterministic bench can drive
+  it on virtual time and get byte-identical metrics per seed.
+
+* :class:`AggregationService` — an asyncio front-end over the core for
+  live use: ``await submit(query)`` resolves when the query's epoch
+  completes; a background task paces dispatch cycles and runs the
+  (CPU-heavy) radio simulation in an executor so the event loop stays
+  responsive.
+
+Service time vs simulated time: one dispatch cycle *costs* the service
+``epoch_seconds`` of its own clock (queue waits and latencies are
+measured in it), while the radio simulator internally advances tens of
+TDMA-scheduled seconds per epoch.  The two timelines are deliberately
+decoupled — the paper's protocol timing is not a statement about how
+fast a base station can grind epochs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from ..errors import ConfigurationError, ServiceError, ServiceOverloadError
+from ..obs import (
+    DEFAULT_BATCH_EDGES,
+    DEFAULT_LATENCY_EDGES,
+    get_registry,
+)
+from .fleet import FleetConfig, ServiceFaultSchedule, ServiceFleet
+from .query import AggregationQuery, QueryResult, next_query_id
+
+__all__ = ["ServiceConfig", "ServiceCore", "AggregationService", "Ticket"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Admission and pacing knobs for the service front-end."""
+
+    #: admission-queue high-water mark: ``submit`` raises
+    #: :class:`ServiceOverloadError` when this many queries are queued.
+    capacity: int = 256
+    #: most queries folded into one fleet cycle.  Additive queries on
+    #: the same lane share a single epoch, so this bounds per-cycle
+    #: work only when lanes mix.
+    max_batch: int = 64
+    #: service seconds one dispatch cycle costs (the pacing quantum).
+    epoch_seconds: float = 0.5
+    #: deadline applied to queries that don't carry their own; ``None``
+    #: means queries without a deadline never expire.
+    default_deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        if self.max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if self.epoch_seconds <= 0:
+            raise ConfigurationError("epoch_seconds must be positive")
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ConfigurationError("default_deadline must be positive")
+
+
+@dataclass
+class Ticket:
+    """One admitted query waiting for (or holding) its result."""
+
+    query: AggregationQuery
+    query_id: int
+    submitted_at: float
+    deadline: Optional[float] = None
+    result: Optional[QueryResult] = None
+    #: set in live mode so the asyncio wrapper can resolve awaiters;
+    #: the deterministic bench leaves it None.
+    future: Optional[asyncio.Future] = None
+
+
+class ServiceCore:
+    """Synchronous service core: bounded queue + batched dispatch."""
+
+    def __init__(
+        self,
+        fleet: Optional[ServiceFleet] = None,
+        config: Optional[ServiceConfig] = None,
+        *,
+        fleet_config: Optional[FleetConfig] = None,
+        faults: Optional[ServiceFaultSchedule] = None,
+    ):
+        if fleet is not None and (
+            fleet_config is not None or faults is not None
+        ):
+            raise ConfigurationError(
+                "pass either a fleet instance or fleet_config/faults, not both"
+            )
+        self.fleet = (
+            fleet
+            if fleet is not None
+            else ServiceFleet(fleet_config, faults=faults)
+        )
+        self.config = config if config is not None else ServiceConfig()
+        self._queue: Deque[Ticket] = deque()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Stand the fleet up (Phase I runs once, here)."""
+        if self._started:
+            raise ServiceError("service already started")
+        if not self.fleet.started:
+            registry = get_registry()
+            if registry is not None:
+                with registry.phase_timer("serve.construct"):
+                    self.fleet.start()
+            else:
+                self.fleet.start()
+        self._started = True
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def queue_depth(self) -> int:
+        """Queries admitted but not yet dispatched."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, query: AggregationQuery, *, now: float) -> Ticket:
+        """Admit ``query`` at service time ``now``.
+
+        Raises
+        ------
+        ServiceOverloadError
+            When the admission queue is at capacity.  Backpressure is
+            explicit: the caller sheds or retries; the service never
+            queues unboundedly and never blocks the submitter.
+        """
+        if not self._started:
+            raise ServiceError("service not started; call start() first")
+        registry = get_registry()
+        if registry is not None:
+            registry.inc("serve.submitted")
+        if len(self._queue) >= self.config.capacity:
+            if registry is not None:
+                registry.inc("serve.rejected_overload")
+            raise ServiceOverloadError(
+                f"admission queue full ({self.config.capacity} queued); "
+                "retry after a dispatch cycle"
+            )
+        deadline = query.deadline_seconds
+        if deadline is None:
+            deadline = self.config.default_deadline
+        ticket = Ticket(
+            query=query,
+            query_id=next_query_id(),
+            submitted_at=now,
+            deadline=deadline,
+        )
+        self._queue.append(ticket)
+        if registry is not None:
+            registry.inc("serve.admitted")
+            registry.gauge("serve.queue_depth", len(self._queue))
+        return ticket
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, *, now: float) -> List[Ticket]:
+        """Run one service cycle at service time ``now``.
+
+        Drains up to ``max_batch`` queries in admission order, expiring
+        any whose deadline lapsed in the queue, and serves the rest in
+        one fleet cycle.  Every drained ticket comes back with
+        ``result`` set; an empty queue yields an empty list without
+        touching the fleet (idle cycles are free).
+        """
+        if not self._started:
+            raise ServiceError("service not started; call start() first")
+        registry = get_registry()
+        batch: List[Ticket] = []
+        expired: List[Ticket] = []
+        while self._queue and len(batch) < self.config.max_batch:
+            ticket = self._queue.popleft()
+            if (
+                ticket.deadline is not None
+                and now - ticket.submitted_at > ticket.deadline
+            ):
+                expired.append(ticket)
+            else:
+                batch.append(ticket)
+        completed_at = now + self.config.epoch_seconds
+        for ticket in expired:
+            ticket.result = QueryResult(
+                query_id=ticket.query_id,
+                kind=ticket.query.kind,
+                protocol=ticket.query.protocol,
+                verdict="expired",
+                epoch=None,
+                submitted_at=ticket.submitted_at,
+                completed_at=now,
+            )
+        served: List[Ticket] = []
+        if batch:
+            if registry is not None:
+                with registry.phase_timer("serve.cycle"):
+                    outcome = self.fleet.serve_cycle(batch)
+            else:
+                outcome = self.fleet.serve_cycle(batch)
+            for ticket, result in outcome.results:
+                result.started_at = now
+                result.completed_at = completed_at
+                ticket.result = result
+                served.append(ticket)
+            if registry is not None:
+                registry.inc("serve.cycles")
+                registry.observe(
+                    "serve.batch_size", len(batch), edges=DEFAULT_BATCH_EDGES
+                )
+                for lane in outcome.lanes_run:
+                    if lane == "ipda":
+                        registry.inc("serve.epochs")
+                    else:
+                        registry.inc(f"serve.rounds.{lane}")
+        if registry is not None:
+            for ticket in expired:
+                registry.inc("serve.expired")
+                registry.observe(
+                    "serve.queue_wait_seconds",
+                    now - ticket.submitted_at,
+                    edges=DEFAULT_LATENCY_EDGES,
+                )
+            for ticket in served:
+                registry.inc("serve.completed")
+                registry.inc(f"serve.verdict.{ticket.result.verdict}")
+                registry.observe(
+                    "serve.queue_wait_seconds",
+                    ticket.result.queue_wait,
+                    edges=DEFAULT_LATENCY_EDGES,
+                )
+                registry.observe(
+                    "serve.latency_seconds",
+                    ticket.result.latency,
+                    edges=DEFAULT_LATENCY_EDGES,
+                )
+            registry.gauge("serve.queue_depth", len(self._queue))
+        return expired + served
+
+
+class AggregationService:
+    """Asyncio front-end: live submissions against a paced core.
+
+    Usage::
+
+        service = AggregationService(core)
+        async with service:
+            result = await service.submit(AggregationQuery("avg"))
+
+    The dispatch task wakes every ``epoch_seconds`` of wall time, and
+    each cycle's radio simulation runs in the default executor so a
+    multi-hundred-millisecond epoch never stalls the event loop.
+    """
+
+    def __init__(self, core: Optional[ServiceCore] = None, **core_kwargs):
+        self.core = core if core is not None else ServiceCore(**core_kwargs)
+        self._task: Optional[asyncio.Task] = None
+        self._closing = False
+
+    async def __aenter__(self) -> "AggregationService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def start(self) -> None:
+        if self._task is not None:
+            raise ServiceError("service already started")
+        loop = asyncio.get_running_loop()
+        if not self.core.started:
+            # Phase I floods the whole deployment; do it off-loop too.
+            await loop.run_in_executor(None, self.core.start)
+        self._closing = False
+        self._task = loop.create_task(self._dispatch_loop())
+
+    async def close(self, *, drain: bool = True) -> None:
+        """Stop dispatching; optionally serve what's already queued."""
+        if self._task is None:
+            return
+        self._closing = True
+        loop = asyncio.get_running_loop()
+        if drain:
+            while self.core.queue_depth:
+                await self._run_cycle(loop)
+        task, self._task = self._task, None
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+    async def submit(self, query: AggregationQuery) -> QueryResult:
+        """Admit ``query`` and wait for its epoch to complete.
+
+        Raises :class:`ServiceOverloadError` immediately (without
+        waiting) when the admission queue is full.
+        """
+        if self._task is None and not self._closing:
+            raise ServiceError("service not started; use 'async with'")
+        loop = asyncio.get_running_loop()
+        ticket = self.core.submit(query, now=loop.time())
+        ticket.future = loop.create_future()
+        return await ticket.future
+
+    async def _run_cycle(self, loop: asyncio.AbstractEventLoop) -> None:
+        done = await loop.run_in_executor(
+            None, lambda: self.core.dispatch(now=loop.time())
+        )
+        for ticket in done:
+            if ticket.future is not None and not ticket.future.done():
+                ticket.future.set_result(ticket.result)
+
+    async def _dispatch_loop(self) -> None:
+        period = self.core.config.epoch_seconds
+        loop = asyncio.get_running_loop()
+        while True:
+            if self.core.queue_depth:
+                await self._run_cycle(loop)
+            else:
+                await asyncio.sleep(period / 10)
+                continue
+            await asyncio.sleep(period)

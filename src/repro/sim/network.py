@@ -94,10 +94,7 @@ class Network:
         #: registry; lets repeated run() calls report deltas only.
         self._metrics_checkpoint: Optional[Dict[str, float]] = None
         if fault_plan is not None:
-            from ..faults.injector import FaultInjector
-
-            self.injector = FaultInjector(fault_plan, self)
-            self.injector.arm()
+            self.arm_faults(fault_plan)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -154,6 +151,23 @@ class Network:
         self.node(node_id).revive()
         self.mac(node_id).resume()
         self.trace.record_fault(self.engine.now, "recovery", node_id)
+
+    def arm_faults(self, plan) -> "FaultInjector":
+        """Arm a :class:`~repro.faults.FaultPlan` on this network.
+
+        Re-entrant: callable any number of times over the network's
+        lifetime (long-running services arm plans between query
+        epochs).  Plan times are run-relative, so arming mid-run
+        anchors them at ``engine.now`` — a plan whose crash fires "at
+        2.0" armed at t=500 crashes at t=502.  Returns the injector;
+        :attr:`injector` tracks the most recent one.
+        """
+        from ..faults.injector import FaultInjector
+
+        injector = FaultInjector(plan, self, time_offset=self.engine.now)
+        injector.arm()
+        self.injector = injector
+        return injector
 
     # ------------------------------------------------------------------
     # Running

@@ -1,0 +1,116 @@
+"""Heartbeat-renewer edge cases and worker counter reporting.
+
+The renewer thread is the only thing standing between a slow cell and
+a double-publish: if it dies silently (or wedges), the lease lapses
+while ``lost`` still reads ``False``, and the worker later publishes a
+result another worker already owns.  These tests pin the recovery
+contract: one transient heartbeat error is retried, a second marks the
+lease lost, and a renewer that cannot be joined is treated as lost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.fleet import FleetQueue
+from repro.fleet.chaos import CHAOS_SPEC, expire_leases
+from repro.fleet.worker import _Heartbeat, run_worker
+from repro.store import CellStore
+from repro.store.digest import cell_digest, spec_fingerprint
+
+
+class _FlakyQueue:
+    """Heartbeat target scripted to raise/return per call."""
+
+    def __init__(self, script, lease_seconds=0.15):
+        self.lease_seconds = lease_seconds
+        self.script = list(script)
+        self.calls = 0
+
+    def heartbeat(self, ticket):
+        self.calls += 1
+        action = self.script.pop(0) if self.script else True
+        if isinstance(action, BaseException):
+            raise action
+        return action
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestHeartbeatRecovery:
+    def test_transient_error_is_retried_once(self):
+        queue = _FlakyQueue([OSError("nfs hiccup"), True, True])
+        with _Heartbeat(queue, ticket=None) as beat:
+            assert _wait_for(lambda: queue.calls >= 2)
+        # the retry immediately followed the failure and renewed the
+        # lease, so the worker's result is still publishable
+        assert not beat.lost
+        assert queue.calls >= 2
+
+    def test_double_fault_marks_lease_lost(self):
+        queue = _FlakyQueue([OSError("down"), OSError("still down")])
+        with _Heartbeat(queue, ticket=None) as beat:
+            assert _wait_for(lambda: beat.lost)
+        assert beat.lost
+        assert queue.calls == 2
+
+    def test_lapsed_lease_marks_lost(self):
+        queue = _FlakyQueue([False])
+        with _Heartbeat(queue, ticket=None) as beat:
+            assert _wait_for(lambda: beat.lost)
+        assert beat.lost
+
+    def test_unjoinable_renewer_counts_as_lost(self):
+        release = threading.Event()
+        entered = threading.Event()
+
+        class _WedgedQueue:
+            lease_seconds = 0.15
+
+            def heartbeat(self, ticket):
+                entered.set()
+                release.wait(10.0)  # hung filesystem call
+                return True
+
+        beat = _Heartbeat(_WedgedQueue(), ticket=None, join_timeout=0.2)
+        with beat:
+            assert entered.wait(5.0)
+        # the renewer is still wedged inside heartbeat(): the worker
+        # cannot know whether the lease survived, so it must not publish
+        assert beat.lost
+        release.set()
+
+
+class TestWorkerCounters:
+    def test_summary_counters_include_reclaims(self, tmp_path):
+        queue = FleetQueue(tmp_path / "queue", lease_seconds=300.0)
+        cells = CHAOS_SPEC.cells(count=2)
+        fingerprint = spec_fingerprint(CHAOS_SPEC)
+        queue.enqueue(cells, [cell_digest(c, fingerprint) for c in cells])
+        # a worker claims and dies; its lease is force-expired so the
+        # next worker's reclaim sweep finds it
+        assert queue.claim("dead-worker") is not None
+        assert expire_leases(queue) == 1
+        store = CellStore(str(tmp_path / "store"))
+        summary = run_worker(queue, store, worker_id="live-worker")
+        assert summary.reclaims >= 1
+        assert summary.cells_done == 2
+        assert (
+            summary.counters["fleet.worker_reclaims"] == summary.reclaims
+        )
+        # every loop statistic the summary tracks must reach counters
+        assert set(summary.counters) == {
+            "fleet.worker_cells_done",
+            "fleet.worker_cells_failed",
+            "fleet.worker_cells_lost",
+            "fleet.worker_claims",
+            "fleet.worker_reclaims",
+        }

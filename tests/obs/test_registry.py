@@ -54,6 +54,38 @@ class TestHistogram:
         clone = Histogram.from_dict(histogram.as_dict())
         assert clone.as_dict() == histogram.as_dict()
 
+    @pytest.mark.parametrize(
+        "value", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_observation_rejected(self, value):
+        histogram = Histogram((1.0, 10.0))
+        with pytest.raises(ConfigurationError, match="finite"):
+            histogram.observe(value)
+
+    def test_rejected_observation_leaves_state_untouched(self):
+        # the guard must fire before any mutation: one NaN must not
+        # poison total/count and then raise
+        histogram = Histogram((1.0, 10.0))
+        histogram.observe(5.0)
+        before = histogram.as_dict()
+        with pytest.raises(ConfigurationError):
+            histogram.observe(float("nan"))
+        assert histogram.as_dict() == before
+
+    def test_overflow_bucket_still_catches_huge_finite_values(self):
+        # finite values beyond the last edge are data, not errors
+        histogram = Histogram((1.0, 10.0))
+        histogram.observe(1e308)
+        assert histogram.counts == [0, 0, 1]
+        assert histogram.count == 1
+
+    def test_registry_observe_propagates_the_guard(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 0.5, edges=(1.0, 10.0))
+        with pytest.raises(ConfigurationError, match="finite"):
+            registry.observe("lat", float("inf"), edges=(1.0, 10.0))
+        assert registry.histograms["lat"].count == 1
+
 
 class TestRegistry:
     def test_counters_accumulate(self):

@@ -138,6 +138,66 @@ class TestAmortisation:
         )
 
 
+class TestRobustEpochs:
+    """Loss-tolerant sessions must not leak duplicate-filter state
+    across epochs.
+
+    Regression: ``_seen_slices`` / ``_seen_aggregates`` /
+    ``_merged_origins`` / ``_reported`` survived ``_reset_epoch_state``,
+    so from epoch 1 onward every fresh aggregate matched the previous
+    epoch's origins and was dropped as a fail-over replay — piece counts
+    collapsed (150 -> ~3) and clean epochs were rejected.
+    """
+
+    @pytest.fixture(scope="class")
+    def robust_session(self):
+        from repro.core.config import RobustnessConfig
+
+        topology = random_deployment(80, area=200.0, seed=4)
+        s = EpochedIpdaSession(
+            topology,
+            IpdaConfig(slices=2, threshold=5, robustness=RobustnessConfig()),
+            streams=RngStreams(4),
+        )
+        s.construct_trees()
+        return topology, s
+
+    def test_piece_accounting_holds_across_epochs(self, robust_session):
+        topology, s = robust_session
+        readings = {i: 1 for i in range(1, topology.node_count)}
+        for _ in range(3):
+            outcome = s.run_epoch(readings)
+            v = outcome.verification
+            assert v.outcome == "accepted"
+            # Full piece counts every epoch, not just the first.
+            assert v.expected_pieces == 2 * len(outcome.participants)
+            assert v.pieces_red == v.expected_pieces
+            assert v.pieces_blue == v.expected_pieces
+            assert outcome.reported == len(outcome.participants)
+
+    def test_later_epochs_tolerate_burst_loss(self, robust_session):
+        from repro.faults.plan import FaultPlan, GilbertElliottParams
+
+        topology, s = robust_session
+        s.network.arm_faults(
+            FaultPlan(
+                burst_loss=GilbertElliottParams(
+                    bad_rate=0.025,
+                    recovery_rate=0.5,
+                    loss_good=0.0,
+                    loss_bad=0.8,
+                ),
+                seed=4,
+            )
+        )
+        readings = {i: 2 for i in range(1, topology.node_count)}
+        for _ in range(4):
+            outcome = s.run_epoch(readings)
+            # ACK'd retransmission rides out light loss; before the
+            # state-reset fix every epoch after the first was rejected.
+            assert outcome.verification.outcome in ("accepted", "degraded")
+
+
 class TestRealisticChannel:
     def test_epochs_survive_collisions(self):
         """With the collision channel on, epochs still conserve and the

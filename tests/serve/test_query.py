@@ -1,0 +1,71 @@
+"""Query/result validation for the aggregation service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import AggregationQuery, QueryResult
+
+
+class TestAggregationQuery:
+    def test_defaults_to_ipda(self):
+        query = AggregationQuery("sum")
+        assert query.protocol == "ipda"
+        assert query.deadline_seconds is None
+
+    @pytest.mark.parametrize(
+        "kind,protocol",
+        [
+            ("sum", "ipda"), ("avg", "ipda"), ("count", "ipda"),
+            ("sum", "tag"), ("avg", "tag"), ("count", "tag"),
+            ("max", "kipda"), ("min", "kipda"),
+        ],
+    )
+    def test_every_lane_kind_pair(self, kind, protocol):
+        query = AggregationQuery(kind, protocol=protocol)
+        assert query.kind == kind
+
+    def test_aliases_normalise(self):
+        assert AggregationQuery("average").kind == "avg"
+        assert AggregationQuery("maximum", protocol="kipda").kind == "max"
+
+    def test_kind_protocol_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot serve"):
+            AggregationQuery("max", protocol="ipda")
+        with pytest.raises(ConfigurationError, match="cannot serve"):
+            AggregationQuery("sum", protocol="kipda")
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown protocol"):
+            AggregationQuery("sum", protocol="smpc")
+
+    def test_deadline_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            AggregationQuery("sum", deadline_seconds=0.0)
+
+
+class TestQueryResult:
+    def test_slo_accounting(self):
+        result = QueryResult(
+            query_id=1, kind="sum", protocol="ipda", verdict="accepted",
+            value=42.0, confidence=1.0, epoch=3,
+            submitted_at=1.0, started_at=1.5, completed_at=2.0,
+        )
+        assert result.ok
+        assert result.queue_wait == pytest.approx(0.5)
+        assert result.latency == pytest.approx(1.0)
+
+    def test_degraded_counts_as_usable(self):
+        result = QueryResult(
+            query_id=2, kind="avg", protocol="ipda", verdict="degraded",
+            value=10.0, confidence=0.8,
+        )
+        assert result.ok
+
+    def test_rejected_and_expired_are_not_ok(self):
+        for verdict in ("rejected", "expired"):
+            result = QueryResult(
+                query_id=3, kind="sum", protocol="ipda", verdict=verdict
+            )
+            assert not result.ok

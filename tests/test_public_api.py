@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.analysis",
     "repro.workloads",
     "repro.experiments",
+    "repro.serve",
     "repro.viz",
 ]
 
