@@ -55,7 +55,9 @@ _FAST_SIZES = (200, 300, 400)
 
 #: First-positional words routed to the management parser instead of
 #: the experiment runner.
-TOOL_COMMANDS = ("bench", "cache", "fleet", "list", "report", "serve", "store")
+TOOL_COMMANDS = (
+    "bench", "cache", "fleet", "list", "report", "serve", "store", "tune",
+)
 
 Runner = Callable[..., ExperimentTable]
 
@@ -121,6 +123,19 @@ def _run_fault_sweep(fast: bool, repetitions: Optional[int], seed: int,
     return fault_sweep.run(**kwargs)
 
 
+def _run_privacy_suite(fast: bool, repetitions: Optional[int], seed: int,
+                       jobs: Optional[int] = 1):
+    from .privacy import evaluate as privacy_suite
+
+    kwargs = {"seed": seed, "jobs": jobs}
+    if repetitions is not None:
+        kwargs["repetitions"] = repetitions
+    if fast:
+        kwargs["mi_trials"] = 8
+        kwargs["disclosure_trials"] = 24
+    return privacy_suite.run(**kwargs)
+
+
 def _run_ablation(runner: Runner):
     def run(fast: bool, repetitions: Optional[int], seed: int,
             jobs: Optional[int] = 1):
@@ -152,6 +167,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "latency": _run_ablation(latency.run),
     "ablation-collusion": _run_ablation(collusion_study.run),
     "fault-sweep": _run_fault_sweep,
+    "privacy-suite": _run_privacy_suite,
 }
 
 
@@ -399,6 +415,16 @@ def _experiment_main(args) -> int:
             if capture_events:
                 for event in registry.events:
                     events.append(dict(event, experiment=name))
+                # One synthetic summary event per finished experiment so
+                # 'report --follow' can render live counter tables from
+                # the JSONL stream alone.
+                events.append(
+                    {
+                        "event": "counters",
+                        "experiment": name,
+                        "counters": registry.snapshot()["counters"],
+                    }
+                )
     finally:
         runner_module.set_default_cache(previous)
         runner_module.set_default_fleet(previous_fleet)
@@ -581,17 +607,37 @@ def _build_tools_parser() -> argparse.ArgumentParser:
     report = sub.add_parser(
         "report",
         help=(
-            "pretty-print a run (repro-run/1) or service bench "
-            "(repro-serve/1) report"
+            "pretty-print a run (repro-run/1), service bench "
+            "(repro-serve/1), or privacy/tune (repro-privacy/1) report; "
+            "--follow live-tails a --metrics-events JSONL instead"
         ),
     )
     report.add_argument(
         "path", metavar="REPORT",
-        help="path to a report written with --metrics-out or serve --output",
+        help=(
+            "path to a report written with --metrics-out, serve/tune "
+            "--output, or (with --follow) a --metrics-events JSONL file"
+        ),
     )
     report.add_argument(
         "--json", action="store_true",
         help="dump the validated report as canonical JSON instead",
+    )
+    report.add_argument(
+        "--follow", action="store_true",
+        help=(
+            "treat REPORT as a --metrics-events JSONL stream and "
+            "live-tail it, re-rendering the counter/phase table on "
+            "each flush (waits for the file to appear; Ctrl-C stops)"
+        ),
+    )
+    report.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="poll interval for --follow (default: 0.5)",
+    )
+    report.add_argument(
+        "--max-updates", type=int, default=None, metavar="N",
+        help="stop --follow after N re-renders (default: follow forever)",
     )
 
     serve = sub.add_parser(
@@ -678,6 +724,76 @@ def _build_tools_parser() -> argparse.ArgumentParser:
         help="print the report as JSON instead of the summary",
     )
 
+    tune = sub.add_parser(
+        "tune",
+        help=(
+            "autotune (l, Th, key scheme, fan-out) for the cheapest "
+            "configuration meeting a privacy/overhead/accuracy envelope"
+        ),
+    )
+    tune.add_argument(
+        "--min-privacy", type=float, default=0.0, metavar="SCORE",
+        help="composite privacy score the winner must reach (default: 0)",
+    )
+    tune.add_argument(
+        "--max-overhead", type=float, default=None, metavar="RATIO",
+        help=(
+            "cap on the per-node message overhead ratio vs TAG "
+            "(the paper's (2l+1)/2 axis; default: unconstrained)"
+        ),
+    )
+    tune.add_argument(
+        "--max-accuracy-loss", type=float, default=None, metavar="LOSS",
+        help="cap on 1 - mean collected/true (default: unconstrained)",
+    )
+    tune.add_argument(
+        "--quick", action="store_true",
+        help=(
+            "4-configuration grid with small trial counts "
+            "(CI smoke; seconds instead of minutes)"
+        ),
+    )
+    tune.add_argument(
+        "--nodes", type=int, default=200,
+        help="deployment size (default: 200, the paper deployment)",
+    )
+    tune.add_argument("--seed", type=int, default=0, help="root seed")
+    tune.add_argument(
+        "--repetitions", type=int, default=1,
+        help="terrain repetitions averaged per candidate (default: 1)",
+    )
+    tune.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="worker processes (default: all cores)",
+    )
+    tune.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cell-store location (default: $REPRO_CACHE_DIR "
+             "or ~/.cache/repro-store)",
+    )
+    tune.add_argument(
+        "--no-cache", action="store_true",
+        help=(
+            "re-evaluate every candidate instead of reusing "
+            "digest-matched evaluation cells from the store"
+        ),
+    )
+    tune.add_argument(
+        "--queue", metavar="DIR", default=None,
+        help=(
+            "shard candidate evaluations over a fleet work queue at DIR "
+            "(see the experiment runner's --queue)"
+        ),
+    )
+    tune.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the repro-privacy/1 tune report JSON here",
+    )
+    tune.add_argument(
+        "--json", action="store_true",
+        help="print the report as JSON instead of the summary",
+    )
+
     bench = sub.add_parser(
         "bench",
         help="run hot-path benchmarks, emit BENCH_*.json, gate regressions",
@@ -740,10 +856,9 @@ def _format_bytes(count: int) -> str:
 
 
 def _tools_list() -> int:
-    from .runner import get_spec
-    from .experiments import SPECS
+    from .runner import available_experiments, get_spec
 
-    names = sorted(SPECS)
+    names = available_experiments()
     width = max(len(name) for name in names)
     for name in names:
         spec = get_spec(name)
@@ -953,11 +1068,29 @@ def _tools_bench(args) -> int:
 def _tools_report(args) -> int:
     from .obs import load_run_report, peek_schema, render_run_report
 
-    if peek_schema(args.path) == "repro-serve/1":
+    if args.follow:
+        from .obs import follow_events
+
+        try:
+            follow_events(
+                args.path,
+                interval=args.interval,
+                max_updates=args.max_updates,
+            )
+        except KeyboardInterrupt:
+            pass
+        return 0
+    schema = peek_schema(args.path)
+    if schema == "repro-serve/1":
         from .serve import load_serve_report, render_serve_report
 
         report = load_serve_report(args.path)
         renderer = render_serve_report
+    elif schema == "repro-privacy/1":
+        from .privacy import load_privacy_report, render_privacy_report
+
+        report = load_privacy_report(args.path)
+        renderer = render_privacy_report
     else:
         report = load_run_report(args.path)
         renderer = render_run_report
@@ -967,6 +1100,104 @@ def _tools_report(args) -> int:
         print(json.dumps(report, indent=1, sort_keys=True))
     else:
         print(renderer(report))
+    return 0
+
+
+def _tune_argv(args) -> List[str]:
+    """Reconstruct the tune invocation for report provenance."""
+    argv = ["tune"]
+    if args.quick:
+        argv.append("--quick")
+    argv += [
+        "--min-privacy", str(args.min_privacy),
+        "--nodes", str(args.nodes),
+        "--seed", str(args.seed),
+    ]
+    if args.max_overhead is not None:
+        argv += ["--max-overhead", str(args.max_overhead)]
+    if args.max_accuracy_loss is not None:
+        argv += ["--max-accuracy-loss", str(args.max_accuracy_loss)]
+    if args.repetitions != 1:
+        argv += ["--repetitions", str(args.repetitions)]
+    return argv
+
+
+def _tools_tune(args) -> int:
+    from .obs import MetricsRegistry, using_registry
+    from .privacy import (
+        build_privacy_report,
+        render_privacy_report,
+        write_privacy_report,
+    )
+    from .tune import TuneTargets, autotune
+
+    targets = TuneTargets(
+        min_privacy=args.min_privacy,
+        max_overhead=args.max_overhead,
+        max_accuracy_loss=args.max_accuracy_loss,
+    )
+    # Candidate evaluations are digest-keyed cells, so the store is on
+    # by default: an interrupted sweep resumes, a repeated sweep with
+    # overlapping grids re-evaluates only the new candidates.
+    store = None
+    fleet_queue = None
+    if args.queue:
+        from .fleet import FleetQueue
+
+        fleet_queue = FleetQueue(args.queue)
+        if not args.no_cache and args.cache_dir is None:
+            from .store import CellStore
+
+            store = CellStore(os.path.join(fleet_queue.root, "store"))
+    if store is None and not args.no_cache:
+        store = _open_store(args.cache_dir)
+    registry = MetricsRegistry()
+    started = time.time()
+    with using_registry(registry):
+        outcome = autotune(
+            targets=targets,
+            quick=args.quick,
+            node_count=args.nodes,
+            seed=args.seed,
+            repetitions=args.repetitions,
+            jobs=args.jobs,
+            cache=store,
+            queue=fleet_queue,
+        )
+    elapsed = time.time() - started
+    report = build_privacy_report(
+        outcome.evaluations,
+        kind="tune",
+        targets=outcome.targets.to_jsonable(),
+        frontier=outcome.frontier,
+        winner=outcome.winner,
+        baseline=outcome.baseline,
+        dominating=outcome.dominating,
+        cache={"hits": outcome.cache_hits, "misses": outcome.cache_misses},
+        metrics=registry.snapshot(),
+        argv=_tune_argv(args),
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        print(render_privacy_report(report))
+        print(
+            f"({len(outcome.evaluations)} candidate(s) in {elapsed:.1f}s, "
+            f"store {outcome.cache_hits}/{outcome.cache_misses} hit/miss)"
+        )
+    if args.output:
+        path = write_privacy_report(report, args.output)
+        print(f"(tune report written to {path})")
+    if outcome.winner is None:
+        print(
+            "ipda: no configuration meets the target envelope "
+            f"({len(outcome.feasible)} feasible of "
+            f"{len(outcome.evaluations)})",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -1149,6 +1380,8 @@ def _tools_main(argv: List[str]) -> int:
         return _tools_report(args)
     if args.command == "serve":
         return _tools_serve(args)
+    if args.command == "tune":
+        return _tools_tune(args)
     return _tools_store(args)
 
 

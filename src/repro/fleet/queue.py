@@ -179,26 +179,41 @@ class QueueStatus:
         return self.pending + self.leased + self.done + self.quarantined
 
 
+#: Lease duration adopted when a queue root is first initialised and
+#: the creator did not choose one.
+DEFAULT_LEASE_SECONDS = 30.0
+
+
 class FleetQueue:
-    """Digest-keyed, crash-safe work queue over a directory tree."""
+    """Digest-keyed, crash-safe work queue over a directory tree.
+
+    The first construction against a root *pins* the coordination
+    parameters — lease duration and :class:`RetryPolicy` — into
+    ``config.json`` there.  Later constructions adopt the stored values
+    when called with defaults, and are rejected with a
+    :class:`FleetError` when they explicitly request different ones: a
+    worker running a longer lease than the driver assumes would have
+    its cells re-leased while still healthy, and a different retry
+    budget would quarantine cells earlier or later than the rest of
+    the fleet.
+    """
 
     def __init__(
         self,
         root: str,
         *,
-        lease_seconds: float = 30.0,
+        lease_seconds: Optional[float] = None,
         policy: Optional[RetryPolicy] = None,
         clock=time.time,
     ):
-        if lease_seconds <= 0:
+        if lease_seconds is not None and lease_seconds <= 0:
             raise ConfigurationError(
                 f"lease_seconds must be > 0, got {lease_seconds}"
             )
         self.root = os.path.abspath(os.path.expanduser(root))
-        self.lease_seconds = float(lease_seconds)
-        self.policy = policy or RetryPolicy()
         self._clock = clock
         self._journal_path = os.path.join(self.root, "queue.jsonl")
+        self._config_path = os.path.join(self.root, "config.json")
         self._dirs = {
             state: os.path.join(self.root, state) for state in _STATES
         }
@@ -207,6 +222,110 @@ class FleetQueue:
         self.journal_torn_lines = 0
         for path in list(self._dirs.values()) + [self._recover_dir]:
             os.makedirs(path, exist_ok=True)
+        self.lease_seconds, self.policy = self._pin_config(
+            lease_seconds, policy
+        )
+
+    # ------------------------------------------------------------------
+    # Pinned coordination parameters (config.json)
+    # ------------------------------------------------------------------
+    def _pin_config(
+        self,
+        lease_seconds: Optional[float],
+        policy: Optional[RetryPolicy],
+    ) -> Tuple[float, RetryPolicy]:
+        """Adopt, persist, or reject against the root's stored config."""
+        stored = self._load_config()
+        if stored is None:
+            chosen = (
+                float(lease_seconds)
+                if lease_seconds is not None
+                else DEFAULT_LEASE_SECONDS,
+                policy or RetryPolicy(),
+            )
+            stored = self._store_config(*chosen)
+            if stored is None:  # we won the init race
+                return chosen
+        stored_lease, stored_policy = stored
+        if (
+            lease_seconds is not None
+            and float(lease_seconds) != stored_lease
+        ):
+            raise FleetError(
+                f"queue {self.root} was initialised with "
+                f"lease_seconds={stored_lease}; this worker requested "
+                f"{float(lease_seconds)} — every member of a fleet must "
+                "share the queue's lease interval (drop the override to "
+                "adopt the stored value)"
+            )
+        if policy is not None and policy != stored_policy:
+            raise FleetError(
+                f"queue {self.root} was initialised with retry policy "
+                f"{stored_policy}; this worker requested {policy} — "
+                "every member of a fleet must share the queue's retry "
+                "policy (drop the override to adopt the stored value)"
+            )
+        return stored_lease, stored_policy
+
+    def _load_config(self) -> Optional[Tuple[float, RetryPolicy]]:
+        """The root's pinned config, or None when not yet initialised."""
+        if not os.path.exists(self._config_path):
+            return None
+        record = self._read_json(self._config_path)
+        if record is None:
+            raise FleetError(
+                f"queue config {self._config_path} is unreadable or "
+                "corrupt; refusing to guess coordination parameters "
+                "(delete the queue root to start over)"
+            )
+        try:
+            policy_record = record["policy"]
+            return (
+                float(record["lease_seconds"]),
+                RetryPolicy(
+                    max_attempts=int(policy_record["max_attempts"]),
+                    backoff_base=float(policy_record["backoff_base"]),
+                    backoff_cap=float(policy_record["backoff_cap"]),
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FleetError(
+                f"queue config {self._config_path} is malformed "
+                f"({exc}); delete the queue root to start over"
+            ) from exc
+
+    def _store_config(
+        self, lease_seconds: float, policy: RetryPolicy
+    ) -> Optional[Tuple[float, RetryPolicy]]:
+        """Exclusively persist the config; on a lost race, the winner's.
+
+        Written via temp + ``os.link`` (atomic, fails on existing
+        target) rather than ``os.replace`` so two racing initialisers
+        cannot silently clobber each other: the loser re-reads and is
+        validated against the winner's values.
+        """
+        record = {
+            "lease_seconds": float(lease_seconds),
+            "policy": {
+                "max_attempts": policy.max_attempts,
+                "backoff_base": policy.backoff_base,
+                "backoff_cap": policy.backoff_cap,
+            },
+        }
+        fd, tmp = tempfile.mkstemp(prefix=_TMP_PREFIX, dir=self.root)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+            try:
+                os.link(tmp, self._config_path)
+            except FileExistsError:
+                return self._load_config()
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        return None
 
     # ------------------------------------------------------------------
     # Low-level helpers

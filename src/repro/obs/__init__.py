@@ -20,6 +20,7 @@ Usage::
     print(registry.snapshot()["counters"]["trace.frames_sent"])
 """
 
+from .follow import EventTailer, follow_events, render_event_summary
 from .registry import (
     DEFAULT_BATCH_EDGES,
     DEFAULT_CELL_SECONDS_EDGES,
@@ -47,14 +48,17 @@ __all__ = [
     "DEFAULT_CELL_SECONDS_EDGES",
     "DEFAULT_EVENT_EDGES",
     "DEFAULT_LATENCY_EDGES",
+    "EventTailer",
     "Histogram",
     "MetricsRegistry",
     "RUN_SCHEMA",
     "build_run_report",
     "deterministic_view",
+    "follow_events",
     "get_registry",
     "load_run_report",
     "peek_schema",
+    "render_event_summary",
     "render_run_report",
     "using_registry",
     "validate_run_report",

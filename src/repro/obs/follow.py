@@ -1,0 +1,170 @@
+"""Live-tail a ``--metrics-events`` JSONL stream (``report --follow``).
+
+A long sweep (or ``repro serve``) appends phase events to its
+``--metrics-events`` file as it runs; ``repro report --follow PATH``
+watches that file and re-renders an aggregate counter/phase table each
+time new events land, so progress is visible without waiting for the
+final run report.
+
+The tailer is deliberately defensive about the producer: the file may
+not exist yet (the run hasn't reached its first flush), a line may be
+torn mid-write (ignored until completed), and the file may be replaced
+or truncated between runs (state resets and tailing restarts from the
+top).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["EventTailer", "follow_events", "render_event_summary"]
+
+
+class EventTailer:
+    """Incremental JSONL event parser and aggregator.
+
+    Feed raw text chunks in file order; the tailer buffers the trailing
+    partial line, counts events, sums ``phase-end`` durations per
+    ``(experiment, phase)``, and keeps the latest ``counters`` snapshot
+    per experiment (the run loop emits one per finished experiment).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = ""
+        self.events = 0
+        self.skipped = 0
+        #: (experiment, phase) -> [count, total seconds]
+        self.phases: Dict[Tuple[str, str], List[float]] = {}
+        #: experiment -> latest counter snapshot
+        self.counters: Dict[str, Dict[str, float]] = {}
+
+    def feed(self, chunk: str) -> int:
+        """Consume a chunk; returns how many complete events it held."""
+        self._buffer += chunk
+        consumed = 0
+        while True:
+            line, separator, rest = self._buffer.partition("\n")
+            if not separator:
+                break
+            self._buffer = rest
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                self.skipped += 1
+                continue
+            if not isinstance(event, dict):
+                self.skipped += 1
+                continue
+            self._apply(event)
+            consumed += 1
+        return consumed
+
+    def _apply(self, event: Dict[str, object]) -> None:
+        self.events += 1
+        experiment = str(event.get("experiment", "-"))
+        kind = event.get("event")
+        if kind == "phase-end":
+            key = (experiment, str(event.get("phase", "?")))
+            entry = self.phases.setdefault(key, [0, 0.0])
+            entry[0] += 1
+            try:
+                entry[1] += float(event.get("seconds", 0.0))
+            except (TypeError, ValueError):
+                pass
+        elif kind == "counters":
+            counters = event.get("counters")
+            if isinstance(counters, dict):
+                self.counters[experiment] = {
+                    str(name): value for name, value in counters.items()
+                }
+
+    def reset(self) -> None:
+        """Forget everything (the producer truncated/replaced the file)."""
+        self.__init__()
+
+    def render(self) -> str:
+        return render_event_summary(self)
+
+
+def render_event_summary(tailer: EventTailer) -> str:
+    """The re-rendered table: phases first, then counters."""
+    lines = [f"events: {tailer.events}"]
+    if tailer.skipped:
+        lines[0] += f" ({tailer.skipped} unparsable line(s) skipped)"
+    if tailer.phases:
+        width = max(
+            len(f"{experiment}:{phase}")
+            for experiment, phase in tailer.phases
+        )
+        lines.append("phases:")
+        for (experiment, phase), (count, seconds) in sorted(
+            tailer.phases.items()
+        ):
+            label = f"{experiment}:{phase}"
+            lines.append(
+                f"  {label.ljust(width)}  x{int(count):<4d} "
+                f"{seconds:10.3f}s"
+            )
+    if tailer.counters:
+        rows = [
+            (experiment, name, value)
+            for experiment, counters in sorted(tailer.counters.items())
+            for name, value in sorted(counters.items())
+        ]
+        width = max(len(f"{exp}:{name}") for exp, name, _value in rows)
+        lines.append("counters:")
+        for experiment, name, value in rows:
+            label = f"{experiment}:{name}"
+            lines.append(f"  {label.ljust(width)}  {value}")
+    return "\n".join(lines)
+
+
+def follow_events(
+    path: str,
+    *,
+    interval: float = 0.5,
+    max_updates: Optional[int] = None,
+    out: Callable[[str], None] = print,
+    sleep: Callable[[float], None] = time.sleep,
+) -> EventTailer:
+    """Tail ``path``, re-rendering whenever new events are flushed.
+
+    Waits for the file to appear, survives truncation (resets and
+    re-reads), and emits one rendered summary per batch of new events.
+    ``max_updates`` bounds the number of renders (``None`` = follow
+    until interrupted); the tailer is returned for inspection.
+    """
+    tailer = EventTailer()
+    position = 0
+    updates = 0
+    announced = False
+    while max_updates is None or updates < max_updates:
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            if not announced:
+                out(f"(waiting for {path} ...)")
+                announced = True
+            sleep(interval)
+            continue
+        if size < position:
+            # Truncated or replaced: start over.
+            tailer.reset()
+            position = 0
+        if size > position:
+            with open(path, "r", encoding="utf-8") as handle:
+                handle.seek(position)
+                chunk = handle.read()
+                position = handle.tell()
+            if tailer.feed(chunk):
+                out(tailer.render())
+                updates += 1
+                continue
+        sleep(interval)
+    return tailer

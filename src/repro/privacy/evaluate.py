@@ -1,0 +1,405 @@
+"""The ``privacy-suite`` cell experiment: score full configurations.
+
+One cell per ``(slices, key scheme)`` on the 200-node paper deployment
+evaluates everything the metric suite measures — Monte-Carlo
+disclosure with its Equation 11 cross-check, empirical mutual
+information, the slice-count guarantee, coalition exposure — and folds
+them into the composite privacy score.  The resulting records are the
+shared currency of this package: the suite table, the
+``repro-privacy/1`` document, and the :mod:`repro.tune` autotuner all
+consume the same dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..attacks.collusion import coalition_disclosure, random_coalition
+from ..attacks.eavesdropper import LinkEavesdropper
+from ..core.config import IpdaConfig, RoleMode
+from ..core.pipeline import run_lossless_round
+from ..crypto.keys import (
+    GlobalKeyScheme,
+    PairwiseKeyScheme,
+    RandomPredistributionScheme,
+)
+from ..errors import ConfigurationError
+from ..experiments.common import (
+    Cell,
+    CellExperiment,
+    ExperimentTable,
+    cached_deployment,
+    grouped,
+    make_cell,
+    mean_std,
+)
+from ..rng import RngStreams, derive_seed
+from .metrics import (
+    closed_form_crosscheck,
+    empirical_mutual_information,
+    slice_count_guarantee,
+)
+from .score import GUARANTEE_TARGET, composite_privacy_score
+
+__all__ = [
+    "EXPERIMENT",
+    "PAPER_NODE_COUNT",
+    "REFERENCE_PX",
+    "SPEC",
+    "evaluate_privacy",
+    "make_key_scheme",
+    "run",
+]
+
+EXPERIMENT = "privacy-suite"
+
+#: The deployment size the paper's evaluation centres on.
+PAPER_NODE_COUNT = 200
+
+#: Reference link-compromise probability — the midpoint of Figure 5's
+#: x-axis sweep (0.01 .. 0.10).
+REFERENCE_PX = 0.05
+
+#: Key schemes the suite compares by default: the paper's random key
+#: predistribution assumption versus ideal pairwise keys.
+DEFAULT_SCHEMES = ("eg-1000/50", "pairwise")
+
+
+def make_key_scheme(label: str, node_count: int, *, seed: int = 0):
+    """Instantiate a key scheme from its sweep label.
+
+    ``"pairwise"``, ``"global"``, or ``"eg-<pool>/<ring>"`` for
+    Eschenauer-Gligor random predistribution.
+    """
+    if label == "pairwise":
+        return PairwiseKeyScheme(node_count, seed=seed)
+    if label == "global":
+        return GlobalKeyScheme(node_count, seed=seed)
+    if label.startswith("eg-"):
+        try:
+            pool_text, ring_text = label[3:].split("/", 1)
+            pool, ring = int(pool_text), int(ring_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"malformed key-scheme label {label!r}; "
+                "expected eg-<pool>/<ring>"
+            ) from None
+        return RandomPredistributionScheme(
+            node_count, pool_size=pool, ring_size=ring, seed=seed
+        )
+    raise ConfigurationError(
+        f"unknown key scheme {label!r}; "
+        "expected pairwise, global, or eg-<pool>/<ring>"
+    )
+
+
+def evaluate_privacy(
+    topology,
+    config: IpdaConfig,
+    key_scheme,
+    *,
+    px: float = REFERENCE_PX,
+    seed: int = 0,
+    rounds: int = 3,
+    mi_trials: int = 24,
+    disclosure_trials: int = 60,
+    collusion_size: int = 10,
+    collusion_trials: int = 40,
+    levels: int = 8,
+    base_station: int = 0,
+) -> Dict[str, object]:
+    """Run the full metric suite against one configuration.
+
+    Returns a JSON-able record: disclosure (Monte-Carlo + closed-form
+    cross-check), mutual information, the slice-count guarantee,
+    coalition exposure, and the composite score with its decomposition.
+    All randomness derives from ``seed``.
+
+    The structural metrics are averaged over ``rounds`` independent
+    reference rounds (the slice topology a node draws varies a lot
+    between rounds, so a single-round estimate carries round-level
+    variance that no amount of link-sampling removes);
+    ``disclosure_trials`` and ``collusion_trials`` are totals split
+    across the reference rounds.
+    """
+    if rounds < 1:
+        raise ConfigurationError("rounds must be >= 1")
+    disclosure_per_round = max(1, disclosure_trials // rounds)
+    collusion_per_round = max(1, collusion_trials // rounds)
+    guarantee_mins: List[float] = []
+    guarantee_means: List[float] = []
+    guarantee_fractions: List[float] = []
+    counted_in_keys = key_scheme is not None
+    monte_carlo_total = 0.0
+    collusion_total = 0.0
+    guarantee_floor = int(GUARANTEE_TARGET)
+    for index in range(rounds):
+        streams = RngStreams(derive_seed(seed, "privacy-eval", index))
+        reading_rng = streams.get("readings")
+        readings = {
+            node: int(reading_rng.integers(0, levels))
+            for node in range(topology.node_count)
+            if node != base_station
+        }
+        reference_round = run_lossless_round(
+            topology,
+            readings,
+            config,
+            rng=streams.get("round"),
+            base_station=base_station,
+            key_scheme=key_scheme,
+            record_flows=True,
+        )
+
+        guarantee = slice_count_guarantee(
+            reference_round, key_scheme=key_scheme
+        )
+        counted_in_keys = guarantee.counted_in_keys
+        if guarantee.min_cost is not None:
+            guarantee_mins.append(guarantee.min_cost)
+        guarantee_means.append(guarantee.mean_cost)
+        guarantee_fractions.append(
+            guarantee.fraction_at_least(guarantee_floor)
+        )
+        attacker = LinkEavesdropper(px, rng=streams.get("attack"))
+        monte_carlo_total += attacker.monte_carlo_disclosure(
+            topology, reference_round, trials=disclosure_per_round
+        )
+
+        coalition_rng = streams.get("coalition")
+        for _trial in range(collusion_per_round):
+            coalition = random_coalition(
+                topology,
+                collusion_size,
+                coalition_rng,
+                exclude=(base_station,),
+            )
+            collusion_total += coalition_disclosure(
+                reference_round, coalition
+            ).disclosure_rate
+
+    monte_carlo = monte_carlo_total / rounds
+    collusion_rate = collusion_total / (rounds * collusion_per_round)
+    guarantee_mean = sum(guarantee_means) / len(guarantee_means)
+
+    mi = empirical_mutual_information(
+        topology,
+        config,
+        px=px,
+        trials=mi_trials,
+        seed=derive_seed(seed, "privacy-eval", "mi"),
+        levels=levels,
+        key_scheme=key_scheme,
+        base_station=base_station,
+    )
+    crosscheck = closed_form_crosscheck(topology, px, config.slices, mi)
+    score = composite_privacy_score(
+        disclosure_rate=monte_carlo,
+        leakage_fraction=mi.leakage_fraction,
+        breaking_cost=guarantee_mean,
+        collusion_rate=collusion_rate,
+    )
+    return {
+        "px": px,
+        "rounds": rounds,
+        "disclosure": {
+            "monte_carlo": monte_carlo,
+            "closed_form": crosscheck["closed_form"],
+            "mi_implied": crosscheck["mi_implied"],
+            "abs_error": abs(monte_carlo - crosscheck["closed_form"]),
+            "trials": rounds * disclosure_per_round,
+        },
+        "mutual_information": {
+            "bits": mi.bits,
+            "entropy_bits": mi.entropy_bits,
+            "leakage": mi.leakage_fraction,
+            "trials": mi.trials,
+            "samples": mi.samples,
+            "levels": mi.levels,
+        },
+        "slice_guarantee": {
+            "min": min(guarantee_mins) if guarantee_mins else None,
+            "mean": guarantee_mean,
+            "fraction_at_target": (
+                sum(guarantee_fractions) / len(guarantee_fractions)
+            ),
+            "target": guarantee_floor,
+            "counted_in_keys": counted_in_keys,
+        },
+        "collusion": {
+            "size": collusion_size,
+            "trials": rounds * collusion_per_round,
+            "rate": collusion_rate,
+        },
+        "privacy": score.to_jsonable(),
+    }
+
+
+# ----------------------------------------------------------------------
+# The cell experiment
+# ----------------------------------------------------------------------
+def cells(
+    slice_counts: Sequence[int] = (2, 3),
+    *,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    node_count: int = PAPER_NODE_COUNT,
+    px: float = REFERENCE_PX,
+    seed: int = 0,
+    repetitions: int = 1,
+    mi_trials: int = 24,
+    disclosure_trials: int = 60,
+    collusion_size: int = 10,
+    collusion_trials: int = 40,
+) -> List[Cell]:
+    """One cell per ``(slices, scheme, repetition)``."""
+    return [
+        make_cell(
+            EXPERIMENT,
+            (int(slices), str(scheme)),
+            rep,
+            node_count=int(node_count),
+            px=float(px),
+            seed=int(seed),
+            mi_trials=int(mi_trials),
+            disclosure_trials=int(disclosure_trials),
+            collusion_size=int(collusion_size),
+            collusion_trials=int(collusion_trials),
+        )
+        for slices in slice_counts
+        for scheme in schemes
+        for rep in range(repetitions)
+    ]
+
+
+def run_cell(cell: Cell) -> Dict[str, object]:
+    """Evaluate one (slices, scheme) configuration."""
+    slices, scheme_label = cell.key
+    seed = cell.param("seed")
+    node_count = cell.param("node_count")
+    # Same terrain for every configuration of a repetition, so rows
+    # compare protocols rather than random fields.
+    topology = cached_deployment(
+        node_count, seed=derive_seed(seed, EXPERIMENT, "deploy", cell.rep)
+    )
+    key_scheme = make_key_scheme(
+        scheme_label,
+        node_count,
+        seed=derive_seed(seed, EXPERIMENT, "keys", scheme_label, cell.rep),
+    )
+    # The evaluation seed deliberately excludes the scheme label:
+    # schemes at the same slice count then share readings, compromised
+    # links, and coalition draws (common random numbers), so scheme
+    # rows differ only through the protocol, not sampling noise.
+    record = evaluate_privacy(
+        topology,
+        IpdaConfig(slices=slices),
+        key_scheme,
+        px=cell.param("px"),
+        seed=derive_seed(seed, EXPERIMENT, slices, cell.rep),
+        mi_trials=cell.param("mi_trials"),
+        disclosure_trials=cell.param("disclosure_trials"),
+        collusion_size=cell.param("collusion_size"),
+        collusion_trials=cell.param("collusion_trials"),
+    )
+    record["config"] = {
+        "slices": int(slices),
+        "scheme": scheme_label,
+        "node_count": int(node_count),
+    }
+    return record
+
+
+def reduce(
+    cells: Sequence[Cell], results: Sequence[object]
+) -> ExperimentTable:
+    """Average repetitions into one row per (slices, scheme)."""
+    table = ExperimentTable(
+        name="Privacy metric suite",
+        columns=[
+            "slices",
+            "scheme",
+            "privacy_score",
+            "disclosure_mc",
+            "disclosure_eq11",
+            "mi_leakage",
+            "guarantee_min",
+            "collusion_rate",
+        ],
+    )
+    records: List[Dict[str, object]] = []
+    for key, entries in grouped(cells, results).items():
+        slices, scheme = key
+        group = [result for _cell, result in entries]
+        score_mean, _ = mean_std(
+            [r["privacy"]["score"] for r in group]
+        )
+        mc_mean, _ = mean_std(
+            [r["disclosure"]["monte_carlo"] for r in group]
+        )
+        eq11_mean, _ = mean_std(
+            [r["disclosure"]["closed_form"] for r in group]
+        )
+        leak_mean, _ = mean_std(
+            [r["mutual_information"]["leakage"] for r in group]
+        )
+        guarantee_min = min(r["slice_guarantee"]["min"] for r in group)
+        collusion_mean, _ = mean_std(
+            [r["collusion"]["rate"] for r in group]
+        )
+        table.add_row(
+            slices,
+            scheme,
+            score_mean,
+            mc_mean,
+            eq11_mean,
+            leak_mean,
+            guarantee_min,
+            collusion_mean,
+        )
+        records.append(group[0])
+    table.meta["evaluations"] = records
+    table.add_note(
+        "privacy_score = weighted LPS-style decomposition "
+        "(disclosure, mutual information, slice guarantee, collusion)"
+    )
+    table.add_note(
+        "guarantee_min counts distinct link *keys* the eavesdropper "
+        "must capture before any reconstruction way opens"
+    )
+    return table
+
+
+SPEC = CellExperiment(
+    EXPERIMENT, cells, run_cell, reduce,
+    description="Privacy metric suite: composite score, MI leakage, and "
+                "slice guarantees per (l, key scheme)",
+)
+
+
+def run(
+    slice_counts: Sequence[int] = (2, 3),
+    *,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    node_count: int = PAPER_NODE_COUNT,
+    px: float = REFERENCE_PX,
+    seed: int = 0,
+    repetitions: int = 1,
+    mi_trials: int = 24,
+    disclosure_trials: int = 60,
+    jobs: Optional[int] = 1,
+) -> ExperimentTable:
+    """Evaluate the metric suite across (slices, key scheme)."""
+    from ..runner import execute
+
+    return execute(
+        SPEC,
+        jobs=jobs,
+        slice_counts=tuple(int(s) for s in slice_counts),
+        schemes=tuple(str(s) for s in schemes),
+        node_count=node_count,
+        px=px,
+        seed=seed,
+        repetitions=repetitions,
+        mi_trials=mi_trials,
+        disclosure_trials=disclosure_trials,
+    )

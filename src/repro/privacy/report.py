@@ -1,0 +1,286 @@
+"""The ``repro-privacy/1`` document: schema'd privacy/tune reports.
+
+One JSON schema serves both producers: the ``privacy-suite``
+experiment (``kind: "suite"``) and the ``repro tune`` autotuner
+(``kind: "tune"``, adding the target envelope, feasibility, the Pareto
+frontier, and the winning configuration).  ``repro report`` dispatches
+on the schema string, mirroring ``repro-run/1`` and ``repro-serve/1``.
+
+Validation is strict about the auditability contract: every
+evaluation's composite score must equal the weighted sum of its
+decomposition components, so a report can never present a score its
+own breakdown does not explain.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "PRIVACY_SCHEMA",
+    "build_privacy_report",
+    "load_privacy_report",
+    "render_privacy_report",
+    "validate_privacy_report",
+    "write_privacy_report",
+]
+
+#: Report schema identifier; bump when the JSON layout changes.
+PRIVACY_SCHEMA = "repro-privacy/1"
+
+_KINDS = ("suite", "tune")
+
+#: |score - sum(weighted components)| tolerated by validation.
+_AUDIT_TOLERANCE = 1e-9
+
+
+def build_privacy_report(
+    evaluations: Sequence[Dict[str, object]],
+    *,
+    kind: str,
+    targets: Optional[Dict[str, object]] = None,
+    frontier: Optional[Sequence[str]] = None,
+    winner: Optional[str] = None,
+    baseline: Optional[str] = None,
+    dominating: Optional[Sequence[str]] = None,
+    cache: Optional[Dict[str, int]] = None,
+    metrics: Optional[Dict[str, object]] = None,
+    argv: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Assemble a ``repro-privacy/1`` document and validate it."""
+    report: Dict[str, object] = {
+        "schema": PRIVACY_SCHEMA,
+        "kind": kind,
+        "created_utc": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "evaluations": list(evaluations),
+    }
+    if argv is not None:
+        report["argv"] = list(argv)
+    if targets is not None:
+        report["targets"] = dict(targets)
+    if frontier is not None:
+        report["frontier"] = list(frontier)
+    if winner is not None:
+        report["winner"] = winner
+    if baseline is not None:
+        report["baseline"] = baseline
+    if dominating is not None:
+        report["dominating"] = list(dominating)
+    if cache is not None:
+        report["cache"] = dict(cache)
+    if metrics is not None:
+        report["metrics"] = metrics
+    validate_privacy_report(report)
+    return report
+
+
+def _fail(problem: str) -> None:
+    raise ConfigurationError(f"invalid {PRIVACY_SCHEMA} report: {problem}")
+
+
+def _check_evaluation(index: int, entry: object) -> str:
+    if not isinstance(entry, dict):
+        _fail(f"evaluations[{index}] is not an object")
+    config = entry.get("config")
+    if not isinstance(config, dict) or "slices" not in config:
+        _fail(f"evaluations[{index}] lacks a config with slices")
+    label = config.get("label") or "/".join(
+        str(config[k]) for k in sorted(config)
+    )
+    privacy = entry.get("privacy")
+    if not isinstance(privacy, dict):
+        _fail(f"evaluations[{index}] lacks a privacy block")
+    score = privacy.get("score")
+    if not isinstance(score, (int, float)) or not 0.0 <= score <= 1.0:
+        _fail(f"evaluations[{index}] privacy score {score!r} not in [0, 1]")
+    components = privacy.get("components")
+    if not isinstance(components, list) or not components:
+        _fail(f"evaluations[{index}] privacy decomposition missing")
+    total = 0.0
+    for part in components:
+        if not isinstance(part, dict):
+            _fail(f"evaluations[{index}] has a non-object component")
+        for field in ("name", "score", "weight", "weighted"):
+            if field not in part:
+                _fail(
+                    f"evaluations[{index}] component lacks {field!r}"
+                )
+        total += float(part["weighted"])
+    if abs(total - float(score)) > _AUDIT_TOLERANCE:
+        _fail(
+            f"evaluations[{index}] score {score} is not the sum of its "
+            f"weighted components ({total}) — decomposition not auditable"
+        )
+    return str(label)
+
+
+def validate_privacy_report(report: object) -> Dict[str, object]:
+    """Validate schema, kinds, and the auditability contract."""
+    if not isinstance(report, dict):
+        _fail("not a JSON object")
+    if report.get("schema") != PRIVACY_SCHEMA:
+        _fail(f"schema is {report.get('schema')!r}")
+    kind = report.get("kind")
+    if kind not in _KINDS:
+        _fail(f"kind {kind!r} not in {_KINDS}")
+    evaluations = report.get("evaluations")
+    if not isinstance(evaluations, list) or not evaluations:
+        _fail("evaluations must be a non-empty list")
+    labels = [
+        _check_evaluation(index, entry)
+        for index, entry in enumerate(evaluations)
+    ]
+    if kind == "tune":
+        targets = report.get("targets")
+        if not isinstance(targets, dict):
+            _fail("tune reports must carry a targets envelope")
+        for field in ("winner", "baseline"):
+            value = report.get(field)
+            if value is not None and value not in labels:
+                _fail(
+                    f"{field} {value!r} names no evaluated configuration"
+                )
+        for field in ("frontier", "dominating"):
+            value = report.get(field, [])
+            if not isinstance(value, list):
+                _fail(f"{field} must be a list")
+            for label in value:
+                if label not in labels:
+                    _fail(
+                        f"{field} entry {label!r} names no evaluated "
+                        "configuration"
+                    )
+    return report
+
+
+def load_privacy_report(path: str) -> Dict[str, object]:
+    """Load and validate a ``repro-privacy/1`` file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read privacy report {path!r}: {exc}"
+        ) from exc
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"privacy report {path!r} is not valid JSON: {exc}"
+        ) from exc
+    return validate_privacy_report(report)
+
+
+def write_privacy_report(report: Dict[str, object], path: str) -> str:
+    """Validate and write the document (creating parent directories)."""
+    validate_privacy_report(report)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _evaluation_label(entry: Dict[str, object]) -> str:
+    config = entry["config"]
+    label = config.get("label")
+    if label:
+        return str(label)
+    return "/".join(str(config[k]) for k in sorted(config))
+
+
+def _format_targets(targets: Dict[str, object]) -> str:
+    parts: List[str] = []
+    if targets.get("min_privacy") is not None:
+        parts.append(f"privacy >= {targets['min_privacy']:g}")
+    if targets.get("max_overhead") is not None:
+        parts.append(f"overhead <= {targets['max_overhead']:g}x")
+    if targets.get("max_accuracy_loss") is not None:
+        parts.append(
+            f"accuracy loss <= {targets['max_accuracy_loss']:g}"
+        )
+    return ", ".join(parts) if parts else "(unconstrained)"
+
+
+def render_privacy_report(report: Dict[str, object]) -> str:
+    """Human-readable text view of a validated document."""
+    validate_privacy_report(report)
+    lines: List[str] = []
+    kind = report["kind"]
+    title = (
+        "privacy metric suite" if kind == "suite" else "privacy autotuner"
+    )
+    lines.append(f"{PRIVACY_SCHEMA} — {title} ({report['created_utc']})")
+    if report.get("argv"):
+        lines.append("argv: " + " ".join(report["argv"]))
+    if kind == "tune":
+        lines.append(
+            "targets: " + _format_targets(report.get("targets", {}))
+        )
+    frontier = set(report.get("frontier", []))
+    dominating = set(report.get("dominating", []))
+    winner = report.get("winner")
+    baseline = report.get("baseline")
+
+    header = (
+        f"{'configuration':<34} {'privacy':>8} {'overhead':>9} "
+        f"{'accuracy':>9} {'disclose':>9}  flags"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for entry in report["evaluations"]:
+        label = _evaluation_label(entry)
+        privacy = entry["privacy"]["score"]
+        overhead = entry.get("overhead", {}).get("ratio")
+        accuracy = entry.get("accuracy", {}).get("mean")
+        disclosure = entry["disclosure"]["monte_carlo"]
+        flags = []
+        if label == baseline:
+            flags.append("baseline")
+        if label in frontier:
+            flags.append("frontier")
+        if label in dominating:
+            flags.append("dominates")
+        if label == winner:
+            flags.append("WINNER")
+        lines.append(
+            f"{label:<34} {privacy:>8.4f} "
+            f"{('%9.3f' % overhead) if overhead is not None else '       --'} "
+            f"{('%9.4f' % accuracy) if accuracy is not None else '       --'} "
+            f"{disclosure:>9.5f}  {' '.join(flags)}"
+        )
+
+    if kind == "tune":
+        if winner is None:
+            lines.append(
+                "no configuration meets the target envelope"
+            )
+        else:
+            for entry in report["evaluations"]:
+                if _evaluation_label(entry) != winner:
+                    continue
+                lines.append(f"winner: {winner} — score decomposition:")
+                for part in entry["privacy"]["components"]:
+                    lines.append(
+                        f"  {part['name']:<20} raw={part['raw']:<10.5g} "
+                        f"score={part['score']:.4f} "
+                        f"weight={part['weight']:.2f} "
+                        f"-> {part['weighted']:.4f}"
+                    )
+                break
+    if report.get("cache"):
+        cache = report["cache"]
+        lines.append(
+            f"store {cache.get('hits', 0)}/{cache.get('misses', 0)} "
+            "hit/miss"
+        )
+    return "\n".join(lines)

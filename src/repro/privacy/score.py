@@ -1,0 +1,159 @@
+"""Auditable composite privacy score (weighted LPS-style decomposition).
+
+One number per configuration, built the way the LPS pattern builds a
+local-DP risk score: a weighted sum of normalized sub-scores, each in
+``[0, 1]``, with policy-controlled weights and the full decomposition
+reported next to the total so the score is auditable rather than
+oracular.  Higher is more private.
+
+Sub-scores and their normalizers:
+
+* ``disclosure`` — the Monte-Carlo disclosure probability at the
+  reference ``p_x``, scaled against :data:`DISCLOSURE_CEILING`;
+* ``mutual_information`` — normalized leakage ``I(R;V)/H(R)``, scaled
+  against :data:`LEAKAGE_CEILING`;
+* ``slice_guarantee`` — the mean key-counted breaking cost per node
+  (how many distinct link keys the eavesdropper must capture before a
+  reconstruction way opens), scaled against :data:`GUARANTEE_TARGET`
+  breaks;
+* ``collusion`` — the coalition disclosure rate at the reference
+  coalition size, scaled against :data:`COLLUSION_CEILING`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import AnalysisError
+
+__all__ = [
+    "COLLUSION_CEILING",
+    "DEFAULT_WEIGHTS",
+    "DISCLOSURE_CEILING",
+    "GUARANTEE_TARGET",
+    "LEAKAGE_CEILING",
+    "PrivacyScore",
+    "ScoreComponent",
+    "composite_privacy_score",
+]
+
+#: Policy weights of the decomposition (normalized to sum to 1).
+DEFAULT_WEIGHTS: Dict[str, float] = {
+    "disclosure": 0.30,
+    "mutual_information": 0.25,
+    "slice_guarantee": 0.25,
+    "collusion": 0.20,
+}
+
+#: Disclosure probability that scores 0 — twice the worst Figure 5
+#: value (degree 7, l = 2, p_x = 0.1 gives ≈ 0.025 analytically).
+DISCLOSURE_CEILING = 0.05
+#: Normalized leakage that scores 0 (same scale: leakage ≈ disclosure).
+LEAKAGE_CEILING = 0.05
+#: Link/key breaks per node at which the guarantee sub-score saturates.
+GUARANTEE_TARGET = 4.0
+#: Coalition disclosure rate that scores 0.
+COLLUSION_CEILING = 0.25
+
+
+@dataclass(frozen=True)
+class ScoreComponent:
+    """One normalized sub-score of the decomposition."""
+
+    name: str
+    raw: float
+    score: float
+    weight: float
+
+    @property
+    def weighted(self) -> float:
+        return self.weight * self.score
+
+    def to_jsonable(self) -> Dict[str, float]:
+        return {
+            "name": self.name,
+            "raw": self.raw,
+            "score": self.score,
+            "weight": self.weight,
+            "weighted": self.weighted,
+        }
+
+
+@dataclass(frozen=True)
+class PrivacyScore:
+    """The composite score plus its full decomposition."""
+
+    value: float
+    components: Tuple[ScoreComponent, ...]
+
+    def component(self, name: str) -> ScoreComponent:
+        for part in self.components:
+            if part.name == name:
+                return part
+        raise AnalysisError(f"no score component named {name!r}")
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "score": self.value,
+            "components": [part.to_jsonable() for part in self.components],
+        }
+
+
+def _clip01(value: float) -> float:
+    return min(1.0, max(0.0, value))
+
+
+def composite_privacy_score(
+    *,
+    disclosure_rate: float,
+    leakage_fraction: float,
+    breaking_cost: float,
+    collusion_rate: float,
+    weights: Optional[Mapping[str, float]] = None,
+) -> PrivacyScore:
+    """Fold the four metrics into one auditable score.
+
+    ``breaking_cost`` is the *mean* per-node key-counted breaking cost
+    (use the mean rather than the min: boundary nodes with no incoming
+    slices legitimately cost one link under Equation 11, so the min is
+    1 for every scheme and carries no signal).  ``weights`` overrides
+    :data:`DEFAULT_WEIGHTS` (missing keys default to 0); they are
+    normalized internally, so only ratios matter.
+    """
+    table = dict(weights) if weights is not None else dict(DEFAULT_WEIGHTS)
+    unknown = set(table) - set(DEFAULT_WEIGHTS)
+    if unknown:
+        raise AnalysisError(f"unknown score weights: {sorted(unknown)}")
+    if any(value < 0 for value in table.values()):
+        raise AnalysisError("score weights must be >= 0")
+    total_weight = sum(table.values())
+    if total_weight <= 0:
+        raise AnalysisError("score weights must not all be zero")
+
+    normalized = {
+        "disclosure": 1.0 - _clip01(disclosure_rate / DISCLOSURE_CEILING),
+        "mutual_information": 1.0
+        - _clip01(leakage_fraction / LEAKAGE_CEILING),
+        "slice_guarantee": _clip01(breaking_cost / GUARANTEE_TARGET),
+        "collusion": 1.0 - _clip01(collusion_rate / COLLUSION_CEILING),
+    }
+    raw = {
+        "disclosure": disclosure_rate,
+        "mutual_information": leakage_fraction,
+        "slice_guarantee": breaking_cost,
+        "collusion": collusion_rate,
+    }
+    components = tuple(
+        ScoreComponent(
+            name=name,
+            raw=float(raw[name]),
+            score=normalized[name],
+            weight=table.get(name, 0.0) / total_weight,
+        )
+        for name in DEFAULT_WEIGHTS
+    )
+    return PrivacyScore(
+        value=sum(part.weighted for part in components),
+        components=components,
+    )

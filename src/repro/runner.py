@@ -77,6 +77,22 @@ __all__ = [
 #: before the package registry so a re-registration shadows it.
 _EXTRA_SPECS: Dict[str, CellExperiment] = {}
 
+#: Specs shipped by subsystem packages outside ``repro.experiments``
+#: (privacy metric suite, autotuner).  Resolved lazily by module path
+#: so neither package has to import the other at module load, keeping
+#: the import graph acyclic for any entry point.
+_SUBSYSTEM_SPEC_MODULES: Dict[str, str] = {
+    "privacy-suite": "repro.privacy.evaluate",
+    "tune-eval": "repro.tune.evaluate",
+}
+
+
+def _subsystem_spec(name: str) -> CellExperiment:
+    import importlib
+
+    module = importlib.import_module(_SUBSYSTEM_SPEC_MODULES[name])
+    return module.SPEC
+
 #: Store used when ``execute`` is called with ``cache=None``; installed
 #: by the CLI's ``--cache``/``--cache-dir`` flags (see
 #: :func:`set_default_cache`).  ``None`` means caching off.
@@ -121,20 +137,23 @@ def get_spec(name: str) -> CellExperiment:
         return spec
     from .experiments import SPECS
 
-    try:
+    if name in SPECS:
         return SPECS[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown experiment {name!r}; registered: "
-            f"{sorted(set(SPECS) | set(_EXTRA_SPECS))}"
-        ) from None
+    if name in _SUBSYSTEM_SPEC_MODULES:
+        return _subsystem_spec(name)
+    raise ConfigurationError(
+        f"unknown experiment {name!r}; registered: "
+        f"{available_experiments()}"
+    )
 
 
 def available_experiments() -> List[str]:
     """Names of every registered cell experiment."""
     from .experiments import SPECS
 
-    return sorted(set(SPECS) | set(_EXTRA_SPECS))
+    return sorted(
+        set(SPECS) | set(_EXTRA_SPECS) | set(_SUBSYSTEM_SPEC_MODULES)
+    )
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:

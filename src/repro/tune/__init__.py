@@ -1,0 +1,35 @@
+"""Configuration autotuner: search the privacy/overhead/accuracy envelope.
+
+``repro tune`` searches the protocol's tunables — slice count ``l``,
+acceptance threshold ``Th``, key-predistribution parameters, and tree
+fan-out (the adaptive aggregator budget) — for the cheapest
+configuration meeting a user-specified target envelope (minimum
+composite privacy score, maximum overhead ratio, maximum accuracy
+loss).  Every candidate is evaluated by the ``tune-eval`` cell
+experiment, so sweeps shard over the process pool or fleet queue and
+are digest-keyed through the CAS store: a warm re-run does zero
+evaluation work, and an interrupted sweep resumes where it stopped.
+"""
+
+from .space import (
+    CandidateConfig,
+    TuneTargets,
+    PAPER_BASELINE,
+    default_grid,
+    quick_grid,
+)
+from .evaluate import SPEC
+from .search import TuneOutcome, autotune, dominates, pareto_frontier
+
+__all__ = [
+    "CandidateConfig",
+    "PAPER_BASELINE",
+    "SPEC",
+    "TuneOutcome",
+    "TuneTargets",
+    "autotune",
+    "default_grid",
+    "dominates",
+    "pareto_frontier",
+    "quick_grid",
+]

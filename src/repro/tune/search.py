@@ -1,0 +1,234 @@
+"""Grid search, Pareto frontier, and winner selection for ``repro tune``.
+
+:func:`autotune` evaluates a candidate grid through the runner (pool or
+fleet, CAS-memoised), filters it against the
+:class:`~repro.tune.space.TuneTargets` envelope, computes the Pareto
+frontier on (privacy ↑, overhead ↓, accuracy ↑), flags every candidate
+that *dominates* the paper baseline, and picks the cheapest feasible
+configuration (fewest measured bytes per node, deterministic
+tie-breaks).  Progress is instrumented with ``tune.*`` counters and
+phase timers through :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..experiments.common import ExperimentTable
+from ..obs import get_registry
+from .space import (
+    CandidateConfig,
+    PAPER_BASELINE,
+    TuneTargets,
+    default_grid,
+    quick_grid,
+)
+
+__all__ = ["TuneOutcome", "autotune", "dominates", "pareto_frontier"]
+
+
+def _axes(evaluation: Dict[str, object]) -> Tuple[float, float, float]:
+    """(privacy, overhead, accuracy) of one evaluation record."""
+    return (
+        float(evaluation["privacy"]["score"]),
+        float(evaluation["overhead"]["ratio"]),
+        float(evaluation["accuracy"]["mean"]),
+    )
+
+
+def dominates(
+    contender: Dict[str, object], incumbent: Dict[str, object]
+) -> bool:
+    """Equal or better on every axis, strictly better on at least one."""
+    privacy_a, overhead_a, accuracy_a = _axes(contender)
+    privacy_b, overhead_b, accuracy_b = _axes(incumbent)
+    if (
+        privacy_a < privacy_b
+        or overhead_a > overhead_b
+        or accuracy_a < accuracy_b
+    ):
+        return False
+    return (
+        privacy_a > privacy_b
+        or overhead_a < overhead_b
+        or accuracy_a > accuracy_b
+    )
+
+
+def pareto_frontier(
+    evaluations: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Non-dominated evaluations, in their original order."""
+    return [
+        entry
+        for entry in evaluations
+        if not any(
+            dominates(other, entry)
+            for other in evaluations
+            if other is not entry
+        )
+    ]
+
+
+def _cheapest(
+    evaluations: Sequence[Dict[str, object]],
+) -> Optional[Dict[str, object]]:
+    """Deterministic 'cheapest' pick: bytes, ratio, then quality."""
+    if not evaluations:
+        return None
+    return min(
+        evaluations,
+        key=lambda entry: (
+            entry["overhead"]["bytes_per_node"],
+            entry["overhead"]["ratio"],
+            -entry["privacy"]["score"],
+            -entry["accuracy"]["mean"],
+            entry["config"]["slices"],
+            entry["config"]["threshold"],
+            entry["config"]["scheme"],
+            entry["config"]["role"],
+        ),
+    )
+
+
+@dataclass
+class TuneOutcome:
+    """Everything one autotuner run decided, plus its evidence."""
+
+    table: ExperimentTable
+    targets: TuneTargets
+    evaluations: List[Dict[str, object]]
+    feasible: List[str]
+    frontier: List[str]
+    dominating: List[str]
+    winner: Optional[str]
+    baseline: Optional[str]
+    cache_hits: int = 0
+    cache_misses: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    def evaluation(self, label: str) -> Dict[str, object]:
+        for entry in self.evaluations:
+            if entry["config"]["label"] == label:
+                return entry
+        raise ConfigurationError(f"no evaluation labelled {label!r}")
+
+
+def _metric(name: str, amount: float = 1) -> None:
+    registry = get_registry()
+    if registry is not None:
+        registry.inc(name, amount)
+
+
+def _phase(name: str):
+    registry = get_registry()
+    if registry is None:
+        return nullcontext()
+    return registry.phase_timer(name)
+
+
+def autotune(
+    *,
+    targets: Optional[TuneTargets] = None,
+    grid: Optional[Sequence[CandidateConfig]] = None,
+    quick: bool = False,
+    baseline: Optional[CandidateConfig] = PAPER_BASELINE,
+    node_count: int = 200,
+    seed: int = 0,
+    repetitions: int = 1,
+    jobs: Optional[int] = 1,
+    cache: object = None,
+    queue: object = None,
+    **evaluation_kwargs: object,
+) -> TuneOutcome:
+    """Search the grid for the cheapest configuration meeting ``targets``.
+
+    ``grid`` defaults to :func:`~repro.tune.space.default_grid` (or the
+    4-point :func:`~repro.tune.space.quick_grid` with ``quick=True``);
+    the ``baseline`` is appended when missing so dominance is always
+    measured against an evaluated configuration.  ``cache``/``queue``
+    pass through to :func:`repro.runner.execute`, which is what makes
+    sweeps incremental and fleet-shardable.  Extra keyword arguments
+    (``mi_trials``, ``accuracy_trials``, ...) reach the ``tune-eval``
+    cells.
+    """
+    from ..runner import execute
+    from .evaluate import SPEC
+
+    envelope = targets if targets is not None else TuneTargets()
+    if grid is None:
+        candidates = list(quick_grid() if quick else default_grid())
+    else:
+        candidates = list(grid)
+    labels = {candidate.label for candidate in candidates}
+    if len(labels) != len(candidates):
+        raise ConfigurationError("tune grid contains duplicate configs")
+    if baseline is not None and baseline.label not in labels:
+        candidates.append(baseline)
+    if quick:
+        evaluation_kwargs.setdefault("mi_trials", 8)
+        evaluation_kwargs.setdefault("disclosure_trials", 16)
+        evaluation_kwargs.setdefault("collusion_trials", 10)
+        evaluation_kwargs.setdefault("accuracy_trials", 4)
+
+    _metric("tune.runs")
+    _metric("tune.configs", len(candidates))
+    with _phase("tune.evaluate"):
+        table = execute(
+            SPEC,
+            jobs=jobs,
+            cache=cache,
+            queue=queue,
+            grid=tuple(candidate.key() for candidate in candidates),
+            node_count=node_count,
+            seed=seed,
+            repetitions=repetitions,
+            **evaluation_kwargs,
+        )
+
+    with _phase("tune.select"):
+        evaluations = table.meta["evaluations"]
+        feasible = [
+            entry for entry in evaluations if envelope.is_met(entry)
+        ]
+        frontier = pareto_frontier(evaluations)
+        baseline_entry = None
+        if baseline is not None:
+            baseline_entry = next(
+                entry
+                for entry in evaluations
+                if entry["config"]["label"] == baseline.label
+            )
+        dominating = [
+            entry
+            for entry in evaluations
+            if baseline_entry is not None
+            and entry is not baseline_entry
+            and dominates(entry, baseline_entry)
+        ]
+        winner = _cheapest(feasible)
+
+    _metric("tune.feasible", len(feasible))
+    _metric("tune.frontier", len(frontier))
+    _metric("tune.dominating", len(dominating))
+    if winner is not None:
+        _metric("tune.winners")
+
+    def names(entries):
+        return [entry["config"]["label"] for entry in entries]
+
+    return TuneOutcome(
+        table=table,
+        targets=envelope,
+        evaluations=list(evaluations),
+        feasible=names(feasible),
+        frontier=names(frontier),
+        dominating=names(dominating),
+        winner=winner["config"]["label"] if winner else None,
+        baseline=baseline.label if baseline is not None else None,
+        cache_hits=int(table.meta.get("cache_hits", 0)),
+        cache_misses=int(table.meta.get("cache_misses", 0)),
+    )

@@ -1,0 +1,198 @@
+"""The autotuner's search space and target envelope.
+
+A candidate configuration is the 4-tuple the paper leaves tunable:
+slice count ``l``, acceptance threshold ``Th``, the key scheme (ideal
+pairwise keys or Eschenauer-Gligor predistribution with a given
+pool/ring), and the Phase-I role strategy (the paper's fixed
+``p = 0.5`` election, or the adaptive Equation 1 with fan-out budget
+``k``).  Candidates serialize to plain tuples so they can ride inside
+cells and digest canonically.
+
+The **baseline** is the paper's default operating point — ``l = 2``,
+``Th = 5``, fixed roles — under the paper's own key-distribution
+assumption: Section II establishes secure links via random key
+predistribution, which is why a per-link compromise probability
+``p_x`` exists at all.  The tuner searches for configurations
+dominating that point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.config import IpdaConfig, RoleMode
+from ..errors import ConfigurationError
+
+__all__ = [
+    "CandidateConfig",
+    "PAPER_BASELINE",
+    "TuneTargets",
+    "default_grid",
+    "grid_from_keys",
+    "quick_grid",
+]
+
+
+@dataclass(frozen=True)
+class CandidateConfig:
+    """One point of the search space."""
+
+    slices: int
+    threshold: int
+    scheme: str
+    role: str = "fixed"
+
+    def __post_init__(self):
+        if self.slices < 1:
+            raise ConfigurationError("slices must be >= 1")
+        if self.threshold < 0:
+            raise ConfigurationError("threshold must be >= 0")
+        self.fanout()  # validates the role label eagerly
+
+    def fanout(self) -> Optional[int]:
+        """The adaptive aggregator budget, or None for fixed roles."""
+        if self.role == "fixed":
+            return None
+        if self.role.startswith("adaptive-"):
+            try:
+                budget = int(self.role[len("adaptive-"):])
+            except ValueError:
+                budget = 0
+            if budget >= 1:
+                return budget
+        raise ConfigurationError(
+            f"unknown role strategy {self.role!r}; "
+            "expected fixed or adaptive-<k>"
+        )
+
+    @property
+    def label(self) -> str:
+        return (
+            f"l{self.slices}-th{self.threshold}-{self.scheme}-{self.role}"
+        )
+
+    def key(self) -> Tuple[int, int, str, str]:
+        """The cell-key encoding (inverse of :meth:`from_key`)."""
+        return (self.slices, self.threshold, self.scheme, self.role)
+
+    @classmethod
+    def from_key(cls, key: Sequence[object]) -> "CandidateConfig":
+        slices, threshold, scheme, role = key
+        return cls(
+            slices=int(slices),
+            threshold=int(threshold),
+            scheme=str(scheme),
+            role=str(role),
+        )
+
+    def ipda_config(self) -> IpdaConfig:
+        fanout = self.fanout()
+        if fanout is None:
+            return IpdaConfig(
+                slices=self.slices,
+                threshold=self.threshold,
+                role_mode=RoleMode.FIXED,
+            )
+        return IpdaConfig(
+            slices=self.slices,
+            threshold=self.threshold,
+            role_mode=RoleMode.ADAPTIVE,
+            aggregator_budget=fanout,
+        )
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "slices": self.slices,
+            "threshold": self.threshold,
+            "scheme": self.scheme,
+            "role": self.role,
+        }
+
+
+#: The paper's default operating point (see module docstring).
+PAPER_BASELINE = CandidateConfig(
+    slices=2, threshold=5, scheme="eg-1000/50", role="fixed"
+)
+
+
+def default_grid() -> Tuple[CandidateConfig, ...]:
+    """The full search grid (36 configurations, baseline included)."""
+    return tuple(
+        CandidateConfig(slices, threshold, scheme, role)
+        for slices in (2, 3)
+        for threshold in (2, 5, 10)
+        for scheme in ("eg-1000/50", "eg-1000/120", "pairwise")
+        for role in ("fixed", "adaptive-4")
+    )
+
+
+def quick_grid() -> Tuple[CandidateConfig, ...]:
+    """A 4-configuration smoke grid (baseline included)."""
+    return tuple(
+        CandidateConfig(slices, 5, scheme, "fixed")
+        for slices in (2, 3)
+        for scheme in ("eg-1000/50", "pairwise")
+    )
+
+
+def grid_from_keys(
+    keys: Sequence[Sequence[object]],
+) -> Tuple[CandidateConfig, ...]:
+    """Rebuild a grid from cell-key tuples, rejecting duplicates."""
+    grid = tuple(CandidateConfig.from_key(key) for key in keys)
+    labels = [config.label for config in grid]
+    if len(set(labels)) != len(labels):
+        raise ConfigurationError("tune grid contains duplicate configs")
+    return grid
+
+
+@dataclass(frozen=True)
+class TuneTargets:
+    """The feasibility envelope a winning configuration must meet.
+
+    ``max_overhead`` bounds the per-node message overhead ratio
+    relative to TAG (the paper's ``(2l+1)/2`` axis); ``None`` leaves an
+    axis unconstrained.
+    """
+
+    min_privacy: float = 0.0
+    max_overhead: Optional[float] = None
+    max_accuracy_loss: Optional[float] = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.min_privacy <= 1.0:
+            raise ConfigurationError(
+                "min_privacy must be in [0, 1]"
+            )
+        if self.max_overhead is not None and self.max_overhead <= 0:
+            raise ConfigurationError("max_overhead must be > 0")
+        if self.max_accuracy_loss is not None and not (
+            0.0 <= self.max_accuracy_loss <= 1.0
+        ):
+            raise ConfigurationError(
+                "max_accuracy_loss must be in [0, 1]"
+            )
+
+    def is_met(self, evaluation: Dict[str, object]) -> bool:
+        """Does one ``tune-eval`` record satisfy the envelope?"""
+        if evaluation["privacy"]["score"] < self.min_privacy:
+            return False
+        if (
+            self.max_overhead is not None
+            and evaluation["overhead"]["ratio"] > self.max_overhead
+        ):
+            return False
+        if self.max_accuracy_loss is not None:
+            loss = 1.0 - evaluation["accuracy"]["mean"]
+            if loss > self.max_accuracy_loss:
+                return False
+        return True
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "min_privacy": self.min_privacy,
+            "max_overhead": self.max_overhead,
+            "max_accuracy_loss": self.max_accuracy_loss,
+        }

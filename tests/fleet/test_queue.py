@@ -359,3 +359,66 @@ class TestStatus:
         queue = FleetQueue(tmp_path / "q2")
         with pytest.raises(ConfigurationError):
             list(queue.tickets("recover"))
+
+
+class TestPinnedConfig:
+    """The queue root pins lease/retry config for the whole fleet."""
+
+    def test_first_construction_writes_config(self, tmp_path):
+        root = tmp_path / "q"
+        FleetQueue(root, lease_seconds=7.5,
+                   policy=RetryPolicy(max_attempts=5))
+        record = json.loads((root / "config.json").read_text())
+        assert record["lease_seconds"] == 7.5
+        assert record["policy"]["max_attempts"] == 5
+
+    def test_defaults_adopt_stored_values(self, tmp_path):
+        root = tmp_path / "q"
+        policy = RetryPolicy(max_attempts=5, backoff_base=0.1)
+        FleetQueue(root, lease_seconds=7.5, policy=policy)
+        follower = FleetQueue(root)
+        assert follower.lease_seconds == 7.5
+        assert follower.policy == policy
+
+    def test_matching_explicit_values_accepted(self, tmp_path):
+        root = tmp_path / "q"
+        policy = RetryPolicy(max_attempts=5)
+        FleetQueue(root, lease_seconds=7.5, policy=policy)
+        worker = FleetQueue(root, lease_seconds=7.5,
+                            policy=RetryPolicy(max_attempts=5))
+        assert worker.lease_seconds == 7.5
+
+    def test_mismatched_lease_rejected(self, tmp_path):
+        root = tmp_path / "q"
+        FleetQueue(root, lease_seconds=7.5)
+        with pytest.raises(FleetError, match="lease"):
+            FleetQueue(root, lease_seconds=30.0)
+
+    def test_mismatched_policy_rejected(self, tmp_path):
+        root = tmp_path / "q"
+        FleetQueue(root, policy=RetryPolicy(max_attempts=3))
+        with pytest.raises(FleetError, match="retry policy"):
+            FleetQueue(root, policy=RetryPolicy(max_attempts=9))
+
+    def test_corrupt_config_refuses_to_guess(self, tmp_path):
+        root = tmp_path / "q"
+        FleetQueue(root)
+        (root / "config.json").write_text("{broken", encoding="utf-8")
+        with pytest.raises(FleetError, match="corrupt"):
+            FleetQueue(root)
+
+    def test_malformed_config_names_the_file(self, tmp_path):
+        root = tmp_path / "q"
+        FleetQueue(root)
+        (root / "config.json").write_text(
+            json.dumps({"lease_seconds": 5.0}), encoding="utf-8"
+        )
+        with pytest.raises(FleetError, match="malformed"):
+            FleetQueue(root)
+
+    def test_default_lease_is_persisted(self, tmp_path):
+        root = tmp_path / "q"
+        queue = FleetQueue(root)
+        record = json.loads((root / "config.json").read_text())
+        assert record["lease_seconds"] == queue.lease_seconds
+        assert FleetQueue(root).lease_seconds == queue.lease_seconds

@@ -1,0 +1,191 @@
+"""Tests for live event tailing (repro.obs.follow)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.obs import EventTailer, follow_events, render_event_summary
+
+
+def _line(**event):
+    return json.dumps(event) + "\n"
+
+
+class TestEventTailer:
+    def test_counts_and_aggregates_phase_events(self):
+        tailer = EventTailer()
+        consumed = tailer.feed(
+            _line(event="phase-start", experiment="fig5", phase="cells")
+            + _line(
+                event="phase-end",
+                experiment="fig5",
+                phase="cells",
+                seconds=1.5,
+            )
+            + _line(
+                event="phase-end",
+                experiment="fig5",
+                phase="cells",
+                seconds=0.5,
+            )
+        )
+        assert consumed == 3
+        assert tailer.events == 3
+        assert tailer.phases[("fig5", "cells")] == [2, 2.0]
+
+    def test_buffers_torn_lines_across_feeds(self):
+        tailer = EventTailer()
+        whole = _line(event="phase-end", experiment="x", phase="p",
+                      seconds=1.0)
+        assert tailer.feed(whole[:10]) == 0
+        assert tailer.events == 0
+        assert tailer.feed(whole[10:]) == 1
+        assert tailer.phases[("x", "p")] == [1, 1.0]
+
+    def test_unparsable_lines_are_counted_not_fatal(self):
+        tailer = EventTailer()
+        consumed = tailer.feed(
+            "{broken json\n"
+            + "[1, 2, 3]\n"
+            + _line(event="phase-end", experiment="x", phase="p")
+        )
+        assert consumed == 1
+        assert tailer.skipped == 2
+        assert "2 unparsable line(s) skipped" in tailer.render()
+
+    def test_keeps_latest_counters_per_experiment(self):
+        tailer = EventTailer()
+        tailer.feed(
+            _line(
+                event="counters",
+                experiment="fig5",
+                counters={"trace.frames_sent": 1},
+            )
+            + _line(
+                event="counters",
+                experiment="fig5",
+                counters={"trace.frames_sent": 5},
+            )
+        )
+        assert tailer.counters["fig5"] == {"trace.frames_sent": 5}
+
+    def test_reset_forgets_everything(self):
+        tailer = EventTailer()
+        tailer.feed(_line(event="phase-end", experiment="x", phase="p"))
+        tailer.reset()
+        assert tailer.events == 0
+        assert tailer.phases == {}
+        assert tailer.counters == {}
+
+    def test_render_includes_phases_and_counters(self):
+        tailer = EventTailer()
+        tailer.feed(
+            _line(
+                event="phase-end",
+                experiment="fig5",
+                phase="reduce",
+                seconds=0.25,
+            )
+            + _line(
+                event="counters",
+                experiment="fig5",
+                counters={"cells.evaluated": 8},
+            )
+        )
+        text = render_event_summary(tailer)
+        assert "events: 2" in text
+        assert "fig5:reduce" in text
+        assert "fig5:cells.evaluated" in text
+
+
+class TestFollowEvents:
+    def test_renders_once_per_batch(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            _line(event="phase-end", experiment="a", phase="p",
+                  seconds=1.0)
+        )
+        outputs = []
+
+        def fake_sleep(_interval):
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(
+                    _line(event="phase-end", experiment="b", phase="q",
+                          seconds=2.0)
+                )
+
+        tailer = follow_events(
+            str(path),
+            max_updates=2,
+            out=outputs.append,
+            sleep=fake_sleep,
+        )
+        assert len(outputs) == 2
+        assert tailer.events == 2
+        assert ("b", "q") in tailer.phases
+
+    def test_waits_for_missing_file(self, tmp_path):
+        path = tmp_path / "later.jsonl"
+        outputs = []
+
+        def fake_sleep(_interval):
+            if not path.exists():
+                path.write_text(
+                    _line(event="phase-end", experiment="a", phase="p")
+                )
+
+        follow_events(
+            str(path), max_updates=1, out=outputs.append,
+            sleep=fake_sleep,
+        )
+        assert any("waiting for" in text for text in outputs)
+        assert any("events: 1" in text for text in outputs)
+
+    def test_truncation_resets_state(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            _line(event="phase-end", experiment="a", phase="p")
+            + _line(event="phase-end", experiment="a", phase="p")
+        )
+        outputs = []
+
+        def fake_sleep(_interval):
+            # Replace with a shorter file: the tailer must start over.
+            path.write_text(
+                _line(event="phase-end", experiment="z", phase="r")
+            )
+
+        tailer = follow_events(
+            str(path),
+            max_updates=2,
+            out=outputs.append,
+            sleep=fake_sleep,
+        )
+        assert tailer.events == 1
+        assert set(tailer.phases) == {("z", "r")}
+
+
+class TestReportFollowCommand:
+    def test_report_follow_renders_existing_events(self, tmp_path,
+                                                   capsys):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            _line(
+                event="phase-end",
+                experiment="privacy-suite",
+                phase="cells",
+                seconds=0.5,
+            )
+            + _line(
+                event="counters",
+                experiment="privacy-suite",
+                counters={"cells.evaluated": 4},
+            )
+        )
+        assert main(
+            ["report", str(path), "--follow", "--max-updates", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "events: 2" in out
+        assert "privacy-suite:cells" in out

@@ -1,0 +1,1 @@
+"""Tests for the privacy metric suite (repro.privacy)."""

@@ -1,0 +1,124 @@
+"""Tests for the privacy-suite experiment and evaluate_privacy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import IpdaConfig
+from repro.errors import ConfigurationError
+from repro.net.topology import random_deployment
+from repro.privacy import evaluate_privacy, make_key_scheme
+from repro.privacy import evaluate as suite
+from repro.runner import available_experiments, get_spec
+
+
+NODES = 160
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return random_deployment(NODES, seed=23)
+
+
+def _evaluate(topology, **overrides):
+    # px well above the paper's reference value: on a small test
+    # topology the attacker must actually see some links, or every
+    # seed degenerates to the same all-zero measurement.
+    kwargs = dict(
+        px=0.3,
+        seed=4,
+        rounds=2,
+        mi_trials=3,
+        disclosure_trials=6,
+        collusion_size=5,
+        collusion_trials=4,
+    )
+    kwargs.update(overrides)
+    return evaluate_privacy(
+        topology,
+        IpdaConfig(slices=2),
+        make_key_scheme("pairwise", topology.node_count, seed=1),
+        **kwargs,
+    )
+
+
+class TestMakeKeyScheme:
+    def test_known_labels(self):
+        assert make_key_scheme("pairwise", 10) is not None
+        assert make_key_scheme("global", 10) is not None
+        assert make_key_scheme("eg-100/10", 10) is not None
+
+    def test_malformed_eg_label(self):
+        with pytest.raises(ConfigurationError):
+            make_key_scheme("eg-100", 10)
+
+    def test_unknown_label(self):
+        with pytest.raises(ConfigurationError):
+            make_key_scheme("quantum", 10)
+
+
+class TestEvaluatePrivacy:
+    def test_rounds_must_be_positive(self, topology):
+        with pytest.raises(ConfigurationError):
+            _evaluate(topology, rounds=0)
+
+    def test_deterministic_given_seed(self, topology):
+        assert _evaluate(topology) == _evaluate(topology)
+
+    def test_seed_changes_measurements(self, topology):
+        assert _evaluate(topology, seed=4) != _evaluate(topology, seed=5)
+
+    def test_record_structure(self, topology):
+        record = _evaluate(topology)
+        assert set(record) >= {
+            "px",
+            "rounds",
+            "disclosure",
+            "mutual_information",
+            "slice_guarantee",
+            "collusion",
+            "privacy",
+        }
+        assert record["rounds"] == 2
+        assert 0.0 <= record["privacy"]["score"] <= 1.0
+        # Totals are split across the reference rounds.
+        assert record["disclosure"]["trials"] == 2 * (6 // 2)
+        assert record["collusion"]["trials"] == 2 * (4 // 2)
+        assert record["slice_guarantee"]["counted_in_keys"]
+        # Nodes that sent and received no slices legitimately cost 0
+        # links (the broadcast alone reveals the reading).
+        assert record["slice_guarantee"]["min"] >= 0
+        assert (
+            record["slice_guarantee"]["mean"]
+            >= record["slice_guarantee"]["min"]
+        )
+
+
+class TestSuiteExperiment:
+    def test_registered_with_description(self):
+        names = available_experiments()
+        assert "privacy-suite" in names
+        assert "tune-eval" in names
+        spec = get_spec("privacy-suite")
+        assert spec.description
+        assert spec is suite.SPEC
+
+    def test_run_produces_one_row_per_configuration(self):
+        table = suite.run(
+            slice_counts=(2,),
+            schemes=("pairwise",),
+            node_count=NODES,
+            seed=9,
+            mi_trials=2,
+            disclosure_trials=4,
+            jobs=1,
+        )
+        assert len(table.rows) == 1
+        row = dict(zip(table.columns, table.rows[0]))
+        assert row["slices"] == 2
+        assert row["scheme"] == "pairwise"
+        assert 0.0 <= row["privacy_score"] <= 1.0
+        assert table.meta["evaluations"]
+        assert table.meta["evaluations"][0]["config"]["scheme"] == (
+            "pairwise"
+        )

@@ -1,0 +1,132 @@
+"""Tests for the indistinguishability metrics (repro.privacy.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import IpdaConfig
+from repro.core.pipeline import run_lossless_round
+from repro.errors import AnalysisError
+from repro.net.topology import random_deployment
+from repro.privacy.evaluate import make_key_scheme
+from repro.privacy.metrics import (
+    closed_form_crosscheck,
+    empirical_mutual_information,
+    node_breaking_cost,
+    slice_count_guarantee,
+)
+from repro.rng import RngStreams, derive_seed
+
+
+NODES = 60
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return random_deployment(NODES, seed=11)
+
+
+def _recorded_round(topology, *, slices=2, seed=0, key_scheme=None):
+    streams = RngStreams(derive_seed(seed, "metrics-test"))
+    readings = {i: 3 for i in range(1, topology.node_count)}
+    return run_lossless_round(
+        topology,
+        readings,
+        IpdaConfig(slices=slices),
+        rng=streams.get("round"),
+        key_scheme=key_scheme,
+        record_flows=True,
+    )
+
+
+class TestSliceGuarantee:
+    def test_requires_recorded_flows(self, topology):
+        streams = RngStreams(derive_seed(0, "metrics-test"))
+        readings = {i: 3 for i in range(1, topology.node_count)}
+        bare = run_lossless_round(
+            topology, readings, IpdaConfig(slices=2),
+            rng=streams.get("round"),
+        )
+        with pytest.raises(AnalysisError):
+            slice_count_guarantee(bare)
+
+    def test_costs_positive_and_link_counted_by_default(self, topology):
+        guarantee = slice_count_guarantee(_recorded_round(topology))
+        assert guarantee.per_node
+        assert all(cost >= 1 for cost in guarantee.per_node.values())
+        assert not guarantee.counted_in_keys
+        assert guarantee.min_cost >= 1
+        assert guarantee.mean_cost >= guarantee.min_cost
+
+    def test_key_counting_never_exceeds_link_counting(self, topology):
+        """One captured ring key can open several links at once."""
+        round_result = _recorded_round(topology)
+        links = slice_count_guarantee(round_result)
+        scheme = make_key_scheme("eg-1000/50", topology.node_count, seed=3)
+        keys = slice_count_guarantee(round_result, key_scheme=scheme)
+        assert keys.counted_in_keys
+        assert set(keys.per_node) == set(links.per_node)
+        for node, cost in keys.per_node.items():
+            assert cost <= links.per_node[node]
+
+    def test_fraction_at_least_is_a_survival_curve(self, topology):
+        guarantee = slice_count_guarantee(_recorded_round(topology))
+        assert guarantee.fraction_at_least(1) == 1.0
+        previous = 1.0
+        for k in range(2, 8):
+            current = guarantee.fraction_at_least(k)
+            assert 0.0 <= current <= previous
+            previous = current
+
+    def test_node_breaking_cost_matches_guarantee(self, topology):
+        round_result = _recorded_round(topology)
+        guarantee = slice_count_guarantee(round_result)
+        node, expected = next(iter(guarantee.per_node.items()))
+        flows = round_result.flows[node]
+        assert node_breaking_cost(node, flows) == expected
+
+
+class TestMutualInformation:
+    def test_rejects_bad_arguments(self, topology):
+        config = IpdaConfig(slices=2)
+        with pytest.raises(AnalysisError):
+            empirical_mutual_information(
+                topology, config, px=0.05, trials=0
+            )
+        with pytest.raises(AnalysisError):
+            empirical_mutual_information(
+                topology, config, px=0.05, trials=2, levels=1
+            )
+
+    def test_deterministic_given_seed(self, topology):
+        config = IpdaConfig(slices=2)
+        first = empirical_mutual_information(
+            topology, config, px=0.1, trials=3, seed=5
+        )
+        second = empirical_mutual_information(
+            topology, config, px=0.1, trials=3, seed=5
+        )
+        assert first == second
+
+    def test_zero_compromise_means_zero_leakage(self, topology):
+        estimate = empirical_mutual_information(
+            topology, IpdaConfig(slices=2), px=0.0, trials=3, seed=1
+        )
+        assert estimate.disclosure_rate == 0.0
+        assert estimate.bits == 0.0
+        assert estimate.leakage_fraction == 0.0
+        assert estimate.samples > 0
+
+    def test_leakage_bounded_and_crosscheck_consistent(self, topology):
+        estimate = empirical_mutual_information(
+            topology, IpdaConfig(slices=2), px=0.3, trials=4, seed=2
+        )
+        assert 0.0 <= estimate.leakage_fraction <= 1.0
+        check = closed_form_crosscheck(topology, 0.3, 2, estimate)
+        assert set(check) == {
+            "closed_form", "monte_carlo", "mi_implied", "abs_error"
+        }
+        assert check["monte_carlo"] == estimate.disclosure_rate
+        assert check["abs_error"] == pytest.approx(
+            abs(estimate.disclosure_rate - check["closed_form"])
+        )

@@ -1,0 +1,102 @@
+"""Tests for the auditable composite privacy score."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.privacy.score import (
+    COLLUSION_CEILING,
+    DEFAULT_WEIGHTS,
+    DISCLOSURE_CEILING,
+    GUARANTEE_TARGET,
+    LEAKAGE_CEILING,
+    composite_privacy_score,
+)
+
+
+def _score(**overrides):
+    kwargs = dict(
+        disclosure_rate=0.01,
+        leakage_fraction=0.02,
+        breaking_cost=2.0,
+        collusion_rate=0.1,
+    )
+    kwargs.update(overrides)
+    return composite_privacy_score(**kwargs)
+
+
+class TestCompositeScore:
+    def test_perfect_privacy_scores_one(self):
+        score = _score(
+            disclosure_rate=0.0,
+            leakage_fraction=0.0,
+            breaking_cost=GUARANTEE_TARGET,
+            collusion_rate=0.0,
+        )
+        assert score.value == pytest.approx(1.0)
+
+    def test_total_exposure_scores_zero(self):
+        score = _score(
+            disclosure_rate=DISCLOSURE_CEILING,
+            leakage_fraction=LEAKAGE_CEILING,
+            breaking_cost=0.0,
+            collusion_rate=COLLUSION_CEILING,
+        )
+        assert score.value == pytest.approx(0.0)
+
+    def test_score_is_auditable(self):
+        """The contract repro-privacy/1 validation enforces."""
+        score = _score()
+        assert score.value == pytest.approx(
+            sum(part.weighted for part in score.components), abs=1e-12
+        )
+        assert {part.name for part in score.components} == set(
+            DEFAULT_WEIGHTS
+        )
+        assert sum(
+            part.weight for part in score.components
+        ) == pytest.approx(1.0)
+
+    def test_subscores_clipped_to_unit_interval(self):
+        score = _score(
+            disclosure_rate=5.0,
+            leakage_fraction=5.0,
+            breaking_cost=100.0,
+            collusion_rate=5.0,
+        )
+        for part in score.components:
+            assert 0.0 <= part.score <= 1.0
+
+    def test_weights_are_normalized_ratios(self):
+        full = _score(weights={"disclosure": 2.0})
+        assert full.component("disclosure").weight == pytest.approx(1.0)
+        assert full.value == pytest.approx(
+            full.component("disclosure").score
+        )
+
+    def test_unknown_weight_rejected(self):
+        with pytest.raises(AnalysisError):
+            _score(weights={"disclosure": 1.0, "typo": 1.0})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(AnalysisError):
+            _score(weights={"disclosure": -1.0})
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(AnalysisError):
+            _score(weights={"disclosure": 0.0, "collusion": 0.0})
+
+    def test_component_lookup(self):
+        score = _score(breaking_cost=2.0)
+        part = score.component("slice_guarantee")
+        assert part.raw == 2.0
+        assert part.score == pytest.approx(2.0 / GUARANTEE_TARGET)
+        with pytest.raises(AnalysisError):
+            score.component("nonexistent")
+
+    def test_to_jsonable_round_trips_decomposition(self):
+        report = _score().to_jsonable()
+        assert set(report) == {"score", "components"}
+        total = sum(part["weighted"] for part in report["components"])
+        assert report["score"] == pytest.approx(total, abs=1e-12)

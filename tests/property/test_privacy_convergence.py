@@ -1,0 +1,87 @@
+"""Monte-Carlo disclosure vs the Equation 11 closed form (satellite).
+
+``LinkEavesdropper.monte_carlo_disclosure`` samples actual link
+compromises against recorded rounds, while
+``average_disclosure_probability`` computes Equation 11 with the
+*expected* incoming-link count per node.  The two must agree on the
+paper's Figure 5 deployments (average degree 7 and 17, l = 2 and 3).
+
+Exact agreement is impossible: ``p_x**(l-1+n)`` is convex in ``n``, so
+averaging over the realised slice fan-in sits above the closed form
+evaluated at ``E[n]`` (Jensen), and boundary nodes that drew zero
+incoming slices are disclosed by breaking just ``l - 1`` links.  The
+tolerances below were calibrated over independent base seeds (the gap
+never exceeded 0.010 for l = 2 and 0.0015 for l = 3, tightening with
+density); the tests pin one seed, so they are deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.privacy import average_disclosure_probability
+from repro.attacks.eavesdropper import LinkEavesdropper
+from repro.core.config import IpdaConfig
+from repro.core.pipeline import run_lossless_round
+from repro.experiments.fig5_privacy import PAPER_DEGREES, nodes_for_degree
+from repro.net.topology import random_deployment
+from repro.rng import RngStreams, derive_seed
+
+PX = 0.05
+ROUNDS = 5
+TRIALS_PER_ROUND = 40
+#: Calibrated |MC - closed form| ceilings per slice count; the l = 2
+#: gap is dominated by nodes with few incoming slices (the px**(l-1+n)
+#: way with small n), which Equation 11 smooths through E[n].
+TOLERANCE = {2: 0.015, 3: 0.003}
+
+
+def _monte_carlo(topology, slices, degree):
+    total = 0.0
+    for index in range(ROUNDS):
+        streams = RngStreams(
+            derive_seed(0, "privacy-convergence", degree, slices, index)
+        )
+        readings = {i: 1 for i in range(1, topology.node_count)}
+        round_result = run_lossless_round(
+            topology,
+            readings,
+            IpdaConfig(slices=slices),
+            rng=streams.get("round"),
+            record_flows=True,
+        )
+        attacker = LinkEavesdropper(PX, rng=streams.get("attack"))
+        total += attacker.monte_carlo_disclosure(
+            topology, round_result, trials=TRIALS_PER_ROUND
+        )
+    return total / ROUNDS
+
+
+@pytest.mark.parametrize("degree", PAPER_DEGREES)
+@pytest.mark.parametrize("slices", (2, 3))
+def test_monte_carlo_tracks_closed_form(degree, slices):
+    node_count = nodes_for_degree(degree)
+    topology = random_deployment(
+        node_count, seed=derive_seed(0, "privacy-convergence", degree)
+    )
+    closed = average_disclosure_probability(topology, PX, slices)
+    measured = _monte_carlo(topology, slices, degree)
+    assert abs(measured - closed) <= TOLERANCE[slices], (
+        f"degree {degree}, l={slices}: MC {measured:.5f} vs "
+        f"Eq. 11 {closed:.5f}"
+    )
+
+
+@pytest.mark.parametrize("degree", PAPER_DEGREES)
+def test_more_slices_disclose_less(degree):
+    """The paper's qualitative claim, in both models at once."""
+    node_count = nodes_for_degree(degree)
+    topology = random_deployment(
+        node_count, seed=derive_seed(0, "privacy-convergence", degree)
+    )
+    assert average_disclosure_probability(
+        topology, PX, 3
+    ) < average_disclosure_probability(topology, PX, 2)
+    assert _monte_carlo(topology, 3, degree) < _monte_carlo(
+        topology, 2, degree
+    )

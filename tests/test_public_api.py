@@ -23,6 +23,8 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.serve",
     "repro.viz",
+    "repro.privacy",
+    "repro.tune",
 ]
 
 

@@ -1,0 +1,1 @@
+"""Tests for the configuration autotuner (repro.tune)."""

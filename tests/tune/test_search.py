@@ -1,0 +1,142 @@
+"""Tests for dominance, the Pareto frontier, and the autotuner.
+
+The autotune tests pin seed 7 (see docs/privacy.md): the quick grid
+there shows a configuration strictly dominating the paper baseline,
+which is the non-trivial frontier the tuner exists to find.  Per-seed
+determinism makes the assertion exact rather than statistical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, using_registry
+from repro.store import CellStore
+from repro.tune import (
+    CandidateConfig,
+    PAPER_BASELINE,
+    TuneTargets,
+    autotune,
+    dominates,
+    pareto_frontier,
+)
+
+
+def _entry(label, privacy, overhead, accuracy):
+    return {
+        "config": {"label": label},
+        "privacy": {"score": privacy},
+        "overhead": {"ratio": overhead},
+        "accuracy": {"mean": accuracy},
+    }
+
+
+class TestDominance:
+    def test_strict_improvement_on_one_axis_dominates(self):
+        better = _entry("a", 0.9, 2.5, 0.4)
+        base = _entry("b", 0.8, 2.5, 0.4)
+        assert dominates(better, base)
+        assert not dominates(base, better)
+
+    def test_exact_tie_does_not_dominate(self):
+        """CRN-paired Th-variants tie exactly; ties must not dominate."""
+        a = _entry("a", 0.8, 2.5, 0.4)
+        b = _entry("b", 0.8, 2.5, 0.4)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_tradeoff_does_not_dominate(self):
+        more_private = _entry("a", 0.9, 3.5, 0.4)
+        cheaper = _entry("b", 0.8, 2.5, 0.4)
+        assert not dominates(more_private, cheaper)
+        assert not dominates(cheaper, more_private)
+
+    def test_pareto_frontier_drops_dominated_points(self):
+        entries = [
+            _entry("dominated", 0.7, 2.5, 0.4),
+            _entry("private", 0.9, 3.5, 0.4),
+            _entry("cheap", 0.8, 2.5, 0.4),
+        ]
+        frontier = pareto_frontier(entries)
+        assert [e["config"]["label"] for e in frontier] == [
+            "private",
+            "cheap",
+        ]
+
+
+class TestAutotune:
+    def test_duplicate_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            autotune(grid=[PAPER_BASELINE, PAPER_BASELINE])
+
+    def test_seed7_quick_grid_finds_dominating_winner(self, tmp_path):
+        """The acceptance headline: a config dominating the baseline."""
+        store = CellStore(tmp_path / "cache", max_bytes=1 << 30)
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            outcome = autotune(
+                targets=TuneTargets(min_privacy=0.5),
+                quick=True,
+                seed=7,
+                jobs=1,
+                cache=store,
+            )
+        assert outcome.baseline == PAPER_BASELINE.label
+        assert outcome.winner == "l2-th5-pairwise-fixed"
+        assert "l2-th5-pairwise-fixed" in outcome.dominating
+        assert outcome.winner in outcome.frontier
+        assert outcome.winner in outcome.feasible
+        winner = outcome.evaluation(outcome.winner)
+        baseline = outcome.evaluation(outcome.baseline)
+        # Dominates: better privacy and accuracy at equal overhead.
+        assert (
+            winner["privacy"]["score"] > baseline["privacy"]["score"]
+        )
+        assert (
+            winner["accuracy"]["mean"] >= baseline["accuracy"]["mean"]
+        )
+        assert (
+            winner["overhead"]["ratio"] <= baseline["overhead"]["ratio"]
+        )
+        counters = registry.snapshot()["counters"]
+        assert counters["tune.runs"] == 1
+        assert counters["tune.configs"] == 4
+        assert counters["tune.winners"] == 1
+        assert counters["tune.dominating"] >= 1
+
+        # Warm re-run: zero evaluation work, identical decisions.
+        warm = autotune(
+            targets=TuneTargets(min_privacy=0.5),
+            quick=True,
+            seed=7,
+            jobs=1,
+            cache=store,
+        )
+        assert warm.cache_misses == 0
+        assert warm.cache_hits == 4
+        assert warm.winner == outcome.winner
+        assert warm.evaluations == outcome.evaluations
+
+    def test_infeasible_envelope_yields_no_winner(self):
+        outcome = autotune(
+            targets=TuneTargets(min_privacy=0.999),
+            quick=True,
+            seed=7,
+            jobs=1,
+        )
+        assert outcome.winner is None
+        assert outcome.feasible == []
+        with pytest.raises(ConfigurationError):
+            outcome.evaluation("l9-th9-ghost-fixed")
+
+    def test_unknown_evaluation_label_rejected(self):
+        outcome = autotune(
+            grid=[CandidateConfig(2, 5, "pairwise")],
+            baseline=None,
+            quick=True,
+            seed=7,
+            jobs=1,
+        )
+        assert outcome.baseline is None
+        assert len(outcome.evaluations) == 1

@@ -1,0 +1,113 @@
+"""Tests for the autotuner search space and target envelope."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import RoleMode
+from repro.errors import ConfigurationError
+from repro.tune.space import (
+    CandidateConfig,
+    PAPER_BASELINE,
+    TuneTargets,
+    default_grid,
+    grid_from_keys,
+    quick_grid,
+)
+
+
+class TestCandidateConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CandidateConfig(0, 5, "pairwise")
+        with pytest.raises(ConfigurationError):
+            CandidateConfig(2, -1, "pairwise")
+        with pytest.raises(ConfigurationError):
+            CandidateConfig(2, 5, "pairwise", role="sometimes")
+        with pytest.raises(ConfigurationError):
+            CandidateConfig(2, 5, "pairwise", role="adaptive-0")
+
+    def test_key_round_trips(self):
+        candidate = CandidateConfig(3, 10, "eg-1000/120", "adaptive-4")
+        assert CandidateConfig.from_key(candidate.key()) == candidate
+        assert candidate.label == "l3-th10-eg-1000/120-adaptive-4"
+
+    def test_fanout(self):
+        assert CandidateConfig(2, 5, "pairwise").fanout() is None
+        assert CandidateConfig(
+            2, 5, "pairwise", "adaptive-7"
+        ).fanout() == 7
+
+    def test_ipda_config_role_modes(self):
+        fixed = CandidateConfig(2, 5, "pairwise").ipda_config()
+        assert fixed.role_mode is RoleMode.FIXED
+        assert fixed.threshold == 5
+        adaptive = CandidateConfig(
+            2, 5, "pairwise", "adaptive-4"
+        ).ipda_config()
+        assert adaptive.role_mode is RoleMode.ADAPTIVE
+        assert adaptive.aggregator_budget == 4
+
+    def test_to_jsonable_carries_the_label(self):
+        record = PAPER_BASELINE.to_jsonable()
+        assert record["label"] == PAPER_BASELINE.label
+        assert record["slices"] == 2
+
+
+class TestGrids:
+    def test_default_grid_covers_the_search_space(self):
+        grid = default_grid()
+        assert len(grid) == 36
+        labels = {candidate.label for candidate in grid}
+        assert len(labels) == 36
+        assert PAPER_BASELINE in grid
+
+    def test_quick_grid_is_a_smoke_subset(self):
+        grid = quick_grid()
+        assert len(grid) == 4
+        assert PAPER_BASELINE in grid
+        assert set(grid) <= set(default_grid())
+
+    def test_grid_from_keys_rejects_duplicates(self):
+        key = PAPER_BASELINE.key()
+        with pytest.raises(ConfigurationError):
+            grid_from_keys([key, key])
+        assert grid_from_keys([key]) == (PAPER_BASELINE,)
+
+
+def _evaluation(privacy=0.8, overhead=2.5, accuracy=0.4):
+    return {
+        "privacy": {"score": privacy},
+        "overhead": {"ratio": overhead},
+        "accuracy": {"mean": accuracy},
+    }
+
+
+class TestTuneTargets:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TuneTargets(min_privacy=1.5)
+        with pytest.raises(ConfigurationError):
+            TuneTargets(max_overhead=0.0)
+        with pytest.raises(ConfigurationError):
+            TuneTargets(max_accuracy_loss=2.0)
+
+    def test_unconstrained_envelope_accepts_everything(self):
+        assert TuneTargets().is_met(_evaluation(privacy=0.0))
+
+    def test_each_axis_constrains(self):
+        targets = TuneTargets(
+            min_privacy=0.7, max_overhead=3.0, max_accuracy_loss=0.7
+        )
+        assert targets.is_met(_evaluation())
+        assert not targets.is_met(_evaluation(privacy=0.6))
+        assert not targets.is_met(_evaluation(overhead=3.5))
+        assert not targets.is_met(_evaluation(accuracy=0.2))
+
+    def test_to_jsonable(self):
+        record = TuneTargets(min_privacy=0.5).to_jsonable()
+        assert record == {
+            "min_privacy": 0.5,
+            "max_overhead": None,
+            "max_accuracy_loss": None,
+        }
