@@ -18,7 +18,14 @@ import numpy as np
 from ..errors import ProtocolError
 from ..sim.messages import TreeColor
 
-__all__ = ["slice_value", "SlicePlan", "plan_slices", "SliceAssembler"]
+__all__ = [
+    "slice_value",
+    "SlicePlan",
+    "plan_slices",
+    "PlannedSlice",
+    "schedule_fanout",
+    "SliceAssembler",
+]
 
 
 def slice_value(
@@ -142,6 +149,61 @@ def plan_slices(
             outgoing = list(zip(chosen, cut))
         plans[color] = SlicePlan(color=color, kept=kept, outgoing=outgoing)
     return plans
+
+
+@dataclass(frozen=True)
+class PlannedSlice:
+    """One scheduled slice transmission of a node's two-colour fan-out.
+
+    ``seq`` is the wire sequence number the send will carry — assigned
+    here, ahead of time, so the whole fan-out can be sealed in one
+    batched cipher pass.
+    """
+
+    color: TreeColor
+    target: int
+    piece: int
+    delay: float
+    seq: int
+
+
+def schedule_fanout(
+    plans: Dict[TreeColor, SlicePlan],
+    window: float,
+    rng: np.random.Generator,
+    *,
+    first_seq: int,
+) -> List[PlannedSlice]:
+    """Draw send delays and pre-assign sequence numbers for a fan-out.
+
+    Delays are drawn in plan iteration order — the same RNG draw order
+    the historical per-send path used.  Sequence numbers, however, are
+    assigned in *fire* order: the event engine pops equal-time events
+    in scheduling order, so a stable sort by delay predicts exactly
+    the order the sends will fire in.  The caller can therefore seal
+    every ciphertext upfront (see
+    :func:`repro.crypto.envelope.seal_batch`) and still put the same
+    bytes on the air the lazy path did.
+
+    Entries are returned in scheduling order; callers must schedule
+    them in this order for the tie-break prediction to hold.
+    """
+    drawn: List[Tuple[TreeColor, int, int, float]] = []
+    for color, plan in plans.items():
+        for target, piece in plan.outgoing:
+            drawn.append(
+                (color, target, piece, float(rng.uniform(0.0, window)))
+            )
+    fire_order = sorted(range(len(drawn)), key=lambda i: drawn[i][3])
+    seqs = [0] * len(drawn)
+    for fire_rank, index in enumerate(fire_order):
+        seqs[index] = first_seq + fire_rank
+    return [
+        PlannedSlice(
+            color=color, target=target, piece=piece, delay=delay, seq=seqs[i]
+        )
+        for i, (color, target, piece, delay) in enumerate(drawn)
+    ]
 
 
 def _choose(

@@ -165,7 +165,16 @@ _DEPLOYMENT_CACHE_COST: Dict[tuple, int] = {}
 #: cache.  The runner samples them around each cell (workers are
 #: single-threaded, so per-cell deltas are exact) and folds the totals
 #: into the throughput report.
-_DEPLOYMENT_CACHE_COUNTERS = {"hits": 0, "misses": 0, "evictions": 0}
+_DEPLOYMENT_CACHE_COUNTERS = {
+    "hits": 0,
+    "misses": 0,
+    "evictions": 0,
+    # Deployments whose node weight alone exceeds the cache cap.  They
+    # bypass the LRU entirely (caching one would evict everything else
+    # and still thrash); a non-zero count in a run report is the signal
+    # to raise $REPRO_DEPLOY_CACHE_MAX_NODES for 10^5+-node sweeps.
+    "oversized": 0,
+}
 
 
 def _deploy_cache_max_nodes() -> int:
@@ -186,13 +195,14 @@ def _deploy_cache_max_nodes() -> int:
     return _DEPLOYMENT_CACHE_MAX_NODES
 
 
-def deployment_cache_counters() -> Tuple[int, int, int]:
-    """Cumulative ``(hits, misses, evictions)`` of this process's
-    deployment LRU."""
+def deployment_cache_counters() -> Tuple[int, int, int, int]:
+    """Cumulative ``(hits, misses, evictions, oversized)`` of this
+    process's deployment LRU."""
     return (
         _DEPLOYMENT_CACHE_COUNTERS["hits"],
         _DEPLOYMENT_CACHE_COUNTERS["misses"],
         _DEPLOYMENT_CACHE_COUNTERS["evictions"],
+        _DEPLOYMENT_CACHE_COUNTERS["oversized"],
     )
 
 
@@ -221,6 +231,14 @@ def cached_deployment(node_count: int, *, seed: int, **kwargs):
         from ..net.topology import random_deployment
 
         topology = random_deployment(node_count, seed=seed, **kwargs)
+        if int(node_count) > _deploy_cache_max_nodes():
+            # A single deployment bigger than the whole node-weight cap
+            # would evict every other entry and be evicted itself on
+            # the next insert — caching it is pure thrash.  Hand it
+            # back uncached and count it, so run reports surface the
+            # misconfiguration instead of hiding it behind evictions.
+            _DEPLOYMENT_CACHE_COUNTERS["oversized"] += 1
+            return topology
         _DEPLOYMENT_CACHE[key] = topology
         _DEPLOYMENT_CACHE_COST[key] = int(node_count)
         _evict_deployments()

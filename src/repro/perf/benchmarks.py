@@ -12,13 +12,14 @@ per-operation shape.
 from __future__ import annotations
 
 import itertools
+import math
 import time
 from typing import Dict
 
 import numpy as np
 
-from ..crypto.cipher import KEY_BYTES, xor_encrypt
-from ..net.topology import grid_deployment
+from ..crypto.cipher import KEY_BYTES, xor_encrypt, xor_encrypt_batch
+from ..net.topology import PAPER_AREA_M, grid_deployment, random_deployment
 from ..sim.engine import EventEngine
 from ..sim.messages import BROADCAST, HelloMessage
 from ..sim.radio import RadioConfig, RadioMedium
@@ -245,6 +246,158 @@ def bench_cipher_bulk(quick: bool) -> BenchResult:
         wall_seconds=wall,
         iterations=frames,
         detail={"frame_bytes": frame_bytes, "fresh_nonces": True},
+    )
+
+
+@register_benchmark(
+    "cipher-xor-batch",
+    "micro",
+    "xor_encrypt_batch on 256-slice fan-outs of 8-byte frames, fresh nonces",
+)
+def bench_cipher_batch(quick: bool) -> BenchResult:
+    batches = 100 if quick else 400
+    fanout = 256
+    key = _KEY
+    workloads = [
+        [
+            (
+                value.to_bytes(8, "big"),
+                key,
+                next(_FRESH_NONCES).to_bytes(8, "big"),
+            )
+            for value in range(fanout)
+        ]
+        for _ in range(batches)
+    ]
+    started = time.perf_counter()
+    for items in workloads:
+        xor_encrypt_batch(items)
+    wall = time.perf_counter() - started
+    operations = batches * fanout
+    return BenchResult(
+        name="cipher-xor-batch",
+        kind="micro",
+        metric="operations_per_second",
+        value=operations / wall,
+        unit="ops/s",
+        wall_seconds=wall,
+        iterations=operations,
+        detail={"frame_bytes": 8, "fanout": fanout, "fresh_nonces": True},
+    )
+
+
+# ----------------------------------------------------------------------
+# Scale (10^4-10^5-node deployments; ROADMAP item 1)
+# ----------------------------------------------------------------------
+def _scale_area(node_count: int) -> float:
+    """Deployment side length preserving the paper's node density.
+
+    Scaling the 400 m square by ``sqrt(n / 600)`` keeps the average
+    physical degree at the paper's ~29, so per-node fan-out work stays
+    representative as ``n`` grows.
+    """
+    return PAPER_AREA_M * math.sqrt(node_count / 600.0)
+
+
+def _topology_build(node_count: int, name: str) -> BenchResult:
+    started = time.perf_counter()
+    topology = random_deployment(
+        node_count, area=_scale_area(node_count), seed=42
+    )
+    edges = int(topology.average_degree() * topology.node_count / 2)
+    wall = time.perf_counter() - started
+    return BenchResult(
+        name=name,
+        kind="macro",
+        metric="nodes_per_second",
+        value=node_count / wall,
+        unit="nodes/s",
+        wall_seconds=wall,
+        iterations=node_count,
+        detail={
+            "nodes": node_count,
+            "area_m": round(_scale_area(node_count), 1),
+            "edges": edges,
+            "average_degree": round(topology.average_degree(), 2),
+        },
+    )
+
+
+@register_benchmark(
+    "topology-build-10k",
+    "macro",
+    "10k-node random deployment: cell-grid neighbor search + CSR adjacency",
+)
+def bench_topology_10k(quick: bool) -> BenchResult:
+    return _topology_build(10_000, "topology-build-10k")
+
+
+@register_benchmark(
+    "topology-build-100k",
+    "macro",
+    "100k-node random deployment (memory-gated: was ~80 GB as a distance matrix)",
+)
+def bench_topology_100k(quick: bool) -> BenchResult:
+    return _topology_build(100_000, "topology-build-100k")
+
+
+@register_benchmark(
+    "radio-fanout-10k",
+    "macro",
+    "broadcast storm over a 10k-node deployment (batch delivery path)",
+)
+def bench_radio_fanout_10k(quick: bool) -> BenchResult:
+    """Every node broadcasts once on a perfect channel at paper density.
+
+    Frames/s over ~29-receiver fan-outs: the batch delivery path's
+    macro number (one vectorized resolve + one trace update per frame).
+    """
+    node_count = 10_000
+    frames_per_node = 1 if quick else 3
+    topology = random_deployment(
+        node_count, area=_scale_area(node_count), seed=42
+    )
+    engine = EventEngine()
+    trace = TraceCollector(detail="counters")
+    delivered = [0]
+
+    def deliver(receiver: int, message, addressed: bool) -> None:
+        delivered[0] += 1
+
+    radio = RadioMedium(
+        engine=engine,
+        topology=topology,
+        trace=trace,
+        deliver=deliver,
+        rng=np.random.default_rng(12345),
+        config=RadioConfig(collisions_enabled=False),
+    )
+    for repeat in range(frames_per_node):
+        for nid in range(node_count):
+            engine.schedule(
+                1e-5 * (repeat * node_count + nid + 1),
+                lambda nid=nid: radio.transmit(
+                    HelloMessage(src=nid, dst=BROADCAST)
+                ),
+            )
+    started = time.perf_counter()
+    engine.run()
+    wall = time.perf_counter() - started
+    frames = node_count * frames_per_node
+    return BenchResult(
+        name="radio-fanout-10k",
+        kind="macro",
+        metric="frames_per_second",
+        value=frames / wall,
+        unit="frames/s",
+        wall_seconds=wall,
+        iterations=frames,
+        detail={
+            "nodes": node_count,
+            "frames_per_node": frames_per_node,
+            "delivered": delivered[0],
+            "average_degree": round(topology.average_degree(), 2),
+        },
     )
 
 

@@ -49,9 +49,9 @@ from ..core.integrity import (
     IntegrityChecker,
     VerificationResult,
 )
-from ..core.slicing import SliceAssembler, plan_slices
+from ..core.slicing import SliceAssembler, plan_slices, schedule_fanout
 from ..core.trees import role_probabilities
-from ..crypto.envelope import make_nonce, open_sealed, seal
+from ..crypto.envelope import make_nonce, open_sealed, seal, seal_batch
 from ..crypto.keys import KeyManagementScheme, PairwiseKeyScheme
 from ..errors import ProtocolError
 from ..net.topology import Topology
@@ -325,11 +325,34 @@ class _IpdaNode(Node):
         for color, plan in plans.items():
             if plan.kept is not None:
                 self.assemblers[color].keep(plan.kept)
-            for target, piece in plan.outgoing:
-                delay = float(self.rng.uniform(0.0, window))
-                self.schedule(
-                    delay, self._slice_sender(target, piece, color)
-                )
+        # Pre-assign sequence numbers in predicted fire order and seal
+        # the whole two-colour fan-out in one batched cipher pass —
+        # byte-identical to sealing lazily per send (the messages
+        # themselves are still built at fire time, keeping frame-id
+        # allocation order untouched).
+        planned = schedule_fanout(
+            plans, window, self.rng, first_seq=self._slice_seq + 1
+        )
+        self._slice_seq += len(planned)
+        ciphertexts = seal_batch(
+            [entry.piece for entry in planned],
+            [self.keys.link_key(self.id, entry.target) for entry in planned],
+            [
+                make_nonce(self.id, entry.target, self.round_id, entry.seq)
+                for entry in planned
+            ],
+        )
+        for entry, ciphertext in zip(planned, ciphertexts):
+            self.schedule(
+                entry.delay,
+                self._slice_sender(
+                    entry.target,
+                    entry.piece,
+                    entry.color,
+                    seq=entry.seq,
+                    ciphertext=ciphertext,
+                ),
+            )
 
     def _slice_candidates(self, color: TreeColor) -> Set[int]:
         assert self.keys is not None
@@ -341,9 +364,18 @@ class _IpdaNode(Node):
                 out.add(aggregator)
         return out
 
-    def _slice_sender(self, target: int, piece: int, color: TreeColor):
+    def _slice_sender(
+        self,
+        target: int,
+        piece: int,
+        color: TreeColor,
+        seq: Optional[int] = None,
+        ciphertext: Optional[bytes] = None,
+    ):
         def fire() -> None:
-            self._send_slice(target, piece, color, 1)
+            self._send_slice(
+                target, piece, color, 1, seq=seq, ciphertext=ciphertext
+            )
 
         return fire
 
@@ -354,8 +386,15 @@ class _IpdaNode(Node):
         color: TreeColor,
         attempt: int,
         message: Optional[SliceMessage] = None,
+        *,
+        seq: Optional[int] = None,
+        ciphertext: Optional[bytes] = None,
     ) -> None:
         """Transmit one slice piece, arming the ACK timer in robust mode.
+
+        ``seq``/``ciphertext``, when given, were pre-assigned and
+        batch-sealed by :meth:`begin_slicing`; the lazy per-send path
+        below produces the same bytes and is kept for direct callers.
 
         Resends reuse the frame (stable ``frame_id``, so the receiver's
         dedup and a late ACK still match) and always address the
@@ -365,17 +404,20 @@ class _IpdaNode(Node):
         """
         assert self.keys is not None
         if message is None:
-            self._slice_seq += 1
-            seq = self._slice_seq
-            nonce = make_nonce(self.id, target, self.round_id, seq)
-            key = self.keys.link_key(self.id, target)
+            if seq is None:
+                self._slice_seq += 1
+                seq = self._slice_seq
+            if ciphertext is None:
+                nonce = make_nonce(self.id, target, self.round_id, seq)
+                key = self.keys.link_key(self.id, target)
+                ciphertext = seal(piece, key, nonce)
             message = SliceMessage(
                 src=self.id,
                 dst=target,
                 round_id=self.round_id,
                 color=color,
                 seq=seq,
-                ciphertext=seal(piece, key, nonce),
+                ciphertext=ciphertext,
             )
         self.send(message)
         if self.robust is None:

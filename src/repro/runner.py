@@ -255,7 +255,7 @@ def _execute_cell(cell: Cell) -> object:
 
 def _execute_cell_with_stats(
     cell: Cell,
-) -> Tuple[object, Tuple[int, int, int], Dict[str, object], float, int]:
+) -> Tuple[object, Tuple[int, int, int, int], Dict[str, object], float, int]:
     """Run one cell, reporting the deployment-LRU delta it caused.
 
     Workers execute one task at a time, so sampling the process-local
@@ -314,7 +314,7 @@ def _run_cells_with_stats(
     cell_timeout: Optional[float] = None,
 ) -> Tuple[
     List[object],
-    Tuple[int, int, int],
+    Tuple[int, int, int, int],
     List[Tuple[Dict[str, object], float, int]],
 ]:
     """``execute_cells`` plus deployment-LRU counts and per-cell stats.
@@ -324,7 +324,7 @@ def _run_cells_with_stats(
     """
     cells = list(cells)
     if not cells:
-        return [], (0, 0, 0), []
+        return [], (0, 0, 0, 0), []
     workers = min(resolve_jobs(jobs), len(cells))
     if workers <= 1:
         outcomes = []
@@ -337,7 +337,7 @@ def _run_cells_with_stats(
         outcomes = _drive_pool(cells, workers, cell_timeout=cell_timeout)
     results = [outcome[0] for outcome in outcomes]
     deploy = tuple(
-        sum(outcome[1][axis] for outcome in outcomes) for axis in range(3)
+        sum(outcome[1][axis] for outcome in outcomes) for axis in range(4)
     )
     stats = [(outcome[2], outcome[3], outcome[4]) for outcome in outcomes]
     return results, deploy, stats
@@ -788,6 +788,7 @@ def execute(
         local.inc("deploy_cache.hits", deploy[0])
         local.inc("deploy_cache.misses", deploy[1])
         local.inc("deploy_cache.evictions", deploy[2])
+        local.inc("deploy_cache.oversized", deploy[3])
         local.gauge(
             "runner.cells_per_second",
             len(cell_list) / elapsed if elapsed > 0 else 0.0,
@@ -807,6 +808,7 @@ def execute(
             "deploy_cache_hits": deploy[0],
             "deploy_cache_misses": deploy[1],
             "deploy_cache_evictions": deploy[2],
+            "deploy_cache_oversized": deploy[3],
             "fingerprint": fingerprint,
             "fingerprint_modules": dict(
                 fingerprint_modules(
@@ -838,7 +840,7 @@ def _run_cells_via_fleet(
     registry,
 ) -> Tuple[
     List[object],
-    Tuple[int, int, int],
+    Tuple[int, int, int, int],
     List[Tuple[Dict[str, object], float, int]],
 ]:
     """Run ``cells`` through the fleet queue; returns the same shape as
@@ -853,7 +855,7 @@ def _run_cells_via_fleet(
     cells = list(cells)
     digests = list(digests)
     if not cells:
-        return [], (0, 0, 0), []
+        return [], (0, 0, 0, 0), []
     with registry.phase_timer("queue_enqueue"):
         fleet.enqueue(cells, digests, reset_done=True)
     workers = min(resolve_jobs(jobs), len(cells))
@@ -869,7 +871,7 @@ def _run_cells_via_fleet(
     quarantined = []
     results: List[object] = [None] * len(cells)
     stats: List[Tuple[Dict[str, object], float, int]] = []
-    deploy = [0, 0, 0]
+    deploy = [0, 0, 0, 0]
     with registry.phase_timer("queue_collect"):
         for index, digest in enumerate(digests):
             record = fleet.quarantine_record(digest)
@@ -893,12 +895,14 @@ def _run_cells_via_fleet(
                     int(done.get("pid", 0)),
                 )
             )
-            for axis, amount in enumerate(done.get("deploy", (0, 0, 0))):
-                if axis < 3:
+            # Older queue records carry 3-tuples (no oversized count);
+            # missing axes stay zero.
+            for axis, amount in enumerate(done.get("deploy", (0, 0, 0, 0))):
+                if axis < 4:
                     deploy[axis] += int(amount)
     if quarantined:
         raise _quarantine_report(fleet, quarantined)
-    return results, (deploy[0], deploy[1], deploy[2]), stats
+    return results, (deploy[0], deploy[1], deploy[2], deploy[3]), stats
 
 
 def _jsonable_kwargs(kwargs: Dict[str, object]) -> Dict[str, object]:

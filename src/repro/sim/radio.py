@@ -311,7 +311,30 @@ class RadioMedium:
         addressee_got_it = message.is_broadcast
         addressee_seen = message.is_broadcast
         active_map = self._active_receptions
-        for reception in transmission.receptions:
+        receptions = transmission.receptions
+        # Hoist the Bernoulli losses into ONE vectorized draw for the
+        # receptions that reach the loss stage (not collided, alive) —
+        # stream-identical to the historical per-reception scalar
+        # draws.  The pre-pass sees exactly what the loop would:
+        # collision flags are frozen by end-of-frame (overlap tests
+        # are strict, so a frame starting `now` cannot retro-collide
+        # one ending `now`) and liveness only changes through
+        # scheduled fault events, never mid-event.
+        loss_p = self.config.loss_probability
+        node_alive = self._node_alive
+        eligible = None
+        draws = None
+        if loss_p > 0.0 and receptions:
+            eligible = [
+                not r.collided
+                and (node_alive is None or node_alive(r.receiver))
+                for r in receptions
+            ]
+            drawn = sum(eligible)
+            if drawn:
+                draws = self._rng.random(drawn)
+        draw_index = 0
+        for slot, reception in enumerate(receptions):
             active = active_map.get(reception.receiver)
             if active is not None:
                 # Swap-pop using the reception's recorded slot; order
@@ -325,7 +348,20 @@ class RadioMedium:
                 active.pop()
                 if not active:
                     del active_map[reception.receiver]
-            decoded = self._conclude_reception(reception, message)
+            if eligible is None:
+                decoded = self._conclude_reception(reception, message)
+            elif eligible[slot]:
+                loss_draw = float(draws[draw_index])
+                draw_index += 1
+                decoded = self._conclude_reception(
+                    reception, message, alive=True, loss_draw=loss_draw
+                )
+            else:
+                decoded = self._conclude_reception(
+                    reception,
+                    message,
+                    alive=False if not reception.collided else None,
+                )
             if not message.is_broadcast and reception.receiver == message.dst:
                 addressee_seen = True
                 addressee_got_it = decoded
@@ -343,59 +379,130 @@ class RadioMedium:
         receivers: Tuple[int, ...],
         record: Optional[FrameRecord],
     ) -> None:
-        """Perfect-channel end-of-frame.
+        """Perfect-channel end-of-frame, resolved for the whole receiver set.
 
         Must stay observably identical to ``_finish_transmission`` +
         ``_conclude_reception`` with ``collided`` always False: same
         receiver order, same drop-check order (alive -> Bernoulli ->
-        loss model), same trace records, same RNG draws.
+        loss model), same trace-record contents, same RNG stream.  The
+        Bernoulli losses for the alive receivers are ONE vectorized
+        ``random(k)`` call — elementwise- and state-identical to ``k``
+        scalar draws — and broadcast deliveries go through
+        :meth:`TraceCollector.record_delivery_batch`, so a
+        10^4-neighbour broadcast costs one draw and one aggregate
+        counter update, not 10^4 of each.  Hoisting the draws ahead of
+        the deliver callbacks is safe because nodes draw from their own
+        per-node streams, never the radio's, and the per-link loss
+        model keeps independent per-link generators.
         """
         self.fast_path_frames += 1
         self._transmitting_until.pop(message.src, None)
         src = message.src
         dst = message.dst
         is_broadcast = message.is_broadcast
-        addressee_got_it = is_broadcast
-        addressee_seen = is_broadcast
         trace = self.trace
         deliver = self._deliver
         node_alive = self._node_alive
         loss_model = self.loss_model
         loss_p = self.config.loss_probability
-        rng_random = self._rng.random if loss_p > 0.0 else None
+
+        if node_alive is None and loss_model is None and loss_p == 0.0:
+            # Lossless channel — the path a 10^5-node scale run takes:
+            # every neighbour decodes, nothing draws, nothing drops.
+            if is_broadcast:
+                trace.record_delivery_batch(record, message, receivers)
+                for receiver in receivers:
+                    deliver(receiver, message, True)
+                if self._notify_sender is not None:
+                    self._notify_sender(message, True)
+                return
+            addressee_seen = False
+            for receiver in receivers:
+                addressed = receiver == dst
+                if addressed:
+                    trace.record_delivery(record, message, receiver)
+                    addressee_seen = True
+                deliver(receiver, message, addressed)
+            if not addressee_seen:
+                trace.record_drop(None, message, dst, DropReason.NO_RECEIVER)
+            if self._notify_sender is not None:
+                self._notify_sender(message, addressee_seen)
+            return
+
+        # Faulty channel: drops must be recorded in receiver order, so
+        # resolve outcomes receiver-by-receiver — but batch the draws.
+        if node_alive is None:
+            alive_flags = None
+            n_alive = len(receivers)
+        else:
+            alive_flags = [node_alive(receiver) for receiver in receivers]
+            n_alive = sum(alive_flags)
+        draws = (
+            self._rng.random(n_alive) if loss_p > 0.0 and n_alive else None
+        )
         now = self.engine.now
-        for receiver in receivers:
-            if node_alive is not None and not node_alive(receiver):
+        addressee_got_it = is_broadcast
+        addressee_seen = is_broadcast
+        delivered: List[int] = []
+        draw_index = 0
+        for slot, receiver in enumerate(receivers):
+            if alive_flags is not None and not alive_flags[slot]:
                 trace.record_drop(
                     record, message, receiver, DropReason.RECEIVER_DEAD
                 )
                 decoded = False
-            elif rng_random is not None and rng_random() < loss_p:
-                trace.record_drop(
-                    record, message, receiver, DropReason.RANDOM_LOSS
-                )
-                decoded = False
-            elif loss_model is not None and loss_model(src, receiver, now):
-                trace.record_drop(
-                    record, message, receiver, DropReason.BURST_LOSS
-                )
-                decoded = False
             else:
-                addressed = is_broadcast or dst == receiver
-                if addressed:
-                    trace.record_delivery(record, message, receiver)
-                deliver(receiver, message, addressed)
-                decoded = True
+                if draws is not None:
+                    lost = draws[draw_index] < loss_p
+                    draw_index += 1
+                else:
+                    lost = False
+                if lost:
+                    trace.record_drop(
+                        record, message, receiver, DropReason.RANDOM_LOSS
+                    )
+                    decoded = False
+                elif loss_model is not None and loss_model(
+                    src, receiver, now
+                ):
+                    trace.record_drop(
+                        record, message, receiver, DropReason.BURST_LOSS
+                    )
+                    decoded = False
+                else:
+                    delivered.append(receiver)
+                    decoded = True
             if not is_broadcast and receiver == dst:
                 addressee_seen = True
                 addressee_got_it = decoded
+        if is_broadcast:
+            trace.record_delivery_batch(record, message, delivered)
+            for receiver in delivered:
+                deliver(receiver, message, True)
+        else:
+            for receiver in delivered:
+                addressed = receiver == dst
+                if addressed:
+                    trace.record_delivery(record, message, receiver)
+                deliver(receiver, message, addressed)
         if not addressee_seen:
             trace.record_drop(None, message, dst, DropReason.NO_RECEIVER)
         if self._notify_sender is not None:
             self._notify_sender(message, addressee_got_it)
 
-    def _conclude_reception(self, reception: Reception, message: Message) -> bool:
-        """Conclude one reception; returns True when it was decoded."""
+    def _conclude_reception(
+        self,
+        reception: Reception,
+        message: Message,
+        alive: Optional[bool] = None,
+        loss_draw: Optional[float] = None,
+    ) -> bool:
+        """Conclude one reception; returns True when it was decoded.
+
+        ``alive``/``loss_draw``, when given, carry outcomes precomputed
+        by the batch pre-pass in :meth:`_finish_transmission` (one
+        liveness probe, one vectorized draw) so they are not redone here.
+        """
         receiver = reception.receiver
         if reception.collided:
             reason = (
@@ -405,17 +512,21 @@ class RadioMedium:
             )
             self.trace.record_drop(reception.record, message, receiver, reason)
             return False
-        if self._node_alive is not None and not self._node_alive(receiver):
+        if alive is None:
+            alive = self._node_alive is None or self._node_alive(receiver)
+        if not alive:
             self.trace.record_drop(
                 reception.record, message, receiver, DropReason.RECEIVER_DEAD
             )
             return False
         loss_p = self.config.loss_probability
-        if loss_p > 0.0 and self._rng.random() < loss_p:
-            self.trace.record_drop(
-                reception.record, message, receiver, DropReason.RANDOM_LOSS
-            )
-            return False
+        if loss_p > 0.0:
+            draw = self._rng.random() if loss_draw is None else loss_draw
+            if draw < loss_p:
+                self.trace.record_drop(
+                    reception.record, message, receiver, DropReason.RANDOM_LOSS
+                )
+                return False
         if self.loss_model is not None and self.loss_model(
             message.src, receiver, self.engine.now
         ):

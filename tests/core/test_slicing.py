@@ -192,3 +192,79 @@ class TestAssembler:
         assembler.receive(4, 1)
         assert assembler.senders() == [4]
         assert assembler.received_count == 2
+
+
+class TestScheduleFanout:
+    def _plans(self):
+        from repro.core.slicing import SlicePlan
+
+        return {
+            TreeColor.RED: SlicePlan(
+                color=TreeColor.RED,
+                kept=1,
+                outgoing=[(10, 5), (11, -3), (12, 7)],
+            ),
+            TreeColor.BLUE: SlicePlan(
+                color=TreeColor.BLUE,
+                kept=None,
+                outgoing=[(20, 2), (21, 4)],
+            ),
+        }
+
+    def test_draws_delays_in_plan_order(self):
+        from repro.core.slicing import schedule_fanout
+
+        window = 3.0
+        planned = schedule_fanout(
+            self._plans(), window, np.random.default_rng(17), first_seq=1
+        )
+        expected_delays = [
+            float(d)
+            for d in np.random.default_rng(17).uniform(0.0, window, size=5)
+        ]
+        assert [e.delay for e in planned] == expected_delays
+        # scheduling order mirrors plans.items()/outgoing iteration order
+        assert [(e.color, e.target, e.piece) for e in planned] == [
+            (TreeColor.RED, 10, 5),
+            (TreeColor.RED, 11, -3),
+            (TreeColor.RED, 12, 7),
+            (TreeColor.BLUE, 20, 2),
+            (TreeColor.BLUE, 21, 4),
+        ]
+
+    def test_seqs_follow_stable_fire_order(self):
+        from repro.core.slicing import schedule_fanout
+
+        planned = schedule_fanout(
+            self._plans(), 2.0, np.random.default_rng(23), first_seq=100
+        )
+        # seqs are a permutation of first_seq..first_seq+n-1 ...
+        assert sorted(e.seq for e in planned) == list(range(100, 105))
+        # ... assigned by ascending delay, stable on ties
+        by_fire = sorted(
+            range(len(planned)), key=lambda i: planned[i].delay
+        )
+        for rank, index in enumerate(by_fire):
+            assert planned[index].seq == 100 + rank
+
+    def test_tied_delays_keep_scheduling_order(self):
+        from repro.core.slicing import SlicePlan, schedule_fanout
+
+        class ZeroRng:
+            def uniform(self, lo, hi):
+                return 0.0
+
+        plans = {
+            TreeColor.RED: SlicePlan(
+                color=TreeColor.RED,
+                kept=0,
+                outgoing=[(1, 1), (2, 2), (3, 3)],
+            )
+        }
+        planned = schedule_fanout(plans, 1.0, ZeroRng(), first_seq=7)
+        assert [e.seq for e in planned] == [7, 8, 9]
+
+    def test_empty_plans(self):
+        from repro.core.slicing import schedule_fanout
+
+        assert schedule_fanout({}, 1.0, np.random.default_rng(0), first_seq=1) == []

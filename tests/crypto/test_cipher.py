@@ -158,3 +158,61 @@ class TestReferenceEquivalence:
             xor_encrypt(b"x", b"short", NONCE)
         with pytest.raises(CryptoError):
             xor_encrypt(b"x", b"short", NONCE)
+
+
+class TestXorBatch:
+    def test_matches_per_item_encrypt(self):
+        from repro.crypto.cipher import xor_encrypt_batch
+
+        items = [
+            (
+                value.to_bytes(8, "big"),
+                KEY,
+                (1000 + value).to_bytes(8, "big"),
+            )
+            for value in range(64)
+        ]
+        batched = xor_encrypt_batch(items)
+        singles = [xor_encrypt(p, k, n) for p, k, n in items]
+        assert batched == singles
+
+    def test_matches_reference_implementation(self):
+        from repro.crypto.cipher import _xor_encrypt_reference, xor_encrypt_batch
+
+        items = [
+            (bytes((i * j) % 256 for i in range(j)), KEY, (77 + j).to_bytes(8, "big"))
+            for j in (0, 1, 7, 8, 31, 32, 33, 100)
+        ]
+        batched = xor_encrypt_batch(items)
+        assert batched == [
+            _xor_encrypt_reference(p, k, n) for p, k, n in items
+        ]
+
+    def test_mixed_lengths_and_leading_zeros(self):
+        from repro.crypto.cipher import xor_encrypt_batch
+
+        items = [
+            (b"\x00\x00\x00\x07", KEY, NONCE),
+            (b"", KEY, NONCE),
+            (b"\x00" * 16, KEY, bytes(reversed(NONCE))),
+        ]
+        batched = xor_encrypt_batch(items)
+        assert [len(c) for c in batched] == [4, 0, 16]
+        assert batched == [xor_encrypt(p, k, n) for p, k, n in items]
+
+    def test_empty_batch(self):
+        from repro.crypto.cipher import xor_encrypt_batch
+
+        assert xor_encrypt_batch([]) == []
+
+    def test_accepts_bytes_like(self):
+        from repro.crypto.cipher import xor_encrypt_batch
+
+        items = [(bytearray(b"hello"), KEY, NONCE)]
+        assert xor_encrypt_batch(items) == [xor_encrypt(b"hello", KEY, NONCE)]
+
+    def test_bad_key_raises(self):
+        from repro.crypto.cipher import xor_encrypt_batch
+
+        with pytest.raises(CryptoError):
+            xor_encrypt_batch([(b"x", b"short", NONCE)])

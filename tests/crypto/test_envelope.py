@@ -67,3 +67,37 @@ class TestSeal:
         a = seal(42, KEY, make_nonce(1, 2, 1, 1))
         b = seal(42, KEY, make_nonce(1, 2, 1, 2))
         assert a != b
+
+
+class TestSealBatch:
+    def test_matches_per_value_seal(self):
+        from repro.crypto.envelope import seal_batch
+
+        values = [0, 1, -1, 2**63 - 1, -(2**63), 424242]
+        nonces = [make_nonce(5, 6 + i, 1, i) for i in range(len(values))]
+        keys = [KEY] * len(values)
+        assert seal_batch(values, keys, nonces) == [
+            seal(v, k, n) for v, k, n in zip(values, keys, nonces)
+        ]
+
+    def test_roundtrips_through_open_sealed(self):
+        from repro.crypto.envelope import seal_batch
+
+        values = [7, -9, 123456789]
+        nonces = [make_nonce(1, 2, 3, i) for i in range(len(values))]
+        sealed = seal_batch(values, [KEY] * 3, nonces)
+        assert [
+            open_sealed(s, KEY, n) for s, n in zip(sealed, nonces)
+        ] == values
+
+    def test_out_of_range_value_rejected(self):
+        from repro.crypto.envelope import seal_batch
+
+        with pytest.raises(CryptoError):
+            seal_batch([2**63], [KEY], [make_nonce(1, 2, 3, 4)])
+
+    def test_misaligned_inputs_rejected(self):
+        from repro.crypto.envelope import seal_batch
+
+        with pytest.raises(CryptoError):
+            seal_batch([1, 2], [KEY], [make_nonce(1, 2, 3, 4)])

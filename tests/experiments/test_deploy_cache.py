@@ -21,7 +21,7 @@ def clean_cache(monkeypatch):
     monkeypatch.setattr(
         common,
         "_DEPLOYMENT_CACHE_COUNTERS",
-        {"hits": 0, "misses": 0, "evictions": 0},
+        {"hits": 0, "misses": 0, "evictions": 0, "oversized": 0},
     )
 
 
@@ -35,8 +35,10 @@ class TestCountCap:
         monkeypatch.setattr(common, "_DEPLOYMENT_CACHE_LIMIT", 3)
         _fill([10, 11, 12, 13, 14])
         assert len(common._DEPLOYMENT_CACHE) == 3
-        hits, misses, evictions = common.deployment_cache_counters()
-        assert (hits, misses, evictions) == (0, 5, 2)
+        hits, misses, evictions, oversized = (
+            common.deployment_cache_counters()
+        )
+        assert (hits, misses, evictions, oversized) == (0, 5, 2, 0)
 
     def test_eviction_is_least_recently_used(self, monkeypatch):
         monkeypatch.setattr(common, "_DEPLOYMENT_CACHE_LIMIT", 2)
@@ -44,7 +46,7 @@ class TestCountCap:
         common.cached_deployment(10, seed=1, area=120.0)  # refresh 10
         _fill([12])  # evicts 11, not 10
         common.cached_deployment(10, seed=1, area=120.0)
-        hits, _misses, _evictions = common.deployment_cache_counters()
+        hits = common.deployment_cache_counters()[0]
         assert hits == 2
 
 
@@ -62,12 +64,20 @@ class TestNodeWeightCap:
             common._DEPLOYMENT_CACHE
         )
 
-    def test_single_oversized_entry_is_kept(self, monkeypatch):
-        # the cap never evicts the entry just inserted (len > 1 guard):
-        # a deployment larger than the cap alone must still be usable.
-        monkeypatch.setattr(common, "_DEPLOYMENT_CACHE_MAX_NODES", 5)
-        common.cached_deployment(40, seed=1, area=120.0)
-        assert len(common._DEPLOYMENT_CACHE) == 1
+    def test_oversized_deployment_bypasses_cache(self, monkeypatch):
+        # A deployment larger than the whole cap would evict everything
+        # else and still thrash: it is handed back uncached, counted
+        # under "oversized", and existing entries survive.
+        monkeypatch.setattr(common, "_DEPLOYMENT_CACHE_MAX_NODES", 50)
+        common.cached_deployment(10, seed=1, area=120.0)
+        topology = common.cached_deployment(60, seed=1, area=400.0)
+        assert topology.node_count == 60
+        assert len(common._DEPLOYMENT_CACHE) == 1  # only the 10-node one
+        assert common.deployment_cache_counters()[3] == 1
+        # and re-requesting it is a fresh build, not a hit
+        again = common.cached_deployment(60, seed=1, area=400.0)
+        assert again.node_count == 60
+        assert common.deployment_cache_counters() == (0, 3, 0, 2)
 
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_DEPLOY_CACHE_MAX_NODES", "25")
@@ -86,8 +96,8 @@ class TestNodeWeightCap:
 
 
 class TestCounters:
-    def test_counters_are_a_3_tuple(self):
-        assert common.deployment_cache_counters() == (0, 0, 0)
+    def test_counters_are_a_4_tuple(self):
+        assert common.deployment_cache_counters() == (0, 0, 0, 0)
         _fill([10])
         _fill([10])
-        assert common.deployment_cache_counters() == (1, 1, 0)
+        assert common.deployment_cache_counters() == (1, 1, 0, 0)
