@@ -401,6 +401,70 @@ def bench_radio_fanout_10k(quick: bool) -> BenchResult:
     )
 
 
+@register_benchmark(
+    "radio-fanout-collisions-10k",
+    "macro",
+    "contended broadcast storm over a 10k-node deployment (batch collision ledger)",
+)
+def bench_radio_fanout_collisions_10k(quick: bool) -> BenchResult:
+    """Every node broadcasts on a *collision-enabled* channel.
+
+    The 10 µs send stagger keeps ~18 frames concurrently on the air
+    (176 µs airtime), so ~29-receiver fan-outs constantly overlap:
+    this is the in-flight ledger's macro number — transmit-time ruin
+    flagging plus end-of-frame batch resolution, the path every
+    paper-faithful (ns-2/802.11-style) experiment takes.
+    """
+    node_count = 10_000
+    frames_per_node = 1 if quick else 2
+    topology = random_deployment(
+        node_count, area=_scale_area(node_count), seed=42
+    )
+    engine = EventEngine()
+    trace = TraceCollector(detail="counters")
+    delivered = [0]
+
+    def deliver(receiver: int, message, addressed: bool) -> None:
+        delivered[0] += 1
+
+    radio = RadioMedium(
+        engine=engine,
+        topology=topology,
+        trace=trace,
+        deliver=deliver,
+        rng=np.random.default_rng(12345),
+        config=RadioConfig(collisions_enabled=True),
+    )
+    for repeat in range(frames_per_node):
+        for nid in range(node_count):
+            engine.schedule(
+                1e-5 * (repeat * node_count + nid + 1),
+                lambda nid=nid: radio.transmit(
+                    HelloMessage(src=nid, dst=BROADCAST)
+                ),
+            )
+    started = time.perf_counter()
+    engine.run()
+    wall = time.perf_counter() - started
+    frames = node_count * frames_per_node
+    return BenchResult(
+        name="radio-fanout-collisions-10k",
+        kind="macro",
+        metric="frames_per_second",
+        value=frames / wall,
+        unit="frames/s",
+        wall_seconds=wall,
+        iterations=frames,
+        detail={
+            "nodes": node_count,
+            "frames_per_node": frames_per_node,
+            "delivered": delivered[0],
+            "dropped": trace.total_drops,
+            "average_degree": round(topology.average_degree(), 2),
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # Protocol macros (one representative spec per protocol family)
 # ----------------------------------------------------------------------

@@ -88,6 +88,20 @@ class CsmaMac:
         self._current: Optional[Message] = None
         self._attempts = 0
         self._halted = False
+        #: generation counter for posted timers.  MAC timers are
+        #: fire-and-forget (never cancelled), so each one carries the
+        #: epoch it was armed under and is ignored once the epoch has
+        #: moved on — otherwise a timer armed for a frame abandoned by
+        #: halt() could fire after resume() and transmit the *next*
+        #: frame early (or on top of itself).
+        self._epoch = 0
+        #: the frame currently on the air, if any (set at transmit,
+        #: cleared when its end-of-frame feedback arrives).
+        self._airborne: Optional[Message] = None
+        #: a frame that was on the air when halt() struck.  Its
+        #: end-of-frame feedback must be discarded instead of matched
+        #: against whatever frame the recovered MAC is sending by then.
+        self._abandoned: Optional[Message] = None
         #: unicast frames abandoned after the retry limit.
         self.dropped_frames = 0
         #: total retransmissions performed (attempts beyond the first).
@@ -117,16 +131,19 @@ class CsmaMac:
     def halt(self) -> None:
         """Fail-stop: drop the queue and stop servicing frames.
 
-        A frame already on the air finishes (the crash lands between
-        frames); any backoff or retry in progress is abandoned.
+        A frame already on the air keeps propagating (the transmission
+        physically happened), but the MAC abandons it: its end-of-frame
+        feedback is discarded, so a recovered MAC never retries — or
+        worse, mis-matches — a pre-crash frame.  Any backoff or retry
+        in progress dies with the epoch bump.
         """
         self._halted = True
+        self._epoch += 1
         self._queue.clear()
-        if self._current is not None and not self.radio.is_transmitting(
-            self.node_id
-        ):
-            self._current = None
-            self._busy = False
+        if self._current is not None and self._airborne is self._current:
+            self._abandoned = self._current
+        self._current = None
+        self._busy = False
 
     def resume(self) -> None:
         """Recover from :meth:`halt`; the queue starts empty."""
@@ -142,32 +159,54 @@ class CsmaMac:
             return
         self._current = self._queue.popleft()
         self._attempts = 0
+        self._epoch += 1
+        epoch = self._epoch
         jitter = float(self._rng.uniform(0.0, self.config.send_jitter))
-        # Fire-and-forget: MAC timers are never cancelled (halt() is
-        # handled by the _halted guard inside _attempt), so the
+        # Fire-and-forget: MAC timers are never cancelled (stale ones
+        # are ignored via the epoch guard inside _attempt), so the
         # handle-free post() avoids a ScheduledEvent per frame.
-        self.engine.post(jitter, lambda: self._attempt(0))
+        self.engine.post(jitter, lambda: self._attempt(0, epoch))
 
-    def _attempt(self, deferrals: int) -> None:
+    def _attempt(self, deferrals: int, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # timer armed for a frame that is no longer current
         if self._current is None or self._halted:
             return
-        if (
-            self.radio.senses_busy(self.node_id)
-            and deferrals < self.config.max_deferrals
+        if self.radio.senses_busy(self.node_id) and (
+            deferrals < self.config.max_deferrals
+            # Never transmit over this node's own radio: an abandoned
+            # pre-crash frame may still be on the air after a fast
+            # crash->recover->send churn, and starting a second frame
+            # mid-flight is a physical impossibility the radio rejects.
+            or self.radio.is_transmitting(self.node_id)
         ):
             self.backoffs += 1
             self.engine.post(
-                self._backoff(deferrals), lambda: self._attempt(deferrals + 1)
+                self._backoff(deferrals),
+                lambda: self._attempt(deferrals + 1, epoch),
             )
             return
         self._attempts += 1
         if self._attempts > 1:
             self.retransmissions += 1
+        self._airborne = self._current
         self.radio.transmit(self._current)
         # The radio calls transmission_result() at end-of-frame.
 
     def transmission_result(self, message: Message, delivered: bool) -> None:
         """Radio feedback at end-of-frame (the abstracted ACK)."""
+        if message is self._airborne:
+            self._airborne = None
+        if message is self._abandoned:
+            # Feedback for a frame the MAC abandoned at halt().  If the
+            # node is still down and the unicast went undelivered,
+            # account the drop as before; either way the feedback must
+            # not reach the retry logic — `_current` may already be a
+            # different frame enqueued after recovery.
+            self._abandoned = None
+            if self._halted and not delivered and not message.is_broadcast:
+                self.dropped_frames += 1
+            return
         if self._current is None or message is not self._current:
             if self._halted:
                 return  # the frame concluded across a fail-stop
@@ -183,8 +222,9 @@ class CsmaMac:
         )
         if retry:
             self.backoffs += 1
+            epoch = self._epoch
             self.engine.post(
-                self._backoff(self._attempts), lambda: self._attempt(0)
+                self._backoff(self._attempts), lambda: self._attempt(0, epoch)
             )
             return
         if not delivered and not message.is_broadcast:

@@ -18,10 +18,19 @@ Hot-path notes: neighbour iteration order must be sorted (it fixes the
 RNG draw order and therefore byte-for-byte reproducibility), so the
 sorted tuples are cached per node and invalidated via
 ``Topology.version``.  When collisions are disabled the medium takes a
-perfect-channel fast path that skips the per-receiver
-:class:`Reception` bookkeeping entirely; it is observably identical to
-the general path (same trace records, same RNG draws, same delivery
-order), which ``tests/sim/test_radio_fastpath.py`` asserts.
+perfect-channel fast path that skips per-receiver bookkeeping entirely
+(``_finish_fast``); with collisions enabled, in-flight frames live in a
+struct-of-arrays ledger (:class:`_InFlightFrame`: one record of
+``(start, end, receivers, ruin map)`` per frame) so half-duplex and
+overlap ruin are O(1) probes per *frame pair* instead of
+per-receiver Python objects, and end-of-frame resolution draws all
+Bernoulli losses in one ``rng.random(k)`` call and accounts the whole
+fan-out through the batch trace APIs.  Both shortcuts are observably
+identical to the historical per-:class:`Reception` loop (same receiver
+order, same RNG stream, same trace records), which
+``tests/sim/test_radio_fastpath.py`` and
+``tests/sim/test_radio_collisions_batch.py`` assert by running the
+retained legacy resolver (``_force_legacy_collisions``) side by side.
 """
 
 from __future__ import annotations
@@ -41,6 +50,27 @@ __all__ = ["RadioConfig", "RadioMedium", "Reception"]
 
 #: Paper's simulated data rate (Section IV-B): 1 Mbps.
 PAPER_DATA_RATE_BPS: float = 1_000_000.0
+
+#: Ruin codes stored in the ledger's ``ruin`` map.  A receiver's entry
+#: records the *first* cause that ruined the reception, at the moment
+#: it is ruined — not a reclassification at end-of-frame (which used to
+#: misattribute half-duplex ruins as collisions once the receiver's own
+#: transmission had ended).
+_RUIN_NONE = 0
+_RUIN_HALF_DUPLEX = 1
+_RUIN_COLLISION = 2
+
+#: Ledger size at which the transmit-time pair screen switches from a
+#: scalar Python loop to one vectorized pass over the ``_if_*``
+#: columns.  Small ledgers (the MAC-paced common case) stay on the
+#: scalar loop, which beats numpy's fixed call overhead below roughly
+#: this many live frames.
+_VECTOR_SCAN_MIN = 24
+
+_RUIN_REASON = {
+    _RUIN_HALF_DUPLEX: DropReason.HALF_DUPLEX,
+    _RUIN_COLLISION: DropReason.COLLISION,
+}
 
 
 @dataclass
@@ -76,13 +106,19 @@ class RadioConfig:
 
 @dataclass(slots=True)
 class Reception:
-    """An in-flight frame as experienced by one receiver."""
+    """An in-flight frame as experienced by one receiver (legacy model).
+
+    Only the retained legacy resolver allocates these; the production
+    collision path keeps one :class:`_InFlightFrame` per frame instead.
+    """
 
     message: Message
     receiver: int
     start: float
     end: float
     collided: bool = False
+    #: the cause recorded when ``collided`` was first set.
+    ruin_reason: Optional[str] = None
     record: Optional[FrameRecord] = None
     #: position inside ``RadioMedium._active_receptions[receiver]`` so
     #: conclusion can swap-pop instead of an O(n) list.remove.
@@ -91,13 +127,43 @@ class Reception:
 
 @dataclass(slots=True)
 class _Transmission:
-    """An in-flight frame as produced by its sender."""
+    """An in-flight frame as produced by its sender (legacy model)."""
 
     message: Message
     sender: int
     start: float
     end: float
     receptions: List[Reception] = field(default_factory=list)
+
+
+@dataclass(slots=True, eq=False)
+class _InFlightFrame:
+    """One frame on the air, as a struct-of-arrays ledger record.
+
+    ``receivers``/``receiver_set``/``slot_index`` are the sender's
+    cached sorted-neighbour views (shared across all its frames, never
+    rebuilt per transmission); ``ruin`` maps a ruined receiver's id to
+    its ``_RUIN_*`` cause code — one hash probe to test-and-mark, and
+    ``len(ruin) == n_receivers`` is the "fully ruined" saturation test
+    that lets a contended storm skip already-settled frame pairs.  A
+    frame that never collides carries an empty map.  ``sx``/``sy`` are
+    the sender's coordinates, pre-extracted for the pair-level spatial
+    reject.  No per-receiver Python object exists anywhere on the
+    collision path.
+    """
+
+    message: Message
+    sender: int
+    start: float
+    end: float
+    sx: float
+    sy: float
+    receivers: Tuple[int, ...]
+    receiver_set: frozenset
+    slot_index: Dict[int, int]
+    n_receivers: int
+    ruin: Dict[int, int]
+    record: Optional[FrameRecord]
 
 
 DeliverFn = Callable[[int, Message, bool], None]
@@ -154,7 +220,27 @@ class RadioMedium:
         self._deliver = deliver
         self._notify_sender = notify_sender
         self._rng = rng
-        self._transmitting_until: Dict[int, float] = {}
+        #: per-node transmission end time (-inf when idle).  All
+        #: channel-state queries — MAC carrier sense included — are
+        #: strict ``> now`` comparisons against this array, so entries
+        #: never need pruning and fan-out busy checks vectorize.
+        self._tx_until = np.full(topology.node_count, -np.inf)
+        #: frames currently on the air (cheap early-out for carrier
+        #: sense on an idle channel).
+        self._tx_count = 0
+        #: the in-flight ledger: one struct-of-arrays record per frame
+        #: on the air (collision path only; the perfect-channel fast
+        #: path never touches it).  The parallel ``_if_*`` columns
+        #: mirror the list index-for-index so a crowded ledger can be
+        #: screened in one vectorized pass; removal swap-pops, which is
+        #: safe because ruin marks are idempotent first-cause-wins and
+        #: therefore insensitive to ledger order.
+        self._in_flight: List[_InFlightFrame] = []
+        self._if_end = np.empty(16)
+        self._if_x = np.empty(16)
+        self._if_y = np.empty(16)
+        #: legacy per-receiver bookkeeping, used only when
+        #: ``_force_legacy_collisions`` is set by equivalence tests.
         self._active_receptions: Dict[int, List[Reception]] = {}
         #: optional per-link loss process installed by the fault layer.
         self.loss_model: Optional[LossModelFn] = None
@@ -162,27 +248,85 @@ class RadioMedium:
         #: sorted neighbour tuples, keyed on Topology.version (sorted
         #: order fixes the per-frame RNG draw order).
         self._neighbor_cache: Dict[int, Tuple[int, ...]] = {}
+        #: the same neighbour sets as int64 arrays, for vectorized
+        #: carrier sensing.
+        self._neighbor_arrays: Dict[int, np.ndarray] = {}
+        #: ... as frozensets, for the ledger's O(1)/O(d) pair tests.
+        self._neighbor_sets: Dict[int, frozenset] = {}
+        #: ... and as node-id -> ruin-slot maps (slot = position in the
+        #: sorted tuple), so flagging a ruined reception is a dict get.
+        self._neighbor_slots: Dict[int, Dict[int, int]] = {}
         self._neighbor_cache_version = topology.version
+        #: sender coordinates and the pair-level rejection radius: under
+        #: the disc model (Topology: neighbours iff distance <=
+        #: radio_range) two senders further apart than twice the range
+        #: share no receiver and cannot hear each other, so their
+        #: frames provably cannot interact.
+        self._coords = topology.coords
+        self._pair_reject_sq = (2.0 * topology.radio_range) ** 2
         #: frames concluded by the perfect-channel fast path vs the
         #: generic collision-aware path (observability counters).
         self.fast_path_frames = 0
         self.generic_frames = 0
         #: test hook — when True the perfect-channel fast path is
-        #: disabled so equivalence tests can diff both paths.  Set it
-        #: before the first transmit; the two paths do not share
-        #: in-flight bookkeeping.
+        #: disabled so equivalence tests can diff it against the
+        #: generic resolver.  Set it before the first transmit; the
+        #: paths do not share in-flight bookkeeping.
         self._force_generic_finish = False
+        #: test hook — when True the generic path uses the retained
+        #: per-Reception legacy resolver instead of the batch ledger,
+        #: so the differential suite can run old and new resolution
+        #: side by side.  Set it before the first transmit.
+        self._force_legacy_collisions = False
+
+    def _check_neighbor_caches(self) -> None:
+        if self._neighbor_cache_version != self.topology.version:
+            self._neighbor_cache.clear()
+            self._neighbor_arrays.clear()
+            self._neighbor_sets.clear()
+            self._neighbor_slots.clear()
+            self._neighbor_cache_version = self.topology.version
 
     def _sorted_neighbors(self, node_id: int) -> Tuple[int, ...]:
         """Sorted one-hop neighbours of ``node_id`` (cached)."""
-        if self._neighbor_cache_version != self.topology.version:
-            self._neighbor_cache.clear()
-            self._neighbor_cache_version = self.topology.version
+        self._check_neighbor_caches()
         neighbors = self._neighbor_cache.get(node_id)
         if neighbors is None:
             neighbors = tuple(sorted(self.topology.neighbors(node_id)))
             self._neighbor_cache[node_id] = neighbors
         return neighbors
+
+    def _neighbor_array(self, node_id: int) -> np.ndarray:
+        """The sorted neighbour tuple as a cached int64 array."""
+        self._check_neighbor_caches()
+        array = self._neighbor_arrays.get(node_id)
+        if array is None:
+            array = np.array(
+                self._sorted_neighbors(node_id), dtype=np.int64
+            )
+            self._neighbor_arrays[node_id] = array
+        return array
+
+    def _neighbor_set(self, node_id: int) -> frozenset:
+        """The neighbour set as a cached frozenset."""
+        neighbor_set = self._neighbor_sets.get(node_id)
+        if neighbor_set is None:
+            neighbor_set = frozenset(self._sorted_neighbors(node_id))
+            self._neighbor_sets[node_id] = neighbor_set
+        return neighbor_set
+
+    def _neighbor_slot_index(self, node_id: int) -> Dict[int, int]:
+        """Neighbour id -> slot in the sorted tuple (cached)."""
+        slots = self._neighbor_slots.get(node_id)
+        if slots is None:
+            slots = {
+                neighbor: slot
+                for slot, neighbor in enumerate(
+                    self._sorted_neighbors(node_id)
+                )
+            }
+            self._neighbor_slots[node_id] = slots
+        return slots
 
     # ------------------------------------------------------------------
     # Channel state queries (used by the MAC for carrier sensing)
@@ -192,38 +336,26 @@ class RadioMedium:
         return message.size_bytes * 8.0 / self.config.data_rate_bps
 
     def is_transmitting(self, node_id: int) -> bool:
-        """True while ``node_id`` has a frame on the air.
-
-        Prunes the node's entry once its frame has ended, so the map
-        only ever holds frames genuinely on the air.
-        """
-        until = self._transmitting_until.get(node_id)
-        if until is None:
-            return False
-        if until > self.engine.now:
-            return True
-        del self._transmitting_until[node_id]
-        return False
+        """True while ``node_id`` has a frame on the air."""
+        return self._tx_until[node_id] > self.engine.now
 
     def senses_busy(self, node_id: int) -> bool:
         """Carrier sense: the node or any neighbour is transmitting.
 
-        Stale entries encountered along the way are pruned (safe: the
-        iteration is over the cached neighbour tuple, not the map).
+        One vectorized comparison over the cached neighbour array; an
+        idle channel (no frame anywhere on the air) short-circuits
+        before touching it.
         """
-        if self.is_transmitting(node_id):
-            return True
-        transmitting = self._transmitting_until
-        if not transmitting:
-            return False
         now = self.engine.now
-        for nbr in self._sorted_neighbors(node_id):
-            until = transmitting.get(nbr)
-            if until is not None:
-                if until > now:
-                    return True
-                del transmitting[nbr]
-        return False
+        tx_until = self._tx_until
+        if tx_until[node_id] > now:
+            return True
+        if not self._tx_count:
+            return False
+        neighbors = self._neighbor_array(node_id)
+        if not len(neighbors):
+            return False
+        return bool((tx_until[neighbors] > now).any())
 
     # ------------------------------------------------------------------
     # Transmission
@@ -236,22 +368,28 @@ class RadioMedium:
         """
         sender = message.src
         now = self.engine.now
-        if self.is_transmitting(sender):
+        if self._tx_until[sender] > now:
             raise SimulationError(
                 f"node {sender} started a frame while already transmitting"
             )
         config = self.config
         start = now + config.propagation_delay
         end = start + message.size_bytes * 8.0 / config.data_rate_bps
-        self._transmitting_until[sender] = end
+        self._tx_until[sender] = end
+        self._tx_count += 1
 
         record = self.trace.record_send(now, message)
         receivers = self._sorted_neighbors(sender)
 
+        if self._force_legacy_collisions:
+            return self._transmit_legacy(
+                message, sender, start, end, record, receivers
+            )
+
         if not config.collisions_enabled and not self._force_generic_finish:
             # Perfect channel: no frame can collide, so skip the
-            # per-receiver Reception bookkeeping and conclude straight
-            # from the cached neighbour tuple at end-of-frame.
+            # in-flight ledger and conclude straight from the cached
+            # neighbour tuple at end-of-frame.
             self.engine.post_at(
                 end,
                 lambda: self._finish_fast(message, receivers, record),
@@ -259,6 +397,335 @@ class RadioMedium:
             )
             return end
 
+        coords = self._coords
+        entry = _InFlightFrame(
+            message=message,
+            sender=sender,
+            start=start,
+            end=end,
+            sx=float(coords[sender, 0]),
+            sy=float(coords[sender, 1]),
+            receivers=receivers,
+            receiver_set=self._neighbor_set(sender),
+            slot_index=self._neighbor_slot_index(sender),
+            n_receivers=len(receivers),
+            ruin={},
+            record=record,
+        )
+
+        in_flight = self._in_flight
+        if config.collisions_enabled and in_flight:
+            self._flag_interactions(entry, start, sender)
+        slot = len(in_flight)
+        if slot == len(self._if_end):
+            self._if_end = np.resize(self._if_end, slot * 2)
+            self._if_x = np.resize(self._if_x, slot * 2)
+            self._if_y = np.resize(self._if_y, slot * 2)
+        self._if_end[slot] = end
+        self._if_x[slot] = entry.sx
+        self._if_y[slot] = entry.sy
+        in_flight.append(entry)
+        self.engine.post_at(
+            end, lambda: self._finish_entry(entry), priority=-1
+        )
+        return end
+
+    def _flag_interactions(
+        self, entry: _InFlightFrame, start: float, sender: int
+    ) -> None:
+        """Flag every ruin the new frame causes or suffers at transmit time.
+
+        Two passes over the in-flight ledger so that, exactly like the
+        legacy per-reception checks, half-duplex ruin is recorded
+        before overlap ruin at any slot eligible for both (first cause
+        wins).  Pair tests are O(1) hash probes behind a spatial
+        reject: senders further apart than twice the radio range
+        provably share no receiver and cannot hear each other under the
+        disc model, so the test for the overwhelmingly common far-apart
+        pair of a large deployment is two float multiplies.  At the
+        other extreme — a saturated storm where everything overlaps —
+        a pair whose frames are both already fully ruined is settled by
+        two ``len`` checks, with no set work at all.
+        """
+        reject_sq = self._pair_reject_sq
+        sx = entry.sx
+        sy = entry.sy
+        recv_set = entry.receiver_set
+        ruin = entry.ruin
+        in_flight = self._in_flight
+        count = len(in_flight)
+        if count >= _VECTOR_SCAN_MIN:
+            # Crowded ledger (a contended storm): screen end-times and
+            # sender distances for every live frame in one vectorized
+            # pass instead of count Python-level iterations.  The
+            # comparisons are the same strict/float64 expressions as
+            # the scalar branch below, so the survivor set is
+            # identical.
+            dx = self._if_x[:count] - sx
+            dy = self._if_y[:count] - sy
+            np.multiply(dx, dx, out=dx)
+            np.multiply(dy, dy, out=dy)
+            dx += dy
+            keep = np.flatnonzero(
+                (dx <= reject_sq) & (self._if_end[:count] > start)
+            )
+            near = [in_flight[index] for index in keep] if len(keep) else None
+        else:
+            near = None
+            for other in in_flight:
+                if other.end <= start:
+                    # Ends at/before this frame's first bit arrives
+                    # (overlap tests are strict, matching the legacy
+                    # per-reception comparisons).
+                    continue
+                dx = other.sx - sx
+                dy = other.sy - sy
+                if dx * dx + dy * dy > reject_sq:
+                    continue
+                if near is None:
+                    near = [other]
+                else:
+                    near.append(other)
+        if near is None:
+            return
+        for other in near:
+            # Half-duplex (receiver side): a receiver with its own
+            # frame still on the air — i.e. the sender of a live ledger
+            # entry — cannot decode this one.
+            other_sender = other.sender
+            if other_sender in recv_set and other_sender not in ruin:
+                ruin[other_sender] = _RUIN_HALF_DUPLEX
+            # Half-duplex (sender side): anything this sender was
+            # still receiving is ruined by its own transmission.
+            other_ruin = other.ruin
+            if sender in other.receiver_set and sender not in other_ruin:
+                other_ruin[sender] = _RUIN_HALF_DUPLEX
+        n_mine = entry.n_receivers
+        for other in near:
+            # Overlap: both frames die at every common receiver.
+            # Receivers already ruined (e.g. half-duplex above) keep
+            # their first cause, and the marks are idempotent, so the
+            # set iteration order is immaterial.  A side that is
+            # already fully ruined cannot be marked further; when both
+            # sides are, the pair is settled without touching the sets.
+            other_ruin = other.ruin
+            if (
+                len(ruin) == n_mine
+                and len(other_ruin) == other.n_receivers
+            ):
+                continue
+            other_set = other.receiver_set
+            if recv_set.isdisjoint(other_set):
+                continue
+            for receiver in recv_set & other_set:
+                if receiver not in ruin:
+                    ruin[receiver] = _RUIN_COLLISION
+                if receiver not in other_ruin:
+                    other_ruin[receiver] = _RUIN_COLLISION
+
+    def _finish_entry(self, entry: _InFlightFrame) -> None:
+        """Batch end-of-frame resolution for one ledger record.
+
+        Observably identical to the legacy per-:class:`Reception` loop
+        (``_finish_transmission``): same receiver order, same
+        ``node_alive``/``loss_model`` call sequences, same single
+        ``rng.random(k)`` Bernoulli draw over the eligible receivers,
+        same trace records.  Like ``_finish_fast``, outcome resolution
+        is hoisted ahead of the deliver callbacks — safe because nodes
+        draw from their own per-node streams, never the radio's.
+        """
+        self.generic_frames += 1
+        in_flight = self._in_flight
+        last = len(in_flight) - 1
+        for index, other in enumerate(in_flight):
+            if other is entry:
+                # Swap-pop, keeping the _if_* columns aligned.  Ledger
+                # order is free to change: ruin marks are idempotent
+                # first-cause-wins, so scan order is unobservable.
+                if index != last:
+                    in_flight[index] = in_flight[last]
+                    self._if_end[index] = self._if_end[last]
+                    self._if_x[index] = self._if_x[last]
+                    self._if_y[index] = self._if_y[last]
+                in_flight.pop()
+                break
+        self._tx_until[entry.sender] = -np.inf
+        self._tx_count -= 1
+
+        message = entry.message
+        record = entry.record
+        receivers = entry.receivers
+        trace = self.trace
+        dst = message.dst
+        is_broadcast = message.is_broadcast
+        node_alive = self._node_alive
+        loss_model = self.loss_model
+        loss_p = self.config.loss_probability
+
+        ruin_map = entry.ruin
+        if (
+            not ruin_map
+            and node_alive is None
+            and loss_model is None
+            and loss_p == 0.0
+        ):
+            # Nothing can drop: resolve the whole fan-out as delivered.
+            self._record_deliveries(
+                message,
+                record,
+                receivers,
+                receivers,
+                is_broadcast,
+                dst,
+                addressee_decoded=True
+                if is_broadcast or dst in entry.receiver_set
+                else None,
+            )
+            return
+
+        if len(ruin_map) == entry.n_receivers:
+            # Every reception was ruined at flag time (a saturated
+            # storm): nothing survives to probe liveness, draw loss, or
+            # consult the loss model — exactly as in the legacy loop,
+            # which only runs those for non-ruined receptions.  Emit
+            # the drops straight from the ruin map, in receiver order.
+            trace.record_drop_batch(
+                record,
+                message,
+                [
+                    (receiver, _RUIN_REASON[ruin_map[receiver]])
+                    for receiver in receivers
+                ],
+            )
+            self._record_deliveries(
+                message,
+                record,
+                receivers,
+                (),
+                is_broadcast,
+                dst,
+                addressee_decoded=True
+                if is_broadcast
+                else (False if dst in entry.receiver_set else None),
+            )
+            return
+
+        # Outcome codes per slot: 0 = delivered, otherwise the drop
+        # reason.  Start from the ruin causes recorded at flag time.
+        code = np.zeros(entry.n_receivers, dtype=np.int8)
+        if ruin_map:
+            slot_index = entry.slot_index
+            for receiver, cause in ruin_map.items():
+                code[slot_index[receiver]] = cause
+        if node_alive is not None:
+            # Liveness probes only for the non-ruined receivers, in
+            # receiver order — the exact call pattern of the legacy
+            # pre-pass.
+            if ruin_map:
+                dead = [
+                    slot
+                    for slot in np.flatnonzero(code == _RUIN_NONE)
+                    if not node_alive(receivers[slot])
+                ]
+            else:
+                dead = [
+                    slot
+                    for slot, receiver in enumerate(receivers)
+                    if not node_alive(receiver)
+                ]
+            if dead:
+                code[dead] = _CODE_DEAD
+        eligible = np.flatnonzero(code == _RUIN_NONE)
+        if loss_p > 0.0 and len(eligible):
+            # ONE vectorized draw for every eligible receiver —
+            # elementwise- and state-identical to k scalar draws.
+            draws = self._rng.random(len(eligible))
+            lost = eligible[draws < loss_p]
+            if len(lost):
+                code[lost] = _CODE_RANDOM_LOSS
+        if loss_model is not None:
+            now = self.engine.now
+            src = message.src
+            for slot in np.flatnonzero(code == _RUIN_NONE):
+                if loss_model(src, receivers[slot], now):
+                    code[slot] = _CODE_BURST_LOSS
+
+        dropped_slots = np.flatnonzero(code)
+        if len(dropped_slots):
+            trace.record_drop_batch(
+                record,
+                message,
+                [
+                    (receivers[slot], _CODE_REASON[code[slot]])
+                    for slot in dropped_slots
+                ],
+            )
+        if dst in entry.receiver_set:
+            addressee_decoded = bool(code[entry.slot_index[dst]] == _RUIN_NONE)
+        else:
+            addressee_decoded = None
+        self._record_deliveries(
+            message,
+            record,
+            receivers,
+            [receivers[slot] for slot in np.flatnonzero(code == _RUIN_NONE)],
+            is_broadcast,
+            dst,
+            addressee_decoded=addressee_decoded,
+        )
+
+    def _record_deliveries(
+        self,
+        message: Message,
+        record: Optional[FrameRecord],
+        receivers: Tuple[int, ...],
+        delivered,
+        is_broadcast: bool,
+        dst: int,
+        addressee_decoded: Optional[bool] = True,
+    ) -> None:
+        """Account and dispatch the delivered fan-out, then notify.
+
+        ``delivered`` is the decoded subset in receiver order;
+        ``addressee_decoded`` the unicast ACK outcome (``None`` when the
+        addressee is out of radio range — recorded as NO_RECEIVER);
+        broadcasts always acknowledge.
+        """
+        trace = self.trace
+        deliver = self._deliver
+        if is_broadcast:
+            trace.record_delivery_batch(record, message, delivered)
+            for receiver in delivered:
+                deliver(receiver, message, True)
+            if self._notify_sender is not None:
+                self._notify_sender(message, True)
+            return
+        for receiver in delivered:
+            addressed = receiver == dst
+            if addressed:
+                trace.record_delivery(record, message, receiver)
+            deliver(receiver, message, addressed)
+        if addressee_decoded is None:
+            # Unicast to a node outside radio range: nobody to decode it.
+            trace.record_drop(None, message, dst, DropReason.NO_RECEIVER)
+        if self._notify_sender is not None:
+            self._notify_sender(message, bool(addressee_decoded))
+
+    # ------------------------------------------------------------------
+    # Legacy per-reception resolver (equivalence-test oracle)
+    # ------------------------------------------------------------------
+    def _transmit_legacy(
+        self,
+        message: Message,
+        sender: int,
+        start: float,
+        end: float,
+        record: Optional[FrameRecord],
+        receivers: Tuple[int, ...],
+    ) -> float:
+        """The historical Reception-object collision path, kept so the
+        differential suite can prove the ledger byte-identical."""
+        config = self.config
         transmission = _Transmission(
             message=message, sender=sender, start=start, end=end
         )
@@ -268,6 +735,7 @@ class RadioMedium:
             for reception in self._active_receptions.get(sender, []):
                 if reception.end > start and not reception.collided:
                     reception.collided = True
+                    reception.ruin_reason = DropReason.HALF_DUPLEX
 
         active_map = self._active_receptions
         for receiver in receivers:
@@ -295,19 +763,24 @@ class RadioMedium:
     def _apply_collisions(self, reception: Reception) -> None:
         receiver = reception.receiver
         # Receiver busy sending: the incoming frame is unreadable.
-        until = self._transmitting_until.get(receiver)
-        if until is not None and until > reception.start:
+        if self._tx_until[receiver] > reception.start:
             reception.collided = True
+            reception.ruin_reason = DropReason.HALF_DUPLEX
         # Overlap with any other in-flight frame at this receiver ruins both.
         for other in self._active_receptions.get(receiver, []):
             if other.end > reception.start:
-                other.collided = True
-                reception.collided = True
+                if not other.collided:
+                    other.collided = True
+                    other.ruin_reason = DropReason.COLLISION
+                if not reception.collided:
+                    reception.collided = True
+                    reception.ruin_reason = DropReason.COLLISION
 
     def _finish_transmission(self, transmission: _Transmission) -> None:
         message = transmission.message
         self.generic_frames += 1
-        self._transmitting_until.pop(transmission.sender, None)
+        self._tx_until[transmission.sender] = -np.inf
+        self._tx_count -= 1
         addressee_got_it = message.is_broadcast
         addressee_seen = message.is_broadcast
         active_map = self._active_receptions
@@ -381,13 +854,13 @@ class RadioMedium:
     ) -> None:
         """Perfect-channel end-of-frame, resolved for the whole receiver set.
 
-        Must stay observably identical to ``_finish_transmission`` +
-        ``_conclude_reception`` with ``collided`` always False: same
-        receiver order, same drop-check order (alive -> Bernoulli ->
-        loss model), same trace-record contents, same RNG stream.  The
-        Bernoulli losses for the alive receivers are ONE vectorized
-        ``random(k)`` call — elementwise- and state-identical to ``k``
-        scalar draws — and broadcast deliveries go through
+        Must stay observably identical to the generic resolvers with
+        ``collided`` always False: same receiver order, same drop-check
+        order (alive -> Bernoulli -> loss model), same trace-record
+        contents, same RNG stream.  The Bernoulli losses for the alive
+        receivers are ONE vectorized ``random(k)`` call — elementwise-
+        and state-identical to ``k`` scalar draws — and broadcast
+        deliveries go through
         :meth:`TraceCollector.record_delivery_batch`, so a
         10^4-neighbour broadcast costs one draw and one aggregate
         counter update, not 10^4 of each.  Hoisting the draws ahead of
@@ -396,7 +869,8 @@ class RadioMedium:
         model keeps independent per-link generators.
         """
         self.fast_path_frames += 1
-        self._transmitting_until.pop(message.src, None)
+        self._tx_until[message.src] = -np.inf
+        self._tx_count -= 1
         src = message.src
         dst = message.dst
         is_broadcast = message.is_broadcast
@@ -505,11 +979,11 @@ class RadioMedium:
         """
         receiver = reception.receiver
         if reception.collided:
-            reason = (
-                DropReason.HALF_DUPLEX
-                if self.is_transmitting(receiver)
-                else DropReason.COLLISION
-            )
+            # The ruin cause was recorded when the reception was
+            # flagged; re-deriving it here from is_transmitting() at
+            # end-of-frame misattributed half-duplex ruins whose
+            # blocking transmission had already ended.
+            reason = reception.ruin_reason or DropReason.COLLISION
             self.trace.record_drop(reception.record, message, receiver, reason)
             return False
         if alive is None:
@@ -539,3 +1013,17 @@ class RadioMedium:
             self.trace.record_delivery(reception.record, message, receiver)
         self._deliver(receiver, message, addressed)
         return True
+
+
+#: Outcome codes used by the batch resolver beyond the ruin codes.
+_CODE_DEAD = 3
+_CODE_RANDOM_LOSS = 4
+_CODE_BURST_LOSS = 5
+
+_CODE_REASON = {
+    _RUIN_HALF_DUPLEX: DropReason.HALF_DUPLEX,
+    _RUIN_COLLISION: DropReason.COLLISION,
+    _CODE_DEAD: DropReason.RECEIVER_DEAD,
+    _CODE_RANDOM_LOSS: DropReason.RANDOM_LOSS,
+    _CODE_BURST_LOSS: DropReason.BURST_LOSS,
+}

@@ -180,6 +180,37 @@ class TraceCollector:
         if record is not None:
             record.dropped_at.append((receiver, reason))
 
+    def record_drop_batch(
+        self,
+        record: Optional[FrameRecord],
+        message: Message,
+        drops: Sequence[Tuple[int, str]],
+    ) -> None:
+        """Record failed deliveries of one frame at many receivers.
+
+        Equivalent to calling :meth:`record_drop` once per
+        ``(receiver, reason)`` pair in sequence order — reason keys
+        enter ``dropped_count`` in first-encounter order and the
+        per-link breakdown is updated in pair order, so summaries are
+        byte-identical to the sequential calls.  The batch form lets
+        the radio's collision resolver account a whole ruined fan-out
+        through one call instead of one per receiver.
+        """
+        if not drops:
+            return
+        src = message.src
+        dropped_count = self.dropped_count
+        if self._counters_only:
+            for _receiver, reason in drops:
+                dropped_count[reason] += 1
+        else:
+            by_link = self.dropped_by_link
+            for receiver, reason in drops:
+                dropped_count[reason] += 1
+                by_link[(src, receiver)][reason] += 1
+        if record is not None:
+            record.dropped_at.extend(drops)
+
     def record_fault(self, time: float, kind: str, node: int = -1) -> None:
         """Record an injected fault (crash, recovery, ...)."""
         self.fault_events.append(FaultEvent(time=time, kind=kind, node=node))

@@ -118,6 +118,132 @@ class TestArq:
         assert net.trace.sent_by_node[1] == 3
 
 
+class TestCrashRecoverChurn:
+    """Regression tests for the crash->recover churn bug (fixed in this
+    PR): halt()+resume()+a new send() while state from the pre-crash
+    frame was still live used to either crash the simulation
+    (``SimulationError`` from a stale MAC timer transmitting over an
+    in-flight frame) or silently retransmit the abandoned pre-crash
+    frame for its full retry budget after recovery.
+    """
+
+    def test_stale_jitter_timer_discarded_after_churn(self):
+        # Frame A is killed during its send jitter; after a fast
+        # recovery frame B is enqueued.  Pre-fix, A's still-pending
+        # jitter timer fired and transmitted B early, and B's own timer
+        # (max_deferrals=0 -> transmit regardless of carrier) then
+        # started B on top of itself: SimulationError.
+        net = make_network(mac_config=MacConfig(max_deferrals=0))
+        net.mac(1).send(HelloMessage(src=1, dst=2))
+        net.engine.schedule(1e-6, lambda: net.kill_node(1))
+        net.engine.schedule(1e-6, lambda: net.revive_node(1))
+        net.engine.schedule(1e-6, lambda: net.mac(1).send(HelloMessage(src=1, dst=2)))
+        net.run()  # pre-fix: SimulationError "already transmitting"
+        # Only frame B went on the air; A died with the crash.
+        assert net.trace.sent_by_node[1] == 1
+        assert net.trace.received_kind_by_node[2]["hello"] == 1
+
+    def _run_midair_churn(self, *, revive_delay, send_delay):
+        """Kill node 1 while its frame A is on the air, then revive and
+        enqueue frame B.  Returns (net, A, B)."""
+        net = make_network(
+            radio_config=RadioConfig(loss_probability=1.0),
+        )
+        A = HelloMessage(src=1, dst=2)
+        B = HelloMessage(src=1, dst=2)
+        net.mac(1).send(A)
+
+        def poll():
+            if net.radio.is_transmitting(1):
+                net.kill_node(1)
+                net.engine.schedule(revive_delay, lambda: net.revive_node(1))
+                net.engine.schedule(send_delay, lambda: net.mac(1).send(B))
+            else:
+                net.engine.schedule(1e-5, poll)
+
+        net.engine.schedule(0.0, poll)
+        net.run()
+        return net, A, B
+
+    def _attempts_per_frame(self, net, *frames):
+        from collections import Counter
+
+        counts = Counter(id(f.message) for f in net.trace.frames)
+        return tuple(counts.get(id(frame), 0) for frame in frames)
+
+    def test_midair_churn_abandons_inflight_frame(self):
+        # Recovery lands while A is still on the air.  Pre-fix the MAC
+        # matched A's end-of-frame feedback against `_current` with
+        # `_halted` already False and burned A's entire retry budget
+        # after the crash; fixed, A is abandoned at halt() and its
+        # feedback silently discarded.
+        net, A, B = self._run_midair_churn(
+            revive_delay=1e-5, send_delay=2e-5
+        )
+        a_attempts, b_attempts = self._attempts_per_frame(net, A, B)
+        assert a_attempts == 1  # never retried after the crash
+        assert b_attempts == 7  # B's own full retry budget (loss=1.0)
+        assert net.trace.sent_by_node[1] == 8
+        # Only B is accounted as dropped: A's loss belongs to the crash.
+        assert net.mac(1).dropped_frames == 1
+        assert net.mac(1).retransmissions == 6
+
+    def test_midair_churn_via_fault_plan(self):
+        # The same churn driven end-to-end by a declarative FaultPlan.
+        # A probe run (identical seed => identical jitter) finds when
+        # frame A is on the air; the plan then crashes node 1 mid-air
+        # and recovers it before end-of-frame.
+        from repro.faults import CrashEvent, FaultPlan
+
+        airtime = 22 * 8 / 1e6
+        probe = make_network(radio_config=RadioConfig(loss_probability=1.0))
+        start = []
+        probe_transmit = probe.radio.transmit
+        probe.radio.transmit = lambda m: (
+            start.append(probe.engine.now),
+            probe_transmit(m),
+        )[-1]
+        probe.mac(1).send(HelloMessage(src=1, dst=2))
+        probe.run()
+        midair = start[0] + airtime / 4
+
+        plan = FaultPlan(
+            crashes=(
+                CrashEvent(
+                    node=1, at=midair, recover_at=midair + airtime / 4
+                ),
+            )
+        )
+        net = make_network(radio_config=RadioConfig(loss_probability=1.0))
+        net.arm_faults(plan)
+        A = HelloMessage(src=1, dst=2)
+        B = HelloMessage(src=1, dst=2)
+        net.mac(1).send(A)
+        net.engine.schedule(
+            midair + airtime, lambda: net.mac(1).send(B)
+        )
+        net.run()  # pre-fix: A retried 7x after recovery (14 frames sent)
+        assert [e.kind for e in net.trace.fault_events] == [
+            "crash",
+            "recovery",
+        ]
+        a_attempts, b_attempts = self._attempts_per_frame(net, A, B)
+        assert a_attempts == 1
+        assert b_attempts == 7
+        assert net.trace.sent_by_node[1] == 8
+
+    def test_abandoned_frame_counts_as_drop_while_node_down(self):
+        # When the node is still down at A's end-of-frame, the
+        # undelivered unicast is accounted exactly as before the fix.
+        net, A, B = self._run_midair_churn(
+            revive_delay=1e-2, send_delay=1.1e-2
+        )
+        a_attempts, b_attempts = self._attempts_per_frame(net, A, B)
+        assert a_attempts == 1
+        assert b_attempts == 7
+        assert net.mac(1).dropped_frames == 2  # A (at crash) + B
+
+
 class TestCarrierSense:
     def test_backoff_defers_until_channel_clear(self):
         net = make_network(mac_config=MacConfig(send_jitter=1e-9))

@@ -147,11 +147,13 @@ class TestFastPathEquivalence:
     def test_fast_path_leaves_no_reception_state(self):
         run = Run(force_generic=False, loss_probability=0.1)
         assert run.radio._active_receptions == {}
-        assert run.radio._transmitting_until == {}
+        assert run.radio._in_flight == []
+        assert not (run.radio._tx_until > -np.inf).any()
+        assert run.radio._tx_count == 0
 
 
 class TestStaleTransmitterPruning:
-    """`_transmitting_until` must not accumulate stale entries."""
+    """Channel-state queries against the `_tx_until` array."""
 
     def _radio(self, **config_kwargs):
         topology = grid_deployment(1, 3, spacing=40.0, radio_range=50.0)
@@ -166,31 +168,35 @@ class TestStaleTransmitterPruning:
         )
         return engine, radio
 
-    def test_is_transmitting_prunes_expired_entry(self):
+    def test_is_transmitting_ignores_expired_entry(self):
         engine, radio = self._radio()
-        radio._transmitting_until[1] = engine.now - 1.0
+        radio._tx_until[1] = engine.now - 1.0
         assert not radio.is_transmitting(1)
-        assert 1 not in radio._transmitting_until
 
-    def test_is_transmitting_keeps_live_entry(self):
+    def test_is_transmitting_sees_live_entry(self):
         engine, radio = self._radio()
-        radio._transmitting_until[1] = engine.now + 1.0
+        radio._tx_until[1] = engine.now + 1.0
         assert radio.is_transmitting(1)
-        assert 1 in radio._transmitting_until
 
-    def test_senses_busy_prunes_expired_neighbor_entries(self):
+    def test_senses_busy_ignores_expired_neighbor_entries(self):
         engine, radio = self._radio()
-        radio._transmitting_until[0] = engine.now - 0.5
-        radio._transmitting_until[2] = engine.now - 0.5
+        radio._tx_until[0] = engine.now - 0.5
+        radio._tx_until[2] = engine.now - 0.5
+        radio._tx_count = 2
         assert not radio.senses_busy(1)
-        assert radio._transmitting_until == {}
 
     def test_senses_busy_still_sees_live_neighbor(self):
         engine, radio = self._radio()
-        radio._transmitting_until[0] = engine.now + 0.5
+        radio._tx_until[0] = engine.now + 0.5
+        radio._tx_count = 1
         assert radio.senses_busy(1)
 
-    def test_map_empty_after_traffic(self):
+    def test_idle_channel_short_circuits_carrier_sense(self):
+        engine, radio = self._radio()
+        assert radio._tx_count == 0
+        assert not radio.senses_busy(1)
+
+    def test_array_idle_after_traffic(self):
         for collisions in (False, True):
             engine, radio = self._radio(collisions_enabled=collisions)
             for src in (0, 1, 2):
@@ -201,7 +207,9 @@ class TestStaleTransmitterPruning:
                     ),
                 )
             engine.run()
-            assert radio._transmitting_until == {}
+            assert not (radio._tx_until > -np.inf).any()
+            assert radio._tx_count == 0
+            assert radio._in_flight == []
 
 
 class TestNeighborCache:

@@ -45,6 +45,45 @@ class TestCounters:
     def test_loss_rate_empty_is_zero(self):
         assert TraceCollector().loss_rate() == 0.0
 
+    @pytest.mark.parametrize("detail", ["full", "counters"])
+    @pytest.mark.parametrize("keep_frames", [False, True])
+    def test_record_drop_batch_equivalent_to_sequential(
+        self, detail, keep_frames
+    ):
+        # The batch form must be byte-identical to the one-by-one calls:
+        # same counter values, same first-encounter key order, same
+        # per-link breakdown, same FrameRecord contents.
+        drops = [
+            (4, DropReason.HALF_DUPLEX),
+            (1, DropReason.COLLISION),
+            (7, DropReason.COLLISION),
+            (2, DropReason.RANDOM_LOSS),
+            (4, DropReason.HALF_DUPLEX),
+        ]
+        msg = hello(src=3, dst=BROADCAST)
+        batch = TraceCollector(detail=detail, keep_frames=keep_frames)
+        sequential = TraceCollector(detail=detail, keep_frames=keep_frames)
+        batch_record = batch.record_send(0.0, msg)
+        sequential_record = sequential.record_send(0.0, msg)
+        batch.record_drop_batch(batch_record, msg, drops)
+        for receiver, reason in drops:
+            sequential.record_drop(sequential_record, msg, receiver, reason)
+        assert batch.dropped_count == sequential.dropped_count
+        assert list(batch.dropped_count) == list(sequential.dropped_count)
+        assert batch.dropped_by_link == sequential.dropped_by_link
+        assert list(batch.dropped_by_link) == list(sequential.dropped_by_link)
+        assert batch.summary() == sequential.summary()
+        if keep_frames:
+            assert batch_record.dropped_at == sequential_record.dropped_at
+
+    def test_record_drop_batch_empty_is_noop(self):
+        trace = TraceCollector(keep_frames=True)
+        msg = hello()
+        record = trace.record_send(0.0, msg)
+        trace.record_drop_batch(record, msg, [])
+        assert trace.total_drops == 0
+        assert record.dropped_at == []
+
     def test_summary_shape(self):
         trace = TraceCollector()
         msg = hello()
